@@ -1,0 +1,62 @@
+// Command ccbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ccbench -list
+//	ccbench -experiment fig4
+//	ccbench -experiment all [-quick] [-csv] [-seed 7]
+//
+// Each experiment prints the same rows/series the paper reports; see
+// EXPERIMENTS.md for the recorded comparison against the paper's curves.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"specdb/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, or all)")
+		quick = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		seed  = flag.Int64("seed", 42, "simulation seed")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-22s %s [%s]\n", e.ID, e.Title, e.Ref)
+		}
+		return
+	}
+	opts := bench.DefaultOpts()
+	if *quick {
+		opts = bench.QuickOpts()
+	}
+	opts.Seed = *seed
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.All()
+	} else {
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ccbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		series := e.Run(opts)
+		if *csv {
+			bench.FormatCSV(os.Stdout, e, series)
+		} else {
+			bench.Format(os.Stdout, e, series)
+		}
+	}
+}

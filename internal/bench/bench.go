@@ -1,0 +1,474 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§5–§6). Each experiment produces named series that
+// cmd/ccbench renders as text or CSV and EXPERIMENTS.md records against the
+// paper's curves. Absolute numbers come from the simulator's cost model; the
+// comparisons (who wins, by what factor, where the crossovers fall) are the
+// reproduction targets.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb"
+	"specdb/internal/core"
+	"specdb/internal/kvstore"
+	"specdb/internal/sim"
+	"specdb/internal/tpcc"
+	"specdb/internal/workload"
+)
+
+// Opts trades precision for runtime.
+type Opts struct {
+	Warmup  sim.Time
+	Measure sim.Time
+	// Coarse reduces the number of x-axis points.
+	Coarse bool
+	Seed   int64
+}
+
+// DefaultOpts is the full-fidelity configuration used for EXPERIMENTS.md.
+func DefaultOpts() Opts {
+	return Opts{Warmup: 50 * sim.Millisecond, Measure: 400 * sim.Millisecond, Seed: 42}
+}
+
+// QuickOpts is used by the Go benchmarks for fast regeneration.
+func QuickOpts() Opts {
+	return Opts{Warmup: 20 * sim.Millisecond, Measure: 100 * sim.Millisecond, Coarse: true, Seed: 42}
+}
+
+// Point is one measurement.
+type Point struct {
+	X, Y float64
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Experiment regenerates one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Ref   string
+	XAxis string
+	YAxis string
+	Run   func(o Opts) []Series
+}
+
+// All returns every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		Figure4(), Figure5(), Figure6(), Figure7(),
+		Figure8(), Figure9(), Figure10(),
+		Table1(), Table2(),
+		AblationAlwaysLock(), AblationLocalSpec(), AblationReplication(),
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// mpFractions returns the x-axis grid for the microbenchmark figures.
+func mpFractions(o Opts) []float64 {
+	step := 5
+	if o.Coarse {
+		step = 20
+	}
+	var out []float64
+	for pct := 0; pct <= 100; pct += step {
+		out = append(out, float64(pct)/100)
+	}
+	return out
+}
+
+// microCfg is a parameterized §5.1-§5.4 microbenchmark run.
+type microCfg struct {
+	scheme     specdb.Scheme
+	mpFrac     float64
+	conflict   float64
+	pinned     bool
+	abortProb  float64
+	twoRound   bool
+	alwaysLock bool
+	localOnly  bool
+	replicas   int
+}
+
+const (
+	microClients = 40
+	microKeys    = 12
+)
+
+func runMicro(o Opts, c microCfg) specdb.Result {
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	return specdb.Run(specdb.Config{
+		Partitions: 2,
+		Clients:    microClients,
+		Scheme:     c.scheme,
+		Replicas:   c.replicas,
+		Seed:       o.Seed,
+		Warmup:     o.Warmup,
+		Measure:    o.Measure,
+		Registry:   reg,
+		LockCfg:    specdb.LockConfig{AlwaysLock: c.alwaysLock},
+		SpecCfg:    core.SpecConfig{LocalOnly: c.localOnly},
+		Setup: func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, microClients, microKeys)
+		},
+		Workload: &workload.Micro{
+			Partitions:   2,
+			KeysPerTxn:   microKeys,
+			MPFraction:   c.mpFrac,
+			ConflictProb: c.conflict,
+			Pinned:       c.pinned,
+			AbortProb:    c.abortProb,
+			TwoRound:     c.twoRound,
+		},
+	})
+}
+
+// sweep runs one scheme across the multi-partition fractions.
+func sweep(o Opts, name string, base microCfg) Series {
+	s := Series{Name: name}
+	for _, f := range mpFractions(o) {
+		c := base
+		c.mpFrac = f
+		r := runMicro(o, c)
+		s.Points = append(s.Points, Point{X: f * 100, Y: r.Throughput})
+	}
+	return s
+}
+
+// Figure4 is the microbenchmark without conflicts (§5.1).
+func Figure4() Experiment {
+	return Experiment{
+		ID:    "fig4",
+		Title: "Microbenchmark Without Conflicts",
+		Ref:   "§5.1, Figure 4",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			return []Series{
+				sweep(o, "Speculation", microCfg{scheme: specdb.Speculation}),
+				sweep(o, "Locking", microCfg{scheme: specdb.Locking}),
+				sweep(o, "Blocking", microCfg{scheme: specdb.Blocking}),
+			}
+		},
+	}
+}
+
+// Figure5 is the conflict microbenchmark (§5.2).
+func Figure5() Experiment {
+	return Experiment{
+		ID:    "fig5",
+		Title: "Microbenchmark With Conflicts",
+		Ref:   "§5.2, Figure 5",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			out := []Series{}
+			for _, p := range []float64{0, 0.2, 0.6, 1.0} {
+				out = append(out, sweep(o, fmt.Sprintf("Locking %d%% conflict", int(p*100)),
+					microCfg{scheme: specdb.Locking, conflict: p, pinned: true}))
+			}
+			out = append(out,
+				sweep(o, "Speculation", microCfg{scheme: specdb.Speculation, conflict: 1.0, pinned: true}),
+				sweep(o, "Blocking", microCfg{scheme: specdb.Blocking, conflict: 1.0, pinned: true}),
+			)
+			return out
+		},
+	}
+}
+
+// Figure6 is the abort microbenchmark (§5.3).
+func Figure6() Experiment {
+	return Experiment{
+		ID:    "fig6",
+		Title: "Microbenchmark With Aborts",
+		Ref:   "§5.3, Figure 6",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			out := []Series{}
+			for _, p := range []float64{0, 0.03, 0.05, 0.10} {
+				out = append(out, sweep(o, fmt.Sprintf("Speculation %g%% aborts", p*100),
+					microCfg{scheme: specdb.Speculation, abortProb: p}))
+			}
+			out = append(out,
+				sweep(o, "Blocking 10% aborts", microCfg{scheme: specdb.Blocking, abortProb: 0.10}),
+				sweep(o, "Locking 10% aborts", microCfg{scheme: specdb.Locking, abortProb: 0.10}),
+			)
+			return out
+		},
+	}
+}
+
+// Figure7 is the general (two-round) transaction microbenchmark (§5.4).
+func Figure7() Experiment {
+	return Experiment{
+		ID:    "fig7",
+		Title: "General Transaction Microbenchmark",
+		Ref:   "§5.4, Figure 7",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			return []Series{
+				sweep(o, "Speculation", microCfg{scheme: specdb.Speculation, twoRound: true}),
+				sweep(o, "Blocking", microCfg{scheme: specdb.Blocking, twoRound: true}),
+				sweep(o, "Locking", microCfg{scheme: specdb.Locking, twoRound: true}),
+			}
+		},
+	}
+}
+
+// tpccRun executes one TPC-C configuration.
+func tpccRun(o Opts, scheme specdb.Scheme, warehouses int, newOrderOnly bool, remoteItem float64) specdb.Result {
+	layout := tpcc.Layout{Warehouses: warehouses, Partitions: 2}
+	scale := tpcc.DefaultScale()
+	reg := specdb.NewRegistry()
+	tpcc.RegisterAll(reg)
+	loader := tpcc.Loader{Layout: layout, Scale: scale, Seed: o.Seed}
+	return specdb.Run(specdb.Config{
+		Partitions: 2,
+		Clients:    40,
+		Scheme:     scheme,
+		Seed:       o.Seed,
+		Warmup:     o.Warmup,
+		Measure:    o.Measure,
+		Registry:   reg,
+		Catalog:    &specdb.Catalog{Meta: layout},
+		Setup:      loader.Load,
+		Workload: &tpcc.Mix{
+			Layout: layout, Scale: scale,
+			RemoteItemProb:    remoteItem,
+			RemotePaymentProb: 0.15,
+			NewOrderOnly:      newOrderOnly,
+		},
+	})
+}
+
+// Figure8 is TPC-C throughput while varying warehouses (§5.5).
+func Figure8() Experiment {
+	return Experiment{
+		ID:    "fig8",
+		Title: "TPC-C Throughput Varying Warehouses",
+		Ref:   "§5.5, Figure 8",
+		XAxis: "warehouses",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			ws := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+			if o.Coarse {
+				ws = []int{2, 6, 12, 20}
+			}
+			var out []Series
+			for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking} {
+				s := Series{Name: schemeName(scheme)}
+				for _, w := range ws {
+					r := tpccRun(o, scheme, w, false, 0.01)
+					s.Points = append(s.Points, Point{X: float64(w), Y: r.Throughput})
+				}
+				out = append(out, s)
+			}
+			return out
+		},
+	}
+}
+
+// Figure9 is TPC-C 100% NewOrder with the remote-item probability swept so
+// the multi-partition fraction covers the full range (§5.6).
+func Figure9() Experiment {
+	return Experiment{
+		ID:    "fig9",
+		Title: "TPC-C 100% New Order",
+		Ref:   "§5.6, Figure 9",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			probs := []float64{0, 0.002, 0.005, 0.01, 0.02, 0.04, 0.07, 0.12, 0.2, 0.35, 0.6, 1.0}
+			if o.Coarse {
+				probs = []float64{0, 0.01, 0.07, 0.35, 1.0}
+			}
+			var out []Series
+			for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking} {
+				s := Series{Name: schemeName(scheme)}
+				for _, q := range probs {
+					r := tpccRun(o, scheme, 6, true, q)
+					x := 100 * expectedMPFraction(q, 6, 2)
+					s.Points = append(s.Points, Point{X: x, Y: r.Throughput})
+				}
+				out = append(out, s)
+			}
+			return out
+		},
+	}
+}
+
+// Figure10 overlays the §6 analytical model on measured (replication-free)
+// runs.
+func Figure10() Experiment {
+	return Experiment{
+		ID:    "fig10",
+		Title: "Model Throughput vs Measured",
+		Ref:   "§6.4, Figure 10",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			p := measuredParams(o)
+			mSpec := Series{Name: "Model Spec."}
+			mLocal := Series{Name: "Model Local Spec."}
+			mBlock := Series{Name: "Model Blocking"}
+			mLock := Series{Name: "Model Locking"}
+			for _, f := range mpFractions(o) {
+				mSpec.Points = append(mSpec.Points, Point{f * 100, p.Speculation(f)})
+				mLocal.Points = append(mLocal.Points, Point{f * 100, p.LocalSpeculation(f)})
+				mBlock.Points = append(mBlock.Points, Point{f * 100, p.Blocking(f)})
+				mLock.Points = append(mLock.Points, Point{f * 100, p.Locking(f)})
+			}
+			return []Series{
+				mSpec, mLocal, mBlock, mLock,
+				sweep(o, "Measured Spec.", microCfg{scheme: specdb.Speculation}),
+				sweep(o, "Measured Local Spec.", microCfg{scheme: specdb.Speculation, localOnly: true}),
+				sweep(o, "Measured Blocking", microCfg{scheme: specdb.Blocking}),
+				sweep(o, "Measured Locking", microCfg{scheme: specdb.Locking}),
+			}
+		},
+	}
+}
+
+// expectedMPFraction computes the probability that a NewOrder with per-item
+// remote probability q is multi-partition: at least one of its 5–15 items is
+// supplied by a warehouse on another partition. A remote warehouse lands on
+// another partition with probability (W − W/P)/(W − 1).
+func expectedMPFraction(q float64, warehouses, partitions int) float64 {
+	rho := float64(warehouses-warehouses/partitions) / float64(warehouses-1)
+	p := rho * q
+	sum := 0.0
+	for k := 5; k <= 15; k++ {
+		term := 1.0
+		for i := 0; i < k; i++ {
+			term *= 1 - p
+		}
+		sum += term
+	}
+	return 1 - sum/11
+}
+
+func schemeName(s specdb.Scheme) string {
+	switch s {
+	case specdb.Speculation:
+		return "Speculation"
+	case specdb.Blocking:
+		return "Blocking"
+	default:
+		return "Locking"
+	}
+}
+
+// AblationAlwaysLock reproduces the Figure 4 discussion: "If we force locks
+// to always be acquired, blocking does outperform locking from 0% to 6%
+// multi-partition transactions."
+func AblationAlwaysLock() Experiment {
+	return Experiment{
+		ID:    "ablation-alwayslock",
+		Title: "Locking fast path ablation (always acquire locks)",
+		Ref:   "§5.1, Figure 4 discussion",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			fine := o
+			fine.Coarse = false
+			grid := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.16}
+			mk := func(name string, c microCfg) Series {
+				s := Series{Name: name}
+				for _, f := range grid {
+					c.mpFrac = f
+					r := runMicro(fine, c)
+					s.Points = append(s.Points, Point{f * 100, r.Throughput})
+				}
+				return s
+			}
+			return []Series{
+				mk("Blocking", microCfg{scheme: specdb.Blocking}),
+				mk("Locking (fast path)", microCfg{scheme: specdb.Locking}),
+				mk("Locking (always lock)", microCfg{scheme: specdb.Locking, alwaysLock: true}),
+			}
+		},
+	}
+}
+
+// AblationLocalSpec compares full speculation against local-only (§4.2.1 vs
+// §4.2.2).
+func AblationLocalSpec() Experiment {
+	return Experiment{
+		ID:    "ablation-localspec",
+		Title: "Local-only vs multi-partition speculation",
+		Ref:   "§4.2.2, §6.2.1",
+		XAxis: "multi-partition transactions (%)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			return []Series{
+				sweep(o, "Speculation (MP)", microCfg{scheme: specdb.Speculation}),
+				sweep(o, "Speculation (local only)", microCfg{scheme: specdb.Speculation, localOnly: true}),
+			}
+		},
+	}
+}
+
+// AblationReplication measures the cost of k-replication (§2.2/§3.2).
+func AblationReplication() Experiment {
+	return Experiment{
+		ID:    "ablation-replication",
+		Title: "Replication factor sweep",
+		Ref:   "§3.2",
+		XAxis: "replicas (k)",
+		YAxis: "transactions/second",
+		Run: func(o Opts) []Series {
+			var out []Series
+			for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking} {
+				s := Series{Name: schemeName(scheme)}
+				for _, k := range []int{1, 2, 3} {
+					r := runMicro(o, microCfg{scheme: scheme, mpFrac: 0.1, replicas: k})
+					s.Points = append(s.Points, Point{float64(k), r.Throughput})
+				}
+				out = append(out, s)
+			}
+			return out
+		},
+	}
+}
+
+// winner returns the scheme index with the highest throughput.
+func winner(vals map[string]float64) string {
+	type kv struct {
+		k string
+		v float64
+	}
+	var list []kv
+	for k, v := range vals {
+		list = append(list, kv{k, v})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].v != list[j].v {
+			return list[i].v > list[j].v
+		}
+		return list[i].k < list[j].k
+	})
+	// Report ties within 5% like the paper's "Blocking or Locking".
+	best := list[0]
+	if len(list) > 1 && list[1].v > 0.95*best.v {
+		return best.k + " or " + list[1].k
+	}
+	return best.k
+}

@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAllExperimentsHaveUniqueIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Ref == "" || e.Run == nil {
+			t.Fatalf("incomplete experiment %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2"} {
+		if !seen[want] {
+			t.Fatalf("missing paper experiment %q", want)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig4"); !ok {
+		t.Fatal("fig4 missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("found nonexistent experiment")
+	}
+}
+
+func TestExpectedMPFraction(t *testing.T) {
+	// q=0: never multi-partition.
+	if got := expectedMPFraction(0, 6, 2); got != 0 {
+		t.Fatalf("q=0 → %f", got)
+	}
+	// TPC-C default q=0.01 with 6 warehouses: ~5.8% (§5.6 reports 9.5%
+	// for their parameterization at W=6; ours uses rho=3/5).
+	got := expectedMPFraction(0.01, 6, 2)
+	if got < 0.04 || got > 0.08 {
+		t.Fatalf("q=0.01 → %f", got)
+	}
+	// Monotonic in q.
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.1 {
+		v := expectedMPFraction(q, 6, 2)
+		if v < prev {
+			t.Fatalf("not monotonic at q=%.1f", q)
+		}
+		prev = v
+	}
+	// W=2: every remote item is on the other partition.
+	if got := expectedMPFraction(1, 2, 2); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("W=2 q=1 → %f", got)
+	}
+}
+
+func TestWinnerTieReporting(t *testing.T) {
+	if w := winner(map[string]float64{"A": 100, "B": 50}); w != "A" {
+		t.Fatalf("winner = %q", w)
+	}
+	if w := winner(map[string]float64{"A": 100, "B": 97}); w != "A or B" {
+		t.Fatalf("tie = %q", w)
+	}
+}
+
+func TestFormatColumnar(t *testing.T) {
+	e := Experiment{ID: "x", Title: "T", Ref: "§0", XAxis: "x", YAxis: "y"}
+	series := []Series{
+		{Name: "s1", Points: []Point{{0, 10}, {1, 20}}},
+		{Name: "s2", Points: []Point{{0, 30}, {1, 40}}},
+	}
+	var sb strings.Builder
+	Format(&sb, e, series)
+	out := sb.String()
+	for _, want := range []string{"s1", "s2", "10", "40"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatCSV(t *testing.T) {
+	e := Experiment{ID: "x"}
+	series := []Series{{Name: "a,b", Points: []Point{{1, 2}}}}
+	var sb strings.Builder
+	FormatCSV(&sb, e, series)
+	if !strings.Contains(sb.String(), "x,a;b,1,2") {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}
+
+// TestQuickFigure4Shape runs the flagship experiment end to end at reduced
+// fidelity and validates the headline claims of §5.1.
+func TestQuickFigure4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := QuickOpts()
+	o.Measure = 60 * 1000 * 1000 // 60ms
+	series := Figure4().Run(o)
+	byName := map[string][]Point{}
+	for _, s := range series {
+		byName[s.Name] = s.Points
+	}
+	spec, lock, block := byName["Speculation"], byName["Locking"], byName["Blocking"]
+	if spec == nil || lock == nil || block == nil {
+		t.Fatalf("missing series: %v", byName)
+	}
+	// At 0% everything is close.
+	if math.Abs(spec[0].Y-block[0].Y) > 0.05*block[0].Y {
+		t.Errorf("schemes differ at 0%%: %f vs %f", spec[0].Y, block[0].Y)
+	}
+	last := len(spec) - 1
+	// At 100% locking wins (coordinator saturation), blocking loses.
+	if !(lock[last].Y > spec[last].Y && spec[last].Y > block[last].Y) {
+		t.Errorf("100%% ordering wrong: lock=%f spec=%f block=%f",
+			lock[last].Y, spec[last].Y, block[last].Y)
+	}
+}

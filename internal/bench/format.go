@@ -1,0 +1,98 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Format renders an experiment's series as an aligned text table. Series
+// sharing x-values become columns; otherwise each series prints its own
+// block (Table 1/2 style experiments print one row per series).
+func Format(w io.Writer, e Experiment, series []Series) {
+	fmt.Fprintf(w, "# %s — %s [%s]\n", e.ID, e.Title, e.Ref)
+	fmt.Fprintf(w, "# x: %s   y: %s\n", e.XAxis, e.YAxis)
+	if oneRowPerSeries(series) {
+		for _, s := range series {
+			if len(s.Points) == 1 && e.ID == "table2" {
+				fmt.Fprintf(w, "%-28s paper=%10.1f   ours=%10.1f\n", s.Name, s.Points[0].X, s.Points[0].Y)
+			} else if len(s.Points) == 1 {
+				fmt.Fprintf(w, "%-72s %12.0f\n", s.Name, s.Points[0].Y)
+			}
+		}
+		fmt.Fprintln(w)
+		return
+	}
+	// Column layout keyed by x.
+	xs := sortedXs(series)
+	fmt.Fprintf(w, "%10s", "x")
+	for _, s := range series {
+		fmt.Fprintf(w, "  %*s", colWidth(s.Name), s.Name)
+	}
+	fmt.Fprintln(w)
+	for _, x := range xs {
+		fmt.Fprintf(w, "%10.1f", x)
+		for _, s := range series {
+			if y, ok := yAt(s, x); ok {
+				fmt.Fprintf(w, "  %*.0f", colWidth(s.Name), y)
+			} else {
+				fmt.Fprintf(w, "  %*s", colWidth(s.Name), "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatCSV renders the series as CSV: x,series,y rows.
+func FormatCSV(w io.Writer, e Experiment, series []Series) {
+	fmt.Fprintf(w, "experiment,series,x,y\n")
+	for _, s := range series {
+		name := strings.ReplaceAll(s.Name, ",", ";")
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "%s,%s,%g,%g\n", e.ID, name, p.X, p.Y)
+		}
+	}
+}
+
+func colWidth(name string) int {
+	if len(name) < 12 {
+		return 12
+	}
+	return len(name)
+}
+
+func oneRowPerSeries(series []Series) bool {
+	for _, s := range series {
+		if len(s.Points) != 1 {
+			return false
+		}
+	}
+	// Heterogeneous single points (Table 1/2 style).
+	return len(series) > 0
+}
+
+func sortedXs(series []Series) []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func yAt(s Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}

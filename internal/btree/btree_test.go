@@ -1,0 +1,396 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func key(i int) string { return fmt.Sprintf("k%08d", i) }
+
+func TestEmptyTree(t *testing.T) {
+	tr := New[int]()
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("Get on empty tree returned ok")
+	}
+	if _, ok := tr.Delete("x"); ok {
+		t.Fatal("Delete on empty tree returned ok")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty tree returned ok")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty tree returned ok")
+	}
+	if p := tr.Check(); p != "" {
+		t.Fatalf("Check: %s", p)
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	tr := New[int]()
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if !tr.Put(key(i), i) {
+			t.Fatalf("Put(%d) reported existing", i)
+		}
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d, want %d", tr.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tr.Get(key(i))
+		if !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+	if p := tr.Check(); p != "" {
+		t.Fatalf("Check: %s", p)
+	}
+	if tr.Height() < 2 {
+		t.Fatalf("expected multi-level tree, height=%d", tr.Height())
+	}
+}
+
+func TestPutReplace(t *testing.T) {
+	tr := New[string]()
+	tr.Put("a", "one")
+	if tr.Put("a", "two") {
+		t.Fatal("replacing Put reported created")
+	}
+	if v, _ := tr.Get("a"); v != "two" {
+		t.Fatalf("Get = %q", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestDeleteEverythingRandomOrder(t *testing.T) {
+	tr := New[int]()
+	const n = 3000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for i := 0; i < n; i++ {
+		tr.Put(key(i), i)
+	}
+	for _, i := range perm {
+		v, ok := tr.Delete(key(i))
+		if !ok || v != i {
+			t.Fatalf("Delete(%d) = %d,%v", i, v, ok)
+		}
+		if tr.Len()%500 == 0 {
+			if p := tr.Check(); p != "" {
+				t.Fatalf("Check after deletes at len %d: %s", tr.Len(), p)
+			}
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", tr.Len())
+	}
+	if tr.Height() != 1 {
+		t.Fatalf("Height = %d after deleting all", tr.Height())
+	}
+}
+
+func TestDeleteMissing(t *testing.T) {
+	tr := New[int]()
+	tr.Put("b", 1)
+	if _, ok := tr.Delete("a"); ok {
+		t.Fatal("deleted missing key")
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	tr.Ascend(key(10), key(20), func(k string, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("got %d entries: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != 10+i {
+			t.Fatalf("entry %d = %d", i, v)
+		}
+	}
+}
+
+func TestAscendUnbounded(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 50; i++ {
+		tr.Put(key(i), i)
+	}
+	count := 0
+	tr.Ascend("", "", func(k string, v int) bool {
+		if v != count {
+			t.Fatalf("out of order at %d: %d", count, v)
+		}
+		count++
+		return true
+	})
+	if count != 50 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	count := 0
+	tr.Ascend("", "", func(k string, v int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("visited %d, want 7", count)
+	}
+}
+
+func TestDescendRange(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	tr.Descend(key(10), key(20), func(k string, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("got %d entries: %v", len(got), got)
+	}
+	for i, v := range got {
+		if v != 19-i {
+			t.Fatalf("entry %d = %d", i, v)
+		}
+	}
+}
+
+func TestDescendUnbounded(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 75; i++ {
+		tr.Put(key(i), i)
+	}
+	want := 74
+	tr.Descend("", "", func(k string, v int) bool {
+		if v != want {
+			t.Fatalf("descend out of order: got %d want %d", v, want)
+		}
+		want--
+		return true
+	})
+	if want != -1 {
+		t.Fatalf("visited %d entries", 74-want)
+	}
+}
+
+func TestDescendFirstN(t *testing.T) {
+	tr := New[int]()
+	for i := 0; i < 100; i++ {
+		tr.Put(key(i), i)
+	}
+	var got []int
+	tr.Descend("", "", func(k string, v int) bool {
+		got = append(got, v)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 99 || got[2] != 97 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	tr := New[int]()
+	for i := 100; i < 200; i++ {
+		tr.Put(key(i), i)
+	}
+	if k, v, _ := tr.Min(); k != key(100) || v != 100 {
+		t.Fatalf("Min = %q,%d", k, v)
+	}
+	if k, v, _ := tr.Max(); k != key(199) || v != 199 {
+		t.Fatalf("Max = %q,%d", k, v)
+	}
+}
+
+// TestAgainstMapOracle performs a long random operation sequence and compares
+// every result against a map + sorted-slice reference model.
+func TestAgainstMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	oracle := map[string]int{}
+	for step := 0; step < 20000; step++ {
+		k := key(rng.Intn(500))
+		switch rng.Intn(4) {
+		case 0, 1: // put
+			v := rng.Int()
+			created := tr.Put(k, v)
+			_, existed := oracle[k]
+			if created == existed {
+				t.Fatalf("step %d: Put created=%v existed=%v", step, created, existed)
+			}
+			oracle[k] = v
+		case 2: // get
+			v, ok := tr.Get(k)
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("step %d: Get(%q) = %d,%v want %d,%v", step, k, v, ok, ov, ook)
+			}
+		case 3: // delete
+			v, ok := tr.Delete(k)
+			ov, ook := oracle[k]
+			if ok != ook || (ok && v != ov) {
+				t.Fatalf("step %d: Delete(%q) = %d,%v want %d,%v", step, k, v, ok, ov, ook)
+			}
+			delete(oracle, k)
+		}
+		if tr.Len() != len(oracle) {
+			t.Fatalf("step %d: Len=%d oracle=%d", step, tr.Len(), len(oracle))
+		}
+		if step%2500 == 0 {
+			if p := tr.Check(); p != "" {
+				t.Fatalf("step %d: Check: %s", step, p)
+			}
+			assertSameContents(t, tr, oracle)
+		}
+	}
+	if p := tr.Check(); p != "" {
+		t.Fatalf("final Check: %s", p)
+	}
+	assertSameContents(t, tr, oracle)
+}
+
+func assertSameContents(t *testing.T, tr *Tree[int], oracle map[string]int) {
+	t.Helper()
+	keys := make([]string, 0, len(oracle))
+	for k := range oracle {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	i := 0
+	tr.Ascend("", "", func(k string, v int) bool {
+		if i >= len(keys) || k != keys[i] || v != oracle[k] {
+			t.Fatalf("ascend mismatch at %d: %q", i, k)
+		}
+		i++
+		return true
+	})
+	if i != len(keys) {
+		t.Fatalf("ascend visited %d of %d", i, len(keys))
+	}
+}
+
+// TestQuickInOrder property: for any key set, ascending traversal yields the
+// sorted deduplicated keys, and structural invariants hold.
+func TestQuickInOrder(t *testing.T) {
+	f := func(raw []uint16) bool {
+		tr := New[int]()
+		set := map[string]bool{}
+		for _, r := range raw {
+			k := key(int(r))
+			tr.Put(k, int(r))
+			set[k] = true
+		}
+		if tr.Check() != "" || tr.Len() != len(set) {
+			return false
+		}
+		var got []string
+		tr.Ascend("", "", func(k string, v int) bool {
+			got = append(got, k)
+			return true
+		})
+		if !sort.StringsAreSorted(got) || len(got) != len(set) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDeleteHalf property: deleting an arbitrary subset leaves exactly
+// the complement, with invariants intact.
+func TestQuickDeleteHalf(t *testing.T) {
+	f := func(raw []uint16, delMask []bool) bool {
+		tr := New[int]()
+		set := map[string]bool{}
+		for _, r := range raw {
+			k := key(int(r))
+			tr.Put(k, 1)
+			set[k] = true
+		}
+		for i, r := range raw {
+			if i < len(delMask) && delMask[i] {
+				k := key(int(r))
+				_, ok := tr.Delete(k)
+				if ok != set[k] {
+					return false
+				}
+				delete(set, k)
+			}
+		}
+		if tr.Check() != "" || tr.Len() != len(set) {
+			return false
+		}
+		for k := range set {
+			if _, ok := tr.Get(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeScanAfterChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := New[int]()
+	live := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(1000)
+		if live[n] {
+			tr.Delete(key(n))
+			delete(live, n)
+		} else {
+			tr.Put(key(n), n)
+			live[n] = true
+		}
+	}
+	// Scan [250, 750) and verify against the model.
+	var got []int
+	tr.Ascend(key(250), key(750), func(k string, v int) bool {
+		got = append(got, v)
+		return true
+	})
+	var want []int
+	for n := 250; n < 750; n++ {
+		if live[n] {
+			want = append(want, n)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

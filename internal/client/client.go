@@ -1,0 +1,264 @@
+// Package client implements the client library of §3.1: it routes
+// single-partition transactions directly to the owning partition, sends
+// multi-partition transactions through the central coordinator (blocking and
+// speculative schemes), or coordinates them itself with 2PC (locking scheme,
+// §4.3: "clients send multi-partition transactions directly to the
+// partitions, without going through the central coordinator").
+//
+// Clients are closed-loop, as in the paper: each issues one request, waits
+// for the response, then issues another. Transactions killed as deadlock or
+// timeout victims are retried transparently with a fresh transaction ID.
+package client
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"specdb/internal/core"
+	"specdb/internal/costs"
+	"specdb/internal/metrics"
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/simnet"
+	"specdb/internal/txn"
+	"specdb/internal/workload"
+)
+
+// Start kicks a client into its issue loop.
+type Start struct{}
+
+// Client is one closed-loop client actor.
+type Client struct {
+	Registry    *txn.Registry
+	Catalog     *txn.Catalog
+	Costs       *costs.Model
+	Net         *simnet.Net
+	Metrics     *metrics.Collector
+	Scheme      core.Scheme
+	Coordinator sim.ActorID
+	Parts       []sim.ActorID
+	Gen         workload.Generator
+	Index       int
+	// OnComplete, when set, observes every completed transaction
+	// (scripted/example use).
+	OnComplete func(inv *txn.Invocation, reply *msg.ClientReply)
+
+	self sim.ActorID
+	rng  *rand.Rand
+	seq  uint32
+	cur  *attempt
+	// Issued counts attempts; Completed counts finished transactions.
+	Issued    uint64
+	Completed uint64
+}
+
+type attempt struct {
+	inv   *txn.Invocation
+	plan  txn.Plan
+	id    msg.TxnID
+	start sim.Time // first attempt's issue time (latency includes retries)
+	mp    *mpDrive
+}
+
+// mpDrive is the client-side 2PC driver state (locking scheme).
+type mpDrive struct {
+	round   int
+	results map[msg.PartitionID]*msg.FragmentResult
+	prior   []msg.FragmentResult
+	decided bool
+}
+
+// Bind sets identity and seeds the client's RNG.
+func (c *Client) Bind(self sim.ActorID, seed int64) {
+	c.self = self
+	c.rng = rand.New(rand.NewSource(seed))
+}
+
+// Receive drives the closed loop.
+func (c *Client) Receive(ctx *sim.Context, m sim.Message) {
+	switch v := m.(type) {
+	case Start:
+		c.issueNext(ctx)
+	case *msg.ClientReply:
+		if c.cur == nil || v.Txn != c.cur.id {
+			return // stale reply from an abandoned attempt
+		}
+		ctx.Spend(c.Costs.ClientMessage)
+		c.complete(ctx, v)
+	case *msg.FragmentResult:
+		ctx.Spend(c.Costs.ClientMessage)
+		c.mpResult(ctx, v)
+	default:
+		panic(fmt.Sprintf("client: unexpected message %T", m))
+	}
+}
+
+// issueNext pulls the next invocation from the generator and routes it.
+func (c *Client) issueNext(ctx *sim.Context) {
+	inv := c.Gen.Next(c.Index, c.rng)
+	if inv == nil {
+		c.cur = nil
+		return // generator exhausted: client stops
+	}
+	proc := c.Registry.Get(inv.Proc)
+	plan := proc.Plan(inv.Args, c.Catalog)
+	c.cur = &attempt{inv: inv, plan: plan, start: ctx.Now()}
+	c.issue(ctx)
+}
+
+// issue starts (or restarts, after a kill) the current attempt.
+func (c *Client) issue(ctx *sim.Context) {
+	c.seq++
+	c.Issued++
+	a := c.cur
+	a.id = msg.MakeTxnID(c.self, c.seq)
+	a.mp = nil
+	if len(a.plan.Parts) == 1 {
+		p := a.plan.Parts[0]
+		f := &msg.Fragment{
+			Txn:       a.id,
+			Proc:      a.inv.Proc,
+			Round:     0,
+			Last:      true,
+			Work:      a.plan.Work[p],
+			Partition: p,
+			Coord:     c.self,
+			Client:    c.self,
+			CanAbort:  a.plan.CanAbort,
+		}
+		if a.inv.AbortAt == p {
+			f.InjectAbort = true
+		}
+		ctx.Spend(c.Costs.ClientMessage)
+		c.Net.Send(ctx, c.Parts[p], f)
+		return
+	}
+	if c.Scheme == core.SchemeLocking {
+		a.mp = &mpDrive{results: make(map[msg.PartitionID]*msg.FragmentResult)}
+		c.sendRound(ctx, a)
+		return
+	}
+	req := &msg.Request{
+		Txn:      a.id,
+		Proc:     a.inv.Proc,
+		Args:     a.inv.Args,
+		Client:   c.self,
+		Parts:    a.plan.Parts,
+		CanAbort: a.plan.CanAbort,
+		AbortAt:  a.inv.AbortAt,
+	}
+	ctx.Spend(c.Costs.ClientMessage)
+	c.Net.Send(ctx, c.Coordinator, req)
+}
+
+// sendRound dispatches the current 2PC round (locking scheme).
+func (c *Client) sendRound(ctx *sim.Context, a *attempt) {
+	last := a.mp.round == a.plan.Rounds-1
+	var work map[msg.PartitionID]any
+	if a.mp.round == 0 {
+		work = a.plan.Work
+	} else {
+		proc := c.Registry.Get(a.inv.Proc)
+		work = proc.Continue(a.inv.Args, a.mp.round, a.mp.prior, c.Catalog)
+	}
+	for _, p := range a.plan.Parts {
+		f := &msg.Fragment{
+			Txn:            a.id,
+			Proc:           a.inv.Proc,
+			Round:          a.mp.round,
+			Last:           last,
+			Work:           work[p],
+			Partition:      p,
+			Coord:          c.self,
+			Client:         c.self,
+			MultiPartition: true,
+			CanAbort:       a.plan.CanAbort,
+		}
+		if a.mp.round == 0 && a.inv.AbortAt == p {
+			f.InjectAbort = true
+		}
+		ctx.Spend(c.Costs.ClientMessage)
+		c.Net.Send(ctx, c.Parts[p], f)
+	}
+}
+
+// mpResult advances the client-driven 2PC.
+func (c *Client) mpResult(ctx *sim.Context, r *msg.FragmentResult) {
+	a := c.cur
+	if a == nil || a.mp == nil || r.Txn != a.id || a.mp.decided {
+		return // stale result from an aborted attempt
+	}
+	if r.Aborted {
+		// First no-vote aborts the transaction at every participant.
+		a.mp.decided = true
+		c.decide(ctx, a, false)
+		if r.Killed {
+			// Deadlock/timeout victim: retry with a fresh ID.
+			c.Metrics.Retry(ctx.Now())
+			c.issue(ctx)
+			return
+		}
+		c.finish(ctx, &msg.ClientReply{Txn: a.id, Committed: false, UserAborted: true})
+		return
+	}
+	a.mp.results[r.Partition] = r
+	if len(a.mp.results) < len(a.plan.Parts) {
+		return
+	}
+	if a.mp.round < a.plan.Rounds-1 {
+		for _, p := range a.plan.Parts {
+			a.mp.prior = append(a.mp.prior, *a.mp.results[p])
+		}
+		a.mp.round++
+		a.mp.results = make(map[msg.PartitionID]*msg.FragmentResult)
+		c.sendRound(ctx, a)
+		return
+	}
+	// All votes are yes: commit.
+	a.mp.decided = true
+	final := make([]msg.FragmentResult, 0, len(a.plan.Parts))
+	for _, p := range a.plan.Parts {
+		final = append(final, *a.mp.results[p])
+	}
+	c.decide(ctx, a, true)
+	proc := c.Registry.Get(a.inv.Proc)
+	c.finish(ctx, &msg.ClientReply{Txn: a.id, Committed: true, Output: proc.Output(a.inv.Args, final)})
+}
+
+// decide broadcasts the 2PC decision.
+func (c *Client) decide(ctx *sim.Context, a *attempt, commit bool) {
+	for _, p := range a.plan.Parts {
+		ctx.Spend(c.Costs.ClientMessage)
+		c.Net.Send(ctx, c.Parts[p], &msg.Decision{Txn: a.id, Commit: commit})
+	}
+}
+
+// complete handles a reply for the current attempt.
+func (c *Client) complete(ctx *sim.Context, r *msg.ClientReply) {
+	if r.Retryable {
+		c.Metrics.Retry(ctx.Now())
+		c.issue(ctx)
+		return
+	}
+	c.finish(ctx, r)
+}
+
+// finish records the completion and issues the next transaction.
+func (c *Client) finish(ctx *sim.Context, r *msg.ClientReply) {
+	a := c.cur
+	c.Completed++
+	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1)
+	if c.OnComplete != nil {
+		c.OnComplete(a.inv, r)
+	}
+	c.issueNext(ctx)
+}
+
+// SortPartitions returns plan partitions in ascending order (helper shared
+// with tests).
+func SortPartitions(parts []msg.PartitionID) []msg.PartitionID {
+	out := append([]msg.PartitionID(nil), parts...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

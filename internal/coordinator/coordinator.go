@@ -1,0 +1,299 @@
+// Package coordinator implements the central coordinator of §3.3: the single
+// process through which all multi-partition transactions flow under the
+// blocking and speculative schemes. It assigns a global order, dispatches
+// fragments round by round (the 2PC prepare piggybacked on the last round),
+// collects votes — including speculative votes tagged with dependencies — and
+// releases commit/abort decisions strictly in order.
+//
+// Speculative bookkeeping (§4.2.2): a result tagged DependsOn=A is valid only
+// if A commits. When a transaction aborts, the coordinator bumps a
+// per-partition generation, discards dependent results (including in-flight
+// ones, which arrive stamped with a stale generation), and waits for the
+// partitions to re-execute and resend.
+//
+// The coordinator's per-message CPU charge is what saturates it past ~50%
+// multi-partition transactions in Figure 4.
+package coordinator
+
+import (
+	"fmt"
+
+	"specdb/internal/costs"
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/simnet"
+	"specdb/internal/txn"
+)
+
+// Coordinator is the central coordinator actor.
+type Coordinator struct {
+	Registry *txn.Registry
+	Catalog  *txn.Catalog
+	Costs    *costs.Model
+	Net      *simnet.Net
+	// Parts maps PartitionID to the primary's actor ID.
+	Parts []sim.ActorID
+
+	self  sim.ActorID
+	txns  map[msg.TxnID]*ctxn
+	order []msg.TxnID
+	gen   []uint32 // per-partition abort generation
+
+	// Stats
+	Requests  uint64
+	Commits   uint64
+	Aborts    uint64
+	Discarded uint64 // speculative results discarded by aborts
+}
+
+type ctxn struct {
+	id    msg.TxnID
+	req   *msg.Request
+	plan  txn.Plan
+	round int
+	// results[p] is the latest result from partition p for the current
+	// round; cleared when the round advances.
+	results map[msg.PartitionID]*msg.FragmentResult
+	// votes holds the final-round results (the 2PC votes).
+	votes map[msg.PartitionID]*msg.FragmentResult
+	// prior accumulates every round's results for Procedure.Continue.
+	prior []msg.FragmentResult
+	// ready is set when all final-round votes are present and valid.
+	ready bool
+}
+
+// New builds a coordinator.
+func New(reg *txn.Registry, cat *txn.Catalog, c *costs.Model, net *simnet.Net, parts []sim.ActorID) *Coordinator {
+	return &Coordinator{
+		Registry: reg,
+		Catalog:  cat,
+		Costs:    c,
+		Net:      net,
+		Parts:    parts,
+		txns:     make(map[msg.TxnID]*ctxn),
+		gen:      make([]uint32, len(parts)),
+	}
+}
+
+// Bind sets the coordinator's actor ID.
+func (c *Coordinator) Bind(self sim.ActorID) { c.self = self }
+
+// Pending reports undecided transactions (tests).
+func (c *Coordinator) Pending() int { return len(c.txns) }
+
+// Receive handles requests and fragment results.
+func (c *Coordinator) Receive(ctx *sim.Context, m sim.Message) {
+	switch v := m.(type) {
+	case *msg.Request:
+		c.request(ctx, v)
+	case *msg.FragmentResult:
+		c.result(ctx, v)
+	default:
+		panic(fmt.Sprintf("coordinator: unexpected message %T", m))
+	}
+}
+
+func (c *Coordinator) request(ctx *sim.Context, r *msg.Request) {
+	ctx.Spend(c.Costs.CoordMessage)
+	c.Requests++
+	proc := c.Registry.Get(r.Proc)
+	plan := proc.Plan(r.Args, c.Catalog)
+	t := &ctxn{
+		id:      r.Txn,
+		req:     r,
+		plan:    plan,
+		results: make(map[msg.PartitionID]*msg.FragmentResult, len(plan.Parts)),
+		votes:   make(map[msg.PartitionID]*msg.FragmentResult, len(plan.Parts)),
+	}
+	c.txns[r.Txn] = t
+	c.order = append(c.order, r.Txn)
+	c.sendRound(ctx, t, plan.Work)
+}
+
+// sendRound dispatches one round of fragments.
+func (c *Coordinator) sendRound(ctx *sim.Context, t *ctxn, work map[msg.PartitionID]any) {
+	last := t.round == t.plan.Rounds-1
+	for _, p := range t.plan.Parts {
+		f := &msg.Fragment{
+			Txn:            t.id,
+			Proc:           t.req.Proc,
+			Round:          t.round,
+			Last:           last,
+			Work:           work[p],
+			Partition:      p,
+			Coord:          c.self,
+			Client:         t.req.Client,
+			MultiPartition: true,
+			CanAbort:       t.req.CanAbort,
+			Gen:            c.gen[p],
+		}
+		if t.round == 0 && t.req.AbortAt == p {
+			f.InjectAbort = true
+		}
+		ctx.Spend(c.Costs.CoordMessage)
+		c.Net.Send(ctx, c.Parts[p], f)
+	}
+}
+
+func (c *Coordinator) result(ctx *sim.Context, r *msg.FragmentResult) {
+	ctx.Spend(c.Costs.CoordMessage)
+	t := c.txns[r.Txn]
+	if t == nil {
+		return // transaction already finalized (e.g. late duplicate)
+	}
+	if r.Speculative && r.Gen < c.gen[r.Partition] {
+		// Stale in-flight speculative result from before an abort the
+		// partition had not yet seen.
+		c.Discarded++
+		return
+	}
+	if r.Round != t.round {
+		return // stale round after a cascade; a resend will follow
+	}
+	t.results[r.Partition] = r
+	c.advance(ctx, t)
+	c.release(ctx)
+}
+
+// advance moves t forward when the current round is fully reported.
+func (c *Coordinator) advance(ctx *sim.Context, t *ctxn) {
+	if t.ready || len(t.results) < len(t.plan.Parts) {
+		return
+	}
+	aborted := false
+	for _, r := range t.results {
+		if r.Aborted {
+			aborted = true
+		}
+	}
+	final := t.round == t.plan.Rounds-1
+	if final || aborted {
+		// These results are the votes.
+		for p, r := range t.results {
+			t.votes[p] = r
+		}
+		t.ready = true
+		return
+	}
+	// Intermediate round: the next round may only be issued once every
+	// dependency has committed — the work for round r+1 is computed from
+	// round-r outputs, which must be final.
+	if !c.depsResolved(t) {
+		return
+	}
+	for _, p := range t.plan.Parts {
+		t.prior = append(t.prior, *t.results[p])
+	}
+	t.round++
+	proc := c.Registry.Get(t.req.Proc)
+	work := proc.Continue(t.req.Args, t.round, t.prior, c.Catalog)
+	t.results = make(map[msg.PartitionID]*msg.FragmentResult, len(t.plan.Parts))
+	c.sendRound(ctx, t, work)
+}
+
+// depsResolved reports whether every speculative result's dependency has
+// committed. Dependencies are earlier transactions in the global order; a
+// committed dependency has been removed from c.txns.
+func (c *Coordinator) depsResolved(t *ctxn) bool {
+	for _, r := range t.results {
+		if r.Speculative && r.DependsOn != msg.NoTxn {
+			if _, pending := c.txns[r.DependsOn]; pending {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// release finalizes ready transactions strictly in global order, preserving
+// the invariant that a partition's decisions arrive in the same order as the
+// transactions entered its uncommitted queue.
+func (c *Coordinator) release(ctx *sim.Context) {
+	for len(c.order) > 0 {
+		head := c.txns[c.order[0]]
+		if head == nil {
+			c.order = c.order[1:]
+			continue
+		}
+		if !head.ready || !c.depsResolved(head) {
+			return
+		}
+		c.finalize(ctx, head)
+		c.order = c.order[1:]
+		// Finalizing may unblock round advancement of later txns whose
+		// dependencies just committed.
+		for _, id := range c.order {
+			if t := c.txns[id]; t != nil {
+				c.advance(ctx, t)
+			}
+		}
+	}
+}
+
+// finalize sends the decision, replies to the client, and on abort discards
+// dependent speculative state.
+func (c *Coordinator) finalize(ctx *sim.Context, t *ctxn) {
+	commit := true
+	for _, v := range t.votes {
+		if v.Aborted {
+			commit = false
+		}
+	}
+	if !commit {
+		// Bump generations first so the decisions carry them and any
+		// in-flight speculative results can be recognized as stale.
+		for _, p := range t.plan.Parts {
+			c.gen[p]++
+		}
+		c.discardDependents(t)
+	}
+	for _, p := range t.plan.Parts {
+		ctx.Spend(c.Costs.CoordMessage)
+		c.Net.Send(ctx, c.Parts[p], &msg.Decision{Txn: t.id, Commit: commit, Gen: c.gen[p]})
+	}
+	delete(c.txns, t.id)
+
+	reply := &msg.ClientReply{Txn: t.id, Committed: commit}
+	if commit {
+		c.Commits++
+		final := make([]msg.FragmentResult, 0, len(t.votes))
+		for _, p := range t.plan.Parts {
+			final = append(final, *t.votes[p])
+		}
+		proc := c.Registry.Get(t.req.Proc)
+		reply.Output = proc.Output(t.req.Args, final)
+	} else {
+		c.Aborts++
+		killed := false
+		for _, v := range t.votes {
+			if v.Killed {
+				killed = true
+			}
+		}
+		reply.Retryable = killed
+		reply.UserAborted = !killed
+	}
+	ctx.Spend(c.Costs.CoordMessage)
+	c.Net.Send(ctx, t.req.Client, reply)
+}
+
+// discardDependents drops held speculative results invalidated by an abort:
+// everything received from the aborting transaction's partitions whose
+// generation predates the bump. The partitions will undo, re-execute and
+// resend (§4.2.2).
+func (c *Coordinator) discardDependents(t *ctxn) {
+	for _, id := range c.order {
+		o := c.txns[id]
+		if o == nil || o == t {
+			continue
+		}
+		for p, r := range o.results {
+			if r.Speculative && r.Gen < c.gen[p] {
+				delete(o.results, p)
+				delete(o.votes, p)
+				o.ready = false
+				c.Discarded++
+			}
+		}
+	}
+}

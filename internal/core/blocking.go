@@ -1,0 +1,130 @@
+package core
+
+import (
+	"fmt"
+
+	"specdb/internal/msg"
+)
+
+// BlockingEngine implements §4.1 (Figure 2): the partition executes one
+// transaction at a time. Single-partition transactions run to completion on
+// arrival when the partition is idle; a multi-partition transaction occupies
+// the partition from its first fragment until its 2PC decision, and every
+// other transaction queues behind it.
+type BlockingEngine struct {
+	env Env
+	// active is the multi-partition transaction currently occupying the
+	// partition, or nil.
+	active *blockedTxn
+	// queue holds round-0 fragments awaiting the active transaction.
+	// Invariant: empty whenever active == nil at event boundaries.
+	queue []*msg.Fragment
+	stats EngineStats
+}
+
+type blockedTxn struct {
+	id   msg.TxnID
+	frag *msg.Fragment
+}
+
+// NewBlocking returns a blocking engine bound to env.
+func NewBlocking(env Env) *BlockingEngine {
+	return &BlockingEngine{env: env}
+}
+
+// Scheme identifies the engine.
+func (e *BlockingEngine) Scheme() Scheme { return SchemeBlocking }
+
+// Stats returns activity counters.
+func (e *BlockingEngine) Stats() EngineStats { return e.stats }
+
+// QueueLen reports the number of waiting fragments (for tests).
+func (e *BlockingEngine) QueueLen() int { return len(e.queue) }
+
+// Fragment handles an arriving transaction fragment per Figure 2.
+func (e *BlockingEngine) Fragment(f *msg.Fragment) {
+	if e.active != nil {
+		if f.Txn == e.active.id {
+			// Continues the active multi-partition transaction.
+			e.execMultiFragment(e.active, f)
+			return
+		}
+		e.queue = append(e.queue, f)
+		return
+	}
+	e.start(f)
+}
+
+// start runs a fragment when the partition is idle.
+func (e *BlockingEngine) start(f *msg.Fragment) {
+	if !f.MultiPartition {
+		e.execSingle(f)
+		return
+	}
+	e.active = &blockedTxn{id: f.Txn, frag: f}
+	e.execMultiFragment(e.active, f)
+}
+
+// execSingle runs a single-partition transaction to completion: no undo
+// buffer unless a user abort is possible, commit immediately (§3.2).
+func (e *BlockingEngine) execSingle(f *msg.Fragment) {
+	out := e.env.Execute(f, f.CanAbort, nil)
+	e.stats.Executed++
+	e.stats.FastPath++
+	e.env.Forget(f.Txn)
+	if out.Aborted {
+		e.stats.LocalAborts++
+		e.env.ReplyClient(f, newAbortReply(f, out.Output))
+		return
+	}
+	e.env.ReplyClient(f, newCommitReply(f, out.Output))
+}
+
+// execMultiFragment executes one fragment of the active multi-partition
+// transaction with an undo buffer and returns the result (the 2PC vote when
+// f.Last).
+func (e *BlockingEngine) execMultiFragment(t *blockedTxn, f *msg.Fragment) {
+	t.frag = f
+	out := e.env.Execute(f, true, nil)
+	e.stats.Executed++
+	if out.Aborted {
+		e.stats.LocalAborts++
+	}
+	e.env.SendResult(f, &msg.FragmentResult{
+		Txn:       f.Txn,
+		Round:     f.Round,
+		Partition: f.Partition,
+		Output:    out.Output,
+		Aborted:   out.Aborted,
+	})
+}
+
+// Decision finalizes the active multi-partition transaction and drains the
+// queue.
+func (e *BlockingEngine) Decision(d *msg.Decision) {
+	e.env.ChargeDecision()
+	if e.active == nil || e.active.id != d.Txn {
+		panic(fmt.Sprintf("blocking: decision for %d but active is %+v", d.Txn, e.active))
+	}
+	if d.Commit {
+		e.env.Forget(d.Txn)
+	} else {
+		e.env.Rollback(d.Txn)
+		e.env.Forget(d.Txn)
+	}
+	e.active = nil
+	e.pump()
+}
+
+// pump executes queued transactions until a multi-partition transaction
+// becomes active or the queue empties.
+func (e *BlockingEngine) pump() {
+	for len(e.queue) > 0 && e.active == nil {
+		f := e.queue[0]
+		e.queue = e.queue[1:]
+		e.start(f)
+	}
+}
+
+// Timer is unused by the blocking scheme.
+func (e *BlockingEngine) Timer(payload any) {}

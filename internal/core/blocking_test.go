@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"specdb/internal/msg"
+)
+
+func TestBlockingSinglePartitionFastPath(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewBlocking(env)
+	e.Fragment(spFrag(1, incrKey("x")))
+	requireReplies(t, env, 1)
+	r := env.replies[0]
+	if !r.Committed || r.Output != 6 {
+		t.Fatalf("reply = %+v", r)
+	}
+	if env.get("x") != 6 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	if s := e.Stats(); s.FastPath != 1 || s.Executed != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if len(env.undos) != 0 {
+		t.Fatal("fast path left undo state")
+	}
+}
+
+func TestBlockingUserAbortRollsBack(t *testing.T) {
+	env := newFakeEnv(t)
+	e := NewBlocking(env)
+	e.Fragment(spFragAbortable(1, userAbort()))
+	requireReplies(t, env, 1)
+	if env.replies[0].Committed || !env.replies[0].UserAborted {
+		t.Fatalf("reply = %+v", env.replies[0])
+	}
+	if _, ok := env.store.Table("kv").Get("scratch"); ok {
+		t.Fatal("aborted write persisted")
+	}
+}
+
+func TestBlockingQueuesBehindMultiPartition(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewBlocking(env)
+	// Multi-partition txn arrives and waits for its decision.
+	e.Fragment(mpFrag(10, 0, true, 7, writeKey("x", 100)))
+	requireResults(t, env, 1)
+	if env.results[0].Aborted || env.results[0].Speculative {
+		t.Fatalf("vote = %+v", env.results[0])
+	}
+	// Single-partition txns queue; nothing executes.
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Fragment(spFrag(3, incrKey("x")))
+	requireReplies(t, env, 0)
+	if e.QueueLen() != 2 {
+		t.Fatalf("queue = %d", e.QueueLen())
+	}
+	if env.get("x") != 100 {
+		t.Fatalf("x = %d (MP effect must be applied)", env.get("x"))
+	}
+	// Commit: queue drains in order.
+	e.Decision(&msg.Decision{Txn: 10, Commit: true})
+	requireReplies(t, env, 2)
+	if env.replies[0].Txn != 2 || env.replies[1].Txn != 3 {
+		t.Fatal("queue drained out of order")
+	}
+	if env.get("x") != 102 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	if env.decisions != 1 {
+		t.Fatalf("decision charges = %d", env.decisions)
+	}
+}
+
+func TestBlockingAbortUndoesMultiPartition(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewBlocking(env)
+	e.Fragment(mpFrag(10, 0, true, 7, writeKey("x", 100)))
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Decision(&msg.Decision{Txn: 10, Commit: false})
+	if env.get("x") != 6 {
+		t.Fatalf("x = %d; abort must restore 5 before the queued increment", env.get("x"))
+	}
+	requireReplies(t, env, 1)
+	if env.replies[0].Output != 6 {
+		t.Fatalf("reply = %+v", env.replies[0])
+	}
+}
+
+func TestBlockingMultiRound(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewBlocking(env)
+	e.Fragment(mpFrag(10, 0, false, 7, readKey("x")))
+	requireResults(t, env, 1)
+	if env.results[0].Output != 5 {
+		t.Fatalf("round 0 output = %v", env.results[0].Output)
+	}
+	// A queued SP txn must not run between rounds.
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Fragment(mpFrag(10, 1, true, 7, writeKey("x", 17)))
+	requireResults(t, env, 2)
+	requireReplies(t, env, 0)
+	e.Decision(&msg.Decision{Txn: 10, Commit: true})
+	requireReplies(t, env, 1)
+	if env.get("x") != 18 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+}
+
+func TestBlockingQueuedMultiPartitionBecomesActive(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 0)
+	e := NewBlocking(env)
+	e.Fragment(mpFrag(10, 0, true, 7, incrKey("x")))
+	e.Fragment(mpFrag(11, 0, true, 7, incrKey("x"))) // queued
+	e.Fragment(spFrag(2, incrKey("x")))              // queued behind
+	e.Decision(&msg.Decision{Txn: 10, Commit: true})
+	// 11 became active and executed; SP 2 still waits.
+	requireResults(t, env, 2)
+	requireReplies(t, env, 0)
+	e.Decision(&msg.Decision{Txn: 11, Commit: true})
+	requireReplies(t, env, 1)
+	if env.get("x") != 3 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+}
+
+func TestBlockingLocalAbortVotesNo(t *testing.T) {
+	env := newFakeEnv(t)
+	e := NewBlocking(env)
+	f := mpFrag(10, 0, true, 7, writeKey("x", 1))
+	f.InjectAbort = true
+	e.Fragment(f)
+	requireResults(t, env, 1)
+	if !env.results[0].Aborted {
+		t.Fatal("expected no-vote")
+	}
+	// Coordinator aborts globally.
+	e.Decision(&msg.Decision{Txn: 10, Commit: false})
+	if _, ok := env.store.Table("kv").Get("x"); ok {
+		t.Fatal("injected abort persisted a write")
+	}
+}
+
+func TestBlockingDecisionMismatchPanics(t *testing.T) {
+	env := newFakeEnv(t)
+	e := NewBlocking(env)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Decision(&msg.Decision{Txn: 42, Commit: true})
+}

@@ -1,0 +1,123 @@
+// Package core implements the paper's contribution: three low-overhead
+// concurrency control schemes for single-threaded, partitioned, main-memory
+// execution engines.
+//
+//   - Blocking (§4.1, Figure 2): one transaction at a time; the partition
+//     idles during the network stalls of multi-partition transactions.
+//   - Speculative execution (§4.2, Figure 3): during the 2PC stall of a
+//     finished multi-partition transaction, queued transactions execute
+//     speculatively with undo buffers; aborts cascade, commits release.
+//   - Locking (§4.3): strict two-phase locking specialized for logical (not
+//     physical) concurrency, with a lock-free fast path when no transactions
+//     are active, waits-for cycle detection, and distributed-deadlock
+//     timeouts.
+//
+// Engines are pure state machines: all I/O, storage, timing and replication
+// effects go through the Env interface provided by the hosting partition
+// process (internal/partition), which keeps the schemes directly
+// unit-testable.
+package core
+
+import (
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// Scheme names a concurrency control scheme.
+type Scheme int
+
+const (
+	// SchemeBlocking executes one transaction at a time (§4.1).
+	SchemeBlocking Scheme = iota
+	// SchemeSpeculative overlaps 2PC stalls with speculative work (§4.2).
+	SchemeSpeculative
+	// SchemeLocking is single-threaded strict two-phase locking (§4.3).
+	SchemeLocking
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBlocking:
+		return "blocking"
+	case SchemeSpeculative:
+		return "speculation"
+	case SchemeLocking:
+		return "locking"
+	}
+	return "unknown"
+}
+
+// ExecOutcome is the result of running one fragment body.
+type ExecOutcome struct {
+	Output any
+	// Aborted is true after a user abort or an injected abort. The
+	// transaction's effects at this partition have already been rolled
+	// back when Aborted is true.
+	Aborted bool
+}
+
+// Env is the environment a concurrency control engine drives. It is
+// implemented by the partition process (and by lightweight fakes in tests).
+type Env interface {
+	// Execute runs f's body against partition storage. withUndo records
+	// before-images under f.Txn so the transaction can roll back; locker,
+	// when non-nil, receives a Lock call for every row touched (locking
+	// scheme only). On a user or injected abort Execute rolls the
+	// transaction back before returning.
+	Execute(f *msg.Fragment, withUndo bool, locker storage.Locker) ExecOutcome
+	// Rollback undoes everything f.Txn has executed at this partition.
+	// It is a no-op if the transaction already rolled back.
+	Rollback(txn msg.TxnID)
+	// Forget releases undo state for a finished transaction.
+	Forget(txn msg.TxnID)
+	// SendResult returns a fragment result (and, when f.Last, the 2PC
+	// vote) to f.Coord. The partition layer may gate it on replication.
+	SendResult(f *msg.Fragment, r *msg.FragmentResult)
+	// ReplyClient completes a single-partition transaction at f.Client.
+	ReplyClient(f *msg.Fragment, reply *msg.ClientReply)
+	// After delivers payload to Engine.Timer after d of virtual time.
+	After(d sim.Time, payload any)
+	// ChargeDecision charges the CPU cost of commit/abort processing.
+	ChargeDecision()
+}
+
+// Engine is a partition's concurrency control state machine. The partition
+// process feeds it arriving fragments, 2PC decisions and timer expirations.
+type Engine interface {
+	Scheme() Scheme
+	Fragment(f *msg.Fragment)
+	Decision(d *msg.Decision)
+	Timer(payload any)
+	Stats() EngineStats
+}
+
+// EngineStats counts scheme-level activity.
+type EngineStats struct {
+	// Executed counts fragment executions, including re-executions.
+	Executed uint64
+	// FastPath counts single-partition transactions run with no undo, no
+	// locks and no queueing.
+	FastPath uint64
+	// Speculated counts speculative fragment executions.
+	Speculated uint64
+	// Redone counts transactions undone and re-executed by cascading
+	// aborts (§4.2.1).
+	Redone uint64
+	// LocalAborts counts user/injected aborts observed at this partition.
+	LocalAborts uint64
+	// DeadlockKills and TimeoutKills count victims of local cycle
+	// detection and of the distributed deadlock timeout (§4.3).
+	DeadlockKills uint64
+	TimeoutKills  uint64
+}
+
+// newAbortReply builds the client reply for a user-aborted single-partition
+// transaction. User aborts are completed transactions, not failures (§5.3).
+func newAbortReply(f *msg.Fragment, out any) *msg.ClientReply {
+	return &msg.ClientReply{Txn: f.Txn, Output: out, Committed: false, UserAborted: true}
+}
+
+func newCommitReply(f *msg.Fragment, out any) *msg.ClientReply {
+	return &msg.ClientReply{Txn: f.Txn, Output: out, Committed: true}
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"testing"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+)
+
+func TestLockingFastPathNoLocks(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(spFrag(1, incrKey("x")))
+	requireReplies(t, env, 1)
+	if !env.replies[0].Committed || env.replies[0].Output != 6 {
+		t.Fatalf("reply = %+v", env.replies[0])
+	}
+	if s := e.LockStats(); s.Acquires != 0 {
+		t.Fatalf("fast path acquired %d locks", s.Acquires)
+	}
+	if e.Stats().FastPath != 1 {
+		t.Fatal("fast path not counted")
+	}
+}
+
+func TestLockingAlwaysLockDisablesFastPath(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewLocking(env, LockConfig{AlwaysLock: true})
+	e.Fragment(spFrag(1, incrKey("x")))
+	requireReplies(t, env, 1)
+	if s := e.LockStats(); s.Acquires == 0 {
+		t.Fatal("AlwaysLock did not acquire locks")
+	}
+	if e.Stats().FastPath != 0 {
+		t.Fatal("fast path used despite AlwaysLock")
+	}
+	if e.ActiveCount() != 0 {
+		t.Fatal("transaction leaked")
+	}
+}
+
+func TestLockingSPDuringMPAcquiresLocks(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	env.set("y", 1)
+	e := NewLocking(env, LockConfig{})
+	// MP txn holds x and stalls awaiting decision.
+	e.Fragment(mpFrag(1, 0, true, 7, incrKey("x")))
+	requireResults(t, env, 1)
+	// Non-conflicting SP txn runs concurrently with locks.
+	e.Fragment(spFrag(2, incrKey("y")))
+	requireReplies(t, env, 1)
+	if env.replies[0].Output != 2 {
+		t.Fatalf("y increment = %+v", env.replies[0])
+	}
+	if s := e.LockStats(); s.Acquires == 0 {
+		t.Fatal("no locks acquired while MP active")
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if e.ActiveCount() != 0 {
+		t.Fatal("active transactions leaked")
+	}
+}
+
+func TestLockingConflictBlocksUntilCommit(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, true, 7, writeKey("x", 100)))
+	// Conflicting SP txn blocks mid-execution.
+	e.Fragment(spFrag(2, incrKey("x")))
+	requireReplies(t, env, 0)
+	// Commit of the MP txn releases the lock; the SP txn resumes, sees
+	// the committed value, and replies.
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	requireReplies(t, env, 1)
+	if env.replies[0].Output != 101 {
+		t.Fatalf("reply = %+v; SP must read committed x=100", env.replies[0])
+	}
+}
+
+func TestLockingConflictSeesRollbackOnAbort(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, true, 7, writeKey("x", 100)))
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Decision(&msg.Decision{Txn: 1, Commit: false})
+	requireReplies(t, env, 1)
+	if env.replies[0].Output != 6 {
+		t.Fatalf("reply = %+v; SP must read rolled-back x=5", env.replies[0])
+	}
+}
+
+// twoStepWork writes k1 then k2, giving interleavings that can deadlock when
+// run as two rounds.
+func lockStep(k string, val int) workFn {
+	return writeKey(k, val)
+}
+
+func TestLockingLocalDeadlockPrefersSPVictim(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("a", 0)
+	env.set("b", 0)
+	e := NewLocking(env, LockConfig{})
+	// MP txn 1 takes a in round 0 (more rounds coming).
+	e.Fragment(mpFrag(1, 0, false, 7, lockStep("a", 1)))
+	// SP txn 2 takes b, then wants a: blocks (no cycle yet).
+	e.Fragment(spFrag(2, func(v *storage.TxnView) (any, error) {
+		v.Put("kv", "b", 2)
+		v.Put("kv", "a", 2)
+		return nil, nil
+	}))
+	requireReplies(t, env, 0)
+	// MP txn 1 round 1 wants b: cycle {1,2}. SP txn 2 is the victim.
+	e.Fragment(mpFrag(1, 1, true, 7, lockStep("b", 1)))
+	requireReplies(t, env, 1)
+	if !env.replies[0].Retryable || env.replies[0].Committed {
+		t.Fatalf("victim reply = %+v", env.replies[0])
+	}
+	if e.Stats().DeadlockKills != 1 {
+		t.Fatalf("kills = %d", e.Stats().DeadlockKills)
+	}
+	// MP txn 1 proceeded after the kill and voted.
+	requireResults(t, env, 2)
+	if env.results[1].Aborted {
+		t.Fatal("MP txn should have survived")
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if env.get("a") != 1 || env.get("b") != 1 {
+		t.Fatalf("a=%d b=%d", env.get("a"), env.get("b"))
+	}
+	// The victim's writes were rolled back.
+	if e.ActiveCount() != 0 {
+		t.Fatal("leaked active transactions")
+	}
+}
+
+func TestLockingMPMPDeadlockKillsOne(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("a", 0)
+	env.set("b", 0)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, false, 7, lockStep("a", 1)))
+	e.Fragment(mpFrag(2, 0, false, 7, lockStep("b", 2)))
+	e.Fragment(mpFrag(1, 1, true, 7, lockStep("b", 1))) // 1 waits on 2
+	requireResults(t, env, 2)
+	e.Fragment(mpFrag(2, 1, true, 7, lockStep("a", 2))) // cycle
+	if e.Stats().DeadlockKills != 1 {
+		t.Fatalf("kills = %d", e.Stats().DeadlockKills)
+	}
+	// One of them voted abort; the other completed its fragment.
+	aborts, oks := 0, 0
+	for _, r := range env.results[2:] {
+		if r.Aborted {
+			aborts++
+		} else {
+			oks++
+		}
+	}
+	if aborts != 1 || oks != 1 {
+		t.Fatalf("aborts=%d oks=%d results=%+v", aborts, oks, env.results)
+	}
+}
+
+func TestLockingDistributedDeadlockTimeout(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("a", 0)
+	e := NewLocking(env, LockConfig{})
+	// MP txn 1 holds a, stalled remotely (never finishes its rounds).
+	e.Fragment(mpFrag(1, 0, false, 7, lockStep("a", 1)))
+	// MP txn 2 wants a: blocks with no local cycle → timer armed.
+	e.Fragment(mpFrag(2, 0, true, 8, lockStep("a", 2)))
+	if len(env.timers) != 1 {
+		t.Fatalf("timers = %d", len(env.timers))
+	}
+	e.Timer(env.timers[0].payload)
+	if e.Stats().TimeoutKills != 1 {
+		t.Fatalf("timeout kills = %d", e.Stats().TimeoutKills)
+	}
+	// Txn 2 voted abort.
+	last := env.results[len(env.results)-1]
+	if last.Txn != 2 || !last.Aborted {
+		t.Fatalf("result = %+v", last)
+	}
+}
+
+func TestLockingStaleTimeoutIgnored(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("a", 0)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, true, 7, lockStep("a", 1)))
+	e.Fragment(mpFrag(2, 0, true, 8, lockStep("a", 2))) // blocks, timer armed
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})     // unblocks 2, which votes
+	// Stale timer fires after txn 2 was granted; it must not kill.
+	e.Timer(env.timers[0].payload)
+	if e.Stats().TimeoutKills != 0 {
+		t.Fatal("stale timeout killed a granted transaction")
+	}
+	e.Decision(&msg.Decision{Txn: 2, Commit: true})
+	if env.get("a") != 2 {
+		t.Fatalf("a = %d", env.get("a"))
+	}
+}
+
+func TestLockingAbortDecisionWhileBlocked(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("a", 0)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, false, 7, lockStep("a", 1)))
+	e.Fragment(mpFrag(2, 0, true, 8, lockStep("a", 2))) // blocked on a
+	// Another participant of txn 2 was killed: the coordinator aborts it
+	// while our fragment is still waiting.
+	e.Decision(&msg.Decision{Txn: 2, Commit: false})
+	if e.ActiveCount() != 1 {
+		t.Fatalf("active = %d; txn 2 must be gone", e.ActiveCount())
+	}
+	// Txn 1 can finish normally.
+	e.Fragment(mpFrag(1, 1, true, 7, lockStep("a", 3)))
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if env.get("a") != 3 {
+		t.Fatalf("a = %d", env.get("a"))
+	}
+}
+
+func TestLockingUserAbortReleasesLocks(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("a", 0)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, true, 7, lockStep("a", 1))) // holds a
+	ab := spFragAbortable(2, func(v *storage.TxnView) (any, error) {
+		v.Put("kv", "scratch", 1)
+		return nil, errTestAbort
+	})
+	e.Fragment(ab)
+	requireReplies(t, env, 1)
+	if !env.replies[0].UserAborted || env.replies[0].Retryable {
+		t.Fatalf("reply = %+v", env.replies[0])
+	}
+	if _, ok := env.store.Table("kv").Get("scratch"); ok {
+		t.Fatal("aborted write persisted")
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if e.ActiveCount() != 0 {
+		t.Fatal("leaked transactions")
+	}
+}
+
+func TestLockingSharedReadersProceed(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 42)
+	e := NewLocking(env, LockConfig{})
+	// MP reader holds S on x.
+	e.Fragment(mpFrag(1, 0, true, 7, readKey("x")))
+	// SP reader shares the lock and completes immediately.
+	e.Fragment(spFrag(2, readKey("x")))
+	requireReplies(t, env, 1)
+	if env.replies[0].Output != 42 {
+		t.Fatalf("reply = %+v", env.replies[0])
+	}
+	// SP writer blocks.
+	e.Fragment(spFrag(3, incrKey("x")))
+	requireReplies(t, env, 1)
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	requireReplies(t, env, 2)
+	if env.replies[1].Output != 43 {
+		t.Fatalf("writer reply = %+v", env.replies[1])
+	}
+}
+
+func TestLockingUpgradeWithinTransaction(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 1)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, true, 7, readKey("y"))) // make partition non-idle
+	// Plain Get then Put: a sole-holder S→X upgrade must succeed.
+	e.Fragment(spFrag(2, func(v *storage.TxnView) (any, error) {
+		cur, _ := v.Get("kv", "x")
+		n := cur.(int) + 1
+		v.Put("kv", "x", n)
+		return n, nil
+	}))
+	requireReplies(t, env, 1)
+	if env.replies[0].Output != 2 {
+		t.Fatalf("reply = %+v", env.replies[0])
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+}
+
+func TestLockingChainedGrants(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 0)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, true, 7, incrKey("x")))
+	// Three SP increments pile up on x.
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Fragment(spFrag(3, incrKey("x")))
+	e.Fragment(spFrag(4, incrKey("x")))
+	requireReplies(t, env, 0)
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	// All three resume in FIFO order within the decision event.
+	requireReplies(t, env, 3)
+	if env.get("x") != 4 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	for i, want := range []any{2, 3, 4} {
+		if env.replies[i].Output != want {
+			t.Fatalf("reply %d = %+v", i, env.replies[i])
+		}
+	}
+}
+
+func TestLockingMultiRoundHoldsLocksAcrossRounds(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewLocking(env, LockConfig{})
+	e.Fragment(mpFrag(1, 0, false, 7, readKey("x")))
+	// Reacquiring x in round 1 (upgrade) must succeed without deadlock.
+	e.Fragment(mpFrag(1, 1, true, 7, writeKey("x", 17)))
+	requireResults(t, env, 2)
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if env.get("x") != 17 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"specdb/internal/msg"
+)
+
+// TestQuickSpeculativeScheduleInvariants drives the speculative engine with
+// randomized schedules — interleaved single-partition increments and
+// multi-partition transactions whose 2PC outcomes are chosen at random — and
+// checks the conservation invariant: the counter's final value equals the
+// number of increments whose transactions actually committed, regardless of
+// how many cascades and re-executions happened along the way.
+func TestQuickSpeculativeScheduleInvariants(t *testing.T) {
+	f := func(seed int64, steps []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newFakeEnv(t)
+		env.set("x", 0)
+		e := NewSpeculative(env)
+
+		nextID := uint64(1)
+		var pendingMP []uint64     // MP txns awaiting decisions, FIFO
+		committedIncr := 0         // increments known committed
+		spOutstanding := map[msg.TxnID]bool{}
+		mpCommitted := map[msg.TxnID]bool{}
+
+		decide := func() {
+			if len(pendingMP) == 0 {
+				return
+			}
+			id := pendingMP[0]
+			pendingMP = pendingMP[1:]
+			commit := rng.Intn(4) != 0 // 25% aborts
+			if commit {
+				mpCommitted[msg.TxnID(id)] = true
+			}
+			e.Decision(&msg.Decision{Txn: msg.TxnID(id), Commit: commit})
+		}
+
+		for _, s := range steps {
+			switch s % 3 {
+			case 0: // single-partition increment
+				id := nextID
+				nextID++
+				spOutstanding[msg.TxnID(id)] = true
+				e.Fragment(spFrag(id, incrKey("x")))
+			case 1: // simple multi-partition increment
+				id := nextID
+				nextID++
+				pendingMP = append(pendingMP, id)
+				e.Fragment(mpFrag(id, 0, true, 7, incrKey("x")))
+			case 2: // deliver the oldest pending decision
+				decide()
+			}
+		}
+		for len(pendingMP) > 0 {
+			decide()
+		}
+		// All SP replies must be out now (commit path releases them).
+		for _, r := range env.replies {
+			if spOutstanding[r.Txn] && r.Committed {
+				committedIncr++
+				delete(spOutstanding, r.Txn)
+			}
+		}
+		for id := range mpCommitted {
+			_ = id
+			committedIncr++
+		}
+		if e.UncommittedLen() != 0 || e.UnexecutedLen() != 0 {
+			t.Logf("seed %d: queues not drained", seed)
+			return false
+		}
+		if len(env.undos) != 0 {
+			t.Logf("seed %d: leaked undo buffers", seed)
+			return false
+		}
+		if got := env.get("x"); got != committedIncr {
+			t.Logf("seed %d: x=%d, committed increments=%d", seed, got, committedIncr)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBlockingScheduleInvariants is the same conservation property for
+// the blocking engine.
+func TestQuickBlockingScheduleInvariants(t *testing.T) {
+	f := func(seed int64, steps []uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		env := newFakeEnv(t)
+		env.set("x", 0)
+		e := NewBlocking(env)
+
+		nextID := uint64(1)
+		var pendingMP []uint64
+		mpCommits := 0
+
+		decide := func() {
+			if len(pendingMP) == 0 {
+				return
+			}
+			id := pendingMP[0]
+			pendingMP = pendingMP[1:]
+			commit := rng.Intn(4) != 0
+			if commit {
+				mpCommits++
+			}
+			e.Decision(&msg.Decision{Txn: msg.TxnID(id), Commit: commit})
+		}
+
+		spCount := 0
+		for _, s := range steps {
+			switch s % 3 {
+			case 0:
+				id := nextID
+				nextID++
+				spCount++
+				e.Fragment(spFrag(id, incrKey("x")))
+			case 1:
+				id := nextID
+				nextID++
+				pendingMP = append(pendingMP, id)
+				e.Fragment(mpFrag(id, 0, true, 7, incrKey("x")))
+			case 2:
+				decide()
+			}
+		}
+		for len(pendingMP) > 0 {
+			decide()
+		}
+		// Blocking never aborts SP transactions: all of them commit.
+		want := spCount + mpCommits
+		if got := env.get("x"); got != want {
+			t.Logf("seed %d: x=%d want %d", seed, got, want)
+			return false
+		}
+		return e.QueueLen() == 0 && len(env.undos) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

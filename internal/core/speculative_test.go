@@ -1,0 +1,338 @@
+package core
+
+import (
+	"testing"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+)
+
+// TestSpecPaperExampleCommit reproduces the §4.2.1 example on partition P1:
+// x=5; A is a multi-partition swap (read round, then write x=17), B1 and B2
+// are single-partition increments. Speculation may only begin after A's last
+// fragment; B1/B2 replies are held until A commits.
+func TestSpecPaperExampleCommit(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+
+	// Round 0 of A: read x.
+	e.Fragment(mpFrag(1, 0, false, 7, readKey("x")))
+	requireResults(t, env, 1)
+	if env.results[0].Output != 5 {
+		t.Fatalf("A read %v", env.results[0].Output)
+	}
+	// B1 arrives. A is not finished locally: no speculation ("If it did,
+	// the result for transaction B1 would be x = 6, which is incorrect").
+	e.Fragment(spFrag(2, incrKey("x")))
+	if e.Stats().Speculated != 0 {
+		t.Fatal("speculated before A finished")
+	}
+	if e.UnexecutedLen() != 1 {
+		t.Fatalf("unexecuted = %d", e.UnexecutedLen())
+	}
+	// Final fragment of A: write x=17; speculation begins.
+	e.Fragment(mpFrag(1, 1, true, 7, writeKey("x", 17)))
+	requireResults(t, env, 2)
+	// B2 arrives and speculates too.
+	e.Fragment(spFrag(3, incrKey("x")))
+	if s := e.Stats(); s.Speculated != 2 {
+		t.Fatalf("speculated = %d", s.Speculated)
+	}
+	// Replies are buffered inside the partition.
+	requireReplies(t, env, 0)
+	if env.get("x") != 19 {
+		t.Fatalf("x = %d after speculative increments", env.get("x"))
+	}
+	// A commits: results for B1 and B2 are sent and undo buffers dropped.
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	requireReplies(t, env, 2)
+	if env.replies[0].Txn != 2 || env.replies[0].Output != 18 {
+		t.Fatalf("B1 reply = %+v", env.replies[0])
+	}
+	if env.replies[1].Txn != 3 || env.replies[1].Output != 19 {
+		t.Fatalf("B2 reply = %+v", env.replies[1])
+	}
+	if e.UncommittedLen() != 0 || len(env.undos) != 0 {
+		t.Fatal("state not drained after commit")
+	}
+}
+
+// TestSpecPaperExampleAbort is the abort path: B1/B2 are undone and
+// re-executed from the pre-A state.
+func TestSpecPaperExampleAbort(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, false, 7, readKey("x")))
+	e.Fragment(mpFrag(1, 1, true, 7, writeKey("x", 17)))
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Fragment(spFrag(3, incrKey("x")))
+	if env.get("x") != 19 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: false})
+	// A undone (x back to 5), then B1 and B2 re-executed in order,
+	// non-speculatively (no active transactions remain), replies sent.
+	requireReplies(t, env, 2)
+	if env.replies[0].Txn != 2 || env.replies[0].Output != 6 {
+		t.Fatalf("B1 reply = %+v", env.replies[0])
+	}
+	if env.replies[1].Txn != 3 || env.replies[1].Output != 7 {
+		t.Fatalf("B2 reply = %+v", env.replies[1])
+	}
+	if env.get("x") != 7 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	if s := e.Stats(); s.Redone != 2 {
+		t.Fatalf("redone = %d", s.Redone)
+	}
+}
+
+// TestSpecMultiPartitionSpeculation reproduces the §4.2.2 example: A, B1, C
+// (multi-partition increment), B2. C's speculative result is sent immediately
+// with a dependency on A; B2's reply is held.
+func TestSpecMultiPartitionSpeculation(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, false, 7, readKey("x")))
+	e.Fragment(spFrag(2, incrKey("x"))) // B1 queued
+	e.Fragment(mpFrag(1, 1, true, 7, writeKey("x", 17)))
+	// B1 speculated upon A finishing. Now C, from the same coordinator.
+	e.Fragment(mpFrag(4, 0, true, 7, incrKey("x")))
+	requireResults(t, env, 3)
+	c := env.results[2]
+	if !c.Speculative || c.DependsOn != 1 {
+		t.Fatalf("C result = %+v; want speculative depending on A", c)
+	}
+	if c.Output != 19 {
+		t.Fatalf("C computed %v (A=17, B1=18, C=19)", c.Output)
+	}
+	// B2 speculates behind C; its reply is held.
+	e.Fragment(spFrag(5, incrKey("x")))
+	requireReplies(t, env, 0)
+	if env.get("x") != 20 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	// A commits: B1 released; C becomes the new non-speculative head.
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	requireReplies(t, env, 1)
+	if env.replies[0].Txn != 2 || env.replies[0].Output != 18 {
+		t.Fatalf("B1 reply = %+v", env.replies[0])
+	}
+	// C commits: B2 released.
+	e.Decision(&msg.Decision{Txn: 4, Commit: true})
+	requireReplies(t, env, 2)
+	if env.replies[1].Txn != 5 || env.replies[1].Output != 20 {
+		t.Fatalf("B2 reply = %+v", env.replies[1])
+	}
+}
+
+// TestSpecCascadingAbortResendsWithoutDependency: when A aborts, C is undone,
+// re-executed non-speculatively, and its result re-sent with no dependency
+// ("The resent results would not depend on previous transactions").
+func TestSpecCascadingAbortResends(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, false, 7, readKey("x")))
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Fragment(mpFrag(1, 1, true, 7, writeKey("x", 17)))
+	e.Fragment(mpFrag(4, 0, true, 7, incrKey("x")))
+	e.Fragment(spFrag(5, incrKey("x")))
+	nResults := len(env.results)
+	e.Decision(&msg.Decision{Txn: 1, Commit: false})
+	// B1 re-executed (fast path, reply 6), C re-executed (new head,
+	// result resent, x=7), B2 re-speculated behind C (held, x=8).
+	requireReplies(t, env, 1)
+	if env.replies[0].Txn != 2 || env.replies[0].Output != 6 {
+		t.Fatalf("B1 reply = %+v", env.replies[0])
+	}
+	if len(env.results) != nResults+1 {
+		t.Fatalf("results = %d, want resend", len(env.results))
+	}
+	resent := env.results[len(env.results)-1]
+	if resent.Txn != 4 || resent.Speculative || resent.DependsOn != 0 {
+		t.Fatalf("resent C = %+v", resent)
+	}
+	if resent.Output != 7 {
+		t.Fatalf("resent C output = %v", resent.Output)
+	}
+	if env.get("x") != 8 {
+		t.Fatalf("x = %d (B2 re-speculated)", env.get("x"))
+	}
+	if s := e.Stats(); s.Redone != 3 {
+		t.Fatalf("redone = %d", s.Redone)
+	}
+	e.Decision(&msg.Decision{Txn: 4, Commit: true})
+	requireReplies(t, env, 2)
+	if env.replies[1].Txn != 5 || env.replies[1].Output != 8 {
+		t.Fatalf("B2 reply = %+v", env.replies[1])
+	}
+}
+
+func TestSpecDifferentCoordinatorBlocksMPSpeculation(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, true, 7, incrKey("x")))
+	// MP txn from a different coordinator cannot be speculated.
+	e.Fragment(mpFrag(2, 0, true, 8, incrKey("x")))
+	requireResults(t, env, 1)
+	if e.UnexecutedLen() != 1 {
+		t.Fatalf("unexecuted = %d", e.UnexecutedLen())
+	}
+	// But a single-partition txn behind it must also wait (FIFO).
+	e.Fragment(spFrag(3, incrKey("x")))
+	if e.Stats().Speculated != 0 {
+		t.Fatal("speculation happened despite foreign coordinator at queue head")
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	// Queue drains: txn 2 becomes the new head, txn 3 speculates behind.
+	requireResults(t, env, 2)
+	requireReplies(t, env, 0)
+	e.Decision(&msg.Decision{Txn: 2, Commit: true})
+	requireReplies(t, env, 1)
+	if env.get("x") != 8 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+}
+
+func TestSpecMultiRoundGatesSpeculation(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+	// Two-round MP txn: after round 0 the txn is not finished locally,
+	// so nothing speculates (§5.4's "general" transactions).
+	e.Fragment(mpFrag(1, 0, false, 7, readKey("x")))
+	e.Fragment(spFrag(2, incrKey("x")))
+	e.Fragment(spFrag(3, incrKey("x")))
+	if e.Stats().Speculated != 0 || e.UnexecutedLen() != 2 {
+		t.Fatalf("speculated=%d unexecuted=%d", e.Stats().Speculated, e.UnexecutedLen())
+	}
+	e.Fragment(mpFrag(1, 1, true, 7, writeKey("x", 17)))
+	if e.Stats().Speculated != 2 {
+		t.Fatalf("speculated = %d after finish", e.Stats().Speculated)
+	}
+}
+
+func TestSpecLocalAbortOfSpeculatedSP(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 5)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, true, 7, writeKey("x", 17)))
+	// Speculated SP txn aborts (user abort): held reply must carry the
+	// abort, and its effects must be rolled back immediately.
+	ab := spFragAbortable(2, userAbort())
+	e.Fragment(ab)
+	e.Fragment(spFrag(3, incrKey("x")))
+	if _, ok := env.store.Table("kv").Get("scratch"); ok {
+		t.Fatal("aborted speculative write persisted")
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	requireReplies(t, env, 2)
+	if env.replies[0].Committed || !env.replies[0].UserAborted {
+		t.Fatalf("aborted reply = %+v", env.replies[0])
+	}
+	if env.replies[1].Output != 18 {
+		t.Fatalf("increment reply = %+v; must see x=17+1", env.replies[1])
+	}
+}
+
+func TestSpecChainedDependencies(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 0)
+	e := NewSpeculative(env)
+	// Three simple MP txns from one coordinator speculate as a chain.
+	e.Fragment(mpFrag(1, 0, true, 7, incrKey("x")))
+	e.Fragment(mpFrag(2, 0, true, 7, incrKey("x")))
+	e.Fragment(mpFrag(3, 0, true, 7, incrKey("x")))
+	requireResults(t, env, 3)
+	if env.results[1].DependsOn != 1 || env.results[2].DependsOn != 2 {
+		t.Fatalf("dependency chain = %v, %v", env.results[1].DependsOn, env.results[2].DependsOn)
+	}
+	if env.get("x") != 3 {
+		t.Fatalf("x = %d", env.get("x"))
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	e.Decision(&msg.Decision{Txn: 2, Commit: true})
+	e.Decision(&msg.Decision{Txn: 3, Commit: true})
+	if e.UncommittedLen() != 0 {
+		t.Fatalf("uncommitted = %d", e.UncommittedLen())
+	}
+}
+
+func TestSpecAbortMidChainReexecutesSuffix(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 0)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, true, 7, incrKey("x")))
+	e.Fragment(mpFrag(2, 0, true, 7, incrKey("x")))
+	e.Fragment(mpFrag(3, 0, true, 7, incrKey("x")))
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	// Abort 2: txn 3 must be undone and re-executed on top of x=1.
+	e.Decision(&msg.Decision{Txn: 2, Commit: false})
+	if env.get("x") != 2 {
+		t.Fatalf("x = %d; want 1 (committed) + 1 (txn 3 redo)", env.get("x"))
+	}
+	last := env.results[len(env.results)-1]
+	if last.Txn != 3 || last.Speculative || last.Output != 2 {
+		t.Fatalf("resent txn3 = %+v", last)
+	}
+	e.Decision(&msg.Decision{Txn: 3, Commit: true})
+	if e.UncommittedLen() != 0 || len(env.undos) != 0 {
+		t.Fatal("residual state")
+	}
+}
+
+func TestSpecFastPathNoUndo(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 1)
+	e := NewSpeculative(env)
+	probe := func(v *storage.TxnView) (any, error) {
+		if v.Undoing() {
+			t.Fatal("fast path ran with undo buffer")
+		}
+		return nil, nil
+	}
+	e.Fragment(spFrag(1, probe))
+	requireReplies(t, env, 1)
+	// With CanAbort set, the fast path must keep an undo buffer.
+	probe2 := func(v *storage.TxnView) (any, error) {
+		if !v.Undoing() {
+			t.Fatal("abortable txn ran without undo buffer")
+		}
+		return nil, nil
+	}
+	e.Fragment(spFragAbortable(2, probe2))
+	requireReplies(t, env, 2)
+}
+
+func TestSpecSpeculatedTxnsAlwaysUndo(t *testing.T) {
+	env := newFakeEnv(t)
+	env.set("x", 1)
+	e := NewSpeculative(env)
+	e.Fragment(mpFrag(1, 0, true, 7, incrKey("x")))
+	probe := func(v *storage.TxnView) (any, error) {
+		if !v.Undoing() {
+			t.Fatal("speculative txn ran without undo buffer")
+		}
+		return nil, nil
+	}
+	e.Fragment(spFrag(2, probe))
+	if e.Stats().Speculated != 1 {
+		t.Fatal("probe was not speculated")
+	}
+}
+
+func TestSpecDecisionMismatchPanics(t *testing.T) {
+	env := newFakeEnv(t)
+	e := NewSpeculative(env)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Decision(&msg.Decision{Txn: 9, Commit: true})
+}

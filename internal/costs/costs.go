@@ -1,0 +1,89 @@
+// Package costs defines the virtual-time cost model. The paper's results are
+// driven by the ratios between per-transaction CPU time and network latency
+// (§3.3: 26 µs of CPU per TPC-C transaction vs a 40 µs round trip); this
+// package makes every such quantity an explicit parameter.
+//
+// Defaults are calibrated so the two-partition microbenchmark reproduces the
+// measured model variables of Table 2:
+//
+// A 12-key read/write transaction performs 24 row operations (12 reads, 12
+// writes) and 24 lock-manager calls when locking is engaged:
+//
+//	tsp  ≈ 64 µs   single-partition execution      = Base + 24 ops · PerRow
+//	tspS ≈ 73 µs   speculative (undo) execution    = tsp + 12 writes · UndoPerWrite
+//	tmpC ≈ 55 µs   multi-partition CPU/partition   = Base + 12 ops · PerRow + Decision
+//	l    ≈ 13 %    locking surcharge               = 24 lock calls · LockPerAcquire / tspS
+package costs
+
+import (
+	"specdb/internal/sim"
+)
+
+// Model holds every virtual-time cost parameter.
+type Model struct {
+	// FragmentBase is the fixed CPU charge per fragment execution.
+	FragmentBase sim.Time
+	// PerProcBase overrides FragmentBase for specific procedures.
+	PerProcBase map[string]sim.Time
+	// PerRow is charged per row operation (each read and each write).
+	PerRow sim.Time
+	// UndoPerWrite is the surcharge per write when recording undo
+	// information (the tspS − tsp gap).
+	UndoPerWrite sim.Time
+	// LockPerAcquire is the surcharge per lock-manager call (the l
+	// overhead of §6.3: acquiring, releasing and managing the table).
+	LockPerAcquire sim.Time
+	// AbortedFragment is the (cheaper) charge for a fragment that aborts
+	// at the start of execution (§5.3).
+	AbortedFragment sim.Time
+	// Decision is the charge for processing a 2PC outcome at a partition.
+	Decision sim.Time
+	// CoordMessage is the central coordinator's CPU charge per message
+	// received or sent; it produces the §5.1 coordinator saturation.
+	CoordMessage sim.Time
+	// ClientMessage is the client library's charge per message (clients
+	// are not a bottleneck in the paper; default 0).
+	ClientMessage sim.Time
+	// OneWayLatency is the network latency between any two processes
+	// (half the 40 µs ping RTT of §3.3).
+	OneWayLatency sim.Time
+	// ReplicaApplyFactor scales fragment cost when a backup re-executes
+	// forwarded work.
+	ReplicaApplyFactor float64
+}
+
+// Default returns the Table 2 calibration.
+func Default() Model {
+	return Model{
+		FragmentBase:       40 * sim.Microsecond,
+		PerRow:             1 * sim.Microsecond,
+		UndoPerWrite:       750 * sim.Nanosecond,
+		LockPerAcquire:     400 * sim.Nanosecond,
+		AbortedFragment:    10 * sim.Microsecond,
+		Decision:           3 * sim.Microsecond,
+		CoordMessage:       15 * sim.Microsecond,
+		ClientMessage:      0,
+		OneWayLatency:      20 * sim.Microsecond,
+		ReplicaApplyFactor: 1.0,
+	}
+}
+
+// Fragment prices one fragment execution from its observed work.
+func (m *Model) Fragment(proc string, rows, writes, lockCalls int, undoing bool) sim.Time {
+	base := m.FragmentBase
+	if b, ok := m.PerProcBase[proc]; ok {
+		base = b
+	}
+	t := base + sim.Time(rows)*m.PerRow
+	if undoing {
+		t += sim.Time(writes) * m.UndoPerWrite
+	}
+	t += sim.Time(lockCalls) * m.LockPerAcquire
+	return t
+}
+
+// ReplicaApply prices a backup's re-execution of a fragment.
+func (m *Model) ReplicaApply(proc string, rows, writes int) sim.Time {
+	t := m.Fragment(proc, rows, writes, 0, false)
+	return sim.Time(float64(t) * m.ReplicaApplyFactor)
+}

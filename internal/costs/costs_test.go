@@ -1,0 +1,66 @@
+package costs
+
+import (
+	"testing"
+
+	"specdb/internal/sim"
+)
+
+// TestTable2Calibration pins the default cost model to the paper's Table 2:
+// these identities are what every benchmark's absolute scale rests on.
+func TestTable2Calibration(t *testing.T) {
+	m := Default()
+	// tsp: 12-key read/write = 24 row ops, no undo, no locks.
+	if got := m.Fragment("kv", 24, 12, 0, false); got != 64*sim.Microsecond {
+		t.Errorf("tsp = %v, want 64µs", got)
+	}
+	// tspS: with undo.
+	if got := m.Fragment("kv", 24, 12, 0, true); got != 73*sim.Microsecond {
+		t.Errorf("tspS = %v, want 73µs", got)
+	}
+	// l: 24 lock calls ≈ 13.2% of tspS.
+	locked := m.Fragment("kv", 24, 12, 24, true)
+	l := float64(locked-73*sim.Microsecond) / float64(73*sim.Microsecond)
+	if l < 0.12 || l < 0 || l > 0.145 {
+		t.Errorf("l = %f, want ≈0.132", l)
+	}
+	// Multi-partition fragment CPU (6 keys) plus decision ≈ tmpC.
+	tmpC := m.Fragment("kv", 12, 6, 0, true) + m.Decision
+	if tmpC < 52*sim.Microsecond || tmpC > 62*sim.Microsecond {
+		t.Errorf("tmpC = %v, want ≈55µs", tmpC)
+	}
+	// RTT = 40µs (§3.3 ping measurement).
+	if m.OneWayLatency*2 != 40*sim.Microsecond {
+		t.Errorf("RTT = %v", m.OneWayLatency*2)
+	}
+}
+
+func TestPerProcOverride(t *testing.T) {
+	m := Default()
+	m.PerProcBase = map[string]sim.Time{"special": 100 * sim.Microsecond}
+	if got := m.Fragment("special", 0, 0, 0, false); got != 100*sim.Microsecond {
+		t.Errorf("override = %v", got)
+	}
+	if got := m.Fragment("other", 0, 0, 0, false); got != m.FragmentBase {
+		t.Errorf("default = %v", got)
+	}
+}
+
+func TestAbortCheaperThanExecution(t *testing.T) {
+	m := Default()
+	if m.AbortedFragment >= m.Fragment("kv", 24, 12, 0, false) {
+		t.Error("aborted fragments must be cheaper (§5.3)")
+	}
+}
+
+func TestReplicaApplyScaling(t *testing.T) {
+	m := Default()
+	base := m.Fragment("kv", 10, 5, 0, false)
+	if got := m.ReplicaApply("kv", 10, 5); got != base {
+		t.Errorf("factor 1.0: %v != %v", got, base)
+	}
+	m.ReplicaApplyFactor = 0.5
+	if got := m.ReplicaApply("kv", 10, 5); got != base/2 {
+		t.Errorf("factor 0.5: %v", got)
+	}
+}

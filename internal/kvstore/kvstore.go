@@ -1,0 +1,132 @@
+// Package kvstore is the microbenchmark execution engine of §5.1: "a simple
+// key/value store, where keys and values are arbitrary byte strings. One
+// transaction is supported, which reads a set of values then updates them."
+//
+// Values here are integer counters, which keeps transaction effects
+// verifiable (every committed transaction increments its keys exactly once)
+// while exercising the same code paths; the paper deliberately uses tiny
+// values so data transfer time is irrelevant.
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+)
+
+// Table is the key/value table name.
+const Table = "kv"
+
+// ProcName is the registry name of the read/write procedure.
+const ProcName = "kv.readwrite"
+
+// Args invokes the read/write transaction: for each partition, the listed
+// keys are read and incremented. TwoRound splits the work into a read round
+// and a write round with a coordinator hop between them (§5.4's "general"
+// multi-partition transactions).
+type Args struct {
+	Keys     map[msg.PartitionID][]string
+	TwoRound bool
+}
+
+// work is the per-partition fragment input.
+type work struct {
+	Keys  []string
+	Round int
+	// ReadOnly marks round 0 of a two-round transaction (reads only;
+	// the writes come back in round 1).
+	ReadOnly bool
+	// Vals carries the round-1 write values for two-round transactions,
+	// computed at the coordinator from the round-0 reads.
+	Vals []int64
+}
+
+// Proc implements the read/write stored procedure.
+type Proc struct{}
+
+// Name implements txn.Procedure.
+func (Proc) Name() string { return ProcName }
+
+// Plan implements txn.Procedure.
+func (Proc) Plan(args any, cat *txn.Catalog) txn.Plan {
+	a := args.(*Args)
+	parts := make([]msg.PartitionID, 0, len(a.Keys))
+	for p := range a.Keys {
+		parts = append(parts, p)
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	rounds := 1
+	if a.TwoRound {
+		rounds = 2
+	}
+	w := make(map[msg.PartitionID]any, len(parts))
+	for _, p := range parts {
+		w[p] = &work{Keys: a.Keys[p], Round: 0, ReadOnly: a.TwoRound}
+	}
+	return txn.Plan{Parts: parts, Work: w, Rounds: rounds}
+}
+
+// Continue implements txn.Procedure: round 1 of a two-round transaction
+// writes back each key's value + 1, computed from the round-0 reads.
+func (Proc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	a := args.(*Args)
+	if round != 1 || !a.TwoRound {
+		panic(fmt.Sprintf("kvstore: unexpected round %d", round))
+	}
+	out := make(map[msg.PartitionID]any, len(prior))
+	for _, r := range prior {
+		reads := r.Output.([]int64)
+		keys := a.Keys[r.Partition]
+		vals := make([]int64, len(reads))
+		for i, v := range reads {
+			vals[i] = v + 1
+		}
+		out[r.Partition] = &work{Keys: keys, Round: 1, Vals: vals}
+	}
+	return out
+}
+
+// Run implements txn.Procedure.
+func (Proc) Run(view *storage.TxnView, w any) (any, error) {
+	wk := w.(*work)
+	if wk.Round == 1 {
+		// Write round of a two-round transaction. The keys were read
+		// with update intent in round 0, so the X locks are held.
+		for i, k := range wk.Keys {
+			view.Put(Table, k, wk.Vals[i])
+		}
+		return int64(len(wk.Keys)), nil
+	}
+	vals := make([]int64, len(wk.Keys))
+	for i, k := range wk.Keys {
+		v, ok := view.GetForUpdate(Table, k)
+		if !ok {
+			return nil, fmt.Errorf("kvstore: missing key %q", k)
+		}
+		vals[i] = v.(int64)
+	}
+	if !wk.ReadOnly {
+		// Single-round form: read the set of values, then update them.
+		for i, k := range wk.Keys {
+			view.Put(Table, k, vals[i]+1)
+		}
+	}
+	return vals, nil
+}
+
+// Output implements txn.Procedure.
+func (Proc) Output(args any, final []msg.FragmentResult) any {
+	var total int64
+	for _, r := range final {
+		switch v := r.Output.(type) {
+		case []int64:
+			total += int64(len(v))
+		case int64:
+			total += v
+		}
+	}
+	return total
+}

@@ -1,0 +1,134 @@
+package kvstore
+
+import (
+	"testing"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+	"specdb/internal/undo"
+)
+
+func loaded() *storage.Store {
+	s := storage.NewStore()
+	AddSchema(s)
+	Load(s, 0, 2, 4)
+	return s
+}
+
+func cat() *txn.Catalog { return &txn.Catalog{NumPartitions: 2} }
+
+func TestPlanSortsPartitions(t *testing.T) {
+	a := &Args{Keys: map[msg.PartitionID][]string{1: {"x"}, 0: {"y"}}}
+	p := Proc{}.Plan(a, cat())
+	if len(p.Parts) != 2 || p.Parts[0] != 0 || p.Parts[1] != 1 {
+		t.Fatalf("parts = %v", p.Parts)
+	}
+	if p.Rounds != 1 {
+		t.Fatalf("rounds = %d", p.Rounds)
+	}
+	a.TwoRound = true
+	if (Proc{}).Plan(a, cat()).Rounds != 2 {
+		t.Fatal("two-round plan")
+	}
+}
+
+func TestRunIncrementsAndReturnsPriorValues(t *testing.T) {
+	s := loaded()
+	k := ClientKey(0, 0, 0)
+	a := &Args{Keys: map[msg.PartitionID][]string{0: {k}}}
+	p := Proc{}.Plan(a, cat())
+	view := storage.NewTxnView(s, nil, nil)
+	out, err := Proc{}.Run(view, p.Work[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals := out.([]int64); len(vals) != 1 || vals[0] != 0 {
+		t.Fatalf("out = %v", out)
+	}
+	if v, _ := s.Table(Table).Get(k); v.(int64) != 1 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestRunMissingKeyAborts(t *testing.T) {
+	s := loaded()
+	a := &Args{Keys: map[msg.PartitionID][]string{0: {"nope"}}}
+	p := Proc{}.Plan(a, cat())
+	if _, err := (Proc{}).Run(storage.NewTxnView(s, nil, nil), p.Work[0]); err == nil {
+		t.Fatal("missing key must abort")
+	}
+}
+
+func TestTwoRoundFlow(t *testing.T) {
+	s := loaded()
+	k := ClientKey(1, 0, 2)
+	a := &Args{Keys: map[msg.PartitionID][]string{0: {k}}, TwoRound: true}
+	p := Proc{}.Plan(a, cat())
+	view := storage.NewTxnView(s, nil, nil)
+	out, err := Proc{}.Run(view, p.Work[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 0 is read-only.
+	if v, _ := s.Table(Table).Get(k); v.(int64) != 0 {
+		t.Fatal("round 0 wrote")
+	}
+	prior := []msg.FragmentResult{{Partition: 0, Output: out}}
+	work1 := Proc{}.Continue(a, 1, prior, cat())
+	if _, err := (Proc{}).Run(view, work1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Table(Table).Get(k); v.(int64) != 1 {
+		t.Fatalf("after round 1: %v", v)
+	}
+}
+
+func TestRunWithUndoRollsBack(t *testing.T) {
+	s := loaded()
+	before := s.Fingerprint()
+	k := ClientKey(0, 0, 1)
+	a := &Args{Keys: map[msg.PartitionID][]string{0: {k}}}
+	p := Proc{}.Plan(a, cat())
+	buf := undo.New()
+	if _, err := (Proc{}).Run(storage.NewTxnView(s, buf, nil), p.Work[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s.Fingerprint() == before {
+		t.Fatal("no effect")
+	}
+	buf.Rollback()
+	if s.Fingerprint() != before {
+		t.Fatal("rollback incomplete")
+	}
+}
+
+func TestOutputCounts(t *testing.T) {
+	out := Proc{}.Output(nil, []msg.FragmentResult{
+		{Output: []int64{1, 2, 3}},
+		{Output: int64(4)},
+	})
+	if out.(int64) != 7 {
+		t.Fatalf("output = %v", out)
+	}
+}
+
+func TestSumCountsAllCounters(t *testing.T) {
+	s := loaded()
+	if Sum(s) != 0 {
+		t.Fatal("fresh store sum nonzero")
+	}
+	s.Table(Table).Put(ClientKey(0, 0, 0), int64(5))
+	if Sum(s) != 5 {
+		t.Fatalf("sum = %d", Sum(s))
+	}
+}
+
+func TestHotKeyIsPinnedClientsFirstKey(t *testing.T) {
+	if HotKey(0) != ClientKey(0, 0, 0) {
+		t.Fatal("hot key 0")
+	}
+	if HotKey(1) != ClientKey(1, 1, 0) {
+		t.Fatal("hot key 1")
+	}
+}

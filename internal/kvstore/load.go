@@ -1,0 +1,49 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+)
+
+// ClientKey names client c's i-th private key on partition p. The §5.1
+// microbenchmark gives every client its own keys so that, absent the
+// deliberate conflict knob, transactions never contend.
+func ClientKey(c int, p msg.PartitionID, i int) string {
+	return fmt.Sprintf("c%03d.p%02d.k%02d", c, p, i)
+}
+
+// HotKey is the contended key of §5.2 on partition p: the first client's
+// (partition 0) or second client's (partition 1) first key, which those
+// pinned clients write in nearly every transaction.
+func HotKey(p msg.PartitionID) string {
+	return ClientKey(int(p), p, 0)
+}
+
+// AddSchema registers the kv table on a partition store.
+func AddSchema(s *storage.Store) {
+	s.AddTable(storage.NewHashTable(Table))
+}
+
+// Load preloads partition p's share of every client's keys with zero
+// counters.
+func Load(s *storage.Store, p msg.PartitionID, clients, keysPerClient int) {
+	t := s.Table(Table)
+	for c := 0; c < clients; c++ {
+		for i := 0; i < keysPerClient; i++ {
+			t.Put(ClientKey(c, p, i), int64(0))
+		}
+	}
+}
+
+// Sum returns the total of all counters on a store, used by invariant tests:
+// every committed transaction increments exactly KeysPerTxn counters.
+func Sum(s *storage.Store) int64 {
+	var total int64
+	s.Table(Table).Ascend("", "", func(k string, v any) bool {
+		total += v.(int64)
+		return true
+	})
+	return total
+}

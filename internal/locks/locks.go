@@ -1,0 +1,332 @@
+// Package locks implements the single-threaded lock manager of §4.3. Because
+// each partition runs one thread, there is no latching: the manager is plain
+// data manipulated between transaction steps, which is exactly the property
+// the paper exploits to make locking "much lower overhead than traditional
+// locking schemes".
+//
+// Locks are row-granularity shared/exclusive with FIFO wait queues and
+// shared→exclusive upgrades. The manager exposes the waits-for graph so the
+// engine can run cycle detection at block time and choose a victim (the paper
+// prefers killing single-partition transactions, which waste less work).
+package locks
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb/internal/msg"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// Shared permits concurrent readers.
+	Shared Mode = iota
+	// Exclusive permits a single writer.
+	Exclusive
+)
+
+func (m Mode) String() string {
+	if m == Shared {
+		return "S"
+	}
+	return "X"
+}
+
+// compatible reports whether a lock in mode a coexists with one in mode b.
+func compatible(a, b Mode) bool { return a == Shared && b == Shared }
+
+// Key identifies a lockable row.
+type Key struct {
+	Table string
+	Row   string
+}
+
+func (k Key) String() string { return fmt.Sprintf("%s[%q]", k.Table, k.Row) }
+
+// Grant reports a lock granted to a previously waiting transaction.
+type Grant struct {
+	Txn  msg.TxnID
+	K    Key
+	Mode Mode
+}
+
+// Stats counts lock manager activity for the cost model and the §5.6
+// profiler-style breakdown.
+type Stats struct {
+	Acquires  uint64 // Acquire calls
+	Immediate uint64 // granted without waiting
+	Waits     uint64 // had to queue
+	Upgrades  uint64 // S→X upgrades (immediate or queued)
+	Releases  uint64 // locks released
+}
+
+type waiter struct {
+	txn     msg.TxnID
+	mode    Mode
+	upgrade bool
+}
+
+type entry struct {
+	holders map[msg.TxnID]Mode
+	queue   []waiter
+}
+
+// Manager is one partition's lock table.
+type Manager struct {
+	table map[Key]*entry
+	// held tracks every key held per transaction, for release.
+	held map[msg.TxnID]map[Key]Mode
+	// waitingOn maps a blocked transaction to the key it is queued for.
+	waitingOn map[msg.TxnID]Key
+	stats     Stats
+}
+
+// NewManager returns an empty lock table.
+func NewManager() *Manager {
+	return &Manager{
+		table:     make(map[Key]*entry),
+		held:      make(map[msg.TxnID]map[Key]Mode),
+		waitingOn: make(map[msg.TxnID]Key),
+	}
+}
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Active reports whether any transaction holds or awaits any lock.
+func (m *Manager) Active() bool { return len(m.table) > 0 }
+
+// HeldCount returns how many keys txn currently holds.
+func (m *Manager) HeldCount(txn msg.TxnID) int { return len(m.held[txn]) }
+
+// Holds reports whether txn holds k at least in the given mode.
+func (m *Manager) Holds(txn msg.TxnID, k Key, mode Mode) bool {
+	got, ok := m.held[txn][k]
+	return ok && (got == Exclusive || mode == Shared)
+}
+
+// Waiting reports whether txn is queued for some lock.
+func (m *Manager) Waiting(txn msg.TxnID) bool {
+	_, ok := m.waitingOn[txn]
+	return ok
+}
+
+// Acquire requests k in the given mode for txn. It returns true if the lock
+// was granted immediately; false means txn is now queued and must suspend
+// until a Grant for it is returned by Release or Remove.
+func (m *Manager) Acquire(txn msg.TxnID, k Key, mode Mode) bool {
+	m.stats.Acquires++
+	if m.Waiting(txn) {
+		panic("locks: Acquire while already waiting")
+	}
+	e := m.table[k]
+	if e == nil {
+		e = &entry{holders: make(map[msg.TxnID]Mode)}
+		m.table[k] = e
+	}
+	if cur, holds := e.holders[txn]; holds {
+		if cur == Exclusive || mode == Shared {
+			m.stats.Immediate++
+			return true // reentrant, already sufficient
+		}
+		// Upgrade request.
+		m.stats.Upgrades++
+		if len(e.holders) == 1 {
+			e.holders[txn] = Exclusive
+			m.held[txn][k] = Exclusive
+			m.stats.Immediate++
+			return true
+		}
+		// Queue the upgrade ahead of ordinary waiters.
+		e.queue = append([]waiter{{txn: txn, mode: Exclusive, upgrade: true}}, e.queue...)
+		m.waitingOn[txn] = k
+		m.stats.Waits++
+		return false
+	}
+	if len(e.queue) == 0 && m.compatibleWithHolders(e, mode) {
+		m.grant(e, txn, k, mode)
+		m.stats.Immediate++
+		return true
+	}
+	e.queue = append(e.queue, waiter{txn: txn, mode: mode})
+	m.waitingOn[txn] = k
+	m.stats.Waits++
+	return false
+}
+
+func (m *Manager) compatibleWithHolders(e *entry, mode Mode) bool {
+	for _, hm := range e.holders {
+		if !compatible(mode, hm) {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) grant(e *entry, txn msg.TxnID, k Key, mode Mode) {
+	e.holders[txn] = mode
+	hm := m.held[txn]
+	if hm == nil {
+		hm = make(map[Key]Mode)
+		m.held[txn] = hm
+	}
+	hm[k] = mode
+}
+
+// Release releases every lock held by txn and removes any queued request it
+// has, returning the locks newly granted to waiting transactions. Strict two
+// phase locking releases only at commit/abort, so there is no single-lock
+// release.
+func (m *Manager) Release(txn msg.TxnID) []Grant {
+	var grants []Grant
+	// Cancel a pending wait first.
+	if k, ok := m.waitingOn[txn]; ok {
+		e := m.table[k]
+		for i, w := range e.queue {
+			if w.txn == txn {
+				e.queue = append(e.queue[:i], e.queue[i+1:]...)
+				break
+			}
+		}
+		delete(m.waitingOn, txn)
+		grants = m.drainQueue(e, k, grants)
+		m.maybeFree(k, e)
+	}
+	// Sort keys: deterministic grant order keeps whole-system runs
+	// reproducible (map iteration order is randomized).
+	keys := make([]Key, 0, len(m.held[txn]))
+	for k := range m.held[txn] {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Table != keys[j].Table {
+			return keys[i].Table < keys[j].Table
+		}
+		return keys[i].Row < keys[j].Row
+	})
+	for _, k := range keys {
+		e := m.table[k]
+		delete(e.holders, txn)
+		m.stats.Releases++
+		grants = m.drainQueue(e, k, grants)
+		m.maybeFree(k, e)
+	}
+	delete(m.held, txn)
+	return grants
+}
+
+// drainQueue grants as many queued requests as now fit, in FIFO order.
+func (m *Manager) drainQueue(e *entry, k Key, grants []Grant) []Grant {
+	for len(e.queue) > 0 {
+		w := e.queue[0]
+		if w.upgrade {
+			// Grantable only when w.txn is the sole holder.
+			if len(e.holders) == 1 {
+				if _, ok := e.holders[w.txn]; ok {
+					e.holders[w.txn] = Exclusive
+					m.held[w.txn][k] = Exclusive
+					delete(m.waitingOn, w.txn)
+					grants = append(grants, Grant{Txn: w.txn, K: k, Mode: Exclusive})
+					e.queue = e.queue[1:]
+					continue
+				}
+			}
+			return grants
+		}
+		if !m.compatibleWithHolders(e, w.mode) {
+			return grants
+		}
+		m.grant(e, w.txn, k, w.mode)
+		delete(m.waitingOn, w.txn)
+		grants = append(grants, Grant{Txn: w.txn, K: k, Mode: w.mode})
+		e.queue = e.queue[1:]
+	}
+	return grants
+}
+
+func (m *Manager) maybeFree(k Key, e *entry) {
+	if len(e.holders) == 0 && len(e.queue) == 0 {
+		delete(m.table, k)
+	}
+}
+
+// WaitsFor returns the transactions that txn is directly waiting on: holders
+// of the contested lock with an incompatible mode, plus incompatible requests
+// queued ahead of it.
+func (m *Manager) WaitsFor(txn msg.TxnID) []msg.TxnID {
+	k, ok := m.waitingOn[txn]
+	if !ok {
+		return nil
+	}
+	e := m.table[k]
+	var pos int = -1
+	var mode Mode
+	for i, w := range e.queue {
+		if w.txn == txn {
+			pos, mode = i, w.mode
+			break
+		}
+	}
+	if pos < 0 {
+		return nil
+	}
+	var out []msg.TxnID
+	for h, hm := range e.holders {
+		if h == txn {
+			continue // upgrade: we hold S ourselves
+		}
+		if !compatible(mode, hm) || mode == Exclusive {
+			out = append(out, h)
+		}
+	}
+	// Deterministic edge order (holders is a map).
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	for i := 0; i < pos; i++ {
+		w := e.queue[i]
+		if w.txn != txn && (!compatible(mode, w.mode) || mode == Exclusive) {
+			out = append(out, w.txn)
+		}
+	}
+	return out
+}
+
+// FindCycle searches the waits-for graph from start and returns the
+// transactions forming a cycle that includes blocked transactions, or nil.
+// It is invoked each time a transaction blocks, per §4.3 ("cycle detection to
+// handle local deadlocks").
+func (m *Manager) FindCycle(start msg.TxnID) []msg.TxnID {
+	// Iterative DFS with path tracking. The graph is tiny (bounded by
+	// concurrently active transactions at one partition).
+	onPath := map[msg.TxnID]bool{}
+	var path []msg.TxnID
+	var dfs func(t msg.TxnID) []msg.TxnID
+	visited := map[msg.TxnID]bool{}
+	dfs = func(t msg.TxnID) []msg.TxnID {
+		if onPath[t] {
+			// Extract the cycle suffix.
+			for i, p := range path {
+				if p == t {
+					return append([]msg.TxnID(nil), path[i:]...)
+				}
+			}
+			return append([]msg.TxnID(nil), path...)
+		}
+		if visited[t] {
+			return nil
+		}
+		visited[t] = true
+		onPath[t] = true
+		path = append(path, t)
+		for _, next := range m.WaitsFor(t) {
+			if cyc := dfs(next); cyc != nil {
+				return cyc
+			}
+		}
+		path = path[:len(path)-1]
+		onPath[t] = false
+		return nil
+	}
+	return dfs(start)
+}

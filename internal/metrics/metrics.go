@@ -1,0 +1,151 @@
+// Package metrics collects the measurements the paper reports: completed
+// transactions within a measurement window (throughput), latency quantiles,
+// and abort/retry/redo counters.
+package metrics
+
+import (
+	"math"
+
+	"specdb/internal/sim"
+)
+
+// Collector accumulates transaction completions. The paper's methodology is
+// a warm-up period followed by a measurement window; only completions inside
+// the window count (§5).
+type Collector struct {
+	// WarmupEnd and End bound the measurement window [WarmupEnd, End).
+	WarmupEnd sim.Time
+	End       sim.Time
+
+	// Window counters.
+	Committed   uint64
+	UserAborted uint64
+	CommittedSP uint64
+	CommittedMP uint64
+	Retries     uint64
+
+	// Totals over the whole run (including warm-up), for sanity checks.
+	TotalCompleted uint64
+
+	lat Histogram
+}
+
+// NewCollector builds a collector for the given window.
+func NewCollector(warmupEnd, end sim.Time) *Collector {
+	return &Collector{WarmupEnd: warmupEnd, End: end}
+}
+
+func (c *Collector) inWindow(now sim.Time) bool {
+	return now >= c.WarmupEnd && now < c.End
+}
+
+// TxnDone records a completed transaction. User aborts count as completions
+// (§5.3: the abort is the transaction's outcome); deadlock/timeout kills must
+// be reported via Retry instead, followed eventually by a completion.
+func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition bool) {
+	c.TotalCompleted++
+	if !c.inWindow(now) {
+		return
+	}
+	if committed {
+		c.Committed++
+		if multiPartition {
+			c.CommittedMP++
+		} else {
+			c.CommittedSP++
+		}
+	} else {
+		c.UserAborted++
+	}
+	c.lat.Add(now - start)
+}
+
+// Retry records a transaction attempt killed and re-submitted.
+func (c *Collector) Retry(now sim.Time) {
+	if c.inWindow(now) {
+		c.Retries++
+	}
+}
+
+// Completed returns the number of completed transactions in the window.
+func (c *Collector) Completed() uint64 { return c.Committed + c.UserAborted }
+
+// Throughput returns completed transactions per second of measurement window.
+func (c *Collector) Throughput() float64 {
+	window := c.End - c.WarmupEnd
+	if window <= 0 {
+		return 0
+	}
+	return float64(c.Completed()) / (float64(window) / float64(sim.Second))
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of completion latency.
+func (c *Collector) LatencyQuantile(q float64) sim.Time {
+	return c.lat.Quantile(q)
+}
+
+// Histogram is a log-bucketed latency histogram: bucket i covers
+// [10µs·1.2^i, 10µs·1.2^(i+1)).
+type Histogram struct {
+	counts [128]uint64
+	n      uint64
+	min    sim.Time
+	max    sim.Time
+}
+
+const (
+	histBase   = 10 * sim.Microsecond
+	histGrowth = 1.2
+)
+
+func (h *Histogram) bucket(v sim.Time) int {
+	if v < histBase {
+		return 0
+	}
+	b := int(math.Log(float64(v)/float64(histBase)) / math.Log(histGrowth))
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v sim.Time) {
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.counts[h.bucket(v)]++
+	h.n++
+}
+
+// N returns the sample count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Quantile returns an upper bound of the q-quantile.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	target := uint64(q * float64(h.n))
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum > target {
+			hi := sim.Time(float64(histBase) * math.Pow(histGrowth, float64(i+1)))
+			if hi > h.max {
+				hi = h.max
+			}
+			return hi
+		}
+	}
+	return h.max
+}

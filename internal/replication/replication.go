@@ -1,0 +1,88 @@
+// Package replication implements the backup processes of §3.2/§4.3. H-Store
+// uses k-replication instead of disk for durability: a transaction commits
+// once k replicas have received it. Backups re-execute forwarded transactions
+// sequentially, in the order the primary committed them, without locks or
+// undo buffers — any data from remote partitions is baked into the forwarded
+// work, so backups never participate in distributed transactions.
+package replication
+
+import (
+	"fmt"
+
+	"specdb/internal/costs"
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/simnet"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+)
+
+// Backup is one backup replica of a partition.
+type Backup struct {
+	Store    *storage.Store
+	Registry *txn.Registry
+	Costs    *costs.Model
+	Net      *simnet.Net
+	Primary  sim.ActorID
+	self     sim.ActorID
+
+	// buffered holds prepared multi-partition transactions awaiting the
+	// primary's decision forward.
+	buffered map[msg.TxnID]*msg.ReplicaForward
+
+	// Applied counts transactions applied to the backup store.
+	Applied uint64
+}
+
+// New builds a backup.
+func New(store *storage.Store, reg *txn.Registry, c *costs.Model, net *simnet.Net) *Backup {
+	return &Backup{
+		Store:    store,
+		Registry: reg,
+		Costs:    c,
+		Net:      net,
+		buffered: make(map[msg.TxnID]*msg.ReplicaForward),
+	}
+}
+
+// Bind sets the backup's own actor ID (after scheduler registration).
+func (b *Backup) Bind(self sim.ActorID) { b.self = self }
+
+// Receive handles primary traffic.
+func (b *Backup) Receive(ctx *sim.Context, m sim.Message) {
+	switch v := m.(type) {
+	case *msg.ReplicaForward:
+		if v.Committed {
+			b.apply(ctx, v)
+		} else {
+			// Prepared but undecided: buffer (a re-forward after a
+			// speculative cascade supersedes the previous one).
+			b.buffered[v.Txn] = v
+		}
+		b.Net.Send(ctx, b.Primary, &msg.ReplicaAck{Txn: v.Txn, From: ctx.Self(), Seq: v.Seq})
+	case *msg.ReplicaDecision:
+		fw, ok := b.buffered[v.Txn]
+		if !ok {
+			return // aborted before preparing, or never forwarded
+		}
+		delete(b.buffered, v.Txn)
+		if v.Commit {
+			b.apply(ctx, fw)
+		}
+	default:
+		panic(fmt.Sprintf("backup: unexpected message %T", m))
+	}
+}
+
+// apply re-executes a transaction's fragments against the backup store.
+func (b *Backup) apply(ctx *sim.Context, fw *msg.ReplicaForward) {
+	for _, w := range fw.Works {
+		proc := b.Registry.Get(fw.Proc)
+		view := storage.NewTxnView(b.Store, nil, nil)
+		if _, err := proc.Run(view, w); err != nil {
+			panic(fmt.Sprintf("backup: forwarded transaction %d aborted on replay: %v", fw.Txn, err))
+		}
+		ctx.Spend(b.Costs.ReplicaApply(fw.Proc, view.Reads+view.Writes, view.Writes))
+	}
+	b.Applied++
+}

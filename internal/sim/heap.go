@@ -1,0 +1,65 @@
+package sim
+
+// eventHeap is a binary min-heap of events ordered by (at, seq). A hand
+// rolled heap (rather than container/heap) avoids interface boxing on the
+// hot path; the simulator delivers millions of events per benchmark run.
+type eventHeap struct {
+	ev []event
+}
+
+func (h *eventHeap) Len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) peek() (event, bool) {
+	if len(h.ev) == 0 {
+		return event{}, false
+	}
+	return h.ev[0], true
+}
+
+func (h *eventHeap) pop() (event, bool) {
+	if len(h.ev) == 0 {
+		return event{}, false
+	}
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.ev) && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(h.ev) && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+	return top, true
+}

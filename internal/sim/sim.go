@@ -1,0 +1,205 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The paper's testbed is six servers on a gigabit switch; here every process
+// (partition primary, backup, central coordinator, client) is an actor driven
+// by a single event loop over virtual time. Each actor models a
+// single-threaded CPU: an event delivered at time T to an actor that is busy
+// until B begins service at max(T, B), and the handler charges CPU time with
+// Context.Spend. Queueing and saturation (e.g. of the central coordinator in
+// Figure 4 of the paper) emerge from this busy-until semantics.
+//
+// Determinism: events are ordered by (deliver time, insertion sequence), and
+// all randomness used by actors must come from seeded sources, so a run is a
+// pure function of its configuration.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, in nanoseconds.
+type Time int64
+
+// Common durations, usable as both durations and time scales.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Micros returns t as a floating point number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fµs", t.Micros())
+}
+
+// ActorID identifies a registered actor.
+type ActorID int32
+
+// NoActor is the zero ActorID; valid actors are numbered from 1.
+const NoActor ActorID = 0
+
+// Message is any value delivered to an actor.
+type Message any
+
+// Handler is implemented by every actor.
+type Handler interface {
+	// Receive processes one message. It may consume virtual CPU time via
+	// ctx.Spend and send messages via ctx.Send; it must not retain ctx.
+	Receive(ctx *Context, m Message)
+}
+
+// event is a scheduled message delivery.
+type event struct {
+	at  Time
+	seq uint64
+	to  ActorID
+	msg Message
+}
+
+type actorState struct {
+	handler   Handler
+	busyUntil Time
+	busyTotal Time
+	name      string
+}
+
+// Scheduler owns the event queue and all registered actors.
+type Scheduler struct {
+	heap    eventHeap
+	seq     uint64
+	now     Time
+	actors  []actorState // index = ActorID-1
+	ctx     Context
+	stopped bool
+
+	// Delivered counts events processed, for diagnostics and tests.
+	Delivered uint64
+}
+
+// New returns an empty scheduler at time zero.
+func New() *Scheduler {
+	s := &Scheduler{}
+	s.ctx.s = s
+	return s
+}
+
+// Register adds an actor and returns its ID. The name is used in errors only.
+func (s *Scheduler) Register(name string, h Handler) ActorID {
+	s.actors = append(s.actors, actorState{handler: h, name: name})
+	return ActorID(len(s.actors))
+}
+
+// Handler returns the handler registered for id.
+func (s *Scheduler) Handler(id ActorID) Handler {
+	return s.actors[id-1].handler
+}
+
+// Name returns the name the actor was registered with.
+func (s *Scheduler) Name(id ActorID) string {
+	return s.actors[id-1].name
+}
+
+// BusyTime returns the total virtual CPU time the actor has consumed, for
+// utilization measurements (e.g. coordinator saturation, §5.1).
+func (s *Scheduler) BusyTime(id ActorID) Time {
+	return s.actors[id-1].busyTotal
+}
+
+// NumActors returns the number of registered actors.
+func (s *Scheduler) NumActors() int { return len(s.actors) }
+
+// Now returns the scheduler's current virtual time: the delivery time of the
+// most recently dequeued event.
+func (s *Scheduler) Now() Time { return s.now }
+
+// SendAt schedules msg for delivery to the given actor at the given time.
+// It is the external injection point (e.g. starting clients at t=0).
+func (s *Scheduler) SendAt(at Time, to ActorID, msg Message) {
+	if to <= 0 || int(to) > len(s.actors) {
+		panic(fmt.Sprintf("sim: send to unknown actor %d", to))
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.heap.push(event{at: at, seq: s.seq, to: to, msg: msg})
+}
+
+// Stop makes Run return after the current event completes.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run processes events in order until the queue is empty or the next event's
+// delivery time exceeds until. It returns the number of events processed.
+func (s *Scheduler) Run(until Time) int {
+	n := 0
+	for !s.stopped {
+		e, ok := s.heap.peek()
+		if !ok || e.at > until {
+			break
+		}
+		s.heap.pop()
+		s.now = e.at
+		a := &s.actors[e.to-1]
+		start := e.at
+		if a.busyUntil > start {
+			start = a.busyUntil
+		}
+		s.ctx.self = e.to
+		s.ctx.local = start
+		a.handler.Receive(&s.ctx, e.msg)
+		a.busyUntil = s.ctx.local
+		a.busyTotal += s.ctx.local - start
+		s.Delivered++
+		n++
+	}
+	return n
+}
+
+// Drain runs until no events remain (no time bound). Intended for tests.
+func (s *Scheduler) Drain() int {
+	return s.Run(Time(1<<62 - 1))
+}
+
+// Context is passed to Handler.Receive. It is owned by the scheduler and
+// reused between deliveries; handlers must not retain it.
+type Context struct {
+	s     *Scheduler
+	self  ActorID
+	local Time
+}
+
+// Self returns the ID of the actor handling the current message.
+func (c *Context) Self() ActorID { return c.self }
+
+// Now returns the actor's local virtual time: service start plus any time
+// already consumed with Spend during this delivery.
+func (c *Context) Now() Time { return c.local }
+
+// Spend charges d of CPU time to the current actor, advancing its local
+// clock. Subsequent sends depart after the charged time.
+func (c *Context) Spend(d Time) {
+	if d < 0 {
+		panic("sim: negative Spend")
+	}
+	c.local += d
+}
+
+// Send delivers msg to the destination actor after the given latency,
+// measured from the current local time.
+func (c *Context) Send(to ActorID, msg Message, latency Time) {
+	if latency < 0 {
+		panic("sim: negative latency")
+	}
+	c.s.SendAt(c.local+latency, to, msg)
+}
+
+// After schedules msg to be delivered back to the current actor after d.
+// It is the timer primitive (e.g. distributed deadlock timeouts).
+func (c *Context) After(d Time, msg Message) {
+	c.s.SendAt(c.local+d, c.self, msg)
+}
+
+// Scheduler exposes the underlying scheduler, for components that need to
+// register late or inspect global state (metrics).
+func (c *Context) Scheduler() *Scheduler { return c.s }

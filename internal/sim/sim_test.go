@@ -1,0 +1,318 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// recorder records every delivery it sees with the local service-start time.
+type recorder struct {
+	got []recorded
+}
+
+type recorded struct {
+	msg Message
+	at  Time
+}
+
+func (r *recorder) Receive(ctx *Context, m Message) {
+	r.got = append(r.got, recorded{m, ctx.Now()})
+}
+
+func TestDeliveryOrder(t *testing.T) {
+	s := New()
+	r := &recorder{}
+	a := s.Register("a", r)
+	s.SendAt(30*Microsecond, a, "third")
+	s.SendAt(10*Microsecond, a, "first")
+	s.SendAt(20*Microsecond, a, "second")
+	s.Drain()
+	want := []string{"first", "second", "third"}
+	if len(r.got) != len(want) {
+		t.Fatalf("delivered %d events, want %d", len(r.got), len(want))
+	}
+	for i, w := range want {
+		if r.got[i].msg != w {
+			t.Errorf("delivery %d = %v, want %v", i, r.got[i].msg, w)
+		}
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	s := New()
+	r := &recorder{}
+	a := s.Register("a", r)
+	for i := 0; i < 10; i++ {
+		s.SendAt(5*Microsecond, a, i)
+	}
+	s.Drain()
+	for i := 0; i < 10; i++ {
+		if r.got[i].msg != i {
+			t.Fatalf("same-time events reordered: slot %d = %v", i, r.got[i].msg)
+		}
+	}
+}
+
+// spender charges a fixed cost per message.
+type spender struct {
+	cost   Time
+	starts []Time
+}
+
+func (sp *spender) Receive(ctx *Context, m Message) {
+	sp.starts = append(sp.starts, ctx.Now())
+	ctx.Spend(sp.cost)
+}
+
+func TestBusyUntilQueueing(t *testing.T) {
+	s := New()
+	sp := &spender{cost: 10 * Microsecond}
+	a := s.Register("a", sp)
+	// Three messages arrive at t=0; service must start at 0, 10, 20.
+	for i := 0; i < 3; i++ {
+		s.SendAt(0, a, i)
+	}
+	s.Drain()
+	want := []Time{0, 10 * Microsecond, 20 * Microsecond}
+	for i, w := range want {
+		if sp.starts[i] != w {
+			t.Errorf("service %d started at %v, want %v", i, sp.starts[i], w)
+		}
+	}
+	if got := s.Now(); got != 0 {
+		// Scheduler time is delivery time of last event (0), even though
+		// the actor was busy until 30µs.
+		t.Errorf("scheduler now = %v, want 0", got)
+	}
+}
+
+func TestIdleGapResetsService(t *testing.T) {
+	s := New()
+	sp := &spender{cost: 10 * Microsecond}
+	a := s.Register("a", sp)
+	s.SendAt(0, a, "x")
+	s.SendAt(100*Microsecond, a, "y")
+	s.Drain()
+	if sp.starts[1] != 100*Microsecond {
+		t.Errorf("second service started at %v, want 100µs", sp.starts[1])
+	}
+}
+
+// echo sends a reply back to the source carried in the message.
+type echo struct{ latency Time }
+
+type ping struct {
+	from  ActorID
+	hops  int
+	trace []Time
+}
+
+func (e *echo) Receive(ctx *Context, m Message) {
+	p := m.(*ping)
+	p.trace = append(p.trace, ctx.Now())
+	if p.hops <= 0 {
+		return
+	}
+	p.hops--
+	from := p.from
+	p.from = ctx.Self()
+	ctx.Send(from, p, e.latency)
+}
+
+func TestSendLatency(t *testing.T) {
+	s := New()
+	ea := &echo{latency: 20 * Microsecond}
+	eb := &echo{latency: 20 * Microsecond}
+	a := s.Register("a", ea)
+	b := s.Register("b", eb)
+	p := &ping{from: b, hops: 3}
+	s.SendAt(0, a, p)
+	s.Drain()
+	want := []Time{0, 20 * Microsecond, 40 * Microsecond, 60 * Microsecond}
+	if len(p.trace) != len(want) {
+		t.Fatalf("trace has %d hops, want %d", len(p.trace), len(want))
+	}
+	for i, w := range want {
+		if p.trace[i] != w {
+			t.Errorf("hop %d at %v, want %v", i, p.trace[i], w)
+		}
+	}
+}
+
+type timerActor struct {
+	fired []Time
+}
+
+func (ta *timerActor) Receive(ctx *Context, m Message) {
+	switch m {
+	case "arm":
+		ctx.After(50*Microsecond, "fire")
+	case "fire":
+		ta.fired = append(ta.fired, ctx.Now())
+	}
+}
+
+func TestAfterTimer(t *testing.T) {
+	s := New()
+	ta := &timerActor{}
+	a := s.Register("a", ta)
+	s.SendAt(10*Microsecond, a, "arm")
+	s.Drain()
+	if len(ta.fired) != 1 || ta.fired[0] != 60*Microsecond {
+		t.Fatalf("timer fired at %v, want [60µs]", ta.fired)
+	}
+}
+
+func TestRunUntilBound(t *testing.T) {
+	s := New()
+	r := &recorder{}
+	a := s.Register("a", r)
+	s.SendAt(10*Microsecond, a, 1)
+	s.SendAt(20*Microsecond, a, 2)
+	s.SendAt(30*Microsecond, a, 3)
+	n := s.Run(20 * Microsecond)
+	if n != 2 {
+		t.Fatalf("Run processed %d events, want 2", n)
+	}
+	n = s.Drain()
+	if n != 1 {
+		t.Fatalf("Drain processed %d events, want 1", n)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	stopAfter := 5
+	var r *stopper
+	r = &stopper{n: &stopAfter, s: s}
+	a := s.Register("a", r)
+	for i := 0; i < 100; i++ {
+		s.SendAt(Time(i)*Microsecond, a, i)
+	}
+	n := s.Drain()
+	if n != 5 {
+		t.Fatalf("processed %d events after Stop, want 5", n)
+	}
+}
+
+type stopper struct {
+	n *int
+	s *Scheduler
+}
+
+func (st *stopper) Receive(ctx *Context, m Message) {
+	*st.n--
+	if *st.n == 0 {
+		st.s.Stop()
+	}
+}
+
+func TestSendToUnknownActorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown actor")
+		}
+	}()
+	New().SendAt(0, 7, "x")
+}
+
+func TestNegativeSpendPanics(t *testing.T) {
+	s := New()
+	a := s.Register("a", handlerFunc(func(ctx *Context, m Message) {
+		defer func() {
+			if recover() == nil {
+				panic("expected panic")
+			}
+		}()
+		ctx.Spend(-1)
+	}))
+	s.SendAt(0, a, "x")
+	s.Drain()
+}
+
+type handlerFunc func(*Context, Message)
+
+func (f handlerFunc) Receive(ctx *Context, m Message) { f(ctx, m) }
+
+// TestHeapProperty checks that an arbitrary batch of scheduled events is
+// always delivered in nondecreasing (time, seq) order.
+func TestHeapProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		s := New()
+		r := &recorder{}
+		a := s.Register("a", r)
+		for i, tt := range times {
+			s.SendAt(Time(tt)*Microsecond, a, i)
+		}
+		s.Drain()
+		if len(r.got) != len(times) {
+			return false
+		}
+		var prev Time = -1
+		seen := make(map[int]bool)
+		for _, g := range r.got {
+			if g.at < prev {
+				return false
+			}
+			prev = g.at
+			seen[g.msg.(int)] = true
+		}
+		return len(seen) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterminism runs a randomized actor network twice with the same seed
+// and requires identical traces.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []Time {
+		s := New()
+		rng := rand.New(rand.NewSource(seed))
+		var rec recorder
+		const n = 8
+		ids := make([]ActorID, n)
+		for i := 0; i < n; i++ {
+			i := i
+			ids[i] = s.Register("n", handlerFunc(func(ctx *Context, m Message) {
+				rec.got = append(rec.got, recorded{m, ctx.Now()})
+				ctx.Spend(Time(rng.Intn(20)) * Microsecond)
+				if rng.Intn(4) != 0 {
+					ctx.Send(ids[rng.Intn(n)], i, Time(rng.Intn(50))*Microsecond)
+				}
+			}))
+		}
+		for i := 0; i < 20; i++ {
+			s.SendAt(Time(rng.Intn(100))*Microsecond, ids[rng.Intn(n)], -i)
+		}
+		s.Run(5 * Millisecond)
+		out := make([]Time, len(rec.got))
+		for i, g := range rec.got {
+			out[i] = g.at
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("different trace lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Nanosecond).String(); got != "1.500µs" {
+		t.Errorf("String = %q", got)
+	}
+	if Microsecond.Micros() != 1 {
+		t.Errorf("Micros(1µs) = %v", Microsecond.Micros())
+	}
+}

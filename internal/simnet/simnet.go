@@ -1,0 +1,30 @@
+// Package simnet models the cluster interconnect: a single switch with a
+// constant one-way latency between any two processes (the paper's gigabit
+// Ethernet with a ~40 µs round trip, §3.3). Constant per-link latency plus
+// the simulator's deterministic tie-breaking makes every link FIFO, which the
+// central coordinator's global ordering relies on (§3.3).
+package simnet
+
+import "specdb/internal/sim"
+
+// Net sends messages with the configured latency.
+type Net struct {
+	oneWay sim.Time
+	// Sent counts messages, for diagnostics.
+	Sent uint64
+}
+
+// New returns a network with the given one-way latency.
+func New(oneWay sim.Time) *Net {
+	return &Net{oneWay: oneWay}
+}
+
+// OneWay returns the configured latency.
+func (n *Net) OneWay() sim.Time { return n.oneWay }
+
+// Send delivers m to the destination actor after the one-way latency,
+// measured from the sender's current local time.
+func (n *Net) Send(ctx *sim.Context, to sim.ActorID, m sim.Message) {
+	n.Sent++
+	ctx.Send(to, m, n.oneWay)
+}

@@ -1,0 +1,53 @@
+package storage
+
+import "encoding/binary"
+
+// Composite keys are encoded with fixed-width big-endian fields so that
+// bytewise string order equals logical order, which the B+tree range scans
+// rely on (e.g. all order lines of one order are a contiguous key range).
+
+// KeyUint32 encodes a uint32 field.
+func KeyUint32(v uint32) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	return string(b[:])
+}
+
+// KeyUint64 encodes a uint64 field.
+func KeyUint64(v uint64) string {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return string(b[:])
+}
+
+// KeyInt32 encodes an int32 field, order-preserving for negative values.
+func KeyInt32(v int32) string {
+	return KeyUint32(uint32(v) ^ 0x80000000)
+}
+
+// Key concatenates encoded fields into one composite key.
+func Key(fields ...string) string {
+	n := 0
+	for _, f := range fields {
+		n += len(f)
+	}
+	b := make([]byte, 0, n)
+	for _, f := range fields {
+		b = append(b, f...)
+	}
+	return string(b)
+}
+
+// PrefixEnd returns the smallest key greater than every key with the given
+// prefix, suitable as the hi bound of a scan over that prefix. It returns ""
+// (unbounded) if the prefix is all 0xff bytes.
+func PrefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] != 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}

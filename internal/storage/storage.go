@@ -1,0 +1,304 @@
+// Package storage implements a partition's in-memory store: a set of named
+// tables backed by either a B+tree (ordered, scannable) or a hash table.
+//
+// Rows follow a copy-on-write discipline: Get returns the stored value, and
+// updates must Put a fresh value rather than mutating the returned one. All
+// access from stored procedures flows through TxnView, the single choke point
+// where undo before-images are recorded and, under the locking scheme, row
+// locks are acquired. This mirrors the paper's engine, where concurrency
+// control can be switched on and off around an otherwise identical executor.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb/internal/btree"
+	"specdb/internal/undo"
+)
+
+// Table is a single-partition table. Implementations are not safe for
+// concurrent use; each partition is single-threaded by construction.
+type Table interface {
+	Name() string
+	Get(key string) (any, bool)
+	// Put stores v under key, returning the previous value if any.
+	Put(key string, v any) (prev any, existed bool)
+	// Delete removes key, returning the previous value if any.
+	Delete(key string) (prev any, existed bool)
+	// Ascend visits lo <= key < hi ascending; empty hi means unbounded.
+	Ascend(lo, hi string, fn func(k string, v any) bool)
+	// Descend visits lo <= key < hi descending; empty hi means unbounded.
+	Descend(lo, hi string, fn func(k string, v any) bool)
+	Len() int
+}
+
+// BTreeTable is an ordered table.
+type BTreeTable struct {
+	name string
+	t    *btree.Tree[any]
+}
+
+// NewBTreeTable returns an empty ordered table.
+func NewBTreeTable(name string) *BTreeTable {
+	return &BTreeTable{name: name, t: btree.New[any]()}
+}
+
+func (b *BTreeTable) Name() string { return b.name }
+
+func (b *BTreeTable) Get(key string) (any, bool) { return b.t.Get(key) }
+
+func (b *BTreeTable) Put(key string, v any) (any, bool) {
+	prev, existed := b.t.Get(key)
+	b.t.Put(key, v)
+	return prev, existed
+}
+
+func (b *BTreeTable) Delete(key string) (any, bool) { return b.t.Delete(key) }
+
+func (b *BTreeTable) Ascend(lo, hi string, fn func(k string, v any) bool) {
+	b.t.Ascend(lo, hi, fn)
+}
+
+func (b *BTreeTable) Descend(lo, hi string, fn func(k string, v any) bool) {
+	b.t.Descend(lo, hi, fn)
+}
+
+func (b *BTreeTable) Len() int { return b.t.Len() }
+
+// HashTable is an unordered table. Scans are supported for completeness but
+// cost a sort; schema authors should use BTreeTable where scans matter.
+type HashTable struct {
+	name string
+	m    map[string]any
+}
+
+// NewHashTable returns an empty hash table.
+func NewHashTable(name string) *HashTable {
+	return &HashTable{name: name, m: make(map[string]any)}
+}
+
+func (h *HashTable) Name() string { return h.name }
+
+func (h *HashTable) Get(key string) (any, bool) {
+	v, ok := h.m[key]
+	return v, ok
+}
+
+func (h *HashTable) Put(key string, v any) (any, bool) {
+	prev, existed := h.m[key]
+	h.m[key] = v
+	return prev, existed
+}
+
+func (h *HashTable) Delete(key string) (any, bool) {
+	prev, existed := h.m[key]
+	if existed {
+		delete(h.m, key)
+	}
+	return prev, existed
+}
+
+func (h *HashTable) sortedKeys(lo, hi string) []string {
+	keys := make([]string, 0, len(h.m))
+	for k := range h.m {
+		if k >= lo && (hi == "" || k < hi) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func (h *HashTable) Ascend(lo, hi string, fn func(k string, v any) bool) {
+	for _, k := range h.sortedKeys(lo, hi) {
+		if !fn(k, h.m[k]) {
+			return
+		}
+	}
+}
+
+func (h *HashTable) Descend(lo, hi string, fn func(k string, v any) bool) {
+	keys := h.sortedKeys(lo, hi)
+	for i := len(keys) - 1; i >= 0; i-- {
+		if !fn(keys[i], h.m[keys[i]]) {
+			return
+		}
+	}
+}
+
+func (h *HashTable) Len() int { return len(h.m) }
+
+// Store is the collection of tables owned by one partition.
+type Store struct {
+	tables map[string]Table
+	order  []string // registration order, for deterministic iteration
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]Table)}
+}
+
+// AddTable registers a table. It panics on duplicate names: schemas are
+// static configuration, so a duplicate is a programming error.
+func (s *Store) AddTable(t Table) {
+	if _, dup := s.tables[t.Name()]; dup {
+		panic(fmt.Sprintf("storage: duplicate table %q", t.Name()))
+	}
+	s.tables[t.Name()] = t
+	s.order = append(s.order, t.Name())
+}
+
+// Table returns the named table, panicking if absent (static schema).
+func (s *Store) Table(name string) Table {
+	t, ok := s.tables[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: unknown table %q", name))
+	}
+	return t
+}
+
+// TableNames returns table names in registration order.
+func (s *Store) TableNames() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Fingerprint folds every table's contents into a 64-bit hash (FNV-1a over
+// keys and formatted values). Tests use it to compare end states across
+// schemes and replicas.
+func (s *Store) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b string) {
+		for i := 0; i < len(b); i++ {
+			h ^= uint64(b[i])
+			h *= prime64
+		}
+	}
+	for _, name := range s.order {
+		mix(name)
+		s.tables[name].Ascend("", "", func(k string, v any) bool {
+			mix(k)
+			mix(fmt.Sprintf("%v", v))
+			return true
+		})
+	}
+	return h
+}
+
+// Locker acquires row locks on behalf of an executing transaction. It is
+// implemented by the locking scheme's per-partition engine; the other schemes
+// run with a nil Locker ("assume everything conflicts" — §4.2).
+type Locker interface {
+	// Lock acquires the row lock in shared or exclusive mode. It may
+	// suspend the calling fiber until granted; if the transaction is
+	// chosen as a deadlock victim while waiting, Lock panics with an
+	// abort sentinel that the fragment runner recovers.
+	Lock(table, key string, exclusive bool)
+}
+
+// TxnView is the data access handle given to stored procedure fragments.
+type TxnView struct {
+	store  *Store
+	undo   *undo.Buffer
+	locker Locker
+	// Counters for the cost model and Table 2 instrumentation.
+	Reads, Writes, LockAcquires int
+}
+
+// NewTxnView builds a view. undoBuf may be nil (no-abort fast path); locker
+// may be nil (blocking/speculation, or locking's lock-free fast path).
+func NewTxnView(store *Store, undoBuf *undo.Buffer, locker Locker) *TxnView {
+	return &TxnView{store: store, undo: undoBuf, locker: locker}
+}
+
+// Store returns the underlying store (for schema-aware helpers).
+func (v *TxnView) Store() *Store { return v.store }
+
+// Undoing reports whether the view records undo information.
+func (v *TxnView) Undoing() bool { return v.undo != nil }
+
+func (v *TxnView) lock(table, key string, exclusive bool) {
+	if v.locker != nil {
+		v.LockAcquires++
+		v.locker.Lock(table, key, exclusive)
+	}
+}
+
+// Get reads a row.
+func (v *TxnView) Get(table, key string) (any, bool) {
+	v.lock(table, key, false)
+	v.Reads++
+	return v.store.Table(table).Get(key)
+}
+
+// GetForUpdate reads a row taking an exclusive lock up front. Read-modify-
+// write accesses must use it: acquiring S and upgrading to X later deadlocks
+// as soon as two transactions race on the same row.
+func (v *TxnView) GetForUpdate(table, key string) (any, bool) {
+	v.lock(table, key, true)
+	v.Reads++
+	return v.store.Table(table).Get(key)
+}
+
+// Put writes a row (insert or update). The caller must not mutate a value
+// obtained from Get; it must Put a fresh copy.
+func (v *TxnView) Put(table, key string, val any) {
+	v.lock(table, key, true)
+	v.Writes++
+	prev, existed := v.store.Table(table).Put(key, val)
+	if v.undo != nil {
+		v.undo.Record(&rowImage{t: v.store.Table(table), key: key, prev: prev, existed: existed})
+	}
+}
+
+// Delete removes a row.
+func (v *TxnView) Delete(table, key string) bool {
+	v.lock(table, key, true)
+	v.Writes++
+	prev, existed := v.store.Table(table).Delete(key)
+	if v.undo != nil && existed {
+		v.undo.Record(&rowImage{t: v.store.Table(table), key: key, prev: prev, existed: true})
+	}
+	return existed
+}
+
+// Ascend scans lo <= key < hi ascending, acquiring shared locks on visited
+// rows. Phantom protection is not provided (row-level locking only), matching
+// the paper's prototype granularity.
+func (v *TxnView) Ascend(table, lo, hi string, fn func(k string, val any) bool) {
+	v.store.Table(table).Ascend(lo, hi, func(k string, val any) bool {
+		v.lock(table, k, false)
+		v.Reads++
+		return fn(k, val)
+	})
+}
+
+// Descend scans lo <= key < hi descending, acquiring shared locks.
+func (v *TxnView) Descend(table, lo, hi string, fn func(k string, val any) bool) {
+	v.store.Table(table).Descend(lo, hi, func(k string, val any) bool {
+		v.lock(table, k, false)
+		v.Reads++
+		return fn(k, val)
+	})
+}
+
+// rowImage restores a row to its pre-mutation state.
+type rowImage struct {
+	t       Table
+	key     string
+	prev    any
+	existed bool
+}
+
+func (r *rowImage) Undo() {
+	if r.existed {
+		r.t.Put(r.key, r.prev)
+	} else {
+		r.t.Delete(r.key)
+	}
+}

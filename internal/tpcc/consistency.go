@@ -1,0 +1,101 @@
+package tpcc
+
+import (
+	"fmt"
+	"math"
+
+	"specdb/internal/storage"
+)
+
+// CheckConsistency verifies the TPC-C consistency conditions (clause 3.3.2)
+// across the partition stores, returning the first violation found. It is
+// the end-to-end oracle for the concurrency control schemes: any lost
+// update, phantom commit or mis-ordered speculative re-execution breaks one
+// of these identities.
+//
+//	C1: W_YTD = Σ D_YTD for each warehouse.
+//	C2: D_NEXT_O_ID − 1 = max(O_ID) for each district.
+//	C3: the NEW-ORDER ids of a district are contiguous.
+//	C4: Σ O_OL_CNT = number of ORDER-LINE rows for each district.
+func CheckConsistency(layout Layout, stores []*storage.Store) error {
+	for w := 1; w <= layout.Warehouses; w++ {
+		s := stores[layout.PartitionOf(w)]
+		wr, ok := s.Table(TWarehouse).Get(WarehouseKey(w))
+		if !ok {
+			return fmt.Errorf("warehouse %d missing", w)
+		}
+		sumDYTD := 0.0
+		for d := 1; d <= DistrictsPerWarehouse; d++ {
+			dr, ok := s.Table(TDistrict).Get(DistrictKey(w, d))
+			if !ok {
+				return fmt.Errorf("district %d-%d missing", w, d)
+			}
+			district := dr.(*District)
+			sumDYTD += district.YTD
+			if err := checkDistrict(s, w, d, district); err != nil {
+				return err
+			}
+		}
+		if diff := math.Abs(wr.(*Warehouse).YTD - sumDYTD); diff > 0.01 {
+			return fmt.Errorf("C1: warehouse %d YTD %.2f != sum of district YTD %.2f",
+				w, wr.(*Warehouse).YTD, sumDYTD)
+		}
+	}
+	return nil
+}
+
+func checkDistrict(s *storage.Store, w, d int, district *District) error {
+	// C2: max order id.
+	maxOID, orders := 0, 0
+	sumOLCnt := 0
+	prefix := OrderKey(w, d, 0)[:8]
+	s.Table(TOrder).Ascend(prefix, storage.PrefixEnd(prefix), func(k string, v any) bool {
+		o := v.(*Order)
+		if o.ID > maxOID {
+			maxOID = o.ID
+		}
+		orders++
+		sumOLCnt += o.OLCnt
+		return true
+	})
+	if district.NextOID-1 != maxOID {
+		return fmt.Errorf("C2: district %d-%d NextOID-1=%d but max(O_ID)=%d",
+			w, d, district.NextOID-1, maxOID)
+	}
+	if orders != maxOID {
+		return fmt.Errorf("C2: district %d-%d has %d orders but max id %d (ids must be dense)",
+			w, d, orders, maxOID)
+	}
+	// C3: NEW-ORDER contiguity.
+	noMin, noMax, noCount := 0, 0, 0
+	nop := NewOrderPrefix(w, d)
+	s.Table(TNewOrder).Ascend(nop, storage.PrefixEnd(nop), func(k string, v any) bool {
+		oid := v.(*NewOrderRow).OID
+		if noCount == 0 {
+			noMin = oid
+		}
+		noMax = oid
+		noCount++
+		return true
+	})
+	if noCount > 0 && noMax-noMin+1 != noCount {
+		return fmt.Errorf("C3: district %d-%d NEW-ORDER ids not contiguous: [%d,%d] count %d",
+			w, d, noMin, noMax, noCount)
+	}
+	if noCount > 0 && noMax != district.NextOID-1 {
+		return fmt.Errorf("C3: district %d-%d newest NEW-ORDER %d != NextOID-1 %d",
+			w, d, noMax, district.NextOID-1)
+	}
+	// C4: order line count.
+	olCount := 0
+	olp := OrderKey(w, d, 0)[:8]
+	s.Table(TOrderLine).Ascend(olp, storage.PrefixEnd(olp), func(k string, v any) bool {
+		olCount++
+		return true
+	})
+	if olCount != sumOLCnt {
+		return fmt.Errorf("C4: district %d-%d has %d order lines but Σ O_OL_CNT = %d",
+			w, d, olCount, sumOLCnt)
+	}
+	return nil
+}

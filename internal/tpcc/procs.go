@@ -1,0 +1,549 @@
+package tpcc
+
+import (
+	"fmt"
+	"sort"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+)
+
+// Procedure names.
+const (
+	ProcNewOrder    = "tpcc.neworder"
+	ProcPayment     = "tpcc.payment"
+	ProcOrderStatus = "tpcc.orderstatus"
+	ProcDelivery    = "tpcc.delivery"
+	ProcStockLevel  = "tpcc.stocklevel"
+)
+
+// RegisterAll registers the five TPC-C procedures.
+func RegisterAll(reg *txn.Registry) {
+	reg.Register(NewOrderProc{})
+	reg.Register(PaymentProc{})
+	reg.Register(OrderStatusProc{})
+	reg.Register(DeliveryProc{})
+	reg.Register(StockLevelProc{})
+}
+
+func layoutOf(cat *txn.Catalog) Layout {
+	l, ok := cat.Meta.(Layout)
+	if !ok {
+		panic("tpcc: catalog Meta must be a tpcc.Layout")
+	}
+	return l
+}
+
+// --- NewOrder ---
+
+// NewOrderLine is one requested line.
+type NewOrderLine struct {
+	IID       int
+	SupplyWID int
+	Qty       int
+}
+
+// NewOrderArgs invokes NewOrder.
+type NewOrderArgs struct {
+	WID, DID, CID int
+	Lines         []NewOrderLine
+	EntryD        int64
+}
+
+// noHomeWork runs at the home warehouse's partition: item validation first
+// (the §5.5 reordering that removes the need for an undo buffer on the user
+// abort path), then the order insertion and the local stock updates.
+type noHomeWork struct {
+	A *NewOrderArgs
+	// LocalLines indexes A.Lines supplied by warehouses on this
+	// partition (including remote warehouses that happen to be
+	// co-resident).
+	LocalLines []int
+	AllLocal   bool
+}
+
+// noRemoteWork updates stock rows at a remote partition.
+type noRemoteWork struct {
+	A     *NewOrderArgs
+	Lines []int // indexes of A.Lines supplied from this partition
+}
+
+// NewOrderProc implements txn.Procedure.
+type NewOrderProc struct{}
+
+func (NewOrderProc) Name() string { return ProcNewOrder }
+
+// Plan splits stock updates by supplying partition. The transaction is a
+// simple multi-partition transaction: one fragment per partition, one round.
+func (NewOrderProc) Plan(args any, cat *txn.Catalog) txn.Plan {
+	a := args.(*NewOrderArgs)
+	l := layoutOf(cat)
+	home := l.PartitionOf(a.WID)
+	byPart := map[msg.PartitionID][]int{}
+	allLocal := true
+	for i, ln := range a.Lines {
+		p := l.PartitionOf(ln.SupplyWID)
+		byPart[p] = append(byPart[p], i)
+		if ln.SupplyWID != a.WID {
+			allLocal = false
+		}
+	}
+	parts := []msg.PartitionID{home}
+	work := map[msg.PartitionID]any{
+		home: &noHomeWork{A: a, LocalLines: byPart[home], AllLocal: allLocal},
+	}
+	for p, lines := range byPart {
+		if p == home {
+			continue
+		}
+		parts = append(parts, p)
+		work[p] = &noRemoteWork{A: a, Lines: lines}
+	}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	// CanAbort stays false: the 1% invalid-item abort happens before any
+	// write at the home partition, so the fast path needs no undo buffer
+	// (the paper's reordering, §5.5).
+	return txn.Plan{Parts: parts, Work: work, Rounds: 1}
+}
+
+func (NewOrderProc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	panic("tpcc: NewOrder is single-round")
+}
+
+func (NewOrderProc) Run(view *storage.TxnView, w any) (any, error) {
+	switch wk := w.(type) {
+	case *noHomeWork:
+		return runNewOrderHome(view, wk)
+	case *noRemoteWork:
+		return nil, runStockUpdates(view, wk.A, wk.Lines)
+	default:
+		panic(fmt.Sprintf("tpcc: bad NewOrder work %T", w))
+	}
+}
+
+func runNewOrderHome(view *storage.TxnView, wk *noHomeWork) (any, error) {
+	a := wk.A
+	// Validation before any write: every item must exist.
+	prices := make([]float64, len(a.Lines))
+	for i, ln := range a.Lines {
+		it, ok := view.Get(TItem, ItemKey(ln.IID))
+		if !ok {
+			return nil, txn.ErrUserAbort
+		}
+		prices[i] = it.(*Item).Price
+	}
+	wr, _ := view.Get(TWarehouse, WarehouseKey(a.WID))
+	warehouse := wr.(*Warehouse)
+	dr, ok := view.GetForUpdate(TDistrict, DistrictKey(a.WID, a.DID))
+	if !ok {
+		panic(fmt.Sprintf("tpcc: missing district %d-%d", a.WID, a.DID))
+	}
+	district := *dr.(*District)
+	oid := district.NextOID
+	district.NextOID++
+	view.Put(TDistrict, DistrictKey(a.WID, a.DID), &district)
+	cr, _ := view.Get(TCustomer, CustomerKey(a.WID, a.DID, a.CID))
+	customer := cr.(*Customer)
+
+	view.Put(TOrder, OrderKey(a.WID, a.DID, oid), &Order{
+		ID: oid, DID: a.DID, WID: a.WID, CID: a.CID,
+		EntryD: a.EntryD, OLCnt: len(a.Lines), AllLocal: wk.AllLocal,
+	})
+	view.Put(TOrderCust, OrderCustKey(a.WID, a.DID, a.CID, oid), oid)
+	view.Put(TNewOrder, NewOrderKey(a.WID, a.DID, oid), &NewOrderRow{OID: oid, DID: a.DID, WID: a.WID})
+
+	total := 0.0
+	for i, ln := range a.Lines {
+		sir, ok := view.Get(TStockInfo, StockKey(ln.SupplyWID, ln.IID))
+		if !ok {
+			return nil, txn.ErrUserAbort
+		}
+		info := sir.(*StockInfo)
+		amount := float64(ln.Qty) * prices[i]
+		total += amount
+		view.Put(TOrderLine, OrderLineKey(a.WID, a.DID, oid, i+1), &OrderLine{
+			OID: oid, DID: a.DID, WID: a.WID, Number: i + 1,
+			IID: ln.IID, SupplyWID: ln.SupplyWID, Qty: ln.Qty,
+			Amount: amount, DistInfo: info.Dists[a.DID-1],
+		})
+	}
+	if err := runStockUpdates(view, a, wk.LocalLines); err != nil {
+		return nil, err
+	}
+	total *= (1 - customer.Discount) * (1 + warehouse.Tax)
+	return &NewOrderResult{OID: oid, Total: total}, nil
+}
+
+// runStockUpdates applies the stock-decrement rule (clause 2.4.2.2) for the
+// given line indexes, whose supplying warehouses live on this partition.
+func runStockUpdates(view *storage.TxnView, a *NewOrderArgs, lines []int) error {
+	for _, i := range lines {
+		ln := a.Lines[i]
+		sr, ok := view.GetForUpdate(TStock, StockKey(ln.SupplyWID, ln.IID))
+		if !ok {
+			return txn.ErrUserAbort
+		}
+		stock := *sr.(*Stock)
+		if stock.Quantity-ln.Qty >= 10 {
+			stock.Quantity -= ln.Qty
+		} else {
+			stock.Quantity = stock.Quantity - ln.Qty + 91
+		}
+		stock.YTD += ln.Qty
+		stock.OrderCnt++
+		if ln.SupplyWID != a.WID {
+			stock.RemoteCnt++
+		}
+		view.Put(TStock, StockKey(ln.SupplyWID, ln.IID), &stock)
+	}
+	return nil
+}
+
+// NewOrderResult is the client-visible outcome.
+type NewOrderResult struct {
+	OID   int
+	Total float64
+}
+
+func (NewOrderProc) Output(args any, final []msg.FragmentResult) any {
+	for _, r := range final {
+		if res, ok := r.Output.(*NewOrderResult); ok {
+			return res
+		}
+	}
+	return nil
+}
+
+// --- Payment ---
+
+// PaymentArgs invokes Payment. Either CID or CLast selects the customer.
+type PaymentArgs struct {
+	WID, DID   int
+	CWID, CDID int
+	CID        int
+	CLast      string
+	Amount     float64
+	When       int64
+}
+
+type payWork struct {
+	A *PaymentArgs
+	// Home updates the warehouse/district YTD and writes history;
+	// Customer updates the customer row. Both may be set when the
+	// customer is co-resident.
+	Home     bool
+	Customer bool
+}
+
+// PaymentProc implements txn.Procedure.
+type PaymentProc struct{}
+
+func (PaymentProc) Name() string { return ProcPayment }
+
+func (PaymentProc) Plan(args any, cat *txn.Catalog) txn.Plan {
+	a := args.(*PaymentArgs)
+	l := layoutOf(cat)
+	home := l.PartitionOf(a.WID)
+	cust := l.PartitionOf(a.CWID)
+	if home == cust {
+		return txn.Plan{
+			Parts:  []msg.PartitionID{home},
+			Work:   map[msg.PartitionID]any{home: &payWork{A: a, Home: true, Customer: true}},
+			Rounds: 1,
+		}
+	}
+	parts := []msg.PartitionID{home, cust}
+	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	return txn.Plan{
+		Parts: parts,
+		Work: map[msg.PartitionID]any{
+			home: &payWork{A: a, Home: true},
+			cust: &payWork{A: a, Customer: true},
+		},
+		Rounds: 1,
+	}
+}
+
+func (PaymentProc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	panic("tpcc: Payment is single-round")
+}
+
+func (PaymentProc) Run(view *storage.TxnView, w any) (any, error) {
+	wk := w.(*payWork)
+	a := wk.A
+	var out *PaymentResult
+	if wk.Home {
+		wr, _ := view.GetForUpdate(TWarehouse, WarehouseKey(a.WID))
+		warehouse := *wr.(*Warehouse)
+		warehouse.YTD += a.Amount
+		view.Put(TWarehouse, WarehouseKey(a.WID), &warehouse)
+		dr, _ := view.GetForUpdate(TDistrict, DistrictKey(a.WID, a.DID))
+		district := *dr.(*District)
+		district.YTD += a.Amount
+		view.Put(TDistrict, DistrictKey(a.WID, a.DID), &district)
+		view.Put(THistory, HistoryKey(a.WID, a.DID, uint64(a.When)), &History{
+			CID: a.CID, CDID: a.CDID, CWID: a.CWID,
+			DID: a.DID, WID: a.WID, Amount: a.Amount, When: a.When,
+		})
+	}
+	if wk.Customer {
+		cid := a.CID
+		if cid == 0 {
+			cid = findCustomerByName(view, a.CWID, a.CDID, a.CLast)
+		}
+		cr, ok := view.GetForUpdate(TCustomer, CustomerKey(a.CWID, a.CDID, cid))
+		if !ok {
+			panic(fmt.Sprintf("tpcc: missing customer %d-%d-%d", a.CWID, a.CDID, cid))
+		}
+		customer := *cr.(*Customer)
+		customer.Balance -= a.Amount
+		customer.YTDPayment += a.Amount
+		customer.PaymentCnt++
+		view.Put(TCustomer, CustomerKey(a.CWID, a.CDID, cid), &customer)
+		out = &PaymentResult{CID: cid, Balance: customer.Balance}
+	}
+	return out, nil
+}
+
+// findCustomerByName implements clause 2.5.2.2: all customers with the last
+// name, sorted by first name, pick the one at position ceil(n/2). Our
+// generator gives customers distinct first names ordered by id, and the
+// index is ordered by id, so position in the index scan is equivalent.
+func findCustomerByName(view *storage.TxnView, w, d int, last string) int {
+	prefix := CustNamePrefix(w, d, last)
+	var ids []int
+	view.Ascend(TCustName, prefix, storage.PrefixEnd(prefix), func(k string, v any) bool {
+		ids = append(ids, v.(int))
+		return true
+	})
+	if len(ids) == 0 {
+		panic(fmt.Sprintf("tpcc: no customer named %q in %d-%d", last, w, d))
+	}
+	return ids[(len(ids)+1)/2-1]
+}
+
+// PaymentResult is the client-visible outcome.
+type PaymentResult struct {
+	CID     int
+	Balance float64
+}
+
+func (PaymentProc) Output(args any, final []msg.FragmentResult) any {
+	for _, r := range final {
+		if res, ok := r.Output.(*PaymentResult); ok {
+			return res
+		}
+	}
+	return nil
+}
+
+// --- OrderStatus ---
+
+// OrderStatusArgs invokes OrderStatus (read-only, single partition).
+type OrderStatusArgs struct {
+	WID, DID int
+	CID      int
+	CLast    string
+}
+
+// OrderStatusProc implements txn.Procedure.
+type OrderStatusProc struct{}
+
+func (OrderStatusProc) Name() string { return ProcOrderStatus }
+
+func (OrderStatusProc) Plan(args any, cat *txn.Catalog) txn.Plan {
+	a := args.(*OrderStatusArgs)
+	p := layoutOf(cat).PartitionOf(a.WID)
+	return txn.Plan{Parts: []msg.PartitionID{p}, Work: map[msg.PartitionID]any{p: a}, Rounds: 1}
+}
+
+func (OrderStatusProc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	panic("tpcc: OrderStatus is single-round")
+}
+
+func (OrderStatusProc) Run(view *storage.TxnView, w any) (any, error) {
+	a := w.(*OrderStatusArgs)
+	cid := a.CID
+	if cid == 0 {
+		cid = findCustomerByName(view, a.WID, a.DID, a.CLast)
+	}
+	cr, _ := view.Get(TCustomer, CustomerKey(a.WID, a.DID, cid))
+	customer := cr.(*Customer)
+	// Most recent order: highest order id in the customer index.
+	prefix := OrderCustPrefix(a.WID, a.DID, cid)
+	lastOID := 0
+	view.Descend(TOrderCust, prefix, storage.PrefixEnd(prefix), func(k string, v any) bool {
+		lastOID = v.(int)
+		return false
+	})
+	res := &OrderStatusResult{CID: cid, Balance: customer.Balance}
+	if lastOID == 0 {
+		return res, nil
+	}
+	or, _ := view.Get(TOrder, OrderKey(a.WID, a.DID, lastOID))
+	order := or.(*Order)
+	res.OID = order.ID
+	res.CarrierID = order.CarrierID
+	olp := OrderLinePrefix(a.WID, a.DID, lastOID)
+	view.Ascend(TOrderLine, olp, storage.PrefixEnd(olp), func(k string, v any) bool {
+		ol := v.(*OrderLine)
+		res.Lines = append(res.Lines, *ol)
+		return true
+	})
+	return res, nil
+}
+
+// OrderStatusResult is the client-visible outcome.
+type OrderStatusResult struct {
+	CID       int
+	Balance   float64
+	OID       int
+	CarrierID int
+	Lines     []OrderLine
+}
+
+func (OrderStatusProc) Output(args any, final []msg.FragmentResult) any {
+	return final[0].Output
+}
+
+// --- Delivery ---
+
+// DeliveryArgs invokes Delivery (single partition, batch over 10 districts).
+type DeliveryArgs struct {
+	WID       int
+	CarrierID int
+	When      int64
+}
+
+// DeliveryProc implements txn.Procedure.
+type DeliveryProc struct{}
+
+func (DeliveryProc) Name() string { return ProcDelivery }
+
+func (DeliveryProc) Plan(args any, cat *txn.Catalog) txn.Plan {
+	a := args.(*DeliveryArgs)
+	p := layoutOf(cat).PartitionOf(a.WID)
+	return txn.Plan{Parts: []msg.PartitionID{p}, Work: map[msg.PartitionID]any{p: a}, Rounds: 1}
+}
+
+func (DeliveryProc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	panic("tpcc: Delivery is single-round")
+}
+
+func (DeliveryProc) Run(view *storage.TxnView, w any) (any, error) {
+	a := w.(*DeliveryArgs)
+	delivered := make([]int, 0, DistrictsPerWarehouse)
+	for d := 1; d <= DistrictsPerWarehouse; d++ {
+		// Oldest undelivered order for the district.
+		prefix := NewOrderPrefix(a.WID, d)
+		oid := 0
+		view.Ascend(TNewOrder, prefix, storage.PrefixEnd(prefix), func(k string, v any) bool {
+			oid = v.(*NewOrderRow).OID
+			return false
+		})
+		if oid == 0 {
+			delivered = append(delivered, 0)
+			continue
+		}
+		view.Delete(TNewOrder, NewOrderKey(a.WID, d, oid))
+		or, _ := view.GetForUpdate(TOrder, OrderKey(a.WID, d, oid))
+		order := *or.(*Order)
+		order.CarrierID = a.CarrierID
+		view.Put(TOrder, OrderKey(a.WID, d, oid), &order)
+		total := 0.0
+		olp := OrderLinePrefix(a.WID, d, oid)
+		type olUpdate struct {
+			key string
+			ol  OrderLine
+		}
+		var updates []olUpdate
+		view.Ascend(TOrderLine, olp, storage.PrefixEnd(olp), func(k string, v any) bool {
+			ol := *v.(*OrderLine)
+			total += ol.Amount
+			ol.DeliveryD = a.When
+			updates = append(updates, olUpdate{k, ol})
+			return true
+		})
+		for _, u := range updates {
+			ol := u.ol
+			view.Put(TOrderLine, u.key, &ol)
+		}
+		cr, _ := view.GetForUpdate(TCustomer, CustomerKey(a.WID, d, order.CID))
+		customer := *cr.(*Customer)
+		customer.Balance += total
+		customer.DeliveryCnt++
+		view.Put(TCustomer, CustomerKey(a.WID, d, order.CID), &customer)
+		delivered = append(delivered, oid)
+	}
+	return delivered, nil
+}
+
+func (DeliveryProc) Output(args any, final []msg.FragmentResult) any {
+	return final[0].Output
+}
+
+// --- StockLevel ---
+
+// StockLevelArgs invokes StockLevel (read-only, single partition).
+type StockLevelArgs struct {
+	WID, DID  int
+	Threshold int
+}
+
+// StockLevelProc implements txn.Procedure.
+type StockLevelProc struct{}
+
+func (StockLevelProc) Name() string { return ProcStockLevel }
+
+func (StockLevelProc) Plan(args any, cat *txn.Catalog) txn.Plan {
+	a := args.(*StockLevelArgs)
+	p := layoutOf(cat).PartitionOf(a.WID)
+	return txn.Plan{Parts: []msg.PartitionID{p}, Work: map[msg.PartitionID]any{p: a}, Rounds: 1}
+}
+
+func (StockLevelProc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	panic("tpcc: StockLevel is single-round")
+}
+
+func (StockLevelProc) Run(view *storage.TxnView, w any) (any, error) {
+	a := w.(*StockLevelArgs)
+	dr, _ := view.Get(TDistrict, DistrictKey(a.WID, a.DID))
+	district := dr.(*District)
+	lo := district.NextOID - 20
+	if lo < 1 {
+		lo = 1
+	}
+	// Distinct items in the district's last 20 orders.
+	items := map[int]bool{}
+	from := OrderLineKey(a.WID, a.DID, lo, 0)
+	to := OrderLineKey(a.WID, a.DID, district.NextOID, 0)
+	view.Ascend(TOrderLine, from, to, func(k string, v any) bool {
+		ol := v.(*OrderLine)
+		// Stock rows live at the supplying warehouse; only local ones
+		// are visible here, which matches counting the home
+		// warehouse's stock (clause 2.8: the district's own stock).
+		if ol.SupplyWID == a.WID {
+			items[ol.IID] = true
+		}
+		return true
+	})
+	// Deterministic iteration for replica re-execution.
+	ids := make([]int, 0, len(items))
+	for i := range items {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	low := 0
+	for _, i := range ids {
+		sr, ok := view.Get(TStock, StockKey(a.WID, i))
+		if ok && sr.(*Stock).Quantity < a.Threshold {
+			low++
+		}
+	}
+	return low, nil
+}
+
+func (StockLevelProc) Output(args any, final []msg.FragmentResult) any {
+	return final[0].Output
+}

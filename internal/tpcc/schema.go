@@ -1,0 +1,243 @@
+// Package tpcc is the TPC-C execution engine of §5.5: a custom in-memory
+// engine executing the five-transaction order processing mix directly on
+// typed rows, partitioned by warehouse as described by Stonebraker et al.
+//
+// Layout follows the paper exactly:
+//   - Warehouses are distributed round-robin over partitions.
+//   - The read-only ITEM table is replicated to every partition.
+//   - STOCK is vertically partitioned: the read-only columns (S_DATA and the
+//     ten S_DIST_xx strings) are replicated everywhere as STOCK_INFO, while
+//     the updated columns (quantity, YTD, counts) stay at the supplying
+//     warehouse's partition.
+//
+// With this layout every distributed transaction is a "simple
+// multi-partition transaction" — one fragment per partition, one round of
+// communication — which is what makes TPC-C such a good fit for speculation.
+package tpcc
+
+import (
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+)
+
+// Table names.
+const (
+	TWarehouse = "warehouse"
+	TDistrict  = "district"
+	TCustomer  = "customer"
+	TCustName  = "customer_name" // secondary index: last name → customer id
+	THistory   = "history"
+	TNewOrder  = "new_order"
+	TOrder     = "order"
+	TOrderCust = "order_customer" // secondary index: customer → order ids
+	TOrderLine = "order_line"
+	TItem      = "item"      // replicated, read-only
+	TStock     = "stock"     // updated columns, home partition only
+	TStockInfo = "stockinfo" // replicated, read-only columns
+)
+
+// DistrictsPerWarehouse is fixed by the TPC-C specification.
+const DistrictsPerWarehouse = 10
+
+// Row types. Rows are stored by value-copy discipline: readers must not
+// mutate a fetched row; updates Put a modified copy.
+
+// Warehouse is the home row of one warehouse.
+type Warehouse struct {
+	ID   int
+	Name string
+	Tax  float64
+	YTD  float64
+}
+
+// District is one of ten districts per warehouse.
+type District struct {
+	ID       int
+	WID      int
+	Name     string
+	Tax      float64
+	YTD      float64
+	NextOID  int
+	Delivers int // oldest undelivered order id cursor (engine-internal)
+}
+
+// Customer is a TPC-C customer.
+type Customer struct {
+	ID          int
+	DID         int
+	WID         int
+	First       string
+	Last        string
+	Credit      string // "GC" or "BC"
+	Discount    float64
+	Balance     float64
+	YTDPayment  float64
+	PaymentCnt  int
+	DeliveryCnt int
+}
+
+// History records a payment.
+type History struct {
+	CID, CDID, CWID int
+	DID, WID        int
+	Amount          float64
+	When            int64
+}
+
+// Order is a placed order.
+type Order struct {
+	ID        int
+	DID, WID  int
+	CID       int
+	EntryD    int64
+	CarrierID int // 0 = undelivered
+	OLCnt     int
+	AllLocal  bool
+}
+
+// NewOrderRow marks an undelivered order.
+type NewOrderRow struct {
+	OID, DID, WID int
+}
+
+// OrderLine is one line of an order.
+type OrderLine struct {
+	OID, DID, WID int
+	Number        int
+	IID           int
+	SupplyWID     int
+	Qty           int
+	Amount        float64
+	DistInfo      string
+	DeliveryD     int64
+}
+
+// Item is a catalog item (replicated, read-only).
+type Item struct {
+	ID    int
+	Name  string
+	Price float64
+	Data  string
+}
+
+// Stock holds the updated stock columns (home partition only).
+type Stock struct {
+	IID, WID  int
+	Quantity  int
+	YTD       int
+	OrderCnt  int
+	RemoteCnt int
+}
+
+// StockInfo holds the replicated read-only stock columns.
+type StockInfo struct {
+	IID, WID int
+	Dists    [DistrictsPerWarehouse]string
+	Data     string
+}
+
+// Key builders. Warehouse/district/customer ids are small ints; fixed-width
+// big-endian encoding keeps byte order equal to logical order for scans.
+
+func ku(v int) string { return storage.KeyUint32(uint32(v)) }
+
+// WarehouseKey returns the warehouse row key.
+func WarehouseKey(w int) string { return ku(w) }
+
+// DistrictKey returns the district row key.
+func DistrictKey(w, d int) string { return storage.Key(ku(w), ku(d)) }
+
+// CustomerKey returns the customer row key.
+func CustomerKey(w, d, c int) string { return storage.Key(ku(w), ku(d), ku(c)) }
+
+// CustNameKey indexes customers by last name.
+func CustNameKey(w, d int, last string, c int) string {
+	return storage.Key(ku(w), ku(d), last+"\x00", ku(c))
+}
+
+// CustNamePrefix is the scan prefix for all customers with a last name.
+func CustNamePrefix(w, d int, last string) string {
+	return storage.Key(ku(w), ku(d), last+"\x00")
+}
+
+// OrderKey returns the order row key.
+func OrderKey(w, d, o int) string { return storage.Key(ku(w), ku(d), ku(o)) }
+
+// OrderCustKey indexes orders by customer.
+func OrderCustKey(w, d, c, o int) string {
+	return storage.Key(ku(w), ku(d), ku(c), ku(o))
+}
+
+// OrderCustPrefix is the scan prefix for one customer's orders.
+func OrderCustPrefix(w, d, c int) string {
+	return storage.Key(ku(w), ku(d), ku(c))
+}
+
+// NewOrderKey returns the new-order row key.
+func NewOrderKey(w, d, o int) string { return storage.Key(ku(w), ku(d), ku(o)) }
+
+// NewOrderPrefix is the scan prefix for a district's undelivered orders.
+func NewOrderPrefix(w, d int) string { return storage.Key(ku(w), ku(d)) }
+
+// OrderLineKey returns the order line row key.
+func OrderLineKey(w, d, o, n int) string {
+	return storage.Key(ku(w), ku(d), ku(o), ku(n))
+}
+
+// OrderLinePrefix is the scan prefix for one order's lines.
+func OrderLinePrefix(w, d, o int) string {
+	return storage.Key(ku(w), ku(d), ku(o))
+}
+
+// ItemKey returns the item row key.
+func ItemKey(i int) string { return ku(i) }
+
+// StockKey returns the stock row key.
+func StockKey(w, i int) string { return storage.Key(ku(w), ku(i)) }
+
+// HistoryKey returns a unique history row key.
+func HistoryKey(w, d int, seq uint64) string {
+	return storage.Key(ku(w), ku(d), storage.KeyUint64(seq))
+}
+
+// AddSchema installs the TPC-C tables on a partition store. Ordered tables
+// use B+trees; point-access tables use hash tables ("each table is
+// represented as either a B-Tree, a binary tree, or hash table, as
+// appropriate", §5).
+func AddSchema(s *storage.Store) {
+	s.AddTable(storage.NewHashTable(TWarehouse))
+	s.AddTable(storage.NewHashTable(TDistrict))
+	s.AddTable(storage.NewHashTable(TCustomer))
+	s.AddTable(storage.NewBTreeTable(TCustName))
+	s.AddTable(storage.NewBTreeTable(THistory))
+	s.AddTable(storage.NewBTreeTable(TNewOrder))
+	s.AddTable(storage.NewBTreeTable(TOrder))
+	s.AddTable(storage.NewBTreeTable(TOrderCust))
+	s.AddTable(storage.NewBTreeTable(TOrderLine))
+	s.AddTable(storage.NewHashTable(TItem))
+	s.AddTable(storage.NewHashTable(TStock))
+	s.AddTable(storage.NewHashTable(TStockInfo))
+}
+
+// Layout maps warehouses to partitions (round-robin, matching "warehouses
+// divided evenly across two partitions", §5.5).
+type Layout struct {
+	Warehouses int
+	Partitions int
+}
+
+// PartitionOf returns the home partition of warehouse w (1-based ids).
+func (l Layout) PartitionOf(w int) msg.PartitionID {
+	return msg.PartitionID((w - 1) % l.Partitions)
+}
+
+// WarehousesOn lists the warehouses homed on partition p.
+func (l Layout) WarehousesOn(p msg.PartitionID) []int {
+	var out []int
+	for w := 1; w <= l.Warehouses; w++ {
+		if l.PartitionOf(w) == p {
+			out = append(out, w)
+		}
+	}
+	return out
+}

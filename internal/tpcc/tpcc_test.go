@@ -1,0 +1,496 @@
+package tpcc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+)
+
+func testLayout() Layout { return Layout{Warehouses: 2, Partitions: 1} }
+
+func testCatalog() *txn.Catalog {
+	return &txn.Catalog{NumPartitions: 1, Meta: testLayout()}
+}
+
+func loadedStore(t *testing.T) *storage.Store {
+	t.Helper()
+	s := storage.NewStore()
+	ld := Loader{Layout: testLayout(), Scale: Scale{
+		Items: 50, StockPerWarehouse: 50, CustomersPerDist: 30, InitialOrders: 10,
+	}, Seed: 42}
+	ld.Load(0, s)
+	return s
+}
+
+func view(s *storage.Store) *storage.TxnView {
+	return storage.NewTxnView(s, nil, nil)
+}
+
+func TestLastNameGenerator(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", LastName(371))
+	}
+	if LastName(999) != "EINGEINGEING" {
+		t.Fatalf("LastName(999) = %q", LastName(999))
+	}
+}
+
+func TestNURandRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := nuRand(rng, 255, cLast, 0, 999)
+		if v < 0 || v > 999 {
+			t.Fatalf("nuRand out of range: %d", v)
+		}
+	}
+}
+
+func TestLayoutRoundRobin(t *testing.T) {
+	l := Layout{Warehouses: 6, Partitions: 2}
+	if l.PartitionOf(1) != 0 || l.PartitionOf(2) != 1 || l.PartitionOf(3) != 0 {
+		t.Fatal("round robin broken")
+	}
+	on0 := l.WarehousesOn(0)
+	if len(on0) != 3 || on0[0] != 1 || on0[2] != 5 {
+		t.Fatalf("WarehousesOn(0) = %v", on0)
+	}
+}
+
+func TestLoaderConsistentAtStart(t *testing.T) {
+	s := loadedStore(t)
+	if err := CheckConsistency(testLayout(), []*storage.Store{s}); err != nil {
+		t.Fatalf("fresh database inconsistent: %v", err)
+	}
+	// Loading must be deterministic.
+	s2 := loadedStore(t)
+	if s.Fingerprint() != s2.Fingerprint() {
+		t.Fatal("loader is not deterministic")
+	}
+}
+
+func TestLoaderNameIndexMatchesCustomers(t *testing.T) {
+	s := loadedStore(t)
+	count := 0
+	s.Table(TCustName).Ascend("", "", func(k string, v any) bool {
+		count++
+		return true
+	})
+	if count != s.Table(TCustomer).Len() {
+		t.Fatalf("name index has %d entries, customers %d", count, s.Table(TCustomer).Len())
+	}
+}
+
+func runNewOrder(t *testing.T, s *storage.Store, a *NewOrderArgs) (*NewOrderResult, error) {
+	t.Helper()
+	plan := NewOrderProc{}.Plan(a, testCatalog())
+	if len(plan.Parts) != 1 {
+		t.Fatalf("single-partition layout produced %d parts", len(plan.Parts))
+	}
+	out, err := NewOrderProc{}.Run(view(s), plan.Work[plan.Parts[0]])
+	if err != nil {
+		return nil, err
+	}
+	return out.(*NewOrderResult), nil
+}
+
+func TestNewOrderHappyPath(t *testing.T) {
+	s := loadedStore(t)
+	dr, _ := s.Table(TDistrict).Get(DistrictKey(1, 1))
+	nextBefore := dr.(*District).NextOID
+	stockBefore := *mustStock(t, s, 1, 7)
+
+	res, err := runNewOrder(t, s, &NewOrderArgs{
+		WID: 1, DID: 1, CID: 3,
+		Lines:  []NewOrderLine{{IID: 7, SupplyWID: 1, Qty: 4}},
+		EntryD: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OID != nextBefore {
+		t.Fatalf("order id %d, want %d", res.OID, nextBefore)
+	}
+	dr, _ = s.Table(TDistrict).Get(DistrictKey(1, 1))
+	if dr.(*District).NextOID != nextBefore+1 {
+		t.Fatal("NextOID not advanced")
+	}
+	or, ok := s.Table(TOrder).Get(OrderKey(1, 1, res.OID))
+	if !ok || or.(*Order).CID != 3 || or.(*Order).OLCnt != 1 {
+		t.Fatalf("order row = %+v", or)
+	}
+	if _, ok := s.Table(TNewOrder).Get(NewOrderKey(1, 1, res.OID)); !ok {
+		t.Fatal("NEW-ORDER row missing")
+	}
+	ol, ok := s.Table(TOrderLine).Get(OrderLineKey(1, 1, res.OID, 1))
+	if !ok || ol.(*OrderLine).IID != 7 || ol.(*OrderLine).Qty != 4 {
+		t.Fatalf("order line = %+v", ol)
+	}
+	stockAfter := mustStock(t, s, 1, 7)
+	wantQty := stockBefore.Quantity - 4
+	if stockBefore.Quantity-4 < 10 {
+		wantQty = stockBefore.Quantity - 4 + 91
+	}
+	if stockAfter.Quantity != wantQty || stockAfter.YTD != stockBefore.YTD+4 || stockAfter.OrderCnt != stockBefore.OrderCnt+1 {
+		t.Fatalf("stock = %+v, want qty %d", stockAfter, wantQty)
+	}
+	if stockAfter.RemoteCnt != stockBefore.RemoteCnt {
+		t.Fatal("local supply counted as remote")
+	}
+	if err := CheckConsistency(testLayout(), []*storage.Store{s}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustStock(t *testing.T, s *storage.Store, w, i int) *Stock {
+	t.Helper()
+	sr, ok := s.Table(TStock).Get(StockKey(w, i))
+	if !ok {
+		t.Fatalf("stock %d-%d missing", w, i)
+	}
+	return sr.(*Stock)
+}
+
+func TestNewOrderStockWraparound(t *testing.T) {
+	s := loadedStore(t)
+	st := *mustStock(t, s, 1, 9)
+	st.Quantity = 12
+	s.Table(TStock).Put(StockKey(1, 9), &st)
+	if _, err := runNewOrder(t, s, &NewOrderArgs{
+		WID: 1, DID: 2, CID: 1,
+		Lines: []NewOrderLine{{IID: 9, SupplyWID: 1, Qty: 5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 12-5=7 < 10 → wrap to 7+91=98.
+	if got := mustStock(t, s, 1, 9).Quantity; got != 98 {
+		t.Fatalf("quantity = %d, want 98", got)
+	}
+}
+
+func TestNewOrderInvalidItemAbortsBeforeWrites(t *testing.T) {
+	s := loadedStore(t)
+	before := s.Fingerprint()
+	_, err := runNewOrder(t, s, &NewOrderArgs{
+		WID: 1, DID: 1, CID: 1,
+		Lines: []NewOrderLine{{IID: 7, SupplyWID: 1, Qty: 1}, {IID: 9999, SupplyWID: 1, Qty: 1}},
+	})
+	if err != txn.ErrUserAbort {
+		t.Fatalf("err = %v, want user abort", err)
+	}
+	// The §5.5 reordering: validation precedes every write, so the abort
+	// leaves the store untouched even with no undo buffer.
+	if s.Fingerprint() != before {
+		t.Fatal("aborted NewOrder modified the store")
+	}
+}
+
+func TestNewOrderRemoteSupplyCounts(t *testing.T) {
+	s := loadedStore(t)
+	// Warehouse 2 is on the same (only) partition; supply from it is
+	// still "remote" in TPC-C terms.
+	before := *mustStock(t, s, 2, 5)
+	if _, err := runNewOrder(t, s, &NewOrderArgs{
+		WID: 1, DID: 3, CID: 2,
+		Lines: []NewOrderLine{{IID: 5, SupplyWID: 2, Qty: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := mustStock(t, s, 2, 5)
+	if after.RemoteCnt != before.RemoteCnt+1 {
+		t.Fatal("remote supply not counted")
+	}
+}
+
+func TestNewOrderPlanSplitsByPartition(t *testing.T) {
+	cat := &txn.Catalog{NumPartitions: 2, Meta: Layout{Warehouses: 2, Partitions: 2}}
+	a := &NewOrderArgs{
+		WID: 1, DID: 1, CID: 1,
+		Lines: []NewOrderLine{
+			{IID: 1, SupplyWID: 1, Qty: 1},
+			{IID: 2, SupplyWID: 2, Qty: 1},
+			{IID: 3, SupplyWID: 1, Qty: 1},
+		},
+	}
+	plan := NewOrderProc{}.Plan(a, cat)
+	if len(plan.Parts) != 2 || plan.Rounds != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	home := plan.Work[0].(*noHomeWork)
+	if len(home.LocalLines) != 2 || home.AllLocal {
+		t.Fatalf("home work = %+v", home)
+	}
+	remote := plan.Work[1].(*noRemoteWork)
+	if len(remote.Lines) != 1 || remote.Lines[0] != 1 {
+		t.Fatalf("remote work = %+v", remote)
+	}
+}
+
+func TestPaymentById(t *testing.T) {
+	s := loadedStore(t)
+	wr, _ := s.Table(TWarehouse).Get(WarehouseKey(1))
+	wYTD := wr.(*Warehouse).YTD
+	cr, _ := s.Table(TCustomer).Get(CustomerKey(1, 2, 5))
+	balBefore := cr.(*Customer).Balance
+
+	a := &PaymentArgs{WID: 1, DID: 4, CWID: 1, CDID: 2, CID: 5, Amount: 123.45, When: 77}
+	plan := PaymentProc{}.Plan(a, testCatalog())
+	out, err := PaymentProc{}.Run(view(s), plan.Work[plan.Parts[0]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(*PaymentResult)
+	if res.CID != 5 || math.Abs(res.Balance-(balBefore-123.45)) > 1e-9 {
+		t.Fatalf("result = %+v", res)
+	}
+	wr, _ = s.Table(TWarehouse).Get(WarehouseKey(1))
+	if math.Abs(wr.(*Warehouse).YTD-(wYTD+123.45)) > 1e-9 {
+		t.Fatal("warehouse YTD not updated")
+	}
+	if _, ok := s.Table(THistory).Get(HistoryKey(1, 4, 77)); !ok {
+		t.Fatal("history row missing")
+	}
+	cr, _ = s.Table(TCustomer).Get(CustomerKey(1, 2, 5))
+	c := cr.(*Customer)
+	if c.PaymentCnt != 1 || math.Abs(c.YTDPayment-123.45) > 1e-9 {
+		t.Fatalf("customer = %+v", c)
+	}
+	// W_YTD now exceeds ΣD_YTD only if the district was missed.
+	if err := CheckConsistency(testLayout(), []*storage.Store{s}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaymentByLastNamePicksMiddle(t *testing.T) {
+	s := loadedStore(t)
+	// Find a last name with multiple customers in district 1.
+	byName := map[string][]int{}
+	s.Table(TCustomer).Ascend("", "", func(k string, v any) bool {
+		c := v.(*Customer)
+		if c.WID == 1 && c.DID == 1 {
+			byName[c.Last] = append(byName[c.Last], c.ID)
+		}
+		return true
+	})
+	var name string
+	var ids []int
+	for n, l := range byName {
+		if len(l) >= 2 {
+			name, ids = n, l
+			break
+		}
+	}
+	if name == "" {
+		t.Skip("no duplicate last names at this scale")
+	}
+	got := findCustomerByName(view(s), 1, 1, name)
+	want := ids[(len(ids)+1)/2-1]
+	if got != want {
+		t.Fatalf("picked customer %d, want middle %d of %v", got, want, ids)
+	}
+}
+
+func TestPaymentRemotePlanTwoFragments(t *testing.T) {
+	cat := &txn.Catalog{NumPartitions: 2, Meta: Layout{Warehouses: 2, Partitions: 2}}
+	a := &PaymentArgs{WID: 1, DID: 1, CWID: 2, CDID: 3, CID: 1, Amount: 1}
+	plan := PaymentProc{}.Plan(a, cat)
+	if len(plan.Parts) != 2 {
+		t.Fatalf("parts = %v", plan.Parts)
+	}
+	hw := plan.Work[0].(*payWork)
+	cw := plan.Work[1].(*payWork)
+	if !hw.Home || hw.Customer || cw.Home || !cw.Customer {
+		t.Fatalf("work split wrong: %+v %+v", hw, cw)
+	}
+}
+
+func TestOrderStatusLatestOrder(t *testing.T) {
+	s := loadedStore(t)
+	// Create two orders for customer 4 in district 5.
+	for i := 0; i < 2; i++ {
+		if _, err := runNewOrder(t, s, &NewOrderArgs{
+			WID: 1, DID: 5, CID: 4,
+			Lines: []NewOrderLine{{IID: 3, SupplyWID: 1, Qty: 1}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := &OrderStatusArgs{WID: 1, DID: 5, CID: 4}
+	plan := OrderStatusProc{}.Plan(a, testCatalog())
+	out, err := OrderStatusProc{}.Run(view(s), plan.Work[plan.Parts[0]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := out.(*OrderStatusResult)
+	dr, _ := s.Table(TDistrict).Get(DistrictKey(1, 5))
+	if res.OID != dr.(*District).NextOID-1 {
+		t.Fatalf("latest order = %d, want %d", res.OID, dr.(*District).NextOID-1)
+	}
+	if len(res.Lines) != 1 {
+		t.Fatalf("lines = %d", len(res.Lines))
+	}
+}
+
+func TestDeliveryOldestFirstAndBalance(t *testing.T) {
+	s := loadedStore(t)
+	// District 1's oldest undelivered order.
+	prefix := NewOrderPrefix(1, 1)
+	oldest := 0
+	s.Table(TNewOrder).Ascend(prefix, storage.PrefixEnd(prefix), func(k string, v any) bool {
+		oldest = v.(*NewOrderRow).OID
+		return false
+	})
+	if oldest == 0 {
+		t.Fatal("no undelivered orders in fresh load")
+	}
+	or, _ := s.Table(TOrder).Get(OrderKey(1, 1, oldest))
+	cid := or.(*Order).CID
+	cr, _ := s.Table(TCustomer).Get(CustomerKey(1, 1, cid))
+	balBefore := cr.(*Customer).Balance
+
+	a := &DeliveryArgs{WID: 1, CarrierID: 7, When: 123}
+	plan := DeliveryProc{}.Plan(a, testCatalog())
+	out, err := DeliveryProc{}.Run(view(s), plan.Work[plan.Parts[0]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := out.([]int)
+	if delivered[0] != oldest {
+		t.Fatalf("district 1 delivered %d, want oldest %d", delivered[0], oldest)
+	}
+	if _, ok := s.Table(TNewOrder).Get(NewOrderKey(1, 1, oldest)); ok {
+		t.Fatal("NEW-ORDER row not removed")
+	}
+	or, _ = s.Table(TOrder).Get(OrderKey(1, 1, oldest))
+	if or.(*Order).CarrierID != 7 {
+		t.Fatal("carrier not set")
+	}
+	// Customer balance grew by the sum of the order's line amounts.
+	total := 0.0
+	olp := OrderLinePrefix(1, 1, oldest)
+	s.Table(TOrderLine).Ascend(olp, storage.PrefixEnd(olp), func(k string, v any) bool {
+		ol := v.(*OrderLine)
+		total += ol.Amount
+		if ol.DeliveryD != 123 {
+			t.Fatal("delivery date not set on order line")
+		}
+		return true
+	})
+	cr, _ = s.Table(TCustomer).Get(CustomerKey(1, 1, cid))
+	c := cr.(*Customer)
+	if math.Abs(c.Balance-(balBefore+total)) > 1e-9 || c.DeliveryCnt != 1 {
+		t.Fatalf("customer = %+v, want balance %f", c, balBefore+total)
+	}
+	if err := CheckConsistency(testLayout(), []*storage.Store{s}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStockLevelMatchesBruteForce(t *testing.T) {
+	s := loadedStore(t)
+	a := &StockLevelArgs{WID: 1, DID: 1, Threshold: 50}
+	plan := StockLevelProc{}.Plan(a, testCatalog())
+	out, err := StockLevelProc{}.Run(view(s), plan.Work[plan.Parts[0]])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Brute force the same definition.
+	dr, _ := s.Table(TDistrict).Get(DistrictKey(1, 1))
+	lo := dr.(*District).NextOID - 20
+	if lo < 1 {
+		lo = 1
+	}
+	items := map[int]bool{}
+	s.Table(TOrderLine).Ascend("", "", func(k string, v any) bool {
+		ol := v.(*OrderLine)
+		if ol.WID == 1 && ol.DID == 1 && ol.OID >= lo && ol.SupplyWID == 1 {
+			items[ol.IID] = true
+		}
+		return true
+	})
+	want := 0
+	for i := range items {
+		sr, _ := s.Table(TStock).Get(StockKey(1, i))
+		if sr.(*Stock).Quantity < 50 {
+			want++
+		}
+	}
+	if out.(int) != want {
+		t.Fatalf("stock level = %d, want %d", out, want)
+	}
+}
+
+func TestMixGeneratesValidInvocations(t *testing.T) {
+	m := &Mix{
+		Layout:            Layout{Warehouses: 4, Partitions: 2},
+		Scale:             DefaultScale(),
+		RemoteItemProb:    0.01,
+		RemotePaymentProb: 0.15,
+	}
+	rng := rand.New(rand.NewSource(5))
+	counts := map[string]int{}
+	for i := 0; i < 20000; i++ {
+		inv := m.Next(i%8, rng)
+		counts[inv.Proc]++
+		switch a := inv.Args.(type) {
+		case *NewOrderArgs:
+			if a.WID < 1 || a.WID > 4 || a.DID < 1 || a.DID > 10 {
+				t.Fatalf("bad NewOrder args %+v", a)
+			}
+			if len(a.Lines) < 5 || len(a.Lines) > 15 {
+				t.Fatalf("bad line count %d", len(a.Lines))
+			}
+		case *PaymentArgs:
+			if a.CID == 0 && a.CLast == "" {
+				t.Fatal("payment selects no customer")
+			}
+		}
+	}
+	// Mix ratios within 2 percentage points of spec.
+	tot := 20000.0
+	if r := float64(counts[ProcNewOrder]) / tot; math.Abs(r-0.45) > 0.02 {
+		t.Fatalf("NewOrder ratio %f", r)
+	}
+	if r := float64(counts[ProcPayment]) / tot; math.Abs(r-0.43) > 0.02 {
+		t.Fatalf("Payment ratio %f", r)
+	}
+}
+
+// TestMixMultiPartitionFraction reproduces the §5.5 observation: with the
+// default TPC-C parameters, the multi-partition fraction is ~10.7% with 2
+// warehouses and ~5.7% with 20 (on 2 partitions).
+func TestMixMultiPartitionFraction(t *testing.T) {
+	measure := func(warehouses int) float64 {
+		l := Layout{Warehouses: warehouses, Partitions: 2}
+		m := &Mix{Layout: l, Scale: DefaultScale(), RemoteItemProb: 0.01, RemotePaymentProb: 0.15}
+		cat := &txn.Catalog{NumPartitions: 2, Meta: l}
+		rng := rand.New(rand.NewSource(9))
+		reg := txn.NewRegistry()
+		RegisterAll(reg)
+		mp := 0
+		const n = 40000
+		for i := 0; i < n; i++ {
+			inv := m.Next(i%40, rng)
+			if len(reg.Get(inv.Proc).Plan(inv.Args, cat).Parts) > 1 {
+				mp++
+			}
+		}
+		return float64(mp) / n
+	}
+	got2 := measure(2)
+	if math.Abs(got2-0.107) > 0.02 {
+		t.Errorf("2 warehouses: MP fraction %f, paper says 0.107", got2)
+	}
+	got20 := measure(20)
+	if math.Abs(got20-0.057) > 0.015 {
+		t.Errorf("20 warehouses: MP fraction %f, paper says 0.057", got20)
+	}
+	if got2 < got20 {
+		t.Error("MP fraction should fall as warehouses grow")
+	}
+}

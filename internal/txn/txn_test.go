@@ -1,0 +1,88 @@
+package txn
+
+import (
+	"testing"
+
+	"specdb/internal/msg"
+	"specdb/internal/storage"
+)
+
+type fakeProc struct{ name string }
+
+func (f fakeProc) Name() string { return f.name }
+func (f fakeProc) Plan(args any, cat *Catalog) Plan {
+	return Plan{Parts: []msg.PartitionID{0}, Rounds: 1}
+}
+func (f fakeProc) Continue(args any, round int, prior []msg.FragmentResult, cat *Catalog) map[msg.PartitionID]any {
+	return nil
+}
+func (f fakeProc) Run(view *storage.TxnView, w any) (any, error) { return nil, nil }
+func (f fakeProc) Output(args any, final []msg.FragmentResult) any {
+	return nil
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeProc{name: "a"})
+	r.Register(fakeProc{name: "b"})
+	if r.Get("a").Name() != "a" {
+		t.Fatal("lookup failed")
+	}
+	names := r.Names()
+	if len(names) != 2 {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Register(fakeProc{name: "a"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Register(fakeProc{name: "a"})
+}
+
+func TestRegistryUnknownPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Get("missing")
+}
+
+func TestPlanSinglePartition(t *testing.T) {
+	p := Plan{Parts: []msg.PartitionID{2}}
+	req := &msg.Request{Parts: p.Parts}
+	if !req.SinglePartition() {
+		t.Fatal("one partition must be single-partition")
+	}
+	req.Parts = []msg.PartitionID{0, 1}
+	if req.SinglePartition() {
+		t.Fatal("two partitions is multi-partition")
+	}
+}
+
+func TestTxnIDComposition(t *testing.T) {
+	id := msg.MakeTxnID(7, 42)
+	if id.Issuer() != 7 {
+		t.Fatalf("issuer = %d", id.Issuer())
+	}
+	id2 := msg.MakeTxnID(7, 43)
+	if id == id2 {
+		t.Fatal("ids collide")
+	}
+	if msg.MakeTxnID(8, 42) == id {
+		t.Fatal("issuer not encoded")
+	}
+}
+
+func TestErrUserAbortIdentity(t *testing.T) {
+	if ErrUserAbort.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}

@@ -1,0 +1,48 @@
+// Package undo implements the in-memory undo buffers of §3.2: a log of
+// before-images that is discarded on commit and replayed in reverse on abort.
+// Transactions that cannot abort are executed without a buffer at all — that
+// is the "very low overhead" fast path the paper measures as tsp vs tspS.
+package undo
+
+// Entry is one undoable effect. Implementations live next to the state they
+// restore (e.g. internal/storage row images).
+type Entry interface {
+	// Undo restores the state captured by the entry.
+	Undo()
+}
+
+// Buffer accumulates entries for one transaction.
+type Buffer struct {
+	entries []Entry
+}
+
+// New returns an empty buffer.
+func New() *Buffer { return &Buffer{} }
+
+// Record appends an entry. Entries must be recorded before the corresponding
+// mutation's before-state is lost.
+func (b *Buffer) Record(e Entry) {
+	b.entries = append(b.entries, e)
+}
+
+// Len returns the number of recorded entries.
+func (b *Buffer) Len() int { return len(b.entries) }
+
+// Rollback undoes all entries in reverse order and clears the buffer.
+func (b *Buffer) Rollback() {
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		b.entries[i].Undo()
+	}
+	b.entries = b.entries[:0]
+}
+
+// Discard drops all entries without applying them (commit path).
+func (b *Buffer) Discard() {
+	b.entries = b.entries[:0]
+}
+
+// Func adapts a closure to Entry, for callers with one-off restoration logic.
+type Func func()
+
+// Undo calls the closure.
+func (f Func) Undo() { f() }

@@ -1,0 +1,68 @@
+package undo
+
+import "testing"
+
+type probe struct {
+	log *[]int
+	id  int
+}
+
+func (p probe) Undo() { *p.log = append(*p.log, p.id) }
+
+func TestRollbackReverseOrder(t *testing.T) {
+	var log []int
+	b := New()
+	for i := 1; i <= 4; i++ {
+		b.Record(probe{&log, i})
+	}
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	b.Rollback()
+	want := []int{4, 3, 2, 1}
+	for i, w := range want {
+		if log[i] != w {
+			t.Fatalf("rollback order = %v", log)
+		}
+	}
+	if b.Len() != 0 {
+		t.Fatal("buffer not cleared")
+	}
+}
+
+func TestRollbackIdempotentAfterClear(t *testing.T) {
+	var log []int
+	b := New()
+	b.Record(probe{&log, 1})
+	b.Rollback()
+	b.Rollback()
+	if len(log) != 1 {
+		t.Fatalf("entries re-applied: %v", log)
+	}
+}
+
+func TestDiscardDropsWithoutApplying(t *testing.T) {
+	var log []int
+	b := New()
+	b.Record(probe{&log, 1})
+	b.Discard()
+	if len(log) != 0 || b.Len() != 0 {
+		t.Fatalf("discard applied entries: %v", log)
+	}
+	// Buffer is reusable after Discard.
+	b.Record(probe{&log, 2})
+	b.Rollback()
+	if len(log) != 1 || log[0] != 2 {
+		t.Fatalf("reuse failed: %v", log)
+	}
+}
+
+func TestFuncEntry(t *testing.T) {
+	n := 0
+	b := New()
+	b.Record(Func(func() { n = 7 }))
+	b.Rollback()
+	if n != 7 {
+		t.Fatal("Func entry not applied")
+	}
+}

@@ -1,0 +1,145 @@
+// Package workload generates client request streams: the §5.1–§5.4
+// microbenchmark family and a scripted generator for examples and tests
+// (TPC-C has its own generator in internal/tpcc).
+package workload
+
+import (
+	"math/rand"
+
+	"specdb/internal/kvstore"
+	"specdb/internal/msg"
+	"specdb/internal/txn"
+)
+
+// Generator produces the next invocation for a closed-loop client, or nil
+// when the client should stop.
+type Generator interface {
+	Next(clientIdx int, rng *rand.Rand) *txn.Invocation
+}
+
+// Micro is the §5.1 microbenchmark client: each transaction reads and
+// updates KeysPerTxn keys — all on one random partition (single-partition),
+// or split evenly across all partitions (multi-partition) with probability
+// MPFraction.
+type Micro struct {
+	Partitions int
+	KeysPerTxn int
+	// MPFraction is the fraction of multi-partition transactions (the
+	// x-axis of Figures 4–7).
+	MPFraction float64
+	// ConflictProb makes non-pinned clients write a contended key with
+	// probability p (§5.2). Pinned mode assigns clients 0 and 1 to
+	// partitions 0 and 1, whose first keys become the contended keys.
+	ConflictProb float64
+	Pinned       bool
+	// AbortProb aborts the transaction at one participant (§5.3).
+	AbortProb float64
+	// TwoRound issues multi-partition transactions with separate read
+	// and write rounds (§5.4).
+	TwoRound bool
+}
+
+// Next implements Generator.
+func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	mp := rng.Float64() < m.MPFraction
+	args := &kvstore.Args{Keys: make(map[msg.PartitionID][]string)}
+	var parts []msg.PartitionID
+	if mp {
+		// Keys divided evenly across every partition.
+		per := m.KeysPerTxn / m.Partitions
+		for p := 0; p < m.Partitions; p++ {
+			pid := msg.PartitionID(p)
+			keys := make([]string, per)
+			for i := 0; i < per; i++ {
+				keys[i] = kvstore.ClientKey(ci, pid, i)
+			}
+			args.Keys[pid] = keys
+			parts = append(parts, pid)
+		}
+		args.TwoRound = m.TwoRound
+	} else {
+		var pid msg.PartitionID
+		if m.Pinned && ci < m.Partitions {
+			pid = msg.PartitionID(ci)
+		} else {
+			pid = msg.PartitionID(rng.Intn(m.Partitions))
+		}
+		keys := make([]string, m.KeysPerTxn)
+		for i := 0; i < m.KeysPerTxn; i++ {
+			keys[i] = kvstore.ClientKey(ci, pid, i)
+		}
+		args.Keys[pid] = keys
+		parts = append(parts, pid)
+	}
+	// Conflicts (§5.2): non-pinned clients hit the contended key on one
+	// of their partitions with probability p. Each transaction conflicts
+	// at a single partition only, so deadlock remains impossible.
+	if m.ConflictProb > 0 && !(m.Pinned && ci < m.Partitions) && rng.Float64() < m.ConflictProb {
+		target := parts[rng.Intn(len(parts))]
+		args.Keys[target][0] = kvstore.HotKey(target)
+	}
+	inv := &txn.Invocation{Proc: kvstore.ProcName, Args: args, AbortAt: txn.NoAbort}
+	if m.AbortProb > 0 && rng.Float64() < m.AbortProb {
+		// Multi-partition transactions abort locally at one partition;
+		// the other participants abort during 2PC (§5.3).
+		inv.AbortAt = parts[rng.Intn(len(parts))]
+	}
+	return inv
+}
+
+// Script replays a fixed sequence of invocations and then stops. It serves
+// examples and integration tests that need precise control.
+type Script struct {
+	Invs []*txn.Invocation
+	next int
+}
+
+// Next implements Generator.
+func (s *Script) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	if s.next >= len(s.Invs) {
+		return nil
+	}
+	inv := s.Invs[s.next]
+	s.next++
+	return inv
+}
+
+// Limit caps a generator at N total invocations, turning an infinite
+// workload into one that can run to quiescence (needed by invariant tests,
+// which must not observe in-flight transactions).
+type Limit struct {
+	Gen  Generator
+	N    int
+	used int
+}
+
+// Next implements Generator.
+func (l *Limit) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	if l.used >= l.N {
+		return nil
+	}
+	l.used++
+	return l.Gen.Next(ci, rng)
+}
+
+// Mixed interleaves generators by weight, for composite workloads.
+type Mixed struct {
+	Gens    []Generator
+	Weights []float64
+}
+
+// Next implements Generator.
+func (m *Mixed) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	total := 0.0
+	for _, w := range m.Weights {
+		total += w
+	}
+	x := rng.Float64() * total
+	for i, w := range m.Weights {
+		if x < w || i == len(m.Gens)-1 {
+			return m.Gens[i].Next(ci, rng)
+		}
+		x -= w
+	}
+	return nil
+}

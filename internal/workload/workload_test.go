@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"specdb/internal/kvstore"
+	"specdb/internal/txn"
+)
+
+func micro() *Micro {
+	return &Micro{Partitions: 2, KeysPerTxn: 12, MPFraction: 0.3}
+}
+
+func TestMicroMPFraction(t *testing.T) {
+	m := micro()
+	rng := rand.New(rand.NewSource(1))
+	mp := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		inv := m.Next(i%40, rng)
+		a := inv.Args.(*kvstore.Args)
+		if len(a.Keys) > 1 {
+			mp++
+			// Keys split evenly.
+			for _, keys := range a.Keys {
+				if len(keys) != 6 {
+					t.Fatalf("MP keys per partition = %d", len(keys))
+				}
+			}
+		} else {
+			for _, keys := range a.Keys {
+				if len(keys) != 12 {
+					t.Fatalf("SP keys = %d", len(keys))
+				}
+			}
+		}
+	}
+	if got := float64(mp) / n; math.Abs(got-0.3) > 0.02 {
+		t.Fatalf("MP fraction = %f", got)
+	}
+}
+
+func TestMicroPinnedClients(t *testing.T) {
+	m := micro()
+	m.Pinned = true
+	m.MPFraction = 0
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		inv := m.Next(0, rng)
+		a := inv.Args.(*kvstore.Args)
+		if _, ok := a.Keys[0]; !ok || len(a.Keys) != 1 {
+			t.Fatal("pinned client 0 must stay on partition 0")
+		}
+		inv = m.Next(1, rng)
+		a = inv.Args.(*kvstore.Args)
+		if _, ok := a.Keys[1]; !ok {
+			t.Fatal("pinned client 1 must stay on partition 1")
+		}
+	}
+}
+
+func TestMicroConflictInjection(t *testing.T) {
+	m := micro()
+	m.Pinned = true
+	m.ConflictProb = 1.0
+	rng := rand.New(rand.NewSource(3))
+	hot := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		inv := m.Next(5, rng) // non-pinned client
+		a := inv.Args.(*kvstore.Args)
+		count := 0
+		for p, keys := range a.Keys {
+			if keys[0] == kvstore.HotKey(p) {
+				count++
+			}
+		}
+		if count > 1 {
+			t.Fatal("conflict injected at more than one partition (deadlock risk the paper excludes)")
+		}
+		hot += count
+	}
+	if hot != n {
+		t.Fatalf("conflict rate = %d/%d, want every txn", hot, n)
+	}
+	// Pinned clients never get hot-key substitution (they own the hot keys).
+	for i := 0; i < 100; i++ {
+		inv := m.Next(0, rng)
+		a := inv.Args.(*kvstore.Args)
+		if a.Keys[0][0] != kvstore.ClientKey(0, 0, 0) {
+			t.Fatal("pinned client keys rewritten")
+		}
+	}
+}
+
+func TestMicroAbortInjection(t *testing.T) {
+	m := micro()
+	m.AbortProb = 0.5
+	rng := rand.New(rand.NewSource(4))
+	aborts := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		inv := m.Next(0, rng)
+		if inv.AbortAt != txn.NoAbort {
+			aborts++
+			if _, ok := inv.Args.(*kvstore.Args).Keys[inv.AbortAt]; !ok {
+				t.Fatal("abort injected at uninvolved partition")
+			}
+		}
+	}
+	if got := float64(aborts) / n; math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("abort rate = %f", got)
+	}
+}
+
+func TestMicroTwoRound(t *testing.T) {
+	m := micro()
+	m.TwoRound = true
+	m.MPFraction = 1.0
+	rng := rand.New(rand.NewSource(5))
+	inv := m.Next(0, rng)
+	if !inv.Args.(*kvstore.Args).TwoRound {
+		t.Fatal("TwoRound not propagated")
+	}
+}
+
+func TestScriptExhaustion(t *testing.T) {
+	s := &Script{Invs: []*txn.Invocation{
+		{Proc: "a"}, {Proc: "b"},
+	}}
+	rng := rand.New(rand.NewSource(1))
+	if s.Next(0, rng).Proc != "a" || s.Next(1, rng).Proc != "b" {
+		t.Fatal("script order broken")
+	}
+	if s.Next(0, rng) != nil {
+		t.Fatal("script did not end")
+	}
+}
+
+func TestLimitCapsGenerator(t *testing.T) {
+	l := &Limit{Gen: micro(), N: 5}
+	rng := rand.New(rand.NewSource(1))
+	count := 0
+	for l.Next(0, rng) != nil {
+		count++
+		if count > 5 {
+			break
+		}
+	}
+	if count != 5 {
+		t.Fatalf("limit produced %d", count)
+	}
+}
+
+func TestMixedWeights(t *testing.T) {
+	a := &Script{Invs: make([]*txn.Invocation, 0)}
+	_ = a
+	g1 := &constGen{proc: "one"}
+	g2 := &constGen{proc: "two"}
+	m := &Mixed{Gens: []Generator{g1, g2}, Weights: []float64{0.8, 0.2}}
+	rng := rand.New(rand.NewSource(6))
+	ones := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if m.Next(0, rng).Proc == "one" {
+			ones++
+		}
+	}
+	if got := float64(ones) / n; math.Abs(got-0.8) > 0.02 {
+		t.Fatalf("weight = %f", got)
+	}
+}
+
+type constGen struct{ proc string }
+
+func (c *constGen) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	return &txn.Invocation{Proc: c.proc, AbortAt: txn.NoAbort}
+}

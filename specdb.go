@@ -1,0 +1,374 @@
+// Package specdb is a partitioned, main-memory, H-Store-style transaction
+// processing library reproducing "Low Overhead Concurrency Control for
+// Partitioned Main Memory Databases" (Jones, Abadi, Madden — SIGMOD 2010).
+//
+// A Cluster assembles single-threaded partition engines, optional backup
+// replicas, a central coordinator, and closed-loop clients on a
+// deterministic discrete-event simulation of the paper's testbed. Three
+// concurrency control schemes decide what a partition does during the
+// network stalls of multi-partition transactions: blocking, speculative
+// execution, and single-threaded two-phase locking.
+//
+// Quick start:
+//
+//	reg := specdb.NewRegistry()
+//	reg.Register(kvstore.Proc{})
+//	res := specdb.Run(specdb.Config{
+//	    Partitions: 2,
+//	    Clients:    40,
+//	    Scheme:     specdb.Speculation,
+//	    Registry:   reg,
+//	    Setup:      func(p specdb.PartitionID, s *specdb.Store) { ... },
+//	    Workload:   &workload.Micro{...},
+//	    Warmup:     100 * specdb.Millisecond,
+//	    Measure:    time of measurement window,
+//	})
+//	fmt.Println(res.Throughput)
+package specdb
+
+import (
+	"fmt"
+
+	"specdb/internal/client"
+	"specdb/internal/coordinator"
+	"specdb/internal/core"
+	"specdb/internal/costs"
+	"specdb/internal/locks"
+	"specdb/internal/metrics"
+	"specdb/internal/msg"
+	"specdb/internal/partition"
+	"specdb/internal/replication"
+	"specdb/internal/sim"
+	"specdb/internal/simnet"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+	"specdb/internal/workload"
+)
+
+// Re-exported names so callers assemble clusters from this package alone.
+type (
+	// Scheme selects a concurrency control scheme.
+	Scheme = core.Scheme
+	// PartitionID numbers data partitions from 0.
+	PartitionID = msg.PartitionID
+	// Store is a partition's table collection.
+	Store = storage.Store
+	// Registry holds stored procedures.
+	Registry = txn.Registry
+	// Catalog describes data distribution.
+	Catalog = txn.Catalog
+	// Invocation is one transaction request.
+	Invocation = txn.Invocation
+	// Reply is a completed transaction's outcome.
+	Reply = msg.ClientReply
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// CostModel prices CPU and network.
+	CostModel = costs.Model
+	// LockConfig tunes the locking engine.
+	LockConfig = core.LockConfig
+	// Procedure is a stored procedure implementation.
+	Procedure = txn.Procedure
+	// Plan is a procedure's fragment layout.
+	Plan = txn.Plan
+	// TxnView is the data-access handle passed to fragment bodies.
+	TxnView = storage.TxnView
+	// FragmentResult is a fragment's output, seen by continuations.
+	FragmentResult = msg.FragmentResult
+)
+
+// ErrUserAbort aborts the invoking transaction when returned from a
+// fragment body.
+var ErrUserAbort = txn.ErrUserAbort
+
+// NoAbort disables abort injection on an Invocation.
+const NoAbort = txn.NoAbort
+
+// Scheme values.
+const (
+	Blocking    = core.SchemeBlocking
+	Speculation = core.SchemeSpeculative
+	Locking     = core.SchemeLocking
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewRegistry returns an empty procedure registry.
+func NewRegistry() *Registry { return txn.NewRegistry() }
+
+// DefaultCosts returns the Table 2 cost calibration.
+func DefaultCosts() CostModel { return costs.Default() }
+
+// Config describes a cluster and a workload run.
+type Config struct {
+	// Partitions is the number of data partitions (each with one
+	// single-threaded primary).
+	Partitions int
+	// Clients is the number of closed-loop clients (40 in §5.1).
+	Clients int
+	// Scheme selects the concurrency control scheme.
+	Scheme Scheme
+	// Replicas is k, the total copies of each partition; k=1 disables
+	// replication (as in the paper's model validation, §6.4).
+	Replicas int
+	// Costs prices CPU and network; the zero value selects DefaultCosts.
+	Costs *CostModel
+	// LockCfg tunes the locking scheme.
+	LockCfg LockConfig
+	// SpecCfg tunes the speculative scheme (local-only ablation).
+	SpecCfg core.SpecConfig
+	// Seed makes the run deterministic.
+	Seed int64
+	// Warmup and Measure bound the measurement window; Measure == 0
+	// means "run the workload to completion" (finite generators only).
+	Warmup  Time
+	Measure Time
+	// Registry holds the stored procedures.
+	Registry *Registry
+	// Catalog is optional; NumPartitions is filled in automatically.
+	Catalog *Catalog
+	// Setup installs schema and loads data on each partition's store
+	// (and on each backup's).
+	Setup func(p PartitionID, s *Store)
+	// Workload generates client requests.
+	Workload workload.Generator
+	// OnComplete observes completions (scripted runs).
+	OnComplete func(clientIdx int, inv *Invocation, reply *Reply)
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Throughput is completed transactions per second of measurement
+	// window (user aborts count as completions, §5.3).
+	Throughput float64
+	// Window counters.
+	Committed   uint64
+	UserAborted uint64
+	CommittedSP uint64
+	CommittedMP uint64
+	Retries     uint64
+	// Latency quantiles over the window.
+	P50, P95, P99 Time
+	// EngineStats per partition.
+	EngineStats []core.EngineStats
+	// LockStats per partition (locking scheme only).
+	LockStats []locks.Stats
+	// Utilization: fraction of wall-clock the actor's CPU was busy.
+	CoordUtilization float64
+	PartUtilization  []float64
+	// Events is the number of simulation events processed.
+	Events uint64
+}
+
+// Cluster is an assembled system ready to run.
+type Cluster struct {
+	cfg       Config
+	costModel CostModel
+	sch       *sim.Scheduler
+	net       *simnet.Net
+	parts     []*partition.Partition
+	partIDs   []sim.ActorID
+	backups   [][]*replication.Backup
+	coord     *coordinator.Coordinator
+	coordID   sim.ActorID
+	clients   []*client.Client
+	clientIDs []sim.ActorID
+	collector *metrics.Collector
+	ran       bool
+}
+
+// New assembles a cluster.
+func New(cfg Config) *Cluster {
+	if cfg.Partitions <= 0 {
+		panic("specdb: Partitions must be positive")
+	}
+	if cfg.Clients <= 0 {
+		panic("specdb: Clients must be positive")
+	}
+	if cfg.Registry == nil {
+		panic("specdb: Registry is required")
+	}
+	if cfg.Workload == nil {
+		panic("specdb: Workload is required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	cm := DefaultCosts()
+	if cfg.Costs != nil {
+		cm = *cfg.Costs
+	}
+	cat := cfg.Catalog
+	if cat == nil {
+		cat = &txn.Catalog{}
+	}
+	cat.NumPartitions = cfg.Partitions
+
+	c := &Cluster{cfg: cfg, costModel: cm}
+	c.sch = sim.New()
+	c.net = simnet.New(cm.OneWayLatency)
+
+	end := cfg.Warmup + cfg.Measure
+	if cfg.Measure == 0 {
+		end = Time(1<<62 - 1)
+	}
+	c.collector = metrics.NewCollector(cfg.Warmup, end)
+
+	// Partitions (primaries).
+	for p := 0; p < cfg.Partitions; p++ {
+		store := storage.NewStore()
+		if cfg.Setup != nil {
+			cfg.Setup(PartitionID(p), store)
+		}
+		part := partition.New(partition.Config{
+			ID:       PartitionID(p),
+			Store:    store,
+			Registry: cfg.Registry,
+			Costs:    &c.costModel,
+			Net:      c.net,
+		})
+		id := c.sch.Register(fmt.Sprintf("partition-%d", p), part)
+		c.parts = append(c.parts, part)
+		c.partIDs = append(c.partIDs, id)
+	}
+	// Backups.
+	c.backups = make([][]*replication.Backup, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		var ids []sim.ActorID
+		for r := 1; r < cfg.Replicas; r++ {
+			store := storage.NewStore()
+			if cfg.Setup != nil {
+				cfg.Setup(PartitionID(p), store)
+			}
+			b := replication.New(store, cfg.Registry, &c.costModel, c.net)
+			b.Primary = c.partIDs[p]
+			id := c.sch.Register(fmt.Sprintf("backup-%d-%d", p, r), b)
+			b.Bind(id)
+			ids = append(ids, id)
+			c.backups[p] = append(c.backups[p], b)
+		}
+		c.parts[p].SetBackups(ids)
+	}
+	// Central coordinator (blocking and speculation schemes).
+	c.coord = coordinator.New(cfg.Registry, cat, &c.costModel, c.net, c.partIDs)
+	c.coordID = c.sch.Register("coordinator", c.coord)
+	c.coord.Bind(c.coordID)
+
+	// Bind partition engines.
+	for p := 0; p < cfg.Partitions; p++ {
+		scheme := cfg.Scheme
+		lockCfg := cfg.LockCfg
+		specCfg := cfg.SpecCfg
+		c.parts[p].Bind(c.partIDs[p], func(env core.Env) core.Engine {
+			switch scheme {
+			case core.SchemeBlocking:
+				return core.NewBlocking(env)
+			case core.SchemeSpeculative:
+				return core.NewSpeculativeWith(env, specCfg)
+			case core.SchemeLocking:
+				return core.NewLocking(env, lockCfg)
+			default:
+				panic(fmt.Sprintf("specdb: unknown scheme %v", scheme))
+			}
+		})
+	}
+	// Clients.
+	for i := 0; i < cfg.Clients; i++ {
+		cl := &client.Client{
+			Registry:    cfg.Registry,
+			Catalog:     cat,
+			Costs:       &c.costModel,
+			Net:         c.net,
+			Metrics:     c.collector,
+			Scheme:      cfg.Scheme,
+			Coordinator: c.coordID,
+			Parts:       c.partIDs,
+			Gen:         cfg.Workload,
+			Index:       i,
+		}
+		if cfg.OnComplete != nil {
+			idx := i
+			cl.OnComplete = func(inv *Invocation, reply *Reply) {
+				cfg.OnComplete(idx, inv, reply)
+			}
+		}
+		id := c.sch.Register(fmt.Sprintf("client-%d", i), cl)
+		cl.Bind(id, cfg.Seed*1_000_003+int64(i)*7919+1)
+		c.clients = append(c.clients, cl)
+		c.clientIDs = append(c.clientIDs, id)
+	}
+	return c
+}
+
+// Run starts all clients at t=0 and runs to the configured horizon (or to
+// quiescence when Measure == 0), returning the collected measurements.
+func (c *Cluster) Run() Result {
+	if c.ran {
+		panic("specdb: cluster already ran")
+	}
+	c.ran = true
+	for _, id := range c.clientIDs {
+		c.sch.SendAt(0, id, client.Start{})
+	}
+	horizon := c.cfg.Warmup + c.cfg.Measure
+	if c.cfg.Measure == 0 {
+		c.sch.Drain()
+	} else {
+		c.sch.Run(horizon)
+	}
+	res := Result{
+		Throughput:  c.collector.Throughput(),
+		Committed:   c.collector.Committed,
+		UserAborted: c.collector.UserAborted,
+		CommittedSP: c.collector.CommittedSP,
+		CommittedMP: c.collector.CommittedMP,
+		Retries:     c.collector.Retries,
+		P50:         c.collector.LatencyQuantile(0.50),
+		P95:         c.collector.LatencyQuantile(0.95),
+		P99:         c.collector.LatencyQuantile(0.99),
+		Events:      c.sch.Delivered,
+	}
+	elapsed := c.sch.Now()
+	if elapsed > 0 {
+		res.CoordUtilization = float64(c.sch.BusyTime(c.coordID)) / float64(elapsed)
+	}
+	for p := range c.parts {
+		res.EngineStats = append(res.EngineStats, c.parts[p].Engine().Stats())
+		if le, ok := c.parts[p].Engine().(*core.LockEngine); ok {
+			res.LockStats = append(res.LockStats, le.LockStats())
+		}
+		if elapsed > 0 {
+			res.PartUtilization = append(res.PartUtilization,
+				float64(c.sch.BusyTime(c.partIDs[p]))/float64(elapsed))
+		}
+	}
+	return res
+}
+
+// PartitionStore returns partition p's primary store (post-run inspection).
+func (c *Cluster) PartitionStore(p PartitionID) *Store { return c.parts[p].Store() }
+
+// BackupStores returns partition p's backup stores.
+func (c *Cluster) BackupStores(p PartitionID) []*Store {
+	var out []*Store
+	for _, b := range c.backups[p] {
+		out = append(out, b.Store)
+	}
+	return out
+}
+
+// Coordinator exposes coordinator counters (post-run inspection).
+func (c *Cluster) Coordinator() *coordinator.Coordinator { return c.coord }
+
+// Clients exposes the client actors (post-run inspection).
+func (c *Cluster) Clients() []*client.Client { return c.clients }
+
+// Run assembles and runs a cluster in one call.
+func Run(cfg Config) Result {
+	return New(cfg).Run()
+}

@@ -1,0 +1,247 @@
+package specdb
+
+import (
+	"testing"
+
+	"specdb/internal/kvstore"
+	"specdb/internal/msg"
+	"specdb/internal/txn"
+	"specdb/internal/workload"
+)
+
+const (
+	testClients = 8
+	testKeys    = 12
+)
+
+func kvRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Register(kvstore.Proc{})
+	return reg
+}
+
+func kvSetup(clients int) func(PartitionID, *Store) {
+	return func(p PartitionID, s *Store) {
+		kvstore.AddSchema(s)
+		kvstore.Load(s, p, clients, testKeys)
+	}
+}
+
+// scriptOf builds n invocations alternating single- and multi-partition per
+// the given fraction, using each client's private keys.
+func scriptOf(n int, everyNthMP int) *workload.Script {
+	var invs []*txn.Invocation
+	for i := 0; i < n; i++ {
+		ci := i % testClients
+		args := &kvstore.Args{Keys: map[msg.PartitionID][]string{}}
+		if everyNthMP > 0 && i%everyNthMP == 0 {
+			for p := 0; p < 2; p++ {
+				pid := msg.PartitionID(p)
+				for k := 0; k < testKeys/2; k++ {
+					args.Keys[pid] = append(args.Keys[pid], kvstore.ClientKey(ci, pid, k))
+				}
+			}
+		} else {
+			pid := msg.PartitionID(i % 2)
+			for k := 0; k < testKeys; k++ {
+				args.Keys[pid] = append(args.Keys[pid], kvstore.ClientKey(ci, pid, k))
+			}
+		}
+		invs = append(invs, &txn.Invocation{Proc: kvstore.ProcName, Args: args, AbortAt: txn.NoAbort})
+	}
+	return &workload.Script{Invs: invs}
+}
+
+func drainConfig(scheme Scheme, gen workload.Generator) Config {
+	return Config{
+		Partitions: 2,
+		Clients:    testClients,
+		Scheme:     scheme,
+		Seed:       1,
+		Registry:   kvRegistry(),
+		Setup:      kvSetup(testClients),
+		Workload:   gen,
+	}
+}
+
+func TestAllSchemesRunScriptToCompletion(t *testing.T) {
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			const n = 120
+			completions := 0
+			cfg := drainConfig(scheme, scriptOf(n, 3))
+			cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) {
+				if !r.Committed {
+					t.Fatalf("transaction aborted: %+v", r)
+				}
+				completions++
+			}
+			cl := New(cfg)
+			cl.Run()
+			if completions != n {
+				t.Fatalf("completions = %d, want %d", completions, n)
+			}
+			// Every committed transaction increments exactly 12
+			// counters.
+			total := kvstore.Sum(cl.PartitionStore(0)) + kvstore.Sum(cl.PartitionStore(1))
+			if total != int64(n*testKeys) {
+				t.Fatalf("counter sum = %d, want %d", total, n*testKeys)
+			}
+		})
+	}
+}
+
+func TestSchemesAgreeOnFinalState(t *testing.T) {
+	var prints []uint64
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		cl := New(drainConfig(scheme, scriptOf(90, 4)))
+		cl.Run()
+		prints = append(prints, cl.PartitionStore(0).Fingerprint()^cl.PartitionStore(1).Fingerprint())
+	}
+	if prints[0] != prints[1] || prints[1] != prints[2] {
+		t.Fatalf("final states diverge across schemes: %v", prints)
+	}
+}
+
+func TestInjectedAbortsLeaveNoTrace(t *testing.T) {
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			// Every third transaction aborts at one partition.
+			script := scriptOf(90, 3)
+			aborted := 0
+			for i, inv := range script.Invs {
+				if i%3 == 0 {
+					a := inv.Args.(*kvstore.Args)
+					for p := range a.Keys {
+						inv.AbortAt = p
+						break
+					}
+					aborted++
+				}
+			}
+			committed, userAborted := 0, 0
+			cfg := drainConfig(scheme, script)
+			cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) {
+				if r.Committed {
+					committed++
+				} else if r.UserAborted {
+					userAborted++
+				} else {
+					t.Fatalf("unexpected reply %+v", r)
+				}
+			}
+			cl := New(cfg)
+			cl.Run()
+			if userAborted != aborted {
+				t.Fatalf("userAborted = %d, want %d", userAborted, aborted)
+			}
+			total := kvstore.Sum(cl.PartitionStore(0)) + kvstore.Sum(cl.PartitionStore(1))
+			if total != int64(committed*testKeys) {
+				t.Fatalf("counter sum = %d, want %d (committed=%d)", total, committed*testKeys, committed)
+			}
+		})
+	}
+}
+
+func TestReplicationBackupsConverge(t *testing.T) {
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg := drainConfig(scheme, scriptOf(60, 3))
+			cfg.Replicas = 3
+			cl := New(cfg)
+			cl.Run()
+			for p := PartitionID(0); p < 2; p++ {
+				want := cl.PartitionStore(p).Fingerprint()
+				for bi, bs := range cl.BackupStores(p) {
+					if got := bs.Fingerprint(); got != want {
+						t.Fatalf("partition %d backup %d diverged: %d != %d", p, bi, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func timedConfig(scheme Scheme, mpFrac float64) Config {
+	return Config{
+		Partitions: 2,
+		Clients:    40,
+		Scheme:     scheme,
+		Seed:       7,
+		Warmup:     50 * Millisecond,
+		Measure:    250 * Millisecond,
+		Registry:   kvRegistry(),
+		Setup:      kvSetup(40),
+		Workload: &workload.Micro{
+			Partitions: 2,
+			KeysPerTxn: testKeys,
+			MPFraction: mpFrac,
+		},
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		a := Run(timedConfig(scheme, 0.2))
+		b := Run(timedConfig(scheme, 0.2))
+		if a.Committed != b.Committed || a.Events != b.Events || a.P99 != b.P99 {
+			t.Fatalf("%v: runs diverge: %+v vs %+v", scheme, a, b)
+		}
+	}
+}
+
+// TestThroughputShape checks the coarse shape of Figure 4 at three points:
+// at 0%% multi-partition all schemes are close to 2/tsp; blocking degrades
+// steeply with multi-partition transactions; speculation beats blocking.
+func TestThroughputShape(t *testing.T) {
+	tputs := map[Scheme]map[int]float64{}
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		tputs[scheme] = map[int]float64{}
+		for _, pct := range []int{0, 20} {
+			r := Run(timedConfig(scheme, float64(pct)/100))
+			tputs[scheme][pct] = r.Throughput
+		}
+	}
+	// 2 partitions / 64µs ≈ 31250 tps at f=0.
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		got := tputs[scheme][0]
+		if got < 28000 || got > 33000 {
+			t.Errorf("%v at 0%% MP: %.0f tps, want ≈31250", scheme, got)
+		}
+	}
+	if !(tputs[Blocking][20] < 0.55*tputs[Blocking][0]) {
+		t.Errorf("blocking should degrade steeply: %.0f → %.0f", tputs[Blocking][0], tputs[Blocking][20])
+	}
+	if !(tputs[Speculation][20] > 1.4*tputs[Blocking][20]) {
+		t.Errorf("speculation (%.0f) should clearly beat blocking (%.0f) at 20%%",
+			tputs[Speculation][20], tputs[Blocking][20])
+	}
+	if !(tputs[Locking][20] > tputs[Blocking][20]) {
+		t.Errorf("locking (%.0f) should beat blocking (%.0f) at 20%%",
+			tputs[Locking][20], tputs[Blocking][20])
+	}
+}
+
+func TestConflictsDegradeLockingOnly(t *testing.T) {
+	run := func(scheme Scheme, conflict float64) float64 {
+		cfg := timedConfig(scheme, 0.4)
+		cfg.Workload = &workload.Micro{
+			Partitions:   2,
+			KeysPerTxn:   testKeys,
+			MPFraction:   0.4,
+			ConflictProb: conflict,
+			Pinned:       true,
+		}
+		return Run(cfg).Throughput
+	}
+	lock0 := run(Locking, 0)
+	lock100 := run(Locking, 1.0)
+	if !(lock100 < 0.93*lock0) {
+		t.Errorf("locking should degrade with conflicts: %.0f → %.0f", lock0, lock100)
+	}
+	spec0 := run(Speculation, 0)
+	spec100 := run(Speculation, 1.0)
+	if spec100 < 0.95*spec0 {
+		t.Errorf("speculation should be conflict-insensitive: %.0f → %.0f", spec0, spec100)
+	}
+}

@@ -1,0 +1,126 @@
+package specdb
+
+import (
+	"testing"
+
+	"specdb/internal/storage"
+	"specdb/internal/tpcc"
+	"specdb/internal/workload"
+)
+
+func tpccConfig(scheme Scheme, warehouses int, n int) (Config, tpcc.Layout) {
+	layout := tpcc.Layout{Warehouses: warehouses, Partitions: 2}
+	scale := tpcc.Scale{Items: 200, StockPerWarehouse: 200, CustomersPerDist: 30, InitialOrders: 10}
+	reg := NewRegistry()
+	tpcc.RegisterAll(reg)
+	loader := tpcc.Loader{Layout: layout, Scale: scale, Seed: 11}
+	var gen workload.Generator = &tpcc.Mix{
+		Layout: layout, Scale: scale,
+		RemoteItemProb: 0.01, RemotePaymentProb: 0.15,
+	}
+	if n > 0 {
+		gen = &workload.Limit{Gen: gen, N: n}
+	}
+	return Config{
+		Partitions: 2,
+		Clients:    20,
+		Scheme:     scheme,
+		Seed:       3,
+		Registry:   reg,
+		Catalog:    &Catalog{Meta: layout},
+		Setup:      loader.Load,
+		Workload:   gen,
+	}, layout
+}
+
+// TestTPCCConsistencyAllSchemes runs a finite TPC-C mix to quiescence under
+// each scheme and verifies the TPC-C consistency conditions — the
+// end-to-end serializability oracle (lost updates, double-applied
+// speculation or phantom deliveries all break them).
+func TestTPCCConsistencyAllSchemes(t *testing.T) {
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			cfg, layout := tpccConfig(scheme, 4, 1500)
+			committed, aborted := 0, 0
+			cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) {
+				if r.Committed {
+					committed++
+				} else {
+					aborted++
+				}
+			}
+			cl := New(cfg)
+			cl.Run()
+			if committed == 0 {
+				t.Fatal("nothing committed")
+			}
+			// ~1% of NewOrders (45% of the mix) carry invalid items.
+			if aborted == 0 {
+				t.Log("note: no user aborts in this sample")
+			}
+			stores := []*storage.Store{cl.PartitionStore(0), cl.PartitionStore(1)}
+			if err := tpcc.CheckConsistency(layout, stores); err != nil {
+				t.Fatalf("consistency violated after %d commits: %v", committed, err)
+			}
+		})
+	}
+}
+
+// TestTPCCAllInvocationsComplete: every generated transaction completes
+// under every scheme (commit or deterministic user abort) — nothing is lost
+// to kills, cascades or re-execution. Final states legitimately differ
+// across schemes (order ids depend on the serialization order), so only the
+// completion accounting is compared.
+func TestTPCCAllInvocationsComplete(t *testing.T) {
+	const n = 800
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		cfg, _ := tpccConfig(scheme, 4, n)
+		completed := 0
+		cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) { completed++ }
+		cl := New(cfg)
+		cl.Run()
+		if completed != n {
+			t.Errorf("%v: completed %d of %d", scheme, completed, n)
+		}
+	}
+}
+
+func TestTPCCReplicationConverges(t *testing.T) {
+	cfg, layout := tpccConfig(Speculation, 4, 600)
+	cfg.Replicas = 2
+	cl := New(cfg)
+	cl.Run()
+	for p := PartitionID(0); p < 2; p++ {
+		want := cl.PartitionStore(p).Fingerprint()
+		for bi, bs := range cl.BackupStores(p) {
+			if got := bs.Fingerprint(); got != want {
+				t.Fatalf("partition %d backup %d diverged", p, bi)
+			}
+		}
+	}
+	stores := []*storage.Store{cl.PartitionStore(0), cl.PartitionStore(1)}
+	if err := tpcc.CheckConsistency(layout, stores); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTPCCThroughputOrdering checks the Figure 8 ordering at 6 warehouses:
+// speculation > blocking > locking (locking pays lock overhead plus
+// contention on warehouse and district rows).
+func TestTPCCThroughputOrdering(t *testing.T) {
+	tput := map[Scheme]float64{}
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		cfg, _ := tpccConfig(scheme, 6, 0)
+		cfg.Clients = 40
+		cfg.Warmup = 50 * Millisecond
+		cfg.Measure = 300 * Millisecond
+		r := Run(cfg)
+		tput[scheme] = r.Throughput
+	}
+	if !(tput[Speculation] > tput[Blocking]) {
+		t.Errorf("speculation (%.0f) should beat blocking (%.0f)", tput[Speculation], tput[Blocking])
+	}
+	if !(tput[Speculation] > tput[Locking]) {
+		t.Errorf("speculation (%.0f) should beat locking (%.0f)", tput[Speculation], tput[Locking])
+	}
+}
