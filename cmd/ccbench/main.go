@@ -4,10 +4,12 @@
 //
 //	ccbench -list
 //	ccbench -experiment fig4
-//	ccbench -experiment all [-quick] [-csv] [-seed 7]
+//	ccbench -experiment all [-quick] [-csv | -json] [-seed 7]
 //
 // Each experiment prints the same rows/series the paper reports; see
 // EXPERIMENTS.md for the recorded comparison against the paper's curves.
+// With -json, one JSON object per grid cell is emitted (newline delimited)
+// for machine consumption (BENCH_*.json trajectories).
 package main
 
 import (
@@ -20,11 +22,12 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, or all)")
-		quick = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		seed  = flag.Int64("seed", 42, "simulation seed")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		expID   = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, or all)")
+		quick   = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut = flag.Bool("json", false, "emit newline-delimited JSON, one object per grid cell")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
 	)
 	flag.Parse()
 
@@ -33,6 +36,10 @@ func main() {
 			fmt.Printf("%-22s %s [%s]\n", e.ID, e.Title, e.Ref)
 		}
 		return
+	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "ccbench: -csv and -json are mutually exclusive")
+		os.Exit(2)
 	}
 	opts := bench.DefaultOpts()
 	if *quick {
@@ -53,9 +60,15 @@ func main() {
 	}
 	for _, e := range exps {
 		series := e.Run(opts)
-		if *csv {
+		switch {
+		case *jsonOut:
+			if err := bench.FormatJSON(os.Stdout, e, series); err != nil {
+				fmt.Fprintf(os.Stderr, "ccbench: %v\n", err)
+				os.Exit(1)
+			}
+		case *csv:
 			bench.FormatCSV(os.Stdout, e, series)
-		} else {
+		default:
 			bench.Format(os.Stdout, e, series)
 		}
 	}

@@ -1,0 +1,94 @@
+package specdb
+
+// Config describes a cluster and a workload run.
+//
+// Deprecated: Config is the legacy monolithic configuration. New code should
+// pass functional options to Open, which validates up front and returns
+// errors instead of panicking. Config remains for one release as a shim.
+type Config struct {
+	// Partitions is the number of data partitions (each with one
+	// single-threaded primary).
+	Partitions int
+	// Clients is the number of closed-loop clients (40 in §5.1).
+	Clients int
+	// Scheme selects the concurrency control scheme.
+	Scheme Scheme
+	// Replicas is k, the total copies of each partition; k=1 disables
+	// replication (as in the paper's model validation, §6.4).
+	Replicas int
+	// Costs prices CPU and network; the zero value selects DefaultCosts.
+	Costs *CostModel
+	// LockCfg tunes the locking scheme.
+	LockCfg LockConfig
+	// SpecCfg tunes the speculative scheme (local-only ablation).
+	SpecCfg SpecConfig
+	// Seed makes the run deterministic.
+	Seed int64
+	// Warmup and Measure bound the measurement window; Measure == 0
+	// means "run the workload to completion" (finite generators only).
+	Warmup  Time
+	Measure Time
+	// Registry holds the stored procedures.
+	Registry *Registry
+	// Catalog is optional; NumPartitions is filled in automatically.
+	Catalog *Catalog
+	// Setup installs schema and loads data on each partition's store
+	// (and on each backup's).
+	Setup func(p PartitionID, s *Store)
+	// Workload generates client requests.
+	Workload Generator
+	// OnComplete observes completions (scripted runs).
+	OnComplete func(clientIdx int, inv *Invocation, reply *Reply)
+}
+
+// Options converts a legacy Config into the equivalent Option list,
+// preserving the legacy zero-value semantics (Replicas 0 means 1, nil Costs
+// means DefaultCosts; zero Partitions or Clients remain invalid).
+func (cfg Config) Options() []Option {
+	opts := []Option{
+		WithPartitions(cfg.Partitions),
+		WithClients(cfg.Clients),
+		WithScheme(cfg.Scheme),
+		WithLockConfig(cfg.LockCfg),
+		WithSpecConfig(cfg.SpecCfg),
+		WithSeed(cfg.Seed),
+		WithWarmup(cfg.Warmup),
+		WithMeasure(cfg.Measure),
+	}
+	if cfg.Replicas > 0 {
+		opts = append(opts, WithReplicas(cfg.Replicas))
+	}
+	if cfg.Costs != nil {
+		opts = append(opts, WithCosts(*cfg.Costs))
+	}
+	if cfg.Registry != nil {
+		opts = append(opts, WithRegistry(cfg.Registry))
+	}
+	if cfg.Catalog != nil {
+		opts = append(opts, WithCatalog(cfg.Catalog))
+	}
+	if cfg.Setup != nil {
+		opts = append(opts, WithSetup(cfg.Setup))
+	}
+	if cfg.Workload != nil {
+		opts = append(opts, WithWorkload(cfg.Workload))
+	}
+	if cfg.OnComplete != nil {
+		opts = append(opts, WithOnComplete(cfg.OnComplete))
+	}
+	return opts
+}
+
+// Run assembles and runs a cluster in one call, panicking on an invalid
+// configuration.
+//
+// Deprecated: use Open with options and handle the error:
+//
+//	db, err := specdb.Open(cfg.Options()...)
+func Run(cfg Config) Result {
+	db, err := Open(cfg.Options()...)
+	if err != nil {
+		panic(err)
+	}
+	return db.Run()
+}

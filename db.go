@@ -1,0 +1,433 @@
+// Package specdb is a partitioned, main-memory, H-Store-style transaction
+// processing library reproducing "Low Overhead Concurrency Control for
+// Partitioned Main Memory Databases" (Jones, Abadi, Madden — SIGMOD 2010).
+//
+// Open assembles single-threaded partition engines, optional backup
+// replicas, a central coordinator, and closed-loop clients on a
+// deterministic discrete-event simulation of the paper's testbed. Three
+// concurrency control schemes decide what a partition does during the
+// network stalls of multi-partition transactions: blocking, speculative
+// execution, and single-threaded two-phase locking.
+//
+// Quick start:
+//
+//	reg := specdb.NewRegistry()
+//	reg.Register(kvstore.Proc{})
+//	db, err := specdb.Open(
+//	    specdb.WithPartitions(2),
+//	    specdb.WithScheme(specdb.Speculation),
+//	    specdb.WithRegistry(reg),
+//	    specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) { ... }),
+//	    specdb.WithWorkload(&workload.Micro{...}),
+//	    specdb.WithWarmup(100*specdb.Millisecond),
+//	    specdb.WithMeasure(400*specdb.Millisecond),
+//	)
+//	if err != nil {
+//	    log.Fatal(err)
+//	}
+//	res := db.Run()
+//	fmt.Println(res.Throughput)
+//
+// Beyond one-shot runs, a DB is driven interactively: RunFor and Step advance
+// virtual time in increments, RunUntil runs to a predicate, Snapshot observes
+// live counters (with interval rates between snapshots), and SetWorkload
+// swaps the request generator between phases. The Sweep type runs grids of
+// option sets — scheme × workload × repeats — which is how the paper's
+// figures are regenerated (internal/bench, cmd/ccbench).
+package specdb
+
+import (
+	"fmt"
+
+	"specdb/internal/client"
+	"specdb/internal/coordinator"
+	"specdb/internal/core"
+	"specdb/internal/costs"
+	"specdb/internal/locks"
+	"specdb/internal/metrics"
+	"specdb/internal/msg"
+	"specdb/internal/partition"
+	"specdb/internal/replication"
+	"specdb/internal/sim"
+	"specdb/internal/simnet"
+	"specdb/internal/storage"
+	"specdb/internal/txn"
+	"specdb/internal/workload"
+)
+
+// Re-exported names so callers assemble clusters from this package alone.
+type (
+	// Scheme selects a concurrency control scheme.
+	Scheme = core.Scheme
+	// PartitionID numbers data partitions from 0.
+	PartitionID = msg.PartitionID
+	// Store is a partition's table collection.
+	Store = storage.Store
+	// Registry holds stored procedures.
+	Registry = txn.Registry
+	// Catalog describes data distribution.
+	Catalog = txn.Catalog
+	// Invocation is one transaction request.
+	Invocation = txn.Invocation
+	// Reply is a completed transaction's outcome.
+	Reply = msg.ClientReply
+	// Time is virtual time in nanoseconds.
+	Time = sim.Time
+	// CostModel prices CPU and network.
+	CostModel = costs.Model
+	// LockConfig tunes the locking engine.
+	LockConfig = core.LockConfig
+	// SpecConfig tunes the speculative engine.
+	SpecConfig = core.SpecConfig
+	// Procedure is a stored procedure implementation.
+	Procedure = txn.Procedure
+	// Plan is a procedure's fragment layout.
+	Plan = txn.Plan
+	// TxnView is the data-access handle passed to fragment bodies.
+	TxnView = storage.TxnView
+	// FragmentResult is a fragment's output, seen by continuations.
+	FragmentResult = msg.FragmentResult
+	// Generator produces client requests (see internal/workload for the
+	// microbenchmark family; any implementation works).
+	Generator = workload.Generator
+)
+
+// ErrUserAbort aborts the invoking transaction when returned from a
+// fragment body.
+var ErrUserAbort = txn.ErrUserAbort
+
+// NoAbort disables abort injection on an Invocation.
+const NoAbort = txn.NoAbort
+
+// Scheme values.
+const (
+	Blocking    = core.SchemeBlocking
+	Speculation = core.SchemeSpeculative
+	Locking     = core.SchemeLocking
+)
+
+// Time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewRegistry returns an empty procedure registry.
+func NewRegistry() *Registry { return txn.NewRegistry() }
+
+// DefaultCosts returns the Table 2 cost calibration.
+func DefaultCosts() CostModel { return costs.Default() }
+
+// DB is an assembled cluster: a handle that can be run to completion, driven
+// in increments, observed mid-run, and inspected afterwards. A DB is not
+// safe for concurrent use; the simulation is single-threaded by design.
+type DB struct {
+	cfg       settings
+	costModel CostModel
+	sch       *sim.Scheduler
+	net       *simnet.Net
+	parts     []*partition.Partition
+	partIDs   []sim.ActorID
+	backups   [][]*replication.Backup
+	coord     *coordinator.Coordinator
+	coordID   sim.ActorID
+	clients   []*client.Client
+	clientIDs []sim.ActorID
+	collector *metrics.Collector
+
+	started bool
+	// cursor is the virtual time the simulation has been driven to (the
+	// time horizon passed to the scheduler, not merely the last event).
+	cursor Time
+	// Snapshot interval baseline.
+	snapAt     Time
+	snapCounts metrics.Counts
+}
+
+// engineFactory returns the constructor for the validated scheme.
+func engineFactory(scheme Scheme, lockCfg LockConfig, specCfg SpecConfig) func(env core.Env) core.Engine {
+	switch scheme {
+	case Blocking:
+		return func(env core.Env) core.Engine { return core.NewBlocking(env) }
+	case Speculation:
+		return func(env core.Env) core.Engine { return core.NewSpeculativeWith(env, specCfg) }
+	case Locking:
+		return func(env core.Env) core.Engine { return core.NewLocking(env, lockCfg) }
+	}
+	return nil // unreachable: Open validated the scheme
+}
+
+// Open assembles a cluster from the given options and returns a handle to
+// drive it. It validates the whole configuration up front — an unknown
+// scheme, a missing registry or workload, or non-positive counts are
+// reported here as errors rather than surfacing later inside the engine.
+func Open(opts ...Option) (*DB, error) {
+	cfg := defaultSettings()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cat := cfg.catalogOrDefault()
+
+	db := &DB{cfg: cfg, costModel: cfg.costs}
+	db.sch = sim.New()
+	db.net = simnet.New(db.costModel.OneWayLatency)
+
+	end := cfg.warmup + cfg.measure
+	if cfg.measure == 0 {
+		end = Time(1<<62 - 1)
+	}
+	db.collector = metrics.NewCollector(cfg.warmup, end)
+
+	// Partitions (primaries).
+	for p := 0; p < cfg.partitions; p++ {
+		store := storage.NewStore()
+		if cfg.setup != nil {
+			cfg.setup(PartitionID(p), store)
+		}
+		part := partition.New(partition.Config{
+			ID:       PartitionID(p),
+			Store:    store,
+			Registry: cfg.registry,
+			Costs:    &db.costModel,
+			Net:      db.net,
+		})
+		id := db.sch.Register(fmt.Sprintf("partition-%d", p), part)
+		db.parts = append(db.parts, part)
+		db.partIDs = append(db.partIDs, id)
+	}
+	// Backups.
+	db.backups = make([][]*replication.Backup, cfg.partitions)
+	for p := 0; p < cfg.partitions; p++ {
+		var ids []sim.ActorID
+		for r := 1; r < cfg.replicas; r++ {
+			store := storage.NewStore()
+			if cfg.setup != nil {
+				cfg.setup(PartitionID(p), store)
+			}
+			b := replication.New(store, cfg.registry, &db.costModel, db.net)
+			b.Primary = db.partIDs[p]
+			id := db.sch.Register(fmt.Sprintf("backup-%d-%d", p, r), b)
+			b.Bind(id)
+			ids = append(ids, id)
+			db.backups[p] = append(db.backups[p], b)
+		}
+		db.parts[p].SetBackups(ids)
+	}
+	// Central coordinator (blocking and speculation schemes).
+	db.coord = coordinator.New(cfg.registry, cat, &db.costModel, db.net, db.partIDs)
+	db.coordID = db.sch.Register("coordinator", db.coord)
+	db.coord.Bind(db.coordID)
+
+	// Bind partition engines.
+	factory := engineFactory(cfg.scheme, cfg.lockCfg, cfg.specCfg)
+	for p := 0; p < cfg.partitions; p++ {
+		db.parts[p].Bind(db.partIDs[p], factory)
+	}
+	// Clients.
+	for i := 0; i < cfg.clients; i++ {
+		cl := &client.Client{
+			Registry:    cfg.registry,
+			Catalog:     cat,
+			Costs:       &db.costModel,
+			Net:         db.net,
+			Metrics:     db.collector,
+			Scheme:      cfg.scheme,
+			Coordinator: db.coordID,
+			Parts:       db.partIDs,
+			Gen:         cfg.workload,
+			Index:       i,
+		}
+		if cfg.onComplete != nil {
+			idx := i
+			cl.OnComplete = func(inv *Invocation, reply *Reply) {
+				cfg.onComplete(idx, inv, reply)
+			}
+		}
+		id := db.sch.Register(fmt.Sprintf("client-%d", i), cl)
+		cl.Bind(id, cfg.seed*1_000_003+int64(i)*7919+1)
+		db.clients = append(db.clients, cl)
+		db.clientIDs = append(db.clientIDs, id)
+	}
+	return db, nil
+}
+
+// ensureStarted schedules every client's first request at t=0. It runs once,
+// lazily, so a DB can be reconfigured (SetWorkload) between Open and the
+// first drive call.
+func (db *DB) ensureStarted() {
+	if db.started {
+		return
+	}
+	db.started = true
+	for _, id := range db.clientIDs {
+		db.sch.SendAt(0, id, client.Start{})
+	}
+}
+
+// syncCursor advances the drive cursor to the scheduler clock after stepping
+// primitives that do not run toward an explicit horizon.
+func (db *DB) syncCursor() {
+	if now := db.sch.Now(); now > db.cursor {
+		db.cursor = now
+	}
+}
+
+// Now returns the virtual time the simulation has been driven to.
+func (db *DB) Now() Time { return db.cursor }
+
+// Run drives the cluster to the configured horizon (Warmup+Measure), or to
+// quiescence when Measure is zero, and returns the collected Result. It
+// composes with the incremental drivers: events already processed by RunFor,
+// RunUntil or Step are not reprocessed, so Run completes whatever remains.
+func (db *DB) Run() Result {
+	db.ensureStarted()
+	if db.cfg.measure == 0 {
+		db.sch.Drain()
+		db.syncCursor()
+	} else {
+		horizon := db.cfg.warmup + db.cfg.measure
+		db.sch.Run(horizon)
+		if horizon > db.cursor {
+			db.cursor = horizon
+		}
+	}
+	return db.Result()
+}
+
+// RunFor advances the simulation by d of virtual time from the current
+// cursor, returning the number of events processed. Repeated calls produce
+// precise phase boundaries: two RunFor(10ms) calls cover exactly [0,10ms)
+// and [10ms,20ms).
+func (db *DB) RunFor(d Time) int {
+	if d <= 0 {
+		return 0
+	}
+	db.ensureStarted()
+	db.cursor += d
+	return db.sch.Run(db.cursor)
+}
+
+// RunUntil processes events one at a time until pred is satisfied, checking
+// it before each delivery. It returns true when pred held, or false when the
+// simulation went quiescent first — which makes it double as a quiescence
+// detector: RunUntil(func(Metrics) bool { return false }) drains the run.
+// The Metrics passed to pred are a read-only peek; they do not consume the
+// Snapshot interval.
+func (db *DB) RunUntil(pred func(m Metrics) bool) bool {
+	db.ensureStarted()
+	for {
+		if pred(db.snapshot(false)) {
+			return true
+		}
+		if !db.sch.Step() {
+			return false
+		}
+		db.syncCursor()
+	}
+}
+
+// Step delivers exactly one simulation event. It returns false when the
+// simulation is quiescent: nothing further will happen without new input.
+func (db *DB) Step() bool {
+	db.ensureStarted()
+	ok := db.sch.Step()
+	db.syncCursor()
+	return ok
+}
+
+// SetWorkload swaps the request generator for every client, taking effect at
+// each client's next issue. Clients that had already gone idle (a previous
+// finite generator was exhausted) are restarted. Use between RunFor phases
+// to script workload changes over a live cluster.
+func (db *DB) SetWorkload(gen Generator) error {
+	if gen == nil {
+		return ErrNoWorkload
+	}
+	db.cfg.workload = gen
+	for i, cl := range db.clients {
+		cl.SetGenerator(gen)
+		if db.started && cl.Idle() {
+			// Restart at the driven-to cursor, not the last event time:
+			// a generator that drained mid-slice must begin the new
+			// phase at the phase boundary, keeping Snapshot intervals
+			// honest.
+			db.sch.SendAt(db.cursor, db.clientIDs[i], client.Start{})
+		}
+	}
+	return nil
+}
+
+// Snapshot returns live cumulative counters plus interval rates covering the
+// span since the previous Snapshot call (the whole run for the first call).
+// Counters are whole-run totals, not measurement-window counters, so they
+// move during warm-up too.
+func (db *DB) Snapshot() Metrics { return db.snapshot(true) }
+
+// Peek is Snapshot without consuming the interval: the baseline for the next
+// Snapshot's interval rates is left untouched.
+func (db *DB) Peek() Metrics { return db.snapshot(false) }
+
+func (db *DB) snapshot(advance bool) Metrics {
+	now := db.cursor
+	tot := db.collector.Totals
+	m := Metrics{
+		Now:         now,
+		Events:      db.sch.Delivered,
+		Completed:   tot.Completed(),
+		Committed:   tot.Committed,
+		UserAborted: tot.UserAborted,
+		CommittedSP: tot.CommittedSP,
+		CommittedMP: tot.CommittedMP,
+		Retries:     tot.Retries,
+	}
+	d := tot.Sub(db.snapCounts)
+	iv := Interval{
+		Start:     db.snapAt,
+		End:       now,
+		Completed: d.Completed(),
+		Committed: d.Committed,
+		Retries:   d.Retries,
+	}
+	if span := now - db.snapAt; span > 0 {
+		iv.Throughput = float64(d.Completed()) / (float64(span) / float64(Second))
+	}
+	m.Interval = iv
+	if advance {
+		db.snapAt, db.snapCounts = now, tot
+	}
+	return m
+}
+
+// PartitionStore returns partition p's primary store (inspection).
+func (db *DB) PartitionStore(p PartitionID) *Store { return db.parts[p].Store() }
+
+// BackupStores returns partition p's backup stores.
+func (db *DB) BackupStores(p PartitionID) []*Store {
+	var out []*Store
+	for _, b := range db.backups[p] {
+		out = append(out, b.Store)
+	}
+	return out
+}
+
+// Coordinator exposes coordinator counters (inspection).
+func (db *DB) Coordinator() *coordinator.Coordinator { return db.coord }
+
+// Clients exposes the client actors (inspection).
+func (db *DB) Clients() []*client.Client { return db.clients }
+
+// lockStats collects per-partition lock manager statistics (locking scheme
+// only; empty otherwise).
+func (db *DB) lockStats() []locks.Stats {
+	var out []locks.Stats
+	for p := range db.parts {
+		if le, ok := db.parts[p].Engine().(*core.LockEngine); ok {
+			out = append(out, le.LockStats())
+		}
+	}
+	return out
+}

@@ -5,24 +5,88 @@
 // make the best choice". This example is that planner: given workload
 // statistics (multi-partition fraction), it evaluates the closed forms and
 // prints the recommended scheme across the range, reproducing Table 1's
-// qualitative structure for the no-conflict single-round case.
+// qualitative structure for the no-conflict single-round case — and then
+// checks the recommendation against reality with a measured specdb.Sweep
+// (scheme × multi-partition fraction) on the simulated cluster.
 package main
 
 import (
 	"fmt"
+	"log"
 
+	"specdb"
+	"specdb/internal/kvstore"
 	"specdb/internal/model"
+	"specdb/internal/workload"
 )
+
+const (
+	clients = 40
+	keys    = 12
+)
+
+// measuredWinners sweeps scheme × MP fraction and returns the measured-best
+// scheme name per fraction.
+func measuredWinners(fractions []float64) (map[float64]string, error) {
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	schemes := []specdb.Scheme{specdb.Blocking, specdb.Speculation, specdb.Locking}
+	cells, err := specdb.Sweep{
+		Name: "advisor",
+		Base: []specdb.Option{
+			specdb.WithPartitions(2),
+			specdb.WithClients(clients),
+			specdb.WithSeed(42),
+			specdb.WithWarmup(20 * specdb.Millisecond),
+			specdb.WithMeasure(80 * specdb.Millisecond),
+			specdb.WithRegistry(reg),
+			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+				kvstore.AddSchema(s)
+				kvstore.Load(s, p, clients, keys)
+			}),
+		},
+		Axes: []specdb.Axis{
+			specdb.SchemeAxis(schemes...),
+			specdb.NumAxis("mp-fraction", fractions, func(f float64) []specdb.Option {
+				return []specdb.Option{specdb.WithWorkload(&workload.Micro{
+					Partitions: 2, KeysPerTxn: keys, MPFraction: f,
+				})}
+			}),
+		},
+	}.Run()
+	if err != nil {
+		return nil, err
+	}
+	best := map[float64]string{}
+	tput := map[float64]float64{}
+	for _, cell := range cells {
+		f := cell.Xs[1]
+		if cell.Result.Throughput > tput[f] {
+			tput[f] = cell.Result.Throughput
+			best[f] = cell.Labels[0]
+		}
+	}
+	return best, nil
+}
 
 func main() {
 	p := model.PaperParams()
 	fmt.Println("Analytical model (Table 2 parameters from the paper):")
 	fmt.Printf("  tsp=%v tspS=%v tmp=%v tmpC=%v l=%.1f%%\n\n",
 		p.Tsp, p.TspS, p.Tmp, p.TmpC, p.L*100)
-	fmt.Printf("%6s %12s %12s %12s %12s   %s\n",
-		"%MP", "blocking", "local spec", "spec", "locking", "recommendation")
+
+	var fractions []float64
 	for pct := 0; pct <= 100; pct += 10 {
-		f := float64(pct) / 100
+		fractions = append(fractions, float64(pct)/100)
+	}
+	measured, err := measuredWinners(fractions)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%6s %12s %12s %12s %12s   %-18s %s\n",
+		"%MP", "blocking", "local spec", "spec", "locking", "recommendation", "measured best")
+	for _, f := range fractions {
 		b, ls, sp, lk := p.Blocking(f), p.LocalSpeculation(f), p.Speculation(f), p.Locking(f)
 		best, name := b, "blocking"
 		if ls > best {
@@ -34,7 +98,8 @@ func main() {
 		if lk > best {
 			best, name = lk, "locking"
 		}
-		fmt.Printf("%5d%% %12.0f %12.0f %12.0f %12.0f   %s\n", pct, b, ls, sp, lk, name)
+		fmt.Printf("%5.0f%% %12.0f %12.0f %12.0f %12.0f   %-18s %s\n",
+			f*100, b, ls, sp, lk, name, measured[f])
 	}
 	fmt.Println("\nCaveats encoded in Table 1 of the paper: prefer locking when")
 	fmt.Println("multi-round transactions dominate; avoid speculation when the")

@@ -11,12 +11,12 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sort"
 
 	"specdb"
 	"specdb/internal/storage"
-	"specdb/internal/workload"
 )
 
 const (
@@ -127,43 +127,46 @@ func (g *gen) Next(ci int, rng *rand.Rand) *specdb.Invocation {
 	}
 }
 
-var _ workload.Generator = (*gen)(nil)
+var _ specdb.Generator = (*gen)(nil)
 
 func main() {
 	for _, scheme := range []specdb.Scheme{specdb.Blocking, specdb.Speculation, specdb.Locking} {
 		reg := specdb.NewRegistry()
 		reg.Register(TransferProc{})
 		committed, insufficient := 0, 0
-		cluster := specdb.New(specdb.Config{
-			Partitions: nPartitions,
-			Clients:    8,
-			Scheme:     scheme,
-			Seed:       2024,
-			Registry:   reg,
-			Setup: func(p specdb.PartitionID, s *specdb.Store) {
+		db, err := specdb.Open(
+			specdb.WithPartitions(nPartitions),
+			specdb.WithClients(8),
+			specdb.WithScheme(scheme),
+			specdb.WithSeed(2024),
+			specdb.WithRegistry(reg),
+			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
 				s.AddTable(storage.NewBTreeTable(accountsTable))
 				for a := 0; a < nAccounts; a++ {
 					if accountPartition(a) == p {
 						s.Table(accountsTable).Put(accountKey(a), int64(initialCents))
 					}
 				}
-			},
-			Workload: &gen{remaining: 2000},
-			OnComplete: func(ci int, inv *specdb.Invocation, r *specdb.Reply) {
+			}),
+			specdb.WithWorkload(&gen{remaining: 2000}),
+			specdb.WithOnComplete(func(ci int, inv *specdb.Invocation, r *specdb.Reply) {
 				if r.Committed {
 					committed++
 				} else if r.UserAborted {
 					insufficient++
 				}
-			},
-		})
-		cluster.Run()
+			}),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.Run()
 
 		// Money conservation: the sum across all partitions must equal
 		// the initial endowment no matter how transfers interleaved.
 		var total int64
 		for p := specdb.PartitionID(0); p < nPartitions; p++ {
-			cluster.PartitionStore(p).Table(accountsTable).Ascend("", "", func(k string, v any) bool {
+			db.PartitionStore(p).Table(accountsTable).Ascend("", "", func(k string, v any) bool {
 				total += v.(int64)
 				return true
 			})

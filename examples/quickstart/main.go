@@ -1,10 +1,11 @@
-// Quickstart: assemble a two-partition cluster running the paper's
-// key/value microbenchmark engine under speculative concurrency control,
-// execute a handful of transactions, and print what happened.
+// Quickstart: open a two-partition cluster running the paper's key/value
+// microbenchmark engine under speculative concurrency control, execute a
+// handful of transactions, and print what happened.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"specdb"
 	"specdb/internal/kvstore"
@@ -37,28 +38,34 @@ func main() {
 		{Proc: kvstore.ProcName, Args: mp, AbortAt: txn.NoAbort},
 	}}
 
-	cluster := specdb.New(specdb.Config{
-		Partitions: 2,
-		Clients:    1,
-		Scheme:     specdb.Speculation,
-		Seed:       1,
-		Registry:   reg,
-		Setup: func(p specdb.PartitionID, s *specdb.Store) {
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(1),
+		specdb.WithScheme(specdb.Speculation),
+		specdb.WithSeed(1),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
 			kvstore.AddSchema(s)
 			kvstore.Load(s, p, clients, keys)
-		},
-		Workload: script,
-		OnComplete: func(ci int, inv *specdb.Invocation, r *specdb.Reply) {
+		}),
+		specdb.WithWorkload(script),
+		specdb.WithOnComplete(func(ci int, inv *specdb.Invocation, r *specdb.Reply) {
 			kind := "single-partition"
 			if len(inv.Args.(*kvstore.Args).Keys) > 1 {
 				kind = "multi-partition "
 			}
 			fmt.Printf("%s txn committed=%v output=%v\n", kind, r.Committed, r.Output)
-		},
-	})
-	cluster.Run()
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.Run()
 
 	// Each committed transaction incremented its keys by one.
-	fmt.Printf("partition 0 counter sum: %d\n", kvstore.Sum(cluster.PartitionStore(0)))
-	fmt.Printf("partition 1 counter sum: %d\n", kvstore.Sum(cluster.PartitionStore(1)))
+	m := db.Snapshot()
+	fmt.Printf("completed %d transactions in %v of virtual time (%d events)\n",
+		m.Completed, m.Now, m.Events)
+	fmt.Printf("partition 0 counter sum: %d\n", kvstore.Sum(db.PartitionStore(0)))
+	fmt.Printf("partition 1 counter sum: %d\n", kvstore.Sum(db.PartitionStore(1)))
 }

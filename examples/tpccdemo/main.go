@@ -1,10 +1,12 @@
 // TPC-C demo: run the paper's modified TPC-C workload (§5.5) under each
-// concurrency control scheme for a short simulated window, print throughput
-// and scheme-level statistics, and verify the TPC-C consistency conditions.
+// concurrency control scheme, watch throughput live in 100 ms slices of
+// virtual time (RunFor + Snapshot), print scheme-level statistics, and
+// verify the TPC-C consistency conditions.
 package main
 
 import (
 	"fmt"
+	"log"
 
 	"specdb"
 	"specdb/internal/storage"
@@ -23,23 +25,33 @@ func main() {
 		reg := specdb.NewRegistry()
 		tpcc.RegisterAll(reg)
 		loader := tpcc.Loader{Layout: layout, Scale: scale, Seed: 7}
-		cluster := specdb.New(specdb.Config{
-			Partitions: 2,
-			Clients:    40,
-			Scheme:     scheme,
-			Seed:       7,
-			Warmup:     50 * specdb.Millisecond,
-			Measure:    300 * specdb.Millisecond,
-			Registry:   reg,
-			Catalog:    &specdb.Catalog{Meta: layout},
-			Setup:      loader.Load,
-			Workload: &tpcc.Mix{
+		db, err := specdb.Open(
+			specdb.WithPartitions(2),
+			specdb.WithClients(40),
+			specdb.WithScheme(scheme),
+			specdb.WithSeed(7),
+			specdb.WithWarmup(50*specdb.Millisecond),
+			specdb.WithMeasure(300*specdb.Millisecond),
+			specdb.WithRegistry(reg),
+			specdb.WithCatalog(&specdb.Catalog{Meta: layout}),
+			specdb.WithSetup(loader.Load),
+			specdb.WithWorkload(&tpcc.Mix{
 				Layout: layout, Scale: scale,
 				RemoteItemProb:    0.01,
 				RemotePaymentProb: 0.15,
-			},
-		})
-		res := cluster.Run()
+			}),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Drive the run in 100 ms slices, observing live interval rates.
+		for db.Now() < 300*specdb.Millisecond {
+			db.RunFor(100 * specdb.Millisecond)
+			m := db.Snapshot()
+			fmt.Printf("  t=%3dms  interval %8.0f txns/sec  (%d committed so far)\n",
+				int64(m.Now/specdb.Millisecond), m.Interval.Throughput, m.Committed)
+		}
+		res := db.Run() // completes the window and collects the Result
 		var speculated uint64
 		for _, es := range res.EngineStats {
 			speculated += es.Speculated
@@ -50,7 +62,7 @@ func main() {
 
 		stores := []*storage.Store{}
 		for p := specdb.PartitionID(0); p < 2; p++ {
-			stores = append(stores, cluster.PartitionStore(p))
+			stores = append(stores, db.PartitionStore(p))
 		}
 		if err := tpcc.CheckConsistency(layout, stores); err != nil {
 			fmt.Printf("  CONSISTENCY VIOLATION: %v\n", err)

@@ -1,0 +1,3 @@
+module specdb
+
+go 1.24

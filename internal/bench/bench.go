@@ -1,9 +1,14 @@
 // Package bench regenerates every table and figure of the paper's
 // evaluation (§5–§6). Each experiment produces named series that
-// cmd/ccbench renders as text or CSV and EXPERIMENTS.md records against the
-// paper's curves. Absolute numbers come from the simulator's cost model; the
-// comparisons (who wins, by what factor, where the crossovers fall) are the
-// reproduction targets.
+// cmd/ccbench renders as text, CSV or JSON and EXPERIMENTS.md records
+// against the paper's curves. Absolute numbers come from the simulator's
+// cost model; the comparisons (who wins, by what factor, where the
+// crossovers fall) are the reproduction targets.
+//
+// Experiments are built on the public specdb.Sweep layer: each figure is a
+// grid of option sets (scheme × x-axis value) rather than a hand-rolled
+// loop, so the bench harness exercises the same experiment machinery the
+// library exposes to users.
 package bench
 
 import (
@@ -11,7 +16,6 @@ import (
 	"sort"
 
 	"specdb"
-	"specdb/internal/core"
 	"specdb/internal/kvstore"
 	"specdb/internal/sim"
 	"specdb/internal/tpcc"
@@ -109,44 +113,81 @@ const (
 	microKeys    = 12
 )
 
-func runMicro(o Opts, c microCfg) specdb.Result {
+// microGen builds the §5.1 workload generator for one configuration.
+func microGen(c microCfg) specdb.Generator {
+	return &workload.Micro{
+		Partitions:   2,
+		KeysPerTxn:   microKeys,
+		MPFraction:   c.mpFrac,
+		ConflictProb: c.conflict,
+		Pinned:       c.pinned,
+		AbortProb:    c.abortProb,
+		TwoRound:     c.twoRound,
+	}
+}
+
+// microOpts builds the full option set for one microbenchmark cell.
+func microOpts(o Opts, c microCfg) []specdb.Option {
 	reg := specdb.NewRegistry()
 	reg.Register(kvstore.Proc{})
-	return specdb.Run(specdb.Config{
-		Partitions: 2,
-		Clients:    microClients,
-		Scheme:     c.scheme,
-		Replicas:   c.replicas,
-		Seed:       o.Seed,
-		Warmup:     o.Warmup,
-		Measure:    o.Measure,
-		Registry:   reg,
-		LockCfg:    specdb.LockConfig{AlwaysLock: c.alwaysLock},
-		SpecCfg:    core.SpecConfig{LocalOnly: c.localOnly},
-		Setup: func(p specdb.PartitionID, s *specdb.Store) {
+	opts := []specdb.Option{
+		specdb.WithPartitions(2),
+		specdb.WithClients(microClients),
+		specdb.WithScheme(c.scheme),
+		specdb.WithSeed(o.Seed),
+		specdb.WithWarmup(o.Warmup),
+		specdb.WithMeasure(o.Measure),
+		specdb.WithRegistry(reg),
+		specdb.WithLockConfig(specdb.LockConfig{AlwaysLock: c.alwaysLock}),
+		specdb.WithSpecConfig(specdb.SpecConfig{LocalOnly: c.localOnly}),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
 			kvstore.AddSchema(s)
 			kvstore.Load(s, p, microClients, microKeys)
-		},
-		Workload: &workload.Micro{
-			Partitions:   2,
-			KeysPerTxn:   microKeys,
-			MPFraction:   c.mpFrac,
-			ConflictProb: c.conflict,
-			Pinned:       c.pinned,
-			AbortProb:    c.abortProb,
-			TwoRound:     c.twoRound,
-		},
+		}),
+		specdb.WithWorkload(microGen(c)),
+	}
+	if c.replicas > 0 {
+		opts = append(opts, specdb.WithReplicas(c.replicas))
+	}
+	return opts
+}
+
+// runMicro executes one microbenchmark cell (Table 2 calibration and tests).
+func runMicro(o Opts, c microCfg) specdb.Result {
+	db, err := specdb.Open(microOpts(o, c)...)
+	if err != nil {
+		panic(fmt.Sprintf("bench: invalid micro config: %v", err))
+	}
+	return db.Run()
+}
+
+// mpAxis sweeps the multi-partition fraction for one base configuration.
+func mpAxis(base microCfg, grid []float64) specdb.Axis {
+	return specdb.NumAxis("mp-fraction", grid, func(f float64) []specdb.Option {
+		c := base
+		c.mpFrac = f
+		return []specdb.Option{specdb.WithWorkload(microGen(c))}
 	})
 }
 
 // sweep runs one scheme across the multi-partition fractions.
 func sweep(o Opts, name string, base microCfg) Series {
+	return sweepGrid(o, name, base, mpFractions(o))
+}
+
+// sweepGrid is sweep over an explicit fraction grid.
+func sweepGrid(o Opts, name string, base microCfg, grid []float64) Series {
+	cells, err := specdb.Sweep{
+		Name: name,
+		Base: microOpts(o, base),
+		Axes: []specdb.Axis{mpAxis(base, grid)},
+	}.Run()
+	if err != nil {
+		panic(fmt.Sprintf("bench: sweep %s: %v", name, err))
+	}
 	s := Series{Name: name}
-	for _, f := range mpFractions(o) {
-		c := base
-		c.mpFrac = f
-		r := runMicro(o, c)
-		s.Points = append(s.Points, Point{X: f * 100, Y: r.Throughput})
+	for _, cell := range cells {
+		s.Points = append(s.Points, Point{X: cell.Xs[0] * 100, Y: cell.Result.Throughput})
 	}
 	return s
 }
@@ -233,30 +274,40 @@ func Figure7() Experiment {
 	}
 }
 
-// tpccRun executes one TPC-C configuration.
-func tpccRun(o Opts, scheme specdb.Scheme, warehouses int, newOrderOnly bool, remoteItem float64) specdb.Result {
+// tpccCellOpts builds the layout-dependent options for one TPC-C cell:
+// registry, catalog, loader and workload all derive from the warehouse count.
+func tpccCellOpts(o Opts, warehouses int, newOrderOnly bool, remoteItem float64) []specdb.Option {
 	layout := tpcc.Layout{Warehouses: warehouses, Partitions: 2}
 	scale := tpcc.DefaultScale()
 	reg := specdb.NewRegistry()
 	tpcc.RegisterAll(reg)
 	loader := tpcc.Loader{Layout: layout, Scale: scale, Seed: o.Seed}
-	return specdb.Run(specdb.Config{
-		Partitions: 2,
-		Clients:    40,
-		Scheme:     scheme,
-		Seed:       o.Seed,
-		Warmup:     o.Warmup,
-		Measure:    o.Measure,
-		Registry:   reg,
-		Catalog:    &specdb.Catalog{Meta: layout},
-		Setup:      loader.Load,
-		Workload: &tpcc.Mix{
-			Layout: layout, Scale: scale,
-			RemoteItemProb:    remoteItem,
-			RemotePaymentProb: 0.15,
-			NewOrderOnly:      newOrderOnly,
-		},
-	})
+	return []specdb.Option{
+		specdb.WithRegistry(reg),
+		specdb.WithCatalog(&specdb.Catalog{Meta: layout}),
+		specdb.WithSetup(loader.Load),
+		// Mix is stateful (it advances a clock), so every cell run needs
+		// a fresh instance.
+		specdb.WithWorkloadFactory(func() specdb.Generator {
+			return &tpcc.Mix{
+				Layout: layout, Scale: scale,
+				RemoteItemProb:    remoteItem,
+				RemotePaymentProb: 0.15,
+				NewOrderOnly:      newOrderOnly,
+			}
+		}),
+	}
+}
+
+// tpccBase is the shared TPC-C cluster configuration.
+func tpccBase(o Opts) []specdb.Option {
+	return []specdb.Option{
+		specdb.WithPartitions(2),
+		specdb.WithClients(40),
+		specdb.WithSeed(o.Seed),
+		specdb.WithWarmup(o.Warmup),
+		specdb.WithMeasure(o.Measure),
+	}
 }
 
 // Figure8 is TPC-C throughput while varying warehouses (§5.5).
@@ -268,20 +319,25 @@ func Figure8() Experiment {
 		XAxis: "warehouses",
 		YAxis: "transactions/second",
 		Run: func(o Opts) []Series {
-			ws := []int{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+			ws := []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
 			if o.Coarse {
-				ws = []int{2, 6, 12, 20}
+				ws = []float64{2, 6, 12, 20}
 			}
-			var out []Series
-			for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking} {
-				s := Series{Name: schemeName(scheme)}
-				for _, w := range ws {
-					r := tpccRun(o, scheme, w, false, 0.01)
-					s.Points = append(s.Points, Point{X: float64(w), Y: r.Throughput})
-				}
-				out = append(out, s)
+			schemes := []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking}
+			cells, err := specdb.Sweep{
+				Name: "fig8",
+				Base: tpccBase(o),
+				Axes: []specdb.Axis{
+					specdb.SchemeAxis(schemes...),
+					specdb.NumAxis("warehouses", ws, func(w float64) []specdb.Option {
+						return tpccCellOpts(o, int(w), false, 0.01)
+					}),
+				},
+			}.Run()
+			if err != nil {
+				panic(fmt.Sprintf("bench: fig8: %v", err))
 			}
-			return out
+			return schemeSeries(cells, schemes)
 		},
 	}
 }
@@ -300,19 +356,46 @@ func Figure9() Experiment {
 			if o.Coarse {
 				probs = []float64{0, 0.01, 0.07, 0.35, 1.0}
 			}
-			var out []Series
-			for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking} {
-				s := Series{Name: schemeName(scheme)}
-				for _, q := range probs {
-					r := tpccRun(o, scheme, 6, true, q)
-					x := 100 * expectedMPFraction(q, 6, 2)
-					s.Points = append(s.Points, Point{X: x, Y: r.Throughput})
-				}
-				out = append(out, s)
+			schemes := []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking}
+			cells, err := specdb.Sweep{
+				Name: "fig9",
+				Base: tpccBase(o),
+				Axes: []specdb.Axis{
+					specdb.SchemeAxis(schemes...),
+					specdb.NumAxis("remote-item-prob", probs, func(q float64) []specdb.Option {
+						return tpccCellOpts(o, 6, true, q)
+					}),
+				},
+			}.Run()
+			if err != nil {
+				panic(fmt.Sprintf("bench: fig9: %v", err))
 			}
-			return out
+			series := schemeSeries(cells, schemes)
+			// Re-express the x-axis as the expected MP fraction.
+			for si := range series {
+				for pi := range series[si].Points {
+					q := series[si].Points[pi].X
+					series[si].Points[pi].X = 100 * expectedMPFraction(q, 6, 2)
+				}
+			}
+			return series
 		},
 	}
+}
+
+// schemeSeries groups sweep cells (scheme-major order) into one series per
+// scheme, carrying the inner axis value as X.
+func schemeSeries(cells []specdb.Cell, schemes []specdb.Scheme) []Series {
+	per := len(cells) / len(schemes)
+	var out []Series
+	for i, scheme := range schemes {
+		s := Series{Name: schemeName(scheme)}
+		for _, cell := range cells[i*per : (i+1)*per] {
+			s.Points = append(s.Points, Point{X: cell.Xs[1], Y: cell.Result.Throughput})
+		}
+		out = append(out, s)
+	}
+	return out
 }
 
 // Figure10 overlays the §6 analytical model on measured (replication-free)
@@ -387,22 +470,11 @@ func AblationAlwaysLock() Experiment {
 		XAxis: "multi-partition transactions (%)",
 		YAxis: "transactions/second",
 		Run: func(o Opts) []Series {
-			fine := o
-			fine.Coarse = false
 			grid := []float64{0, 0.02, 0.04, 0.06, 0.08, 0.10, 0.16}
-			mk := func(name string, c microCfg) Series {
-				s := Series{Name: name}
-				for _, f := range grid {
-					c.mpFrac = f
-					r := runMicro(fine, c)
-					s.Points = append(s.Points, Point{f * 100, r.Throughput})
-				}
-				return s
-			}
 			return []Series{
-				mk("Blocking", microCfg{scheme: specdb.Blocking}),
-				mk("Locking (fast path)", microCfg{scheme: specdb.Locking}),
-				mk("Locking (always lock)", microCfg{scheme: specdb.Locking, alwaysLock: true}),
+				sweepGrid(o, "Blocking", microCfg{scheme: specdb.Blocking}, grid),
+				sweepGrid(o, "Locking (fast path)", microCfg{scheme: specdb.Locking}, grid),
+				sweepGrid(o, "Locking (always lock)", microCfg{scheme: specdb.Locking, alwaysLock: true}, grid),
 			}
 		},
 	}
@@ -437,10 +509,22 @@ func AblationReplication() Experiment {
 		Run: func(o Opts) []Series {
 			var out []Series
 			for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking} {
+				base := microCfg{scheme: scheme, mpFrac: 0.1}
+				cells, err := specdb.Sweep{
+					Name: "ablation-replication",
+					Base: microOpts(o, base),
+					Axes: []specdb.Axis{
+						specdb.NumAxis("replicas", []float64{1, 2, 3}, func(k float64) []specdb.Option {
+							return []specdb.Option{specdb.WithReplicas(int(k))}
+						}),
+					},
+				}.Run()
+				if err != nil {
+					panic(fmt.Sprintf("bench: replication sweep: %v", err))
+				}
 				s := Series{Name: schemeName(scheme)}
-				for _, k := range []int{1, 2, 3} {
-					r := runMicro(o, microCfg{scheme: scheme, mpFrac: 0.1, replicas: k})
-					s.Points = append(s.Points, Point{float64(k), r.Throughput})
+				for _, cell := range cells {
+					s.Points = append(s.Points, Point{X: cell.Xs[0], Y: cell.Result.Throughput})
 				}
 				out = append(out, s)
 			}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -54,6 +55,31 @@ func FormatCSV(w io.Writer, e Experiment, series []Series) {
 			fmt.Fprintf(w, "%s,%s,%g,%g\n", e.ID, name, p.X, p.Y)
 		}
 	}
+}
+
+// FormatJSON emits one JSON object per measured point (grid cell), newline
+// delimited, so bench trajectories can be consumed without scraping the
+// aligned text output.
+func FormatJSON(w io.Writer, e Experiment, series []Series) error {
+	enc := json.NewEncoder(w)
+	for _, s := range series {
+		for _, p := range s.Points {
+			rec := struct {
+				Experiment string  `json:"experiment"`
+				Title      string  `json:"title,omitempty"`
+				Ref        string  `json:"ref,omitempty"`
+				Series     string  `json:"series"`
+				XAxis      string  `json:"x_axis,omitempty"`
+				YAxis      string  `json:"y_axis,omitempty"`
+				X          float64 `json:"x"`
+				Y          float64 `json:"y"`
+			}{e.ID, e.Title, e.Ref, s.Name, e.XAxis, e.YAxis, p.X, p.Y}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func colWidth(name string) int {

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"fmt"
+
 	"specdb"
 	"specdb/internal/costs"
 	"specdb/internal/model"
@@ -54,19 +56,36 @@ func Table1() Experiment {
 					}
 				}
 			}
+			// One sweep: workload-cell axis × scheme axis.
+			schemes := []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking}
+			cellAxis := specdb.Axis{Name: "workload"}
+			for i, c := range cells {
+				cfg := microCfg{
+					mpFrac:    c.mp,
+					abortProb: c.abort,
+					conflict:  c.confl,
+					pinned:    c.confl > 0,
+					twoRound:  c.rounds,
+				}
+				cellAxis.Points = append(cellAxis.Points, specdb.AxisPoint{
+					Label: c.name,
+					X:     float64(i),
+					Opts:  []specdb.Option{specdb.WithWorkload(microGen(cfg))},
+				})
+			}
+			grid, err := specdb.Sweep{
+				Name: "table1",
+				Base: microOpts(o, microCfg{}),
+				Axes: []specdb.Axis{cellAxis, specdb.SchemeAxis(schemes...)},
+			}.Run()
+			if err != nil {
+				panic(fmt.Sprintf("bench: table1: %v", err))
+			}
 			var out []Series
-			for _, c := range cells {
+			for i, c := range cells {
 				vals := map[string]float64{}
-				for _, scheme := range []specdb.Scheme{specdb.Speculation, specdb.Blocking, specdb.Locking} {
-					r := runMicro(o, microCfg{
-						scheme:    scheme,
-						mpFrac:    c.mp,
-						abortProb: c.abort,
-						conflict:  c.confl,
-						pinned:    c.confl > 0,
-						twoRound:  c.rounds,
-					})
-					vals[schemeName(scheme)] = r.Throughput
+				for j, scheme := range schemes {
+					vals[schemeName(scheme)] = grid[i*len(schemes)+j].Result.Throughput
 				}
 				// Encode the winner in the series name; Y carries the
 				// winning throughput.

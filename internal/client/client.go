@@ -75,11 +75,27 @@ func (c *Client) Bind(self sim.ActorID, seed int64) {
 	c.rng = rand.New(rand.NewSource(seed))
 }
 
+// Idle reports whether the client has no transaction in flight: it either
+// has not started or its generator returned nil. An idle client resumes only
+// when sent a fresh Start message.
+func (c *Client) Idle() bool { return c.cur == nil }
+
+// SetGenerator swaps the workload generator. The swap takes effect at the
+// client's next issue; the in-flight transaction (if any) is unaffected.
+// Callers changing workload phases mid-run use this together with Start for
+// clients that had already gone idle.
+func (c *Client) SetGenerator(g workload.Generator) { c.Gen = g }
+
 // Receive drives the closed loop.
 func (c *Client) Receive(ctx *sim.Context, m sim.Message) {
 	switch v := m.(type) {
 	case Start:
-		c.issueNext(ctx)
+		// Idempotent: a duplicate Start (a workload swap re-kicking a
+		// client whose original Start is still queued) must not abandon
+		// the in-flight transaction.
+		if c.cur == nil {
+			c.issueNext(ctx)
+		}
 	case *msg.ClientReply:
 		if c.cur == nil || v.Txn != c.cur.id {
 			return // stale reply from an abandoned attempt

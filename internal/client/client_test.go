@@ -160,8 +160,8 @@ func TestMPClientCoordinatedUnderLocking(t *testing.T) {
 			t.Fatalf("partition %d decisions = %+v", i, ds)
 		}
 	}
-	if f.col.Committed != 1 {
-		t.Fatalf("committed = %d", f.col.Committed)
+	if f.col.Window.Committed != 1 {
+		t.Fatalf("committed = %d", f.col.Window.Committed)
 	}
 }
 
@@ -178,8 +178,8 @@ func TestMPNoVoteAbortsAll(t *testing.T) {
 			t.Fatalf("partition %d decisions = %+v", i, ds)
 		}
 	}
-	if f.col.UserAborted != 1 {
-		t.Fatalf("user aborted = %d", f.col.UserAborted)
+	if f.col.Window.UserAborted != 1 {
+		t.Fatalf("user aborted = %d", f.col.Window.UserAborted)
 	}
 	// A late vote from the other participant is stale and ignored.
 	f.s.SendAt(f.s.Now(), f.clID, &msg.FragmentResult{Txn: id, Partition: 1})
@@ -202,16 +202,16 @@ func TestKilledVoteRetriesWithFreshID(t *testing.T) {
 	if fs[1].Txn == id {
 		t.Fatal("retry reused the transaction ID")
 	}
-	if f.col.Retries != 1 {
-		t.Fatalf("retries = %d", f.col.Retries)
+	if f.col.Window.Retries != 1 {
+		t.Fatalf("retries = %d", f.col.Window.Retries)
 	}
 	// The retry commits.
 	id2 := fs[1].Txn
 	f.s.SendAt(f.s.Now(), f.clID, &msg.FragmentResult{Txn: id2, Partition: 0})
 	f.s.SendAt(f.s.Now(), f.clID, &msg.FragmentResult{Txn: id2, Partition: 1})
 	f.s.Drain()
-	if f.col.Committed != 1 {
-		t.Fatalf("committed = %d", f.col.Committed)
+	if f.col.Window.Committed != 1 {
+		t.Fatalf("committed = %d", f.col.Window.Committed)
 	}
 }
 
@@ -231,8 +231,8 @@ func TestMultiRoundClientDriver(t *testing.T) {
 	f.s.SendAt(f.s.Now(), f.clID, &msg.FragmentResult{Txn: id, Partition: 0, Round: 1})
 	f.s.SendAt(f.s.Now(), f.clID, &msg.FragmentResult{Txn: id, Partition: 1, Round: 1})
 	f.s.Drain()
-	if f.col.Committed != 1 {
-		t.Fatalf("committed = %d", f.col.Committed)
+	if f.col.Window.Committed != 1 {
+		t.Fatalf("committed = %d", f.col.Window.Committed)
 	}
 }
 

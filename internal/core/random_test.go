@@ -22,8 +22,8 @@ func TestQuickSpeculativeScheduleInvariants(t *testing.T) {
 		e := NewSpeculative(env)
 
 		nextID := uint64(1)
-		var pendingMP []uint64     // MP txns awaiting decisions, FIFO
-		committedIncr := 0         // increments known committed
+		var pendingMP []uint64 // MP txns awaiting decisions, FIFO
+		committedIncr := 0     // increments known committed
 		spOutstanding := map[msg.TxnID]bool{}
 		mpCommitted := map[msg.TxnID]bool{}
 

@@ -9,6 +9,48 @@ import (
 	"specdb/internal/sim"
 )
 
+// Counts is a set of cumulative transaction counters. The Collector keeps
+// two: one restricted to the measurement window (the paper's methodology)
+// and one covering the whole run, which backs live snapshots — interval
+// rates are differences of whole-run Counts taken at two instants.
+type Counts struct {
+	Committed   uint64
+	UserAborted uint64
+	CommittedSP uint64
+	CommittedMP uint64
+	Retries     uint64
+}
+
+// Completed returns committed plus user-aborted transactions (user aborts
+// are completions, §5.3).
+func (c Counts) Completed() uint64 { return c.Committed + c.UserAborted }
+
+// Sub returns the counter deltas c − prev, the interval between two
+// snapshots of the same collector.
+func (c Counts) Sub(prev Counts) Counts {
+	return Counts{
+		Committed:   c.Committed - prev.Committed,
+		UserAborted: c.UserAborted - prev.UserAborted,
+		CommittedSP: c.CommittedSP - prev.CommittedSP,
+		CommittedMP: c.CommittedMP - prev.CommittedMP,
+		Retries:     c.Retries - prev.Retries,
+	}
+}
+
+// record classifies one completion.
+func (c *Counts) record(committed, multiPartition bool) {
+	if committed {
+		c.Committed++
+		if multiPartition {
+			c.CommittedMP++
+		} else {
+			c.CommittedSP++
+		}
+	} else {
+		c.UserAborted++
+	}
+}
+
 // Collector accumulates transaction completions. The paper's methodology is
 // a warm-up period followed by a measurement window; only completions inside
 // the window count (§5).
@@ -17,15 +59,11 @@ type Collector struct {
 	WarmupEnd sim.Time
 	End       sim.Time
 
-	// Window counters.
-	Committed   uint64
-	UserAborted uint64
-	CommittedSP uint64
-	CommittedMP uint64
-	Retries     uint64
-
-	// Totals over the whole run (including warm-up), for sanity checks.
-	TotalCompleted uint64
+	// Window counts completions inside the measurement window; Totals
+	// covers the whole run (including warm-up and post-window), backing
+	// live observability.
+	Window Counts
+	Totals Counts
 
 	lat Histogram
 }
@@ -43,32 +81,24 @@ func (c *Collector) inWindow(now sim.Time) bool {
 // (§5.3: the abort is the transaction's outcome); deadlock/timeout kills must
 // be reported via Retry instead, followed eventually by a completion.
 func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition bool) {
-	c.TotalCompleted++
+	c.Totals.record(committed, multiPartition)
 	if !c.inWindow(now) {
 		return
 	}
-	if committed {
-		c.Committed++
-		if multiPartition {
-			c.CommittedMP++
-		} else {
-			c.CommittedSP++
-		}
-	} else {
-		c.UserAborted++
-	}
+	c.Window.record(committed, multiPartition)
 	c.lat.Add(now - start)
 }
 
 // Retry records a transaction attempt killed and re-submitted.
 func (c *Collector) Retry(now sim.Time) {
+	c.Totals.Retries++
 	if c.inWindow(now) {
-		c.Retries++
+		c.Window.Retries++
 	}
 }
 
 // Completed returns the number of completed transactions in the window.
-func (c *Collector) Completed() uint64 { return c.Committed + c.UserAborted }
+func (c *Collector) Completed() uint64 { return c.Window.Completed() }
 
 // Throughput returns completed transactions per second of measurement window.
 func (c *Collector) Throughput() float64 {

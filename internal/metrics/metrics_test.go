@@ -12,14 +12,46 @@ func TestWindowFiltering(t *testing.T) {
 	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, true, false) // inside
 	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, false, true) // inside, user abort
 	c.TxnDone(250*sim.Millisecond, 0, true, false)                   // after window
-	if c.Committed != 1 || c.UserAborted != 1 {
-		t.Fatalf("committed=%d aborted=%d", c.Committed, c.UserAborted)
+	if c.Window.Committed != 1 || c.Window.UserAborted != 1 {
+		t.Fatalf("committed=%d aborted=%d", c.Window.Committed, c.Window.UserAborted)
 	}
 	if c.Completed() != 2 {
 		t.Fatalf("completed = %d", c.Completed())
 	}
-	if c.TotalCompleted != 4 {
-		t.Fatalf("total = %d", c.TotalCompleted)
+	if c.Totals.Completed() != 4 {
+		t.Fatalf("total = %d", c.Totals.Completed())
+	}
+}
+
+func TestTotalsIgnoreWindow(t *testing.T) {
+	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
+	c.TxnDone(50*sim.Millisecond, 0, true, false)  // before window
+	c.TxnDone(250*sim.Millisecond, 0, true, true)  // after window
+	c.TxnDone(260*sim.Millisecond, 0, false, true) // after window, abort
+	c.Retry(10 * sim.Millisecond)                  // before window
+	want := Counts{Committed: 2, UserAborted: 1, CommittedSP: 1, CommittedMP: 1, Retries: 1}
+	if c.Totals != want {
+		t.Fatalf("totals = %+v, want %+v", c.Totals, want)
+	}
+	if c.Window != (Counts{}) {
+		t.Fatalf("window counters leaked: %+v", c.Window)
+	}
+}
+
+func TestCountsSub(t *testing.T) {
+	c := NewCollector(0, sim.Second)
+	c.TxnDone(1, 0, true, false)
+	before := c.Totals
+	c.TxnDone(2, 0, true, true)
+	c.TxnDone(3, 0, false, false)
+	c.Retry(4)
+	d := c.Totals.Sub(before)
+	want := Counts{Committed: 1, UserAborted: 1, CommittedMP: 1, Retries: 1}
+	if d != want {
+		t.Fatalf("delta = %+v, want %+v", d, want)
+	}
+	if d.Completed() != 2 {
+		t.Fatalf("delta completed = %d", d.Completed())
 	}
 }
 
@@ -38,8 +70,8 @@ func TestSPMPSplit(t *testing.T) {
 	c.TxnDone(1, 0, true, false)
 	c.TxnDone(2, 0, true, true)
 	c.TxnDone(3, 0, true, true)
-	if c.CommittedSP != 1 || c.CommittedMP != 2 {
-		t.Fatalf("sp=%d mp=%d", c.CommittedSP, c.CommittedMP)
+	if c.Window.CommittedSP != 1 || c.Window.CommittedMP != 2 {
+		t.Fatalf("sp=%d mp=%d", c.Window.CommittedSP, c.Window.CommittedMP)
 	}
 }
 
@@ -48,8 +80,8 @@ func TestRetriesCounted(t *testing.T) {
 	c.Retry(10)
 	c.Retry(20)
 	c.Retry(2 * sim.Second) // outside window
-	if c.Retries != 2 {
-		t.Fatalf("retries = %d", c.Retries)
+	if c.Window.Retries != 2 {
+		t.Fatalf("retries = %d", c.Window.Retries)
 	}
 }
 

@@ -129,6 +129,38 @@ func (s *Scheduler) SendAt(at Time, to ActorID, msg Message) {
 // Stop makes Run return after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// deliver dispatches one dequeued event to its actor, modelling the actor's
+// single-threaded CPU: service starts at max(arrival, busyUntil).
+func (s *Scheduler) deliver(e event) {
+	s.now = e.at
+	a := &s.actors[e.to-1]
+	start := e.at
+	if a.busyUntil > start {
+		start = a.busyUntil
+	}
+	s.ctx.self = e.to
+	s.ctx.local = start
+	a.handler.Receive(&s.ctx, e.msg)
+	a.busyUntil = s.ctx.local
+	a.busyTotal += s.ctx.local - start
+	s.Delivered++
+}
+
+// Step delivers exactly one event and returns true, or returns false when the
+// queue is empty or the scheduler is stopped. It is the fine-grained stepping
+// primitive beneath Run/Drain and the facade's interactive drivers.
+func (s *Scheduler) Step() bool {
+	if s.stopped {
+		return false
+	}
+	e, ok := s.heap.pop()
+	if !ok {
+		return false
+	}
+	s.deliver(e)
+	return true
+}
+
 // Run processes events in order until the queue is empty or the next event's
 // delivery time exceeds until. It returns the number of events processed.
 func (s *Scheduler) Run(until Time) int {
@@ -139,18 +171,7 @@ func (s *Scheduler) Run(until Time) int {
 			break
 		}
 		s.heap.pop()
-		s.now = e.at
-		a := &s.actors[e.to-1]
-		start := e.at
-		if a.busyUntil > start {
-			start = a.busyUntil
-		}
-		s.ctx.self = e.to
-		s.ctx.local = start
-		a.handler.Receive(&s.ctx, e.msg)
-		a.busyUntil = s.ctx.local
-		a.busyTotal += s.ctx.local - start
-		s.Delivered++
+		s.deliver(e)
 		n++
 	}
 	return n

@@ -1,0 +1,170 @@
+package specdb
+
+import (
+	"errors"
+	"fmt"
+
+	"specdb/internal/costs"
+	"specdb/internal/txn"
+)
+
+// Open validation errors. Each is wrapped with the offending value where one
+// exists, so callers can branch with errors.Is and still log useful detail.
+var (
+	// ErrNoRegistry: no procedure registry was supplied (WithRegistry).
+	ErrNoRegistry = errors.New("specdb: no procedure registry (use WithRegistry)")
+	// ErrNoWorkload: no workload generator was supplied (WithWorkload).
+	ErrNoWorkload = errors.New("specdb: no workload generator (use WithWorkload)")
+	// ErrBadScheme: the scheme is not Blocking, Speculation or Locking.
+	ErrBadScheme = errors.New("specdb: unknown concurrency control scheme")
+	// ErrBadPartitions: the partition count is not positive.
+	ErrBadPartitions = errors.New("specdb: partition count must be positive")
+	// ErrBadClients: the client count is not positive.
+	ErrBadClients = errors.New("specdb: client count must be positive")
+	// ErrBadReplicas: the replica count (k) is not positive.
+	ErrBadReplicas = errors.New("specdb: replica count must be positive")
+	// ErrBadWindow: warmup or measure is negative.
+	ErrBadWindow = errors.New("specdb: warmup and measure must be non-negative")
+)
+
+// Option configures a DB at Open time. Options apply in order, so later
+// options override earlier ones — which is how Sweep axes specialize a shared
+// base configuration.
+type Option func(*settings)
+
+// settings is the resolved configuration a DB is assembled from.
+type settings struct {
+	partitions int
+	clients    int
+	scheme     Scheme
+	replicas   int
+	costs      CostModel
+	lockCfg    LockConfig
+	specCfg    SpecConfig
+	seed       int64
+	warmup     Time
+	measure    Time
+	registry   *Registry
+	catalog    *Catalog
+	setup      func(PartitionID, *Store)
+	workload   Generator
+	onComplete func(clientIdx int, inv *Invocation, reply *Reply)
+}
+
+// defaultSettings mirrors the paper's testbed: two partitions, 40 closed-loop
+// clients (§5.1), speculative concurrency control, no replication, Table 2
+// costs, and an open-ended run (Measure zero runs to quiescence).
+func defaultSettings() settings {
+	return settings{
+		partitions: 2,
+		clients:    40,
+		scheme:     Speculation,
+		replicas:   1,
+		costs:      costs.Default(),
+	}
+}
+
+func (s *settings) validate() error {
+	if s.partitions <= 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadPartitions, s.partitions)
+	}
+	if s.clients <= 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadClients, s.clients)
+	}
+	if s.replicas <= 0 {
+		return fmt.Errorf("%w (got %d)", ErrBadReplicas, s.replicas)
+	}
+	switch s.scheme {
+	case Blocking, Speculation, Locking:
+	default:
+		return fmt.Errorf("%w (%d)", ErrBadScheme, int(s.scheme))
+	}
+	if s.warmup < 0 || s.measure < 0 {
+		return fmt.Errorf("%w (warmup=%v measure=%v)", ErrBadWindow, s.warmup, s.measure)
+	}
+	if s.registry == nil {
+		return ErrNoRegistry
+	}
+	if s.workload == nil {
+		return ErrNoWorkload
+	}
+	return nil
+}
+
+// WithPartitions sets the number of data partitions, each with one
+// single-threaded primary. Default 2 (the paper's microbenchmark testbed).
+func WithPartitions(n int) Option { return func(s *settings) { s.partitions = n } }
+
+// WithClients sets the number of closed-loop clients. Default 40 (§5.1).
+func WithClients(n int) Option { return func(s *settings) { s.clients = n } }
+
+// WithScheme selects the concurrency control scheme. Default Speculation.
+func WithScheme(sc Scheme) Option { return func(s *settings) { s.scheme = sc } }
+
+// WithReplicas sets k, the total copies of each partition; k=1 (the default)
+// disables replication, as in the paper's model validation (§6.4).
+func WithReplicas(k int) Option { return func(s *settings) { s.replicas = k } }
+
+// WithCosts replaces the Table 2 cost calibration.
+func WithCosts(cm CostModel) Option { return func(s *settings) { s.costs = cm } }
+
+// WithLockConfig tunes the locking engine (§4.3).
+func WithLockConfig(cfg LockConfig) Option { return func(s *settings) { s.lockCfg = cfg } }
+
+// WithSpecConfig tunes the speculative engine (local-only ablation, §4.2.1).
+func WithSpecConfig(cfg SpecConfig) Option { return func(s *settings) { s.specCfg = cfg } }
+
+// WithSeed makes the run a pure function of the configuration. Default 0.
+func WithSeed(seed int64) Option { return func(s *settings) { s.seed = seed } }
+
+// WithWarmup sets the warm-up period before the measurement window.
+func WithWarmup(d Time) Option { return func(s *settings) { s.warmup = d } }
+
+// WithMeasure sets the measurement window length. Zero (the default) runs
+// the workload to completion — finite generators only.
+func WithMeasure(d Time) Option { return func(s *settings) { s.measure = d } }
+
+// WithRegistry installs the stored procedure registry. Required.
+func WithRegistry(reg *Registry) Option { return func(s *settings) { s.registry = reg } }
+
+// WithCatalog describes data distribution; NumPartitions is filled in
+// automatically. Optional.
+func WithCatalog(cat *Catalog) Option { return func(s *settings) { s.catalog = cat } }
+
+// WithSetup installs schema and loads data on each partition's store (and on
+// each backup's).
+func WithSetup(fn func(p PartitionID, s *Store)) Option {
+	return func(s *settings) { s.setup = fn }
+}
+
+// WithWorkload installs the client request generator. Required (or
+// WithWorkloadFactory).
+func WithWorkload(gen Generator) Option { return func(s *settings) { s.workload = gen } }
+
+// WithWorkloadFactory installs a fresh generator per Open by calling mk at
+// option-application time. Sweeps reuse option values across cells and
+// repeats, so stateful generators (Script, Limit) must come from a factory
+// to avoid leaking consumed state between runs.
+func WithWorkloadFactory(mk func() Generator) Option {
+	return func(s *settings) { s.workload = mk() }
+}
+
+// WithOnComplete observes every completed transaction (scripted runs).
+func WithOnComplete(fn func(clientIdx int, inv *Invocation, reply *Reply)) Option {
+	return func(s *settings) { s.onComplete = fn }
+}
+
+// withSeedOffset shifts the configured seed; Sweep uses it to derive distinct
+// deterministic seeds for repeated cells.
+func withSeedOffset(off int64) Option { return func(s *settings) { s.seed += off } }
+
+// catalogOrDefault returns the configured catalog (or an empty one) with
+// NumPartitions filled in.
+func (s *settings) catalogOrDefault() *Catalog {
+	cat := s.catalog
+	if cat == nil {
+		cat = &txn.Catalog{}
+	}
+	cat.NumPartitions = s.partitions
+	return cat
+}

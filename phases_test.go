@@ -1,0 +1,267 @@
+package specdb
+
+import (
+	"testing"
+
+	"specdb/internal/kvstore"
+	"specdb/internal/workload"
+)
+
+// microWorkload returns the §5.1 generator at the given multi-partition
+// fraction.
+func microWorkload(mpFrac float64) Generator {
+	return &workload.Micro{Partitions: 2, KeysPerTxn: testKeys, MPFraction: mpFrac}
+}
+
+// liveOpts is an open-ended (Measure zero) cluster for interactive driving.
+func liveOpts(scheme Scheme, mpFrac float64) []Option {
+	return []Option{
+		WithPartitions(2),
+		WithClients(40),
+		WithScheme(scheme),
+		WithSeed(7),
+		WithRegistry(kvRegistry()),
+		WithSetup(kvSetup(40)),
+		WithWorkload(microWorkload(mpFrac)),
+	}
+}
+
+// TestSnapshotMonotoneCommitted drives a live cluster in slices and checks
+// that cumulative committed counts are monotone non-decreasing, strictly
+// increasing while the workload is active, and that the snapshot clock and
+// interval bounds track the drive cursor.
+func TestSnapshotMonotoneCommitted(t *testing.T) {
+	db := mustOpen(t, liveOpts(Speculation, 0.1)...)
+	var prev Metrics
+	for i := 1; i <= 5; i++ {
+		db.RunFor(10 * Millisecond)
+		m := db.Snapshot()
+		if m.Now != Time(i)*10*Millisecond {
+			t.Fatalf("slice %d: Now = %v, want %v", i, m.Now, Time(i)*10*Millisecond)
+		}
+		if m.Committed < prev.Committed {
+			t.Fatalf("slice %d: committed went backwards: %d < %d", i, m.Committed, prev.Committed)
+		}
+		if m.Committed == prev.Committed {
+			t.Fatalf("slice %d: no progress in 10ms of virtual time", i)
+		}
+		if m.Interval.Start != prev.Now || m.Interval.End != m.Now {
+			t.Fatalf("slice %d: interval [%v,%v), want [%v,%v)",
+				i, m.Interval.Start, m.Interval.End, prev.Now, m.Now)
+		}
+		if got := m.Committed - prev.Committed; got != m.Interval.Committed {
+			t.Fatalf("slice %d: interval committed %d, delta %d", i, m.Interval.Committed, got)
+		}
+		if m.Events <= prev.Events {
+			t.Fatalf("slice %d: events did not advance", i)
+		}
+		prev = m
+	}
+}
+
+// TestTwoPhaseWorkloadSwap is the acceptance scenario: drive a cluster with
+// RunFor/Snapshot across two phases and observe the interval throughput
+// collapse when the workload's multi-partition fraction jumps mid-run.
+func TestTwoPhaseWorkloadSwap(t *testing.T) {
+	db := mustOpen(t, liveOpts(Blocking, 0)...)
+
+	// Phase 1: single-partition only.
+	db.RunFor(100 * Millisecond)
+	phase1 := db.Snapshot()
+	if phase1.Interval.Throughput == 0 {
+		t.Fatal("phase 1 produced no throughput")
+	}
+
+	// Phase 2: 75% multi-partition — blocking stalls through every 2PC.
+	if err := db.SetWorkload(microWorkload(0.75)); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(100 * Millisecond)
+	phase2 := db.Snapshot()
+
+	if phase2.Committed < phase1.Committed {
+		t.Fatalf("cumulative committed decreased: %d < %d", phase2.Committed, phase1.Committed)
+	}
+	if phase2.Interval.Start != 100*Millisecond || phase2.Interval.End != 200*Millisecond {
+		t.Fatalf("phase 2 interval [%v,%v), want [100ms,200ms)",
+			phase2.Interval.Start, phase2.Interval.End)
+	}
+	if !(phase2.Interval.Throughput < 0.7*phase1.Interval.Throughput) {
+		t.Fatalf("interval throughput should collapse under blocking at 75%% MP: %.0f → %.0f",
+			phase1.Interval.Throughput, phase2.Interval.Throughput)
+	}
+
+	// Phase 3: back to single-partition; interval throughput recovers.
+	if err := db.SetWorkload(microWorkload(0)); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(100 * Millisecond)
+	phase3 := db.Snapshot()
+	if !(phase3.Interval.Throughput > 2*phase2.Interval.Throughput) {
+		t.Fatalf("throughput should recover after swap back: %.0f vs %.0f",
+			phase3.Interval.Throughput, phase2.Interval.Throughput)
+	}
+}
+
+func TestSetWorkloadNilRejected(t *testing.T) {
+	db := mustOpen(t, liveOpts(Speculation, 0)...)
+	if err := db.SetWorkload(nil); err == nil {
+		t.Fatal("SetWorkload(nil) should error")
+	}
+}
+
+// TestPeekDoesNotConsumeInterval: Peek leaves the Snapshot interval baseline
+// untouched.
+func TestPeekDoesNotConsumeInterval(t *testing.T) {
+	db := mustOpen(t, liveOpts(Speculation, 0)...)
+	db.RunFor(20 * Millisecond)
+	peek := db.Peek()
+	snap := db.Snapshot()
+	if peek.Interval.Start != 0 || snap.Interval.Start != 0 {
+		t.Fatalf("peek/snapshot interval starts = %v/%v, want 0/0",
+			peek.Interval.Start, snap.Interval.Start)
+	}
+	if snap.Interval.Committed != peek.Interval.Committed {
+		t.Fatalf("peek consumed the interval: %d vs %d",
+			peek.Interval.Committed, snap.Interval.Committed)
+	}
+	// After the consuming Snapshot, the next interval starts fresh.
+	db.RunFor(10 * Millisecond)
+	next := db.Snapshot()
+	if next.Interval.Start != 20*Millisecond {
+		t.Fatalf("next interval start = %v, want 20ms", next.Interval.Start)
+	}
+}
+
+// TestRunUntilPredicate: RunUntil stops as soon as the predicate holds, and
+// reports quiescence when it never does.
+func TestRunUntilPredicate(t *testing.T) {
+	db := mustOpen(t, liveOpts(Speculation, 0.1)...)
+	ok := db.RunUntil(func(m Metrics) bool { return m.Committed >= 100 })
+	if !ok {
+		t.Fatal("RunUntil quiesced before 100 commits of an infinite workload")
+	}
+	if got := db.Peek().Committed; got < 100 {
+		t.Fatalf("committed = %d, want >= 100", got)
+	}
+
+	// A finite script drains to quiescence when the predicate never holds.
+	fin := mustOpen(t, drainOpts(Speculation, scriptOf(40, 4))...)
+	if fin.RunUntil(func(Metrics) bool { return false }) {
+		t.Fatal("predicate never holds: RunUntil must report quiescence")
+	}
+	if got := fin.Peek().Completed; got != 40 {
+		t.Fatalf("drained %d completions, want 40", got)
+	}
+}
+
+// TestStepToQuiescence: Step delivers one event at a time and eventually
+// reports quiescence on a finite workload; Run afterwards is a no-op.
+func TestStepToQuiescence(t *testing.T) {
+	db := mustOpen(t, drainOpts(Speculation, scriptOf(20, 4))...)
+	steps := 0
+	for db.Step() {
+		steps++
+		if steps > 1_000_000 {
+			t.Fatal("no quiescence after 1e6 events")
+		}
+	}
+	if steps == 0 {
+		t.Fatal("no events delivered")
+	}
+	m := db.Snapshot()
+	if m.Completed != 20 {
+		t.Fatalf("completed = %d, want 20", m.Completed)
+	}
+	if m.Events != uint64(steps) {
+		t.Fatalf("events = %d, steps = %d", m.Events, steps)
+	}
+	if db.Step() {
+		t.Fatal("Step after quiescence should stay false")
+	}
+}
+
+// TestDuplicateStartDoesNotAbandonInflight: SetWorkload re-kicks clients
+// whose original t=0 Start is still queued; the duplicate Start must be
+// ignored, not overwrite the in-flight transaction (which would lose its
+// completion while its effects still commit at the partition).
+func TestDuplicateStartDoesNotAbandonInflight(t *testing.T) {
+	completions := 0
+	opts := append(drainOpts(Speculation, scriptOf(12, 0)),
+		WithOnComplete(func(ci int, inv *Invocation, r *Reply) { completions++ }))
+	db := mustOpen(t, opts...)
+	// Deliver exactly one event: client 0's Start, which issues the first
+	// script transaction. Clients 1..7 are idle with Starts still queued.
+	if !db.Step() {
+		t.Fatal("no first event")
+	}
+	// Swap workloads: every idle client gets a second Start enqueued.
+	if err := db.SetWorkload(scriptOf(12, 0)); err != nil {
+		t.Fatal(err)
+	}
+	db.Run()
+	// Client 0's in-flight transaction (1 from script 1) plus the whole
+	// second script: every issued transaction must be accounted for.
+	if completions != 13 {
+		t.Fatalf("completions = %d, want 13 (in-flight txn lost?)", completions)
+	}
+	total := kvstore.Sum(db.PartitionStore(0)) + kvstore.Sum(db.PartitionStore(1))
+	if total != int64(13*testKeys) {
+		t.Fatalf("counter sum = %d, want %d: store state diverged from completions", total, 13*testKeys)
+	}
+}
+
+// TestSetWorkloadRestartAnchorsAtCursor: a generator that drains mid-slice
+// must restart at the phase boundary (the driven-to cursor), not at the last
+// event time, or the next Snapshot interval counts completions from the past
+// and inflates its throughput.
+func TestSetWorkloadRestartAnchorsAtCursor(t *testing.T) {
+	// A tiny finite script drains almost immediately inside the first
+	// 100 ms slice.
+	db := mustOpen(t, drainOpts(Speculation, scriptOf(8, 0))...)
+	db.RunFor(100 * Millisecond)
+	db.Snapshot()
+	// Swap in an infinite workload; it must begin at t=100ms.
+	if err := db.SetWorkload(microWorkload(0)); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(100 * Millisecond)
+	m := db.Snapshot()
+	if m.Interval.Start != 100*Millisecond || m.Interval.End != 200*Millisecond {
+		t.Fatalf("interval [%v,%v), want [100ms,200ms)", m.Interval.Start, m.Interval.End)
+	}
+	// All phase-2 completions happened inside the interval; with the
+	// restart anchored in the past the rate would roughly double what one
+	// partition-pair can sustain (~31k tps).
+	if m.Interval.Throughput > 35000 {
+		t.Fatalf("interval throughput %.0f tps exceeds hardware bound: phase started in the past", m.Interval.Throughput)
+	}
+	if m.Interval.Completed == 0 {
+		t.Fatal("phase 2 never started")
+	}
+}
+
+// TestSetWorkloadRestartsIdleClients: after a finite script drains and every
+// client goes idle, installing a new workload revives the cluster.
+func TestSetWorkloadRestartsIdleClients(t *testing.T) {
+	completions := 0
+	opts := append(drainOpts(Speculation, scriptOf(24, 3)),
+		WithOnComplete(func(ci int, inv *Invocation, r *Reply) { completions++ }))
+	db := mustOpen(t, opts...)
+	db.Run()
+	if completions != 24 {
+		t.Fatalf("first script: %d completions, want 24", completions)
+	}
+	if err := db.SetWorkload(scriptOf(12, 0)); err != nil {
+		t.Fatal(err)
+	}
+	db.Run()
+	if completions != 36 {
+		t.Fatalf("after workload swap: %d completions, want 36", completions)
+	}
+	// Each committed transaction incremented exactly testKeys counters.
+	total := kvstore.Sum(db.PartitionStore(0)) + kvstore.Sum(db.PartitionStore(1))
+	if total != int64(36*testKeys) {
+		t.Fatalf("counter sum = %d, want %d", total, 36*testKeys)
+	}
+}

@@ -1,0 +1,102 @@
+package specdb
+
+import (
+	"specdb/internal/core"
+	"specdb/internal/locks"
+)
+
+// Result summarizes a run's measurement window.
+type Result struct {
+	// Throughput is completed transactions per second of measurement
+	// window (user aborts count as completions, §5.3). For open-ended
+	// runs (Measure zero) it is computed over the elapsed virtual time
+	// after warm-up.
+	Throughput float64
+	// Window counters.
+	Committed   uint64
+	UserAborted uint64
+	CommittedSP uint64
+	CommittedMP uint64
+	Retries     uint64
+	// Latency quantiles over the window.
+	P50, P95, P99 Time
+	// EngineStats per partition.
+	EngineStats []core.EngineStats
+	// LockStats per partition (locking scheme only).
+	LockStats []locks.Stats
+	// Utilization: fraction of wall-clock the actor's CPU was busy.
+	CoordUtilization float64
+	PartUtilization  []float64
+	// Events is the number of simulation events processed.
+	Events uint64
+}
+
+// Metrics is a live snapshot of a running DB: cumulative whole-run counters
+// (they move during warm-up too, unlike Result's window counters) plus
+// interval rates covering the span since the previous Snapshot.
+type Metrics struct {
+	// Now is the virtual time the cluster has been driven to.
+	Now Time
+	// Events is the number of simulation events delivered so far.
+	Events uint64
+	// Cumulative counters since t=0.
+	Completed   uint64
+	Committed   uint64
+	UserAborted uint64
+	CommittedSP uint64
+	CommittedMP uint64
+	Retries     uint64
+	// Interval covers [previous Snapshot's Now, this snapshot's Now).
+	Interval Interval
+}
+
+// Interval reports activity between two snapshots.
+type Interval struct {
+	Start, End Time
+	Completed  uint64
+	Committed  uint64
+	Retries    uint64
+	// Throughput is completions per second of virtual time in the span.
+	Throughput float64
+}
+
+// Duration returns the interval's length.
+func (iv Interval) Duration() Time { return iv.End - iv.Start }
+
+// Result collects the measurement-window summary. It may be called mid-run
+// (after RunFor/Step) for a partial view or after Run for the final one.
+func (db *DB) Result() Result {
+	win := db.collector.Window
+	res := Result{
+		Throughput:  db.collector.Throughput(),
+		Committed:   win.Committed,
+		UserAborted: win.UserAborted,
+		CommittedSP: win.CommittedSP,
+		CommittedMP: win.CommittedMP,
+		Retries:     win.Retries,
+		P50:         db.collector.LatencyQuantile(0.50),
+		P95:         db.collector.LatencyQuantile(0.95),
+		P99:         db.collector.LatencyQuantile(0.99),
+		Events:      db.sch.Delivered,
+	}
+	if db.cfg.measure == 0 {
+		// Open-ended run: rate over elapsed post-warm-up virtual time.
+		res.Throughput = 0
+		if el := db.cursor - db.cfg.warmup; el > 0 {
+			res.Throughput = float64(db.collector.Completed()) / (float64(el) / float64(Second))
+		}
+	}
+	elapsed := db.sch.Now()
+	if elapsed > 0 {
+		res.CoordUtilization = float64(db.sch.BusyTime(db.coordID)) / float64(elapsed)
+	}
+	for p := range db.parts {
+		res.EngineStats = append(res.EngineStats, db.parts[p].Engine().Stats())
+		if elapsed > 0 {
+			res.PartUtilization = append(res.PartUtilization,
+				float64(db.sch.BusyTime(db.partIDs[p]))/float64(elapsed))
+		}
+	}
+	res.LockStats = db.lockStats()
+	return res
+}

@@ -27,6 +27,16 @@ func kvSetup(clients int) func(PartitionID, *Store) {
 	}
 }
 
+// mustOpen fails the test on an invalid configuration.
+func mustOpen(t *testing.T, opts ...Option) *DB {
+	t.Helper()
+	db, err := Open(opts...)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
 // scriptOf builds n invocations alternating single- and multi-partition per
 // the given fraction, using each client's private keys.
 func scriptOf(n int, everyNthMP int) *workload.Script {
@@ -52,15 +62,16 @@ func scriptOf(n int, everyNthMP int) *workload.Script {
 	return &workload.Script{Invs: invs}
 }
 
-func drainConfig(scheme Scheme, gen workload.Generator) Config {
-	return Config{
-		Partitions: 2,
-		Clients:    testClients,
-		Scheme:     scheme,
-		Seed:       1,
-		Registry:   kvRegistry(),
-		Setup:      kvSetup(testClients),
-		Workload:   gen,
+// drainOpts configures a finite run driven to quiescence.
+func drainOpts(scheme Scheme, gen Generator) []Option {
+	return []Option{
+		WithPartitions(2),
+		WithClients(testClients),
+		WithScheme(scheme),
+		WithSeed(1),
+		WithRegistry(kvRegistry()),
+		WithSetup(kvSetup(testClients)),
+		WithWorkload(gen),
 	}
 }
 
@@ -69,21 +80,21 @@ func TestAllSchemesRunScriptToCompletion(t *testing.T) {
 		t.Run(scheme.String(), func(t *testing.T) {
 			const n = 120
 			completions := 0
-			cfg := drainConfig(scheme, scriptOf(n, 3))
-			cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) {
-				if !r.Committed {
-					t.Fatalf("transaction aborted: %+v", r)
-				}
-				completions++
-			}
-			cl := New(cfg)
-			cl.Run()
+			opts := append(drainOpts(scheme, scriptOf(n, 3)),
+				WithOnComplete(func(ci int, inv *Invocation, r *Reply) {
+					if !r.Committed {
+						t.Fatalf("transaction aborted: %+v", r)
+					}
+					completions++
+				}))
+			db := mustOpen(t, opts...)
+			db.Run()
 			if completions != n {
 				t.Fatalf("completions = %d, want %d", completions, n)
 			}
 			// Every committed transaction increments exactly 12
 			// counters.
-			total := kvstore.Sum(cl.PartitionStore(0)) + kvstore.Sum(cl.PartitionStore(1))
+			total := kvstore.Sum(db.PartitionStore(0)) + kvstore.Sum(db.PartitionStore(1))
 			if total != int64(n*testKeys) {
 				t.Fatalf("counter sum = %d, want %d", total, n*testKeys)
 			}
@@ -94,9 +105,9 @@ func TestAllSchemesRunScriptToCompletion(t *testing.T) {
 func TestSchemesAgreeOnFinalState(t *testing.T) {
 	var prints []uint64
 	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
-		cl := New(drainConfig(scheme, scriptOf(90, 4)))
-		cl.Run()
-		prints = append(prints, cl.PartitionStore(0).Fingerprint()^cl.PartitionStore(1).Fingerprint())
+		db := mustOpen(t, drainOpts(scheme, scriptOf(90, 4))...)
+		db.Run()
+		prints = append(prints, db.PartitionStore(0).Fingerprint()^db.PartitionStore(1).Fingerprint())
 	}
 	if prints[0] != prints[1] || prints[1] != prints[2] {
 		t.Fatalf("final states diverge across schemes: %v", prints)
@@ -120,22 +131,22 @@ func TestInjectedAbortsLeaveNoTrace(t *testing.T) {
 				}
 			}
 			committed, userAborted := 0, 0
-			cfg := drainConfig(scheme, script)
-			cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) {
-				if r.Committed {
-					committed++
-				} else if r.UserAborted {
-					userAborted++
-				} else {
-					t.Fatalf("unexpected reply %+v", r)
-				}
-			}
-			cl := New(cfg)
-			cl.Run()
+			opts := append(drainOpts(scheme, script),
+				WithOnComplete(func(ci int, inv *Invocation, r *Reply) {
+					if r.Committed {
+						committed++
+					} else if r.UserAborted {
+						userAborted++
+					} else {
+						t.Fatalf("unexpected reply %+v", r)
+					}
+				}))
+			db := mustOpen(t, opts...)
+			db.Run()
 			if userAborted != aborted {
 				t.Fatalf("userAborted = %d, want %d", userAborted, aborted)
 			}
-			total := kvstore.Sum(cl.PartitionStore(0)) + kvstore.Sum(cl.PartitionStore(1))
+			total := kvstore.Sum(db.PartitionStore(0)) + kvstore.Sum(db.PartitionStore(1))
 			if total != int64(committed*testKeys) {
 				t.Fatalf("counter sum = %d, want %d (committed=%d)", total, committed*testKeys, committed)
 			}
@@ -146,13 +157,12 @@ func TestInjectedAbortsLeaveNoTrace(t *testing.T) {
 func TestReplicationBackupsConverge(t *testing.T) {
 	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
 		t.Run(scheme.String(), func(t *testing.T) {
-			cfg := drainConfig(scheme, scriptOf(60, 3))
-			cfg.Replicas = 3
-			cl := New(cfg)
-			cl.Run()
+			opts := append(drainOpts(scheme, scriptOf(60, 3)), WithReplicas(3))
+			db := mustOpen(t, opts...)
+			db.Run()
 			for p := PartitionID(0); p < 2; p++ {
-				want := cl.PartitionStore(p).Fingerprint()
-				for bi, bs := range cl.BackupStores(p) {
+				want := db.PartitionStore(p).Fingerprint()
+				for bi, bs := range db.BackupStores(p) {
 					if got := bs.Fingerprint(); got != want {
 						t.Fatalf("partition %d backup %d diverged: %d != %d", p, bi, got, want)
 					}
@@ -162,28 +172,30 @@ func TestReplicationBackupsConverge(t *testing.T) {
 	}
 }
 
-func timedConfig(scheme Scheme, mpFrac float64) Config {
-	return Config{
-		Partitions: 2,
-		Clients:    40,
-		Scheme:     scheme,
-		Seed:       7,
-		Warmup:     50 * Millisecond,
-		Measure:    250 * Millisecond,
-		Registry:   kvRegistry(),
-		Setup:      kvSetup(40),
-		Workload: &workload.Micro{
+// timedOpts configures a warm-up + measurement-window run of the §5.1
+// microbenchmark.
+func timedOpts(scheme Scheme, mpFrac float64) []Option {
+	return []Option{
+		WithPartitions(2),
+		WithClients(40),
+		WithScheme(scheme),
+		WithSeed(7),
+		WithWarmup(50 * Millisecond),
+		WithMeasure(250 * Millisecond),
+		WithRegistry(kvRegistry()),
+		WithSetup(kvSetup(40)),
+		WithWorkload(&workload.Micro{
 			Partitions: 2,
 			KeysPerTxn: testKeys,
 			MPFraction: mpFrac,
-		},
+		}),
 	}
 }
 
 func TestDeterministicRuns(t *testing.T) {
 	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
-		a := Run(timedConfig(scheme, 0.2))
-		b := Run(timedConfig(scheme, 0.2))
+		a := mustOpen(t, timedOpts(scheme, 0.2)...).Run()
+		b := mustOpen(t, timedOpts(scheme, 0.2)...).Run()
 		if a.Committed != b.Committed || a.Events != b.Events || a.P99 != b.P99 {
 			t.Fatalf("%v: runs diverge: %+v vs %+v", scheme, a, b)
 		}
@@ -198,7 +210,7 @@ func TestThroughputShape(t *testing.T) {
 	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
 		tputs[scheme] = map[int]float64{}
 		for _, pct := range []int{0, 20} {
-			r := Run(timedConfig(scheme, float64(pct)/100))
+			r := mustOpen(t, timedOpts(scheme, float64(pct)/100)...).Run()
 			tputs[scheme][pct] = r.Throughput
 		}
 	}
@@ -224,15 +236,15 @@ func TestThroughputShape(t *testing.T) {
 
 func TestConflictsDegradeLockingOnly(t *testing.T) {
 	run := func(scheme Scheme, conflict float64) float64 {
-		cfg := timedConfig(scheme, 0.4)
-		cfg.Workload = &workload.Micro{
-			Partitions:   2,
-			KeysPerTxn:   testKeys,
-			MPFraction:   0.4,
-			ConflictProb: conflict,
-			Pinned:       true,
-		}
-		return Run(cfg).Throughput
+		opts := append(timedOpts(scheme, 0.4),
+			WithWorkload(&workload.Micro{
+				Partitions:   2,
+				KeysPerTxn:   testKeys,
+				MPFraction:   0.4,
+				ConflictProb: conflict,
+				Pinned:       true,
+			}))
+		return mustOpen(t, opts...).Run().Throughput
 	}
 	lock0 := run(Locking, 0)
 	lock100 := run(Locking, 1.0)

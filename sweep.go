@@ -1,0 +1,154 @@
+package specdb
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// The paper's evaluation is a family of grids — scheme × partitions ×
+// multi-partition fraction × abort rate — and every harness used to hand-roll
+// the loops. Sweep is that experiment layer: a base option set, axes that
+// each vary one dimension, and a repeat count, executed deterministically
+// into tabular cells.
+
+// Axis varies one dimension of a Sweep grid.
+type Axis struct {
+	// Name labels the dimension in cell identities and errors.
+	Name string
+	// Points are the values swept, in order.
+	Points []AxisPoint
+}
+
+// AxisPoint is one value on an Axis: a label and numeric coordinate for
+// tabular output, plus the options that realize the value. Point options
+// apply after the sweep's Base options and therefore override them.
+type AxisPoint struct {
+	Label string
+	X     float64
+	Opts  []Option
+}
+
+// NumAxis builds a numeric axis: one point per x with options from mk(x).
+func NumAxis(name string, xs []float64, mk func(x float64) []Option) Axis {
+	ax := Axis{Name: name}
+	for _, x := range xs {
+		ax.Points = append(ax.Points, AxisPoint{
+			Label: strconv.FormatFloat(x, 'g', -1, 64),
+			X:     x,
+			Opts:  mk(x),
+		})
+	}
+	return ax
+}
+
+// SchemeAxis builds an axis over concurrency control schemes.
+func SchemeAxis(schemes ...Scheme) Axis {
+	ax := Axis{Name: "scheme"}
+	for i, s := range schemes {
+		ax.Points = append(ax.Points, AxisPoint{
+			Label: s.String(),
+			X:     float64(i),
+			Opts:  []Option{WithScheme(s)},
+		})
+	}
+	return ax
+}
+
+// Sweep runs the cartesian product of its axes over a shared base
+// configuration, each cell Repeats times with distinct deterministic seeds.
+type Sweep struct {
+	// Name labels the sweep in errors and output.
+	Name string
+	// Base options are shared by every cell.
+	Base []Option
+	// Axes are swept grid-major: the last axis varies fastest.
+	Axes []Axis
+	// Repeats (default 1) reruns each cell with the seed offset by the
+	// repeat index, so repeat r of every cell sees seed base+r.
+	Repeats int
+}
+
+// Cell is one completed grid cell.
+type Cell struct {
+	// Labels and Xs identify the cell, one entry per axis in order.
+	Labels []string
+	Xs     []float64
+	// Repeat is the repeat index within the cell (0-based).
+	Repeat int
+	// Result is the run's measurement summary.
+	Result Result
+}
+
+// Run executes every cell sequentially and deterministically, returning them
+// grid-major with repeats innermost. An invalid configuration aborts the
+// sweep with the offending cell identified in the error.
+func (s Sweep) Run() ([]Cell, error) {
+	for _, ax := range s.Axes {
+		if len(ax.Points) == 0 {
+			return nil, fmt.Errorf("specdb: sweep %q axis %q has no points", s.Name, ax.Name)
+		}
+	}
+	reps := s.Repeats
+	if reps <= 0 {
+		reps = 1
+	}
+	var cells []Cell
+	idx := make([]int, len(s.Axes))
+	for {
+		labels := make([]string, len(s.Axes))
+		xs := make([]float64, len(s.Axes))
+		opts := append([]Option(nil), s.Base...)
+		for i, ax := range s.Axes {
+			p := ax.Points[idx[i]]
+			labels[i], xs[i] = p.Label, p.X
+			opts = append(opts, p.Opts...)
+		}
+		for r := 0; r < reps; r++ {
+			o := opts
+			if r > 0 {
+				o = append(append([]Option(nil), opts...), withSeedOffset(int64(r)))
+			}
+			db, err := Open(o...)
+			if err != nil {
+				return nil, fmt.Errorf("specdb: sweep %q cell %v repeat %d: %w", s.Name, labels, r, err)
+			}
+			cells = append(cells, Cell{Labels: labels, Xs: xs, Repeat: r, Result: db.Run()})
+		}
+		// Odometer increment, last axis fastest.
+		i := len(idx) - 1
+		for ; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(s.Axes[i].Points) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i < 0 {
+			return cells, nil
+		}
+	}
+}
+
+// MeanThroughput averages Result.Throughput over the repeats of each
+// distinct cell, returning one value per cell in grid order. It relies on
+// Sweep.Run's output layout: repeats of a cell are consecutive, each group
+// starting at Repeat 0.
+func MeanThroughput(cells []Cell) []float64 {
+	var out []float64
+	sum, n := 0.0, 0
+	flush := func() {
+		if n > 0 {
+			out = append(out, sum/float64(n))
+		}
+		sum, n = 0, 0
+	}
+	for _, c := range cells {
+		if c.Repeat == 0 {
+			flush()
+		}
+		sum += c.Result.Throughput
+		n++
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,156 @@
+package specdb
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"specdb/internal/workload"
+)
+
+// quickBase is a small, fast cluster configuration for sweep tests.
+func quickBase() []Option {
+	return []Option{
+		WithPartitions(2),
+		WithClients(testClients),
+		WithSeed(5),
+		WithWarmup(5 * Millisecond),
+		WithMeasure(20 * Millisecond),
+		WithRegistry(kvRegistry()),
+		WithSetup(kvSetup(testClients)),
+		WithWorkload(microWorkload(0)),
+	}
+}
+
+func TestSweepGridOrder(t *testing.T) {
+	schemes := []Scheme{Blocking, Speculation}
+	fracs := []float64{0, 0.5}
+	cells, err := Sweep{
+		Name: "grid",
+		Base: quickBase(),
+		Axes: []Axis{
+			SchemeAxis(schemes...),
+			NumAxis("mp", fracs, func(f float64) []Option {
+				return []Option{WithWorkload(microWorkload(f))}
+			}),
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(cells))
+	}
+	// Grid-major, last axis fastest.
+	wantLabels := [][]string{
+		{"blocking", "0"}, {"blocking", "0.5"},
+		{"speculation", "0"}, {"speculation", "0.5"},
+	}
+	for i, c := range cells {
+		if !reflect.DeepEqual(c.Labels, wantLabels[i]) {
+			t.Fatalf("cell %d labels = %v, want %v", i, c.Labels, wantLabels[i])
+		}
+		if c.Result.Throughput <= 0 {
+			t.Fatalf("cell %d produced no throughput", i)
+		}
+	}
+	// Blocking at 50% MP must be far below blocking at 0%.
+	if !(cells[1].Result.Throughput < cells[0].Result.Throughput) {
+		t.Fatalf("blocking: 50%% MP (%.0f) should be below 0%% (%.0f)",
+			cells[1].Result.Throughput, cells[0].Result.Throughput)
+	}
+}
+
+func TestSweepZeroAxesRunsBaseOnce(t *testing.T) {
+	cells, err := Sweep{Name: "base-only", Base: quickBase()}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].Repeat != 0 {
+		t.Fatalf("got %d cells, want exactly the base cell", len(cells))
+	}
+}
+
+func TestSweepRepeatsVarySeedDeterministically(t *testing.T) {
+	run := func() []Cell {
+		cells, err := Sweep{Name: "reps", Base: quickBase(), Repeats: 3}.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cells
+	}
+	a := run()
+	if len(a) != 3 {
+		t.Fatalf("got %d cells, want 3", len(a))
+	}
+	if a[0].Repeat != 0 || a[1].Repeat != 1 || a[2].Repeat != 2 {
+		t.Fatalf("repeat indices wrong: %v %v %v", a[0].Repeat, a[1].Repeat, a[2].Repeat)
+	}
+	// Distinct seeds: repeats should not be identical runs.
+	if reflect.DeepEqual(a[0].Result, a[1].Result) {
+		t.Fatal("repeat 1 identical to repeat 0: seed offset not applied")
+	}
+	// But the whole sweep is deterministic.
+	b := run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("sweep is not deterministic across runs")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	_, err := Sweep{Name: "empty-axis", Base: quickBase(), Axes: []Axis{{Name: "x"}}}.Run()
+	if err == nil || !strings.Contains(err.Error(), "empty-axis") {
+		t.Fatalf("empty axis error = %v", err)
+	}
+
+	_, err = Sweep{
+		Name: "bad-cell",
+		Base: quickBase(),
+		Axes: []Axis{{Name: "parts", Points: []AxisPoint{
+			{Label: "zero", X: 0, Opts: []Option{WithPartitions(0)}},
+		}}},
+	}.Run()
+	if !errors.Is(err, ErrBadPartitions) {
+		t.Fatalf("bad cell error = %v, want ErrBadPartitions", err)
+	}
+	if !strings.Contains(err.Error(), "zero") {
+		t.Fatalf("error should identify the offending cell: %v", err)
+	}
+}
+
+// TestSweepWorkloadFactory: a stateful (finite) generator must be created
+// fresh per run via WithWorkloadFactory, so every repeat completes the full
+// transaction budget rather than inheriting a drained generator.
+func TestSweepWorkloadFactory(t *testing.T) {
+	const n = 30
+	base := append(quickBase(),
+		WithWarmup(0), WithMeasure(0),
+		WithWorkloadFactory(func() Generator {
+			return &workload.Limit{Gen: microWorkload(0.2), N: n}
+		}),
+	)
+	cells, err := Sweep{Name: "factory", Base: base, Repeats: 2}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		done := c.Result.Committed + c.Result.UserAborted
+		if done != n {
+			t.Fatalf("repeat %d completed %d transactions, want %d", i, done, n)
+		}
+	}
+}
+
+func TestMeanThroughput(t *testing.T) {
+	cells := []Cell{
+		{Labels: []string{"a"}, Result: Result{Throughput: 10}},
+		{Labels: []string{"a"}, Repeat: 1, Result: Result{Throughput: 20}},
+		{Labels: []string{"b"}, Result: Result{Throughput: 40}},
+	}
+	got := MeanThroughput(cells)
+	want := []float64{15, 40}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("MeanThroughput = %v, want %v", got, want)
+	}
+}

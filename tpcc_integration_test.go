@@ -8,28 +8,33 @@ import (
 	"specdb/internal/workload"
 )
 
-func tpccConfig(scheme Scheme, warehouses int, n int) (Config, tpcc.Layout) {
+// tpccOpts configures a TPC-C cluster; n > 0 caps the workload for
+// run-to-quiescence tests.
+func tpccOpts(scheme Scheme, warehouses int, n int) ([]Option, tpcc.Layout) {
 	layout := tpcc.Layout{Warehouses: warehouses, Partitions: 2}
 	scale := tpcc.Scale{Items: 200, StockPerWarehouse: 200, CustomersPerDist: 30, InitialOrders: 10}
 	reg := NewRegistry()
 	tpcc.RegisterAll(reg)
 	loader := tpcc.Loader{Layout: layout, Scale: scale, Seed: 11}
-	var gen workload.Generator = &tpcc.Mix{
-		Layout: layout, Scale: scale,
-		RemoteItemProb: 0.01, RemotePaymentProb: 0.15,
+	mkGen := func() Generator {
+		var gen Generator = &tpcc.Mix{
+			Layout: layout, Scale: scale,
+			RemoteItemProb: 0.01, RemotePaymentProb: 0.15,
+		}
+		if n > 0 {
+			gen = &workload.Limit{Gen: gen, N: n}
+		}
+		return gen
 	}
-	if n > 0 {
-		gen = &workload.Limit{Gen: gen, N: n}
-	}
-	return Config{
-		Partitions: 2,
-		Clients:    20,
-		Scheme:     scheme,
-		Seed:       3,
-		Registry:   reg,
-		Catalog:    &Catalog{Meta: layout},
-		Setup:      loader.Load,
-		Workload:   gen,
+	return []Option{
+		WithPartitions(2),
+		WithClients(20),
+		WithScheme(scheme),
+		WithSeed(3),
+		WithRegistry(reg),
+		WithCatalog(&Catalog{Meta: layout}),
+		WithSetup(loader.Load),
+		WithWorkloadFactory(mkGen),
 	}, layout
 }
 
@@ -40,17 +45,17 @@ func tpccConfig(scheme Scheme, warehouses int, n int) (Config, tpcc.Layout) {
 func TestTPCCConsistencyAllSchemes(t *testing.T) {
 	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
 		t.Run(scheme.String(), func(t *testing.T) {
-			cfg, layout := tpccConfig(scheme, 4, 1500)
+			opts, layout := tpccOpts(scheme, 4, 1500)
 			committed, aborted := 0, 0
-			cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) {
+			opts = append(opts, WithOnComplete(func(ci int, inv *Invocation, r *Reply) {
 				if r.Committed {
 					committed++
 				} else {
 					aborted++
 				}
-			}
-			cl := New(cfg)
-			cl.Run()
+			}))
+			db := mustOpen(t, opts...)
+			db.Run()
 			if committed == 0 {
 				t.Fatal("nothing committed")
 			}
@@ -58,7 +63,7 @@ func TestTPCCConsistencyAllSchemes(t *testing.T) {
 			if aborted == 0 {
 				t.Log("note: no user aborts in this sample")
 			}
-			stores := []*storage.Store{cl.PartitionStore(0), cl.PartitionStore(1)}
+			stores := []*storage.Store{db.PartitionStore(0), db.PartitionStore(1)}
 			if err := tpcc.CheckConsistency(layout, stores); err != nil {
 				t.Fatalf("consistency violated after %d commits: %v", committed, err)
 			}
@@ -74,11 +79,11 @@ func TestTPCCConsistencyAllSchemes(t *testing.T) {
 func TestTPCCAllInvocationsComplete(t *testing.T) {
 	const n = 800
 	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
-		cfg, _ := tpccConfig(scheme, 4, n)
+		opts, _ := tpccOpts(scheme, 4, n)
 		completed := 0
-		cfg.OnComplete = func(ci int, inv *Invocation, r *Reply) { completed++ }
-		cl := New(cfg)
-		cl.Run()
+		opts = append(opts, WithOnComplete(func(ci int, inv *Invocation, r *Reply) { completed++ }))
+		db := mustOpen(t, opts...)
+		db.Run()
 		if completed != n {
 			t.Errorf("%v: completed %d of %d", scheme, completed, n)
 		}
@@ -86,36 +91,45 @@ func TestTPCCAllInvocationsComplete(t *testing.T) {
 }
 
 func TestTPCCReplicationConverges(t *testing.T) {
-	cfg, layout := tpccConfig(Speculation, 4, 600)
-	cfg.Replicas = 2
-	cl := New(cfg)
-	cl.Run()
+	opts, layout := tpccOpts(Speculation, 4, 600)
+	db := mustOpen(t, append(opts, WithReplicas(2))...)
+	db.Run()
 	for p := PartitionID(0); p < 2; p++ {
-		want := cl.PartitionStore(p).Fingerprint()
-		for bi, bs := range cl.BackupStores(p) {
+		want := db.PartitionStore(p).Fingerprint()
+		for bi, bs := range db.BackupStores(p) {
 			if got := bs.Fingerprint(); got != want {
 				t.Fatalf("partition %d backup %d diverged", p, bi)
 			}
 		}
 	}
-	stores := []*storage.Store{cl.PartitionStore(0), cl.PartitionStore(1)}
+	stores := []*storage.Store{db.PartitionStore(0), db.PartitionStore(1)}
 	if err := tpcc.CheckConsistency(layout, stores); err != nil {
 		t.Fatal(err)
 	}
 }
 
-// TestTPCCThroughputOrdering checks the Figure 8 ordering at 6 warehouses:
-// speculation > blocking > locking (locking pays lock overhead plus
-// contention on warehouse and district rows).
+// TestTPCCThroughputOrdering checks the Figure 8 ordering at 6 warehouses
+// via a scheme-axis Sweep: speculation > blocking > locking (locking pays
+// lock overhead plus contention on warehouse and district rows).
 func TestTPCCThroughputOrdering(t *testing.T) {
+	base, _ := tpccOpts(Speculation, 6, 0)
+	base = append(base,
+		WithClients(40),
+		WithWarmup(50*Millisecond),
+		WithMeasure(300*Millisecond),
+	)
+	schemes := []Scheme{Blocking, Speculation, Locking}
+	cells, err := Sweep{
+		Name: "tpcc-ordering",
+		Base: base,
+		Axes: []Axis{SchemeAxis(schemes...)},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
 	tput := map[Scheme]float64{}
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
-		cfg, _ := tpccConfig(scheme, 6, 0)
-		cfg.Clients = 40
-		cfg.Warmup = 50 * Millisecond
-		cfg.Measure = 300 * Millisecond
-		r := Run(cfg)
-		tput[scheme] = r.Throughput
+	for i, cell := range cells {
+		tput[schemes[i]] = cell.Result.Throughput
 	}
 	if !(tput[Speculation] > tput[Blocking]) {
 		t.Errorf("speculation (%.0f) should beat blocking (%.0f)", tput[Speculation], tput[Blocking])
