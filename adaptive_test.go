@@ -1,0 +1,245 @@
+package specdb_test
+
+import (
+	"testing"
+
+	"specdb"
+	"specdb/internal/kvstore"
+	"specdb/internal/workload"
+)
+
+// adaptiveRun drives one DB through two workload phases with the advisor
+// enabled: a single-round low-MP phase where the §6 model recommends
+// speculation, then a two-round high-MP phase where it recommends locking.
+// It returns the switch history and the final cumulative metrics.
+func adaptiveRun(t *testing.T) ([]specdb.SchemeChange, specdb.Metrics) {
+	t.Helper()
+	const clients, keys = 40, 12
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(clients),
+		specdb.WithScheme(specdb.Blocking),
+		specdb.WithSeed(99),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keys)
+		}),
+		specdb.WithWorkload(&workload.Micro{Partitions: 2, KeysPerTxn: keys, MPFraction: 0.2}),
+		specdb.WithAdvisor(specdb.AdvisorConfig{Interval: 10 * specdb.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: 20% single-round multi-partition transactions.
+	db.RunFor(40 * specdb.Millisecond)
+	phase1 := db.Scheme()
+
+	// Phase 2: 60% two-round ("general", §5.4) multi-partition transactions.
+	if err := db.SetWorkload(&workload.Micro{
+		Partitions: 2, KeysPerTxn: keys, MPFraction: 0.6, TwoRound: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(60 * specdb.Millisecond)
+	phase2 := db.Scheme()
+
+	// (b) The scheme the advisor chose per phase matches the §6 model's
+	// recommendation for that phase's nominal workload.
+	p := specdb.PaperModelParams()
+	if want := p.Recommend(specdb.ModelObserved{MPFraction: 0.2}); phase1 != want {
+		t.Errorf("phase 1 scheme = %v, want model recommendation %v", phase1, want)
+	}
+	if want := p.Recommend(specdb.ModelObserved{MPFraction: 0.6, MultiRound: 1}); phase2 != want {
+		t.Errorf("phase 2 scheme = %v, want model recommendation %v", phase2, want)
+	}
+	return db.SchemeHistory(), db.Peek()
+}
+
+// TestAdvisorSwitchesSchemesAcrossPhases is the §5.7 end-to-end scenario:
+// one DB traverses workloads that previously required separate processes,
+// and the advisor tracks the best scheme through the crossovers.
+func TestAdvisorSwitchesSchemesAcrossPhases(t *testing.T) {
+	history, m := adaptiveRun(t)
+
+	// (a) At least one automatic switch occurred (this scenario produces
+	// two: blocking→speculation in phase 1, speculation→locking in 2).
+	if len(history) < 2 {
+		t.Fatalf("scheme history = %+v, want at least 2 switches", history)
+	}
+	for i, h := range history {
+		if !h.Auto {
+			t.Errorf("switch %d (%+v) not advisor-driven", i, h)
+		}
+		if h.From == h.To {
+			t.Errorf("switch %d (%+v) is a self-switch", i, h)
+		}
+	}
+	if history[0].From != specdb.Blocking || history[0].To != specdb.Speculation {
+		t.Errorf("first switch = %+v, want blocking→speculation", history[0])
+	}
+	last := history[len(history)-1]
+	if last.To != specdb.Locking {
+		t.Errorf("last switch = %+v, want →locking", last)
+	}
+	if m.Completed == 0 || m.CommittedMR == 0 {
+		t.Fatalf("metrics look empty: %+v", m)
+	}
+}
+
+// TestAdvisorRunsAreReproducible reruns the adaptive scenario and asserts
+// (c): the same seed produces byte-identical switch history and final
+// counters, scheme switches included.
+func TestAdvisorRunsAreReproducible(t *testing.T) {
+	h1, m1 := adaptiveRun(t)
+	h2, m2 := adaptiveRun(t)
+	if len(h1) != len(h2) {
+		t.Fatalf("history lengths differ: %d vs %d", len(h1), len(h2))
+	}
+	for i := range h1 {
+		if h1[i] != h2[i] {
+			t.Errorf("switch %d differs: %+v vs %+v", i, h1[i], h2[i])
+		}
+	}
+	if m1 != m2 {
+		t.Errorf("final metrics differ:\n run 1: %+v\n run 2: %+v", m1, m2)
+	}
+}
+
+// TestSetSchemeManual walks one DB through all three schemes by hand and
+// checks the drain-and-swap contract: data stays consistent, history records
+// the switches as manual, and engine counters accumulate across swaps.
+func TestSetSchemeManual(t *testing.T) {
+	const clients, keys = 20, 12
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(clients),
+		specdb.WithScheme(specdb.Blocking),
+		specdb.WithSeed(3),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keys)
+		}),
+		specdb.WithWorkload(&workload.Micro{Partitions: 2, KeysPerTxn: keys, MPFraction: 0.3}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every committed microbenchmark transaction increments exactly
+	// KeysPerTxn counters; right after a SetScheme drain nothing is in
+	// flight, so the store sums must match the committed count exactly.
+	checkConsistent := func(when string) {
+		m := db.Peek()
+		sum := kvstore.Sum(db.PartitionStore(0)) + kvstore.Sum(db.PartitionStore(1))
+		if sum != int64(keys)*int64(m.Committed) {
+			t.Fatalf("%s: store sum = %d, want %d (= %d keys × %d committed)",
+				when, sum, int64(keys)*int64(m.Committed), keys, m.Committed)
+		}
+	}
+
+	db.RunFor(20 * specdb.Millisecond)
+	fastPathBlocking := db.Result().EngineStats[0].FastPath
+	if fastPathBlocking == 0 {
+		t.Fatal("no fast-path executions under blocking")
+	}
+	if err := db.SetScheme(specdb.Locking); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent("after blocking→locking")
+	db.RunFor(20 * specdb.Millisecond)
+	if err := db.SetScheme(specdb.Speculation); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent("after locking→speculation")
+	db.RunFor(20 * specdb.Millisecond)
+	if got := db.Scheme(); got != specdb.Speculation {
+		t.Fatalf("Scheme() = %v", got)
+	}
+
+	res := db.Result()
+	if res.EngineStats[0].FastPath < fastPathBlocking {
+		t.Errorf("fast-path counter went backwards across swaps: %d < %d",
+			res.EngineStats[0].FastPath, fastPathBlocking)
+	}
+	if res.EngineStats[0].Speculated == 0 {
+		t.Error("no speculation recorded after switching to the speculative engine")
+	}
+	// The locking era's lock-manager counters survive switching away.
+	if len(res.LockStats) == 0 {
+		t.Fatal("LockStats lost after switching away from locking")
+	}
+	var acquires uint64
+	for _, ls := range res.LockStats {
+		acquires += ls.Acquires
+	}
+	if acquires == 0 {
+		t.Error("retired locking engine reported zero lock acquires")
+	}
+
+	h := db.SchemeHistory()
+	if len(h) != 2 {
+		t.Fatalf("history = %+v, want 2 manual switches", h)
+	}
+	for _, c := range h {
+		if c.Auto {
+			t.Errorf("manual switch recorded as auto: %+v", c)
+		}
+	}
+
+	// No-op and error paths.
+	if err := db.SetScheme(specdb.Speculation); err != nil {
+		t.Fatalf("no-op switch errored: %v", err)
+	}
+	if len(db.SchemeHistory()) != 2 {
+		t.Error("no-op switch appended to history")
+	}
+	if err := db.SetScheme(specdb.Scheme(42)); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+}
+
+// TestSetSchemeBeforeStart switches a freshly opened DB before any event has
+// run: no drain is needed and the run proceeds under the new scheme.
+func TestSetSchemeBeforeStart(t *testing.T) {
+	const clients, keys = 8, 4
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(clients),
+		specdb.WithScheme(specdb.Blocking),
+		specdb.WithSeed(5),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keys)
+		}),
+		specdb.WithWorkload(&workload.Limit{
+			Gen: &workload.Micro{Partitions: 2, KeysPerTxn: keys, MPFraction: 0.5},
+			N:   64,
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.SetScheme(specdb.Locking); err != nil {
+		t.Fatal(err)
+	}
+	res := db.Run()
+	if db.Scheme() != specdb.Locking {
+		t.Fatalf("Scheme() = %v", db.Scheme())
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed under the swapped-in scheme")
+	}
+	if len(res.LockStats) == 0 {
+		t.Error("no lock stats: locking engine not installed")
+	}
+}

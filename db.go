@@ -34,17 +34,25 @@
 // swaps the request generator between phases. The Sweep type runs grids of
 // option sets — scheme × workload × repeats — which is how the paper's
 // figures are regenerated (internal/bench, cmd/ccbench).
+//
+// Because no single scheme wins everywhere (§5.7, Figure 10), the scheme is
+// not fixed at Open: SetScheme drains a live cluster to a quiescent point
+// and swaps every partition's engine mid-run, and WithAdvisor automates the
+// choice by feeding measured interval statistics through the §6 analytical
+// model with hysteresis. See ExampleDB_SetScheme and examples/advisor.
 package specdb
 
 import (
 	"fmt"
 
+	"specdb/internal/advisor"
 	"specdb/internal/client"
 	"specdb/internal/coordinator"
 	"specdb/internal/core"
 	"specdb/internal/costs"
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
+	"specdb/internal/model"
 	"specdb/internal/msg"
 	"specdb/internal/partition"
 	"specdb/internal/replication"
@@ -90,7 +98,19 @@ type (
 	// Generator produces client requests (see internal/workload for the
 	// microbenchmark family; any implementation works).
 	Generator = workload.Generator
+	// AdvisorConfig tunes the online scheme advisor (see WithAdvisor).
+	AdvisorConfig = advisor.Config
+	// ModelParams are the §6 analytical model's measured variables
+	// (AdvisorConfig.Params); the zero value selects PaperModelParams.
+	ModelParams = model.Params
+	// ModelObserved are measured workload statistics accepted by the §6
+	// model's Predict/Recommend entry points.
+	ModelObserved = model.Observed
 )
+
+// PaperModelParams returns the Table 2 model variables measured on the
+// authors' testbed, which the default cost model is calibrated to.
+func PaperModelParams() ModelParams { return model.PaperParams() }
 
 // ErrUserAbort aborts the invoking transaction when returned from a
 // fragment body.
@@ -143,6 +163,24 @@ type DB struct {
 	// Snapshot interval baseline.
 	snapAt     Time
 	snapCounts metrics.Counts
+
+	// Adaptive concurrency control (WithAdvisor).
+	adv       *advisor.Advisor
+	advNextAt Time           // next evaluation boundary
+	advBase   metrics.Counts // advisor's own interval baseline
+	history   []SchemeChange
+}
+
+// SchemeChange records one concurrency control switch on a live DB.
+type SchemeChange struct {
+	// At is the virtual time of the switch — after the drain to a
+	// quiescent point completed.
+	At Time
+	// From and To are the schemes before and after the switch.
+	From, To Scheme
+	// Auto marks switches decided by the advisor; manual SetScheme calls
+	// leave it false.
+	Auto bool
 }
 
 // engineFactory returns the constructor for the validated scheme.
@@ -252,6 +290,10 @@ func Open(opts ...Option) (*DB, error) {
 		db.clients = append(db.clients, cl)
 		db.clientIDs = append(db.clientIDs, id)
 	}
+	if cfg.advisor != nil {
+		db.adv = advisor.New(*cfg.advisor)
+		db.advNextAt = db.adv.Interval()
+	}
 	return db, nil
 }
 
@@ -286,14 +328,9 @@ func (db *DB) Now() Time { return db.cursor }
 func (db *DB) Run() Result {
 	db.ensureStarted()
 	if db.cfg.measure == 0 {
-		db.sch.Drain()
-		db.syncCursor()
+		db.runToQuiescence()
 	} else {
-		horizon := db.cfg.warmup + db.cfg.measure
-		db.sch.Run(horizon)
-		if horizon > db.cursor {
-			db.cursor = horizon
-		}
+		db.advanceTo(db.cfg.warmup + db.cfg.measure)
 	}
 	return db.Result()
 }
@@ -301,14 +338,60 @@ func (db *DB) Run() Result {
 // RunFor advances the simulation by d of virtual time from the current
 // cursor, returning the number of events processed. Repeated calls produce
 // precise phase boundaries: two RunFor(10ms) calls cover exactly [0,10ms)
-// and [10ms,20ms).
+// and [10ms,20ms). An adaptive scheme switch during the slice may drain past
+// the boundary, in which case the slice ends at the drain point instead.
 func (db *DB) RunFor(d Time) int {
 	if d <= 0 {
 		return 0
 	}
 	db.ensureStarted()
-	db.cursor += d
-	return db.sch.Run(db.cursor)
+	return db.advanceTo(db.cursor + d)
+}
+
+// advanceTo drives the scheduler to horizon, pausing at advisor evaluation
+// boundaries when adaptive concurrency control is enabled, and leaves the
+// cursor at horizon (or beyond it, when an adaptive switch drained past it).
+// It returns the number of events processed.
+func (db *DB) advanceTo(horizon Time) int {
+	n := 0
+	for db.adv != nil && db.advNextAt <= horizon {
+		tick := db.advNextAt
+		if tick > db.cursor {
+			n += db.sch.Run(tick)
+			db.cursor = tick
+		}
+		before := db.sch.Delivered
+		db.advisorTick()
+		n += int(db.sch.Delivered - before) // events stepped by a switch drain
+		db.advNextAt = db.cursor + db.adv.Interval()
+	}
+	if horizon > db.cursor {
+		n += db.sch.Run(horizon)
+		db.cursor = horizon
+	}
+	return n
+}
+
+// runToQuiescence drains the simulation (open-ended runs), evaluating the
+// advisor at its interval boundaries along the way. Like Drain, it leaves
+// the cursor at the last event's time — never inflated to an advisor
+// boundary — so open-ended throughput is computed over real elapsed time.
+func (db *DB) runToQuiescence() {
+	if db.adv == nil {
+		db.sch.Drain()
+		db.syncCursor()
+		return
+	}
+	for {
+		db.sch.Run(db.advNextAt)
+		if db.sch.Empty() {
+			db.syncCursor()
+			return
+		}
+		db.cursor = db.advNextAt
+		db.advisorTick()
+		db.advNextAt = db.cursor + db.adv.Interval()
+	}
 }
 
 // RunUntil processes events one at a time until pred is satisfied, checking
@@ -361,6 +444,157 @@ func (db *DB) SetWorkload(gen Generator) error {
 	return nil
 }
 
+// Scheme returns the concurrency control scheme the cluster is currently
+// running. It starts as the WithScheme option and changes with SetScheme and
+// advisor-driven switches.
+func (db *DB) Scheme() Scheme { return db.cfg.scheme }
+
+// SchemeHistory returns every scheme switch performed on this DB, manual and
+// advisor-driven, in order.
+func (db *DB) SchemeHistory() []SchemeChange {
+	return append([]SchemeChange(nil), db.history...)
+}
+
+// SetScheme switches the cluster's concurrency control scheme mid-run. It
+// drains the cluster to a quiescent point — clients pause at their next
+// issue, in-flight transactions run to completion, partitions and the
+// coordinator empty — then retires each partition's engine and hands the
+// partition's store, undo ledger and replication gating to a freshly
+// constructed engine of the new scheme, updates client routing (locking
+// clients coordinate 2PC themselves; the others go through the central
+// coordinator), and resumes the clients. The drain advances virtual time by
+// however long the in-flight transactions take, so a subsequent RunFor slice
+// starts at the drain point. Switching to the current scheme is a no-op.
+//
+// Everything runs on virtual time, so runs using SetScheme remain exactly
+// reproducible. Engine counters survive switches: Result.EngineStats
+// accumulates across every engine a partition has run.
+//
+// Backup replicas are untouched by the swap — they are engine-agnostic and
+// may briefly trail the primary by replica messages still in flight when
+// the drain completes (as in §3.2, backups always trail by design); the
+// FIFO links deliver those before any post-switch forwards, so replicas
+// converge to the primary's state.
+func (db *DB) SetScheme(sc Scheme) error {
+	switch sc {
+	case Blocking, Speculation, Locking:
+	default:
+		return fmt.Errorf("%w (%d)", ErrBadScheme, int(sc))
+	}
+	return db.setScheme(sc, false)
+}
+
+// setScheme implements SetScheme; auto marks advisor-driven switches in the
+// history.
+func (db *DB) setScheme(sc Scheme, auto bool) error {
+	if sc == db.cfg.scheme {
+		return nil
+	}
+	if db.started {
+		if err := db.drainQuiesce(); err != nil {
+			db.resumeClients() // never leave the cluster paused
+			return err
+		}
+	}
+	factory := engineFactory(sc, db.cfg.lockCfg, db.cfg.specCfg)
+	for p := range db.parts {
+		if err := db.parts[p].SwapEngine(factory); err != nil {
+			// Unreachable after a successful drain (drainQuiesce verified
+			// every partition quiescent); resume rather than poison the DB.
+			db.resumeClients()
+			return fmt.Errorf("specdb: %w", err)
+		}
+	}
+	db.history = append(db.history, SchemeChange{At: db.cursor, From: db.cfg.scheme, To: sc, Auto: auto})
+	db.cfg.scheme = sc
+	for _, cl := range db.clients {
+		cl.Scheme = sc
+	}
+	db.resumeClients()
+	if db.adv != nil {
+		// Rebase the advisor's interval on the switch point — completions
+		// from the drain (and, for manual switches, the partial interval)
+		// were measured under the old scheme — and arm its holdoff so a
+		// manual choice is not second-guessed from stale statistics.
+		db.advBase = db.collector.Totals
+		db.adv.NoteSwitch()
+	}
+	return nil
+}
+
+// resumeClients un-pauses every client and, on a started DB, re-kicks them
+// at the cursor (Start is idempotent for clients that never went idle).
+func (db *DB) resumeClients() {
+	for i, cl := range db.clients {
+		cl.Resume()
+		if db.started {
+			db.sch.SendAt(db.cursor, db.clientIDs[i], client.Start{})
+		}
+	}
+}
+
+// drainQuiesce pauses every client and steps the simulation until the
+// cluster reaches a quiescent point: all clients idle between transactions,
+// the coordinator holding no undecided transactions, and every partition
+// free of transaction state. Closed-loop clients guarantee the drain
+// terminates — each has at most one transaction in flight.
+func (db *DB) drainQuiesce() error {
+	for _, cl := range db.clients {
+		cl.Pause()
+	}
+	for !db.quiescent() {
+		if !db.sch.Step() {
+			break
+		}
+	}
+	db.syncCursor()
+	if !db.quiescent() {
+		return fmt.Errorf("specdb: scheme switch drain stalled before quiescence")
+	}
+	return nil
+}
+
+// quiescent reports whether no transaction is active or in flight anywhere.
+func (db *DB) quiescent() bool {
+	for _, cl := range db.clients {
+		if !cl.Idle() {
+			return false
+		}
+	}
+	if db.coord.Pending() > 0 {
+		return false
+	}
+	for p := range db.parts {
+		if !db.parts[p].Quiescent() {
+			return false
+		}
+	}
+	return true
+}
+
+// advisorTick evaluates one advisor interval over the collector's totals and
+// applies the recommended switch, if any.
+func (db *DB) advisorTick() {
+	tot := db.collector.Totals
+	d := tot.Sub(db.advBase)
+	db.advBase = tot
+	s := advisor.Stats{
+		Completed: d.Completed(),
+		Observed: ModelObserved{
+			MPFraction:   d.MPFraction(),
+			MultiRound:   d.MultiRoundFraction(),
+			AbortRate:    d.AbortRate(),
+			ConflictRate: d.ConflictRate(),
+		},
+	}
+	if sc, switchNow := db.adv.Observe(db.cfg.scheme, s); switchNow {
+		if err := db.setScheme(sc, true); err != nil {
+			// Only reachable if quiescence invariants are broken.
+			panic(err)
+		}
+	}
+}
+
 // Snapshot returns live cumulative counters plus interval rates covering the
 // span since the previous Snapshot call (the whole run for the first call).
 // Counters are whole-run totals, not measurement-window counters, so they
@@ -376,21 +610,29 @@ func (db *DB) snapshot(advance bool) Metrics {
 	tot := db.collector.Totals
 	m := Metrics{
 		Now:         now,
+		Scheme:      db.cfg.scheme,
 		Events:      db.sch.Delivered,
 		Completed:   tot.Completed(),
 		Committed:   tot.Committed,
 		UserAborted: tot.UserAborted,
 		CommittedSP: tot.CommittedSP,
 		CommittedMP: tot.CommittedMP,
+		CommittedMR: tot.CommittedMR,
 		Retries:     tot.Retries,
 	}
 	d := tot.Sub(db.snapCounts)
 	iv := Interval{
-		Start:     db.snapAt,
-		End:       now,
-		Completed: d.Completed(),
-		Committed: d.Committed,
-		Retries:   d.Retries,
+		Start:              db.snapAt,
+		End:                now,
+		Completed:          d.Completed(),
+		Committed:          d.Committed,
+		UserAborted:        d.UserAborted,
+		CommittedMP:        d.CommittedMP,
+		Retries:            d.Retries,
+		MPFraction:         d.MPFraction(),
+		MultiRoundFraction: d.MultiRoundFraction(),
+		AbortRate:          d.AbortRate(),
+		ConflictRate:       d.ConflictRate(),
 	}
 	if span := now - db.snapAt; span > 0 {
 		iv.Throughput = float64(d.Completed()) / (float64(span) / float64(Second))
@@ -420,14 +662,19 @@ func (db *DB) Coordinator() *coordinator.Coordinator { return db.coord }
 // Clients exposes the client actors (inspection).
 func (db *DB) Clients() []*client.Client { return db.clients }
 
-// lockStats collects per-partition lock manager statistics (locking scheme
-// only; empty otherwise).
+// lockStats collects per-partition lock manager statistics, accumulated
+// across every locking engine each partition has run — a locking era's
+// counters survive switching away. Nil when locking never ran.
 func (db *DB) lockStats() []locks.Stats {
-	var out []locks.Stats
+	out := make([]locks.Stats, 0, len(db.parts))
+	ran := false
 	for p := range db.parts {
-		if le, ok := db.parts[p].Engine().(*core.LockEngine); ok {
-			out = append(out, le.LockStats())
-		}
+		st, r := db.parts[p].LockTotals()
+		out = append(out, st)
+		ran = ran || r
+	}
+	if !ran {
+		return nil
 	}
 	return out
 }

@@ -1,13 +1,19 @@
-// Advisor: the §6 analytical model as a concurrency-control planner.
+// Advisor: online adaptive concurrency control, live (§5.7).
 //
 // The paper closes §5.7 imagining "a query executor [that] might record
 // statistics at runtime and use a model like that presented in Section 6 to
-// make the best choice". This example is that planner: given workload
-// statistics (multi-partition fraction), it evaluates the closed forms and
-// prints the recommended scheme across the range, reproducing Table 1's
-// qualitative structure for the no-conflict single-round case — and then
-// checks the recommendation against reality with a measured specdb.Sweep
-// (scheme × multi-partition fraction) on the simulated cluster.
+// make the best choice". This demo runs that planner against a live cluster:
+// one DB, opened under blocking, is driven through workload phases that
+// sweep the multi-partition fraction through the Figure 10 crossover points
+// — pure single-partition, light multi-partition, heavy multi-partition, and
+// finally heavy *two-round* multi-partition (§5.4). The advisor watches each
+// 10 ms interval's measured statistics, feeds them through the §6 model, and
+// switches the cluster's scheme mid-run at drained quiescent points.
+//
+// The printed table shows, per interval: the measured multi-partition and
+// multi-round fractions, the interval throughput, the scheme the cluster is
+// running, and the model's unconditional recommendation — so you can watch
+// the advisor's hysteresis resist flapping and then track each crossover.
 package main
 
 import (
@@ -16,7 +22,6 @@ import (
 
 	"specdb"
 	"specdb/internal/kvstore"
-	"specdb/internal/model"
 	"specdb/internal/workload"
 )
 
@@ -25,83 +30,79 @@ const (
 	keys    = 12
 )
 
-// measuredWinners sweeps scheme × MP fraction and returns the measured-best
-// scheme name per fraction.
-func measuredWinners(fractions []float64) (map[float64]string, error) {
-	reg := specdb.NewRegistry()
-	reg.Register(kvstore.Proc{})
-	schemes := []specdb.Scheme{specdb.Blocking, specdb.Speculation, specdb.Locking}
-	cells, err := specdb.Sweep{
-		Name: "advisor",
-		Base: []specdb.Option{
-			specdb.WithPartitions(2),
-			specdb.WithClients(clients),
-			specdb.WithSeed(42),
-			specdb.WithWarmup(20 * specdb.Millisecond),
-			specdb.WithMeasure(80 * specdb.Millisecond),
-			specdb.WithRegistry(reg),
-			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
-				kvstore.AddSchema(s)
-				kvstore.Load(s, p, clients, keys)
-			}),
-		},
-		Axes: []specdb.Axis{
-			specdb.SchemeAxis(schemes...),
-			specdb.NumAxis("mp-fraction", fractions, func(f float64) []specdb.Option {
-				return []specdb.Option{specdb.WithWorkload(&workload.Micro{
-					Partitions: 2, KeysPerTxn: keys, MPFraction: f,
-				})}
-			}),
-		},
-	}.Run()
-	if err != nil {
-		return nil, err
-	}
-	best := map[float64]string{}
-	tput := map[float64]float64{}
-	for _, cell := range cells {
-		f := cell.Xs[1]
-		if cell.Result.Throughput > tput[f] {
-			tput[f] = cell.Result.Throughput
-			best[f] = cell.Labels[0]
-		}
-	}
-	return best, nil
+// phase is one segment of the scripted workload sweep.
+type phase struct {
+	label    string
+	mpFrac   float64
+	twoRound bool
+	dur      specdb.Time
 }
 
 func main() {
-	p := model.PaperParams()
-	fmt.Println("Analytical model (Table 2 parameters from the paper):")
-	fmt.Printf("  tsp=%v tspS=%v tmp=%v tmpC=%v l=%.1f%%\n\n",
-		p.Tsp, p.TspS, p.Tmp, p.TmpC, p.L*100)
-
-	var fractions []float64
-	for pct := 0; pct <= 100; pct += 10 {
-		fractions = append(fractions, float64(pct)/100)
+	phases := []phase{
+		{"pure single-partition", 0.0, false, 60 * specdb.Millisecond},
+		{"10% multi-partition", 0.10, false, 60 * specdb.Millisecond},
+		{"30% multi-partition", 0.30, false, 60 * specdb.Millisecond},
+		{"60% two-round multi-partition", 0.60, true, 60 * specdb.Millisecond},
 	}
-	measured, err := measuredWinners(fractions)
+
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	gen := func(p phase) specdb.Generator {
+		return &workload.Micro{
+			Partitions: 2, KeysPerTxn: keys,
+			MPFraction: p.mpFrac, TwoRound: p.twoRound,
+		}
+	}
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(clients),
+		specdb.WithScheme(specdb.Blocking), // deliberately wrong for most phases
+		specdb.WithSeed(42),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keys)
+		}),
+		specdb.WithWorkload(gen(phases[0])),
+		specdb.WithAdvisor(specdb.AdvisorConfig{Interval: 10 * specdb.Millisecond}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("%6s %12s %12s %12s %12s   %-18s %s\n",
-		"%MP", "blocking", "local spec", "spec", "locking", "recommendation", "measured best")
-	for _, f := range fractions {
-		b, ls, sp, lk := p.Blocking(f), p.LocalSpeculation(f), p.Speculation(f), p.Locking(f)
-		best, name := b, "blocking"
-		if ls > best {
-			best, name = ls, "local speculation"
+	params := specdb.PaperModelParams()
+	fmt.Println("One cluster, four workload phases, advisor enabled (10 ms intervals).")
+	fmt.Printf("%8s %6s %6s %12s   %-12s %s\n",
+		"t", "%MP", "%2rnd", "txns/sec", "running", "model recommends")
+	for _, ph := range phases {
+		if err := db.SetWorkload(gen(ph)); err != nil {
+			log.Fatal(err)
 		}
-		if sp > best {
-			best, name = sp, "speculation"
+		fmt.Printf("-- %s --\n", ph.label)
+		end := db.Now() + ph.dur
+		for db.Now() < end {
+			db.RunFor(10 * specdb.Millisecond)
+			m := db.Snapshot()
+			iv := m.Interval
+			rec := params.Recommend(specdb.ModelObserved{
+				MPFraction:   iv.MPFraction,
+				MultiRound:   iv.MultiRoundFraction,
+				AbortRate:    iv.AbortRate,
+				ConflictRate: iv.ConflictRate,
+			})
+			fmt.Printf("%8v %5.0f%% %5.0f%% %12.0f   %-12s %s\n",
+				m.Now, iv.MPFraction*100, iv.MultiRoundFraction*100,
+				iv.Throughput, m.Scheme, rec)
 		}
-		if lk > best {
-			best, name = lk, "locking"
-		}
-		fmt.Printf("%5.0f%% %12.0f %12.0f %12.0f %12.0f   %-18s %s\n",
-			f*100, b, ls, sp, lk, name, measured[f])
 	}
-	fmt.Println("\nCaveats encoded in Table 1 of the paper: prefer locking when")
-	fmt.Println("multi-round transactions dominate; avoid speculation when the")
-	fmt.Println("abort rate is high (cascading re-execution).")
+
+	fmt.Println("\nScheme switches (all advisor-driven, at drained quiescent points):")
+	for _, c := range db.SchemeHistory() {
+		fmt.Printf("  t=%-12v %v → %v\n", c.At, c.From, c.To)
+	}
+	fmt.Println("\nCaveats encoded in Table 1 of the paper: speculation wins when")
+	fmt.Println("multi-partition transactions are simple and aborts rare; locking")
+	fmt.Println("wins when multi-round transactions dominate; blocking when nearly")
+	fmt.Println("everything is single-partition.")
 }

@@ -1,0 +1,167 @@
+// Package advisor is the runtime concurrency-control planner of §5.7: "a
+// query executor might record statistics at runtime and use a model like
+// that presented in Section 6 to make the best choice of concurrency control
+// strategy". It watches per-interval workload statistics (multi-partition
+// fraction, multi-round fraction, abort and conflict rates), feeds them
+// through the §6 analytical model's Recommend entry point, and decides when
+// the running cluster should switch schemes.
+//
+// Switching is not free — the cluster drains to a quiescent point — so the
+// advisor applies hysteresis: it acts only on intervals with enough
+// completions to be statistically meaningful, requires the candidate
+// scheme's predicted throughput to beat the current scheme's by a margin,
+// and holds off re-evaluating for a few intervals after each switch. That
+// keeps it from flapping between schemes whose predictions are close (e.g.
+// blocking vs speculation on a pure single-partition workload).
+//
+// The advisor is deliberately passive: Observe returns a recommendation and
+// the facade (DB.SetScheme) performs the actual drain-and-swap, so the same
+// logic is unit-testable without a cluster.
+package advisor
+
+import (
+	"specdb/internal/core"
+	"specdb/internal/model"
+	"specdb/internal/sim"
+)
+
+// Defaults applied by New for zero Config fields.
+const (
+	// DefaultInterval is the evaluation period in virtual time.
+	DefaultInterval = 10 * sim.Millisecond
+	// DefaultMinCompleted is the fewest completions an interval needs
+	// before its statistics are trusted.
+	DefaultMinCompleted = 20
+	// DefaultMargin is the predicted relative improvement required to
+	// switch (0.15 = 15% faster).
+	DefaultMargin = 0.15
+	// DefaultHoldoff is the number of evaluation intervals skipped after a
+	// switch, letting the new scheme's statistics stabilize.
+	DefaultHoldoff = 1
+)
+
+// Config tunes the advisor.
+type Config struct {
+	// Params are the §6 model variables; the zero value selects the
+	// Table 2 paper parameters, which match the default cost model.
+	Params model.Params
+	// Interval is the evaluation period in virtual time (default 10 ms).
+	Interval sim.Time
+	// MinCompleted gates evaluation on interval sample size (default 20).
+	MinCompleted uint64
+	// Margin is the hysteresis threshold: the candidate's predicted
+	// throughput must exceed the current scheme's by this relative margin
+	// (default 0.15).
+	Margin float64
+	// Holdoff is how many evaluation intervals to skip after a switch
+	// (default 1).
+	Holdoff int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if (c.Params == model.Params{}) {
+		c.Params = model.PaperParams()
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultInterval
+	}
+	if c.MinCompleted == 0 {
+		c.MinCompleted = DefaultMinCompleted
+	}
+	if c.Margin <= 0 {
+		c.Margin = DefaultMargin
+	}
+	if c.Holdoff <= 0 {
+		c.Holdoff = DefaultHoldoff
+	}
+	return c
+}
+
+// Stats is one evaluation interval's measured workload, produced by the
+// metrics layer (see metrics.Counts' MPFraction, MultiRoundFraction,
+// AbortRate and ConflictRate).
+type Stats struct {
+	// Completed is the number of transactions completed in the interval.
+	Completed uint64
+	// Observed are the model inputs measured over the interval.
+	Observed model.Observed
+}
+
+// conflictDecay is the per-interval decay applied to the remembered lock
+// conflict rate while a non-locking scheme runs (see Observe).
+const conflictDecay = 0.9
+
+// Advisor decides when a running cluster should switch schemes.
+type Advisor struct {
+	cfg     Config
+	holdoff int
+	// lockConflict remembers the conflict rate last measured under the
+	// locking scheme. Blocking and speculation never retry, so the raw
+	// measurement collapses to zero the moment the cluster switches away
+	// from locking — without memory the advisor would immediately flap
+	// back. The memory decays while away, so locking is re-tried only
+	// occasionally on workloads whose contention may have subsided.
+	lockConflict float64
+}
+
+// New returns an advisor with zero Config fields defaulted.
+func New(cfg Config) *Advisor {
+	return &Advisor{cfg: cfg.withDefaults()}
+}
+
+// Interval returns the evaluation period the host should observe at.
+func (a *Advisor) Interval() sim.Time { return a.cfg.Interval }
+
+// Recommend returns the model's unconditional scheme choice for the observed
+// workload, with no hysteresis applied.
+func (a *Advisor) Recommend(o model.Observed) core.Scheme {
+	return a.cfg.Params.Recommend(o)
+}
+
+// NoteSwitch tells the advisor the cluster's scheme just changed — by its
+// own recommendation or by a manual SetScheme — arming the holdoff so the
+// next intervals, whose statistics were partly measured under the previous
+// scheme, are not used to second-guess the new one.
+func (a *Advisor) NoteSwitch() { a.holdoff = a.cfg.Holdoff }
+
+// Observe feeds one interval's statistics and returns the scheme the cluster
+// should run plus whether that is a change from current. It returns
+// (current, false) when the interval is too small, a holdoff is pending, or
+// the best candidate's predicted gain over the current scheme is within the
+// hysteresis margin.
+//
+// The conflict rate is only observable while the locking scheme runs (the
+// other schemes never retry), so Observe substitutes the decaying remembered
+// value whenever it exceeds the measurement — without it, switching away
+// from a contended locking run would zero the signal and invite an
+// immediate flap back.
+func (a *Advisor) Observe(current core.Scheme, s Stats) (core.Scheme, bool) {
+	obs := s.Observed
+	if current == core.SchemeLocking {
+		a.lockConflict = obs.ConflictRate
+	} else {
+		a.lockConflict *= conflictDecay
+		if a.lockConflict > obs.ConflictRate {
+			obs.ConflictRate = a.lockConflict
+		}
+	}
+	if s.Completed < a.cfg.MinCompleted {
+		return current, false
+	}
+	if a.holdoff > 0 {
+		a.holdoff--
+		return current, false
+	}
+	best := a.cfg.Params.Recommend(obs)
+	if best == current {
+		return current, false
+	}
+	cur := a.cfg.Params.Predict(current, obs)
+	cand := a.cfg.Params.Predict(best, obs)
+	if cand < cur*(1+a.cfg.Margin) {
+		return current, false
+	}
+	a.holdoff = a.cfg.Holdoff
+	return best, true
+}

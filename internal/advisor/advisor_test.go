@@ -1,0 +1,129 @@
+package advisor
+
+import (
+	"testing"
+
+	"specdb/internal/core"
+	"specdb/internal/model"
+)
+
+func stats(completed uint64, o model.Observed) Stats {
+	return Stats{Completed: completed, Observed: o}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	a := New(Config{})
+	if a.cfg.Params != model.PaperParams() {
+		t.Error("zero Params did not default to PaperParams")
+	}
+	if a.cfg.Interval != DefaultInterval || a.cfg.MinCompleted != DefaultMinCompleted ||
+		a.cfg.Margin != DefaultMargin || a.cfg.Holdoff != DefaultHoldoff {
+		t.Errorf("defaults not applied: %+v", a.cfg)
+	}
+	if a.Interval() != DefaultInterval {
+		t.Errorf("Interval() = %v", a.Interval())
+	}
+}
+
+func TestRecommendFollowsModel(t *testing.T) {
+	a := New(Config{})
+	cases := []struct {
+		o    model.Observed
+		want core.Scheme
+	}{
+		{model.Observed{MPFraction: 0}, core.SchemeBlocking}, // exact tie → least machinery
+		{model.Observed{MPFraction: 0.2}, core.SchemeSpeculative},
+		{model.Observed{MPFraction: 0.6, MultiRound: 1}, core.SchemeLocking},
+	}
+	for _, c := range cases {
+		if got := a.Recommend(c.o); got != c.want {
+			t.Errorf("Recommend(%+v) = %v, want %v", c.o, got, c.want)
+		}
+	}
+}
+
+func TestObserveSwitchesOnClearGain(t *testing.T) {
+	a := New(Config{})
+	sc, ok := a.Observe(core.SchemeBlocking, stats(100, model.Observed{MPFraction: 0.2}))
+	if !ok || sc != core.SchemeSpeculative {
+		t.Fatalf("Observe = (%v, %v), want (speculation, true)", sc, ok)
+	}
+}
+
+func TestObserveSampleSizeGate(t *testing.T) {
+	a := New(Config{})
+	if sc, ok := a.Observe(core.SchemeBlocking, stats(DefaultMinCompleted-1, model.Observed{MPFraction: 0.2})); ok {
+		t.Fatalf("switched to %v on an undersized interval", sc)
+	}
+}
+
+func TestObserveMarginGate(t *testing.T) {
+	// At f=0 the model ties blocking and speculation exactly, and the
+	// tie-break recommends blocking. A speculative cluster must not flap
+	// over for a zero predicted gain.
+	a := New(Config{})
+	if a.Recommend(model.Observed{}) != core.SchemeBlocking {
+		t.Fatal("precondition: f=0 recommendation should be blocking")
+	}
+	if sc, ok := a.Observe(core.SchemeSpeculative, stats(100, model.Observed{})); ok {
+		t.Fatalf("switched to %v on a gain inside the hysteresis margin", sc)
+	}
+}
+
+func TestObserveHoldoffAfterSwitch(t *testing.T) {
+	a := New(Config{Holdoff: 2})
+	s := stats(100, model.Observed{MPFraction: 0.2})
+	if _, ok := a.Observe(core.SchemeBlocking, s); !ok {
+		t.Fatal("first observation should switch")
+	}
+	// The cluster is now speculative; feed stats that recommend locking.
+	s2 := stats(100, model.Observed{MPFraction: 0.6, MultiRound: 1})
+	for i := 0; i < 2; i++ {
+		if sc, ok := a.Observe(core.SchemeSpeculative, s2); ok {
+			t.Fatalf("observation %d switched to %v during holdoff", i, sc)
+		}
+	}
+	if sc, ok := a.Observe(core.SchemeSpeculative, s2); !ok || sc != core.SchemeLocking {
+		t.Fatalf("post-holdoff Observe = (%v, %v), want (locking, true)", sc, ok)
+	}
+}
+
+func TestObserveStaysOnCurrentBest(t *testing.T) {
+	a := New(Config{})
+	if sc, ok := a.Observe(core.SchemeSpeculative, stats(100, model.Observed{MPFraction: 0.2})); ok {
+		t.Fatalf("switched away from the recommended scheme to %v", sc)
+	}
+}
+
+func TestConflictMemoryPreventsFlapBack(t *testing.T) {
+	a := New(Config{Holdoff: 1})
+	// Heavily contended two-round workload under locking: retries make
+	// locking look bad enough that the advisor switches away...
+	contended := model.Observed{MPFraction: 0.6, MultiRound: 1, ConflictRate: 3}
+	sc, ok := a.Observe(core.SchemeLocking, stats(100, contended))
+	if !ok || sc == core.SchemeLocking {
+		t.Fatalf("Observe = (%v, %v), want a switch away from locking", sc, ok)
+	}
+	// ...after which the raw conflict signal collapses to zero (only
+	// locking retries). The remembered, decaying rate must keep the
+	// advisor from flapping straight back.
+	calm := model.Observed{MPFraction: 0.6, MultiRound: 1}
+	a.Observe(sc, stats(100, calm)) // holdoff interval
+	if back, ok2 := a.Observe(sc, stats(100, calm)); ok2 && back == core.SchemeLocking {
+		t.Fatal("flapped back to locking on the first eligible interval")
+	}
+}
+
+func TestNoteSwitchArmsHoldoff(t *testing.T) {
+	a := New(Config{Holdoff: 2})
+	a.NoteSwitch() // e.g. a manual SetScheme the advisor did not decide
+	s := stats(100, model.Observed{MPFraction: 0.2})
+	for i := 0; i < 2; i++ {
+		if sc, ok := a.Observe(core.SchemeBlocking, s); ok {
+			t.Fatalf("observation %d switched to %v during manual-switch holdoff", i, sc)
+		}
+	}
+	if sc, ok := a.Observe(core.SchemeBlocking, s); !ok || sc != core.SchemeSpeculative {
+		t.Fatalf("post-holdoff Observe = (%v, %v), want (speculation, true)", sc, ok)
+	}
+}

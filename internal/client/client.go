@@ -44,10 +44,11 @@ type Client struct {
 	// (scripted/example use).
 	OnComplete func(inv *txn.Invocation, reply *msg.ClientReply)
 
-	self sim.ActorID
-	rng  *rand.Rand
-	seq  uint32
-	cur  *attempt
+	self   sim.ActorID
+	rng    *rand.Rand
+	seq    uint32
+	cur    *attempt
+	paused bool
 	// Issued counts attempts; Completed counts finished transactions.
 	Issued    uint64
 	Completed uint64
@@ -86,6 +87,16 @@ func (c *Client) Idle() bool { return c.cur == nil }
 // clients that had already gone idle.
 func (c *Client) SetGenerator(g workload.Generator) { c.Gen = g }
 
+// Pause makes the client go idle at its next issue point instead of pulling
+// from the generator; the in-flight transaction (if any) runs to completion.
+// Draining every client this way brings the whole cluster to a quiescent
+// point — the engine-swap precondition of adaptive scheme switching.
+func (c *Client) Pause() { c.paused = true }
+
+// Resume clears a Pause. The caller restarts the (now idle) client with a
+// Start message; until then the client stays idle.
+func (c *Client) Resume() { c.paused = false }
+
 // Receive drives the closed loop.
 func (c *Client) Receive(ctx *sim.Context, m sim.Message) {
 	switch v := m.(type) {
@@ -112,6 +123,10 @@ func (c *Client) Receive(ctx *sim.Context, m sim.Message) {
 
 // issueNext pulls the next invocation from the generator and routes it.
 func (c *Client) issueNext(ctx *sim.Context) {
+	if c.paused {
+		c.cur = nil
+		return // paused: hold at the issue point until resumed
+	}
 	inv := c.Gen.Next(c.Index, c.rng)
 	if inv == nil {
 		c.cur = nil
@@ -264,7 +279,7 @@ func (c *Client) complete(ctx *sim.Context, r *msg.ClientReply) {
 func (c *Client) finish(ctx *sim.Context, r *msg.ClientReply) {
 	a := c.cur
 	c.Completed++
-	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1)
+	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1, a.plan.Rounds > 1)
 	if c.OnComplete != nil {
 		c.OnComplete(a.inv, r)
 	}

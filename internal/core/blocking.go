@@ -41,6 +41,10 @@ func (e *BlockingEngine) Stats() EngineStats { return e.stats }
 // QueueLen reports the number of waiting fragments (for tests).
 func (e *BlockingEngine) QueueLen() int { return len(e.queue) }
 
+// Quiescent reports whether no transaction occupies the partition and the
+// queue is empty.
+func (e *BlockingEngine) Quiescent() bool { return e.active == nil && len(e.queue) == 0 }
+
 // Fragment handles an arriving transaction fragment per Figure 2.
 func (e *BlockingEngine) Fragment(f *msg.Fragment) {
 	if e.active != nil {

@@ -84,12 +84,24 @@ type Env interface {
 
 // Engine is a partition's concurrency control state machine. The partition
 // process feeds it arriving fragments, 2PC decisions and timer expirations.
+//
+// Engines are swappable at quiescent points: when Quiescent reports true the
+// engine holds no transaction state, so the hosting partition may retire it
+// and hand the partition's store and undo ledger to a freshly constructed
+// engine of a different scheme (online adaptive concurrency control, §5.7).
 type Engine interface {
 	Scheme() Scheme
 	Fragment(f *msg.Fragment)
 	Decision(d *msg.Decision)
 	Timer(payload any)
 	Stats() EngineStats
+	// Quiescent reports whether the engine holds no transaction state: no
+	// active, queued, uncommitted or lock-holding transactions. A quiescent
+	// engine will never again touch storage, undo buffers or the network
+	// unless a new fragment arrives, so it can be retired and replaced.
+	// Stale timer expirations armed by a retired engine are delivered to
+	// its successor, which must ignore payloads it does not recognize.
+	Quiescent() bool
 }
 
 // EngineStats counts scheme-level activity.
@@ -110,6 +122,21 @@ type EngineStats struct {
 	// detection and of the distributed deadlock timeout (§4.3).
 	DeadlockKills uint64
 	TimeoutKills  uint64
+}
+
+// Add returns the field-wise sum of two stat sets. The hosting partition uses
+// it to carry counters across engine swaps, so whole-run statistics survive
+// adaptive scheme switches.
+func (s EngineStats) Add(o EngineStats) EngineStats {
+	return EngineStats{
+		Executed:      s.Executed + o.Executed,
+		FastPath:      s.FastPath + o.FastPath,
+		Speculated:    s.Speculated + o.Speculated,
+		Redone:        s.Redone + o.Redone,
+		LocalAborts:   s.LocalAborts + o.LocalAborts,
+		DeadlockKills: s.DeadlockKills + o.DeadlockKills,
+		TimeoutKills:  s.TimeoutKills + o.TimeoutKills,
+	}
 }
 
 // newAbortReply builds the client reply for a user-aborted single-partition

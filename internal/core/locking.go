@@ -82,6 +82,11 @@ func (e *LockEngine) LockStats() locks.Stats { return e.lm.Stats() }
 // ActiveCount reports transactions currently holding the partition.
 func (e *LockEngine) ActiveCount() int { return len(e.active) }
 
+// Quiescent reports whether no transaction is active; with strict 2PL that
+// also means every lock has been released. Stale deadlock timeouts may still
+// be scheduled, but Timer ignores expirations for unknown transactions.
+func (e *LockEngine) Quiescent() bool { return len(e.active) == 0 }
+
 // Fragment handles an arriving fragment.
 func (e *LockEngine) Fragment(f *msg.Fragment) {
 	if lt, ok := e.active[f.Txn]; ok {

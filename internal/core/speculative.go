@@ -84,6 +84,10 @@ func (e *SpecEngine) Stats() EngineStats { return e.stats }
 func (e *SpecEngine) UncommittedLen() int { return len(e.unc) }
 func (e *SpecEngine) UnexecutedLen() int  { return len(e.unexecuted) }
 
+// Quiescent reports whether both the uncommitted and unexecuted queues are
+// empty.
+func (e *SpecEngine) Quiescent() bool { return len(e.unc) == 0 && len(e.unexecuted) == 0 }
+
 func (e *SpecEngine) find(id msg.TxnID) *specTxn {
 	for _, u := range e.unc {
 		if u.id == id {

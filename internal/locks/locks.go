@@ -62,6 +62,18 @@ type Stats struct {
 	Releases  uint64 // locks released
 }
 
+// Add returns the field-wise sum of two stat sets; the hosting partition
+// uses it to carry lock statistics across engine swaps.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Acquires:  s.Acquires + o.Acquires,
+		Immediate: s.Immediate + o.Immediate,
+		Waits:     s.Waits + o.Waits,
+		Upgrades:  s.Upgrades + o.Upgrades,
+		Releases:  s.Releases + o.Releases,
+	}
+}
+
 type waiter struct {
 	txn     msg.TxnID
 	mode    Mode

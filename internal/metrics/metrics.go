@@ -18,6 +18,9 @@ type Counts struct {
 	UserAborted uint64
 	CommittedSP uint64
 	CommittedMP uint64
+	// CommittedMR counts committed multi-partition transactions that took
+	// more than one fragment round (§5.4's "general" transactions).
+	CommittedMR uint64
 	Retries     uint64
 }
 
@@ -33,16 +36,58 @@ func (c Counts) Sub(prev Counts) Counts {
 		UserAborted: c.UserAborted - prev.UserAborted,
 		CommittedSP: c.CommittedSP - prev.CommittedSP,
 		CommittedMP: c.CommittedMP - prev.CommittedMP,
+		CommittedMR: c.CommittedMR - prev.CommittedMR,
 		Retries:     c.Retries - prev.Retries,
 	}
 }
 
+// MPFraction returns the fraction of committed transactions that were
+// multi-partition — the measured x-coordinate of Figures 4–10 and the main
+// input to the §6 scheme-recommendation model.
+func (c Counts) MPFraction() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return float64(c.CommittedMP) / float64(c.Committed)
+}
+
+// MultiRoundFraction returns the fraction of committed multi-partition
+// transactions that took more than one fragment round.
+func (c Counts) MultiRoundFraction() float64 {
+	if c.CommittedMP == 0 {
+		return 0
+	}
+	return float64(c.CommittedMR) / float64(c.CommittedMP)
+}
+
+// AbortRate returns user aborts per completed transaction (§5.3's abort
+// frequency, measured).
+func (c Counts) AbortRate() float64 {
+	if n := c.Completed(); n > 0 {
+		return float64(c.UserAborted) / float64(n)
+	}
+	return 0
+}
+
+// ConflictRate returns retries — attempts killed as deadlock or timeout
+// victims and re-submitted — per completed transaction. It measures lock
+// conflicts under the locking scheme; blocking and speculation never retry.
+func (c Counts) ConflictRate() float64 {
+	if n := c.Completed(); n > 0 {
+		return float64(c.Retries) / float64(n)
+	}
+	return 0
+}
+
 // record classifies one completion.
-func (c *Counts) record(committed, multiPartition bool) {
+func (c *Counts) record(committed, multiPartition, multiRound bool) {
 	if committed {
 		c.Committed++
 		if multiPartition {
 			c.CommittedMP++
+			if multiRound {
+				c.CommittedMR++
+			}
 		} else {
 			c.CommittedSP++
 		}
@@ -80,12 +125,14 @@ func (c *Collector) inWindow(now sim.Time) bool {
 // TxnDone records a completed transaction. User aborts count as completions
 // (§5.3: the abort is the transaction's outcome); deadlock/timeout kills must
 // be reported via Retry instead, followed eventually by a completion.
-func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition bool) {
-	c.Totals.record(committed, multiPartition)
+// multiRound marks multi-partition transactions that took more than one
+// fragment round.
+func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound bool) {
+	c.Totals.record(committed, multiPartition, multiRound)
 	if !c.inWindow(now) {
 		return
 	}
-	c.Window.record(committed, multiPartition)
+	c.Window.record(committed, multiPartition, multiRound)
 	c.lat.Add(now - start)
 }
 

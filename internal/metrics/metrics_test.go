@@ -8,10 +8,10 @@ import (
 
 func TestWindowFiltering(t *testing.T) {
 	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
-	c.TxnDone(50*sim.Millisecond, 0, true, false)                    // before window
-	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, true, false) // inside
-	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, false, true) // inside, user abort
-	c.TxnDone(250*sim.Millisecond, 0, true, false)                   // after window
+	c.TxnDone(50*sim.Millisecond, 0, true, false, false)                    // before window
+	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, true, false, false) // inside
+	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, false, true, false) // inside, user abort
+	c.TxnDone(250*sim.Millisecond, 0, true, false, false)                   // after window
 	if c.Window.Committed != 1 || c.Window.UserAborted != 1 {
 		t.Fatalf("committed=%d aborted=%d", c.Window.Committed, c.Window.UserAborted)
 	}
@@ -25,10 +25,10 @@ func TestWindowFiltering(t *testing.T) {
 
 func TestTotalsIgnoreWindow(t *testing.T) {
 	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
-	c.TxnDone(50*sim.Millisecond, 0, true, false)  // before window
-	c.TxnDone(250*sim.Millisecond, 0, true, true)  // after window
-	c.TxnDone(260*sim.Millisecond, 0, false, true) // after window, abort
-	c.Retry(10 * sim.Millisecond)                  // before window
+	c.TxnDone(50*sim.Millisecond, 0, true, false, false)  // before window
+	c.TxnDone(250*sim.Millisecond, 0, true, true, false)  // after window
+	c.TxnDone(260*sim.Millisecond, 0, false, true, false) // after window, abort
+	c.Retry(10 * sim.Millisecond)                         // before window
 	want := Counts{Committed: 2, UserAborted: 1, CommittedSP: 1, CommittedMP: 1, Retries: 1}
 	if c.Totals != want {
 		t.Fatalf("totals = %+v, want %+v", c.Totals, want)
@@ -40,10 +40,10 @@ func TestTotalsIgnoreWindow(t *testing.T) {
 
 func TestCountsSub(t *testing.T) {
 	c := NewCollector(0, sim.Second)
-	c.TxnDone(1, 0, true, false)
+	c.TxnDone(1, 0, true, false, false)
 	before := c.Totals
-	c.TxnDone(2, 0, true, true)
-	c.TxnDone(3, 0, false, false)
+	c.TxnDone(2, 0, true, true, false)
+	c.TxnDone(3, 0, false, false, false)
 	c.Retry(4)
 	d := c.Totals.Sub(before)
 	want := Counts{Committed: 1, UserAborted: 1, CommittedMP: 1, Retries: 1}
@@ -58,7 +58,7 @@ func TestCountsSub(t *testing.T) {
 func TestThroughputPerSecond(t *testing.T) {
 	c := NewCollector(0, sim.Second/2)
 	for i := 0; i < 100; i++ {
-		c.TxnDone(sim.Time(i)*sim.Millisecond, 0, true, false)
+		c.TxnDone(sim.Time(i)*sim.Millisecond, 0, true, false, false)
 	}
 	if got := c.Throughput(); got != 200 {
 		t.Fatalf("throughput = %f, want 200 (100 txns in half a second)", got)
@@ -67,9 +67,9 @@ func TestThroughputPerSecond(t *testing.T) {
 
 func TestSPMPSplit(t *testing.T) {
 	c := NewCollector(0, sim.Second)
-	c.TxnDone(1, 0, true, false)
-	c.TxnDone(2, 0, true, true)
-	c.TxnDone(3, 0, true, true)
+	c.TxnDone(1, 0, true, false, false)
+	c.TxnDone(2, 0, true, true, false)
+	c.TxnDone(3, 0, true, true, false)
 	if c.Window.CommittedSP != 1 || c.Window.CommittedMP != 2 {
 		t.Fatalf("sp=%d mp=%d", c.Window.CommittedSP, c.Window.CommittedMP)
 	}
@@ -129,10 +129,42 @@ func TestLatencyQuantileThroughCollector(t *testing.T) {
 	c := NewCollector(0, sim.Second)
 	for i := 0; i < 100; i++ {
 		start := sim.Time(i) * sim.Millisecond
-		c.TxnDone(start+100*sim.Microsecond, start, true, false)
+		c.TxnDone(start+100*sim.Microsecond, start, true, false, false)
 	}
 	p50 := c.LatencyQuantile(0.5)
 	if p50 < 80*sim.Microsecond || p50 > 130*sim.Microsecond {
 		t.Fatalf("p50 latency = %v, want ≈100µs", p50)
+	}
+}
+
+func TestWorkloadRates(t *testing.T) {
+	c := NewCollector(0, sim.Second)
+	c.TxnDone(1, 0, true, false, false) // SP commit
+	c.TxnDone(2, 0, true, true, false)  // single-round MP commit
+	c.TxnDone(3, 0, true, true, true)   // two-round MP commit
+	c.TxnDone(4, 0, false, true, false) // user abort
+	c.Retry(5)
+	got := c.Totals
+	if got.CommittedMR != 1 {
+		t.Fatalf("committedMR = %d", got.CommittedMR)
+	}
+	if f := got.MPFraction(); f != 2.0/3.0 {
+		t.Fatalf("mp fraction = %v", f)
+	}
+	if f := got.MultiRoundFraction(); f != 0.5 {
+		t.Fatalf("multi-round fraction = %v", f)
+	}
+	if r := got.AbortRate(); r != 0.25 {
+		t.Fatalf("abort rate = %v", r)
+	}
+	if r := got.ConflictRate(); r != 0.25 {
+		t.Fatalf("conflict rate = %v", r)
+	}
+}
+
+func TestWorkloadRatesEmpty(t *testing.T) {
+	var z Counts
+	if z.MPFraction() != 0 || z.MultiRoundFraction() != 0 || z.AbortRate() != 0 || z.ConflictRate() != 0 {
+		t.Fatal("zero counts should yield zero rates")
 	}
 }

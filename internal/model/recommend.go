@@ -1,0 +1,88 @@
+package model
+
+import "specdb/internal/core"
+
+// Observed captures runtime workload statistics — the inputs §5.7 imagines a
+// query executor recording — over which the model recommends a scheme. All
+// fields are measured over some recent interval (see internal/metrics):
+// fractions are per committed transaction, rates per completed transaction.
+type Observed struct {
+	// MPFraction is the fraction of transactions that are multi-partition.
+	MPFraction float64
+	// MultiRound is the fraction of multi-partition transactions that take
+	// more than one fragment round (§5.4's "general" transactions; the
+	// model approximates them as two-round).
+	MultiRound float64
+	// AbortRate is user aborts per completed transaction (§5.3).
+	AbortRate float64
+	// ConflictRate is deadlock/timeout retries per completed transaction —
+	// the locking scheme's measured conflict signal (§5.2).
+	ConflictRate float64
+}
+
+// Predict returns the modelled throughput (transactions/second on the
+// two-partition microbenchmark) of running scheme sc on the observed
+// workload. The core of each prediction is the corresponding §6 closed form
+// at f = MPFraction; three extensions encode the caveats of Table 1 that the
+// single-round, conflict-free, abort-free closed forms leave out:
+//
+//   - Multi-round transactions (§5.4): an intermediate round adds a network
+//     round trip during which blocking and speculation hold the partition —
+//     speculation may only speculate behind a transaction's LAST fragment,
+//     so intermediate stalls are dead time just as under blocking. Locking
+//     keeps executing other transactions under lock protection and is
+//     charged nothing.
+//   - Aborts (§5.3): under speculation an aborted multi-partition
+//     transaction cascades, undoing and re-executing the Nhidden speculated
+//     transactions queued behind it; each cascade wastes roughly
+//     Nhidden·tspS of work.
+//   - Conflicts (§5.2): blocking and speculation assume every transaction
+//     conflicts and are insensitive to the real conflict rate, but locking
+//     pays for each observed retry with a wasted execution, inflating its
+//     per-transaction work by (1 + ConflictRate).
+func (p Params) Predict(sc core.Scheme, o Observed) float64 {
+	f := o.MPFraction
+	switch sc {
+	case core.SchemeBlocking:
+		stall := secs(p.TmpN())
+		// A two-round transaction occupies the partition for one extra
+		// round trip.
+		return 2 / (2*f*(secs(p.Tmp)+o.MultiRound*stall) + (1-f)*secs(p.Tsp))
+	case core.SchemeSpeculative:
+		if f == 0 {
+			return 2 / secs(p.Tsp)
+		}
+		n := p.nHidden(f)
+		stall := secs(p.TmpN())
+		// §6.2.1 period, plus unhidden intermediate-round stalls, plus
+		// cascade waste for the fraction of MP transactions that abort.
+		tperiod := secs(p.TmpC) + n*secs(p.TspS) + o.MultiRound*stall
+		cascade := 2 * f * o.AbortRate * n * secs(p.TspS)
+		spare := (1 - f) - 2*f*n
+		if spare < 0 {
+			spare = 0
+		}
+		return 2 / (2*f*tperiod + spare*secs(p.Tsp) + cascade)
+	case core.SchemeLocking:
+		l := 1 + p.L
+		base := 2*f*l*secs(p.TmpC) + (1-f)*l*secs(p.TspS)
+		return 2 / (base * (1 + o.ConflictRate))
+	}
+	return 0
+}
+
+// Recommend returns the scheme the model predicts fastest for the observed
+// workload — the §5.7 runtime planner. Exact ties prefer the scheme with the
+// least machinery: blocking before speculation before locking. (At f = 0 all
+// three schemes run the same lock-free fast path, and blocking's prediction
+// ties speculation's; the advisor's hysteresis keeps such ties from causing
+// switches.)
+func (p Params) Recommend(o Observed) core.Scheme {
+	best, bestT := core.SchemeBlocking, p.Predict(core.SchemeBlocking, o)
+	for _, sc := range []core.Scheme{core.SchemeSpeculative, core.SchemeLocking} {
+		if t := p.Predict(sc, o); t > bestT {
+			best, bestT = sc, t
+		}
+	}
+	return best
+}

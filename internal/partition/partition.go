@@ -16,6 +16,7 @@ import (
 
 	"specdb/internal/core"
 	"specdb/internal/costs"
+	"specdb/internal/locks"
 	"specdb/internal/msg"
 	"specdb/internal/sim"
 	"specdb/internal/simnet"
@@ -42,8 +43,12 @@ type Config struct {
 type Partition struct {
 	cfg    Config
 	engine core.Engine
-	self   sim.ActorID
-	ctx    *sim.Context // valid only during Receive
+	// retired and retiredLocks accumulate the stats of engines replaced by
+	// SwapEngine, so whole-run counters survive adaptive scheme switches.
+	retired      core.EngineStats
+	retiredLocks locks.Stats
+	self         sim.ActorID
+	ctx          *sim.Context // valid only during Receive
 
 	undos map[msg.TxnID]*undo.Buffer
 	// works accumulates executed fragment inputs per transaction for
@@ -103,6 +108,51 @@ func (p *Partition) SetBackups(ids []sim.ActorID) {
 
 // Engine exposes the concurrency control engine (for stats).
 func (p *Partition) Engine() core.Engine { return p.engine }
+
+// EngineTotals returns scheme-level counters accumulated across every engine
+// this partition has run, including engines retired by SwapEngine.
+func (p *Partition) EngineTotals() core.EngineStats {
+	return p.retired.Add(p.engine.Stats())
+}
+
+// LockTotals returns lock-manager counters accumulated across every locking
+// engine this partition has run (retired ones included), plus whether any
+// locking engine has run at all.
+func (p *Partition) LockTotals() (locks.Stats, bool) {
+	tot := p.retiredLocks
+	ran := tot != (locks.Stats{})
+	if le, ok := p.engine.(*core.LockEngine); ok {
+		tot = tot.Add(le.LockStats())
+		ran = true
+	}
+	return tot, ran
+}
+
+// Quiescent reports whether the partition holds no transaction state: the
+// engine is quiescent and no undo buffers, replica forwards or gated sends
+// are outstanding. Only at such a point may the engine be swapped.
+func (p *Partition) Quiescent() bool {
+	return p.engine.Quiescent() && len(p.undos) == 0 && len(p.works) == 0 && len(p.pending) == 0
+}
+
+// SwapEngine retires the current engine and constructs a replacement via
+// factory, handing it the partition's store, undo ledger and replication
+// gating (all owned by the partition, which is the engine's Env). The
+// retired engine's counters are folded into EngineTotals. SwapEngine fails
+// unless the partition is quiescent — callers must drain in-flight
+// transactions first (see the facade's SetScheme).
+func (p *Partition) SwapEngine(factory func(env core.Env) core.Engine) error {
+	if !p.Quiescent() {
+		return fmt.Errorf("partition %d: engine swap while not quiescent (undos=%d works=%d pending=%d engine=%v)",
+			p.cfg.ID, len(p.undos), len(p.works), len(p.pending), p.engine.Quiescent())
+	}
+	p.retired = p.retired.Add(p.engine.Stats())
+	if le, ok := p.engine.(*core.LockEngine); ok {
+		p.retiredLocks = p.retiredLocks.Add(le.LockStats())
+	}
+	p.engine = factory(p)
+	return nil
+}
 
 // Store exposes the partition store (for test verification).
 func (p *Partition) Store() *storage.Store { return p.cfg.Store }

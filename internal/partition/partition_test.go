@@ -236,3 +236,35 @@ func TestGenTracking(t *testing.T) {
 		t.Fatalf("result gen = %d, want 5", r.Gen)
 	}
 }
+
+func TestSwapEngineRequiresQuiescence(t *testing.T) {
+	f := newFixture(t, false)
+	// A multi-partition transaction occupies the engine until its 2PC
+	// decision arrives; swapping mid-transaction must fail.
+	f.s.SendAt(0, f.partID, f.mpFragment(1))
+	f.s.Drain()
+	specFactory := func(env core.Env) core.Engine { return core.NewSpeculative(env) }
+	if err := f.part.SwapEngine(specFactory); err == nil {
+		t.Fatal("swap succeeded with a transaction awaiting its decision")
+	}
+	f.s.SendAt(f.s.Now(), f.partID, &msg.Decision{Txn: 1, Commit: true})
+	f.s.Drain()
+	if !f.part.Quiescent() {
+		t.Fatal("partition not quiescent after decision")
+	}
+	if got := f.part.EngineTotals().Executed; got != 1 {
+		t.Fatalf("executed = %d, want 1", got)
+	}
+	if err := f.part.SwapEngine(specFactory); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.part.Engine().Scheme(); got != core.SchemeSpeculative {
+		t.Fatalf("scheme after swap = %v", got)
+	}
+	// Counters from the retired engine survive; new work stacks on top.
+	f.s.SendAt(f.s.Now(), f.partID, f.spFragment(2))
+	f.s.Drain()
+	if got := f.part.EngineTotals().Executed; got != 2 {
+		t.Fatalf("executed after swap = %d, want 2", got)
+	}
+}

@@ -129,6 +129,14 @@ func (s *Scheduler) SendAt(at Time, to ActorID, msg Message) {
 // Stop makes Run return after the current event completes.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// Empty reports whether no events remain queued. In a closed-loop simulation
+// an empty queue is permanent quiescence: nothing further will happen without
+// external input via SendAt.
+func (s *Scheduler) Empty() bool {
+	_, ok := s.heap.peek()
+	return !ok
+}
+
 // deliver dispatches one dequeued event to its actor, modelling the actor's
 // single-threaded CPU: service starts at max(arrival, busyUntil).
 func (s *Scheduler) deliver(e event) {

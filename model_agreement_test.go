@@ -1,0 +1,127 @@
+package specdb_test
+
+import (
+	"testing"
+
+	"specdb"
+	"specdb/internal/kvstore"
+	"specdb/internal/model"
+	"specdb/internal/workload"
+)
+
+// TestModelMatchesSimulatedCrossovers is the §6.4-style validation behind
+// the advisor: on the two-partition microbenchmark, wherever the §6 model
+// separates two schemes by a clear margin, the simulated throughputs must
+// order the same way. Close pairs are skipped: the model deliberately
+// ignores the locking fast path (which makes measured locking tie the others
+// at f=0) and coordinator saturation (which drags measured speculation at
+// high f, §6.4), so it is only trusted where its predicted gap exceeds the
+// size of those known divergences.
+func TestModelMatchesSimulatedCrossovers(t *testing.T) {
+	const clients, keys = 40, 12
+	// Pairs whose predicted gap is below this relative margin are not
+	// asserted against the simulation.
+	const margin = 0.15
+
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	schemes := []specdb.Scheme{specdb.Blocking, specdb.Speculation, specdb.Locking}
+	fractions := []float64{0.05, 0.1, 0.3, 0.5, 1.0}
+
+	cells, err := specdb.Sweep{
+		Name: "model-agreement",
+		Base: []specdb.Option{
+			specdb.WithPartitions(2),
+			specdb.WithClients(clients),
+			specdb.WithSeed(11),
+			specdb.WithWarmup(10 * specdb.Millisecond),
+			specdb.WithMeasure(50 * specdb.Millisecond),
+			specdb.WithRegistry(reg),
+			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+				kvstore.AddSchema(s)
+				kvstore.Load(s, p, clients, keys)
+			}),
+		},
+		Axes: []specdb.Axis{
+			specdb.SchemeAxis(schemes...),
+			specdb.NumAxis("mp", fractions, func(f float64) []specdb.Option {
+				return []specdb.Option{specdb.WithWorkload(&workload.Micro{
+					Partitions: 2, KeysPerTxn: keys, MPFraction: f,
+				})}
+			}),
+		},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cells self-identify through Labels and Xs; key the measurements off
+	// those rather than assuming the sweep's iteration order.
+	byLabel := make(map[string]specdb.Scheme, len(schemes))
+	for _, sc := range schemes {
+		byLabel[sc.String()] = sc
+	}
+	measured := make(map[specdb.Scheme]map[float64]float64, len(schemes))
+	for _, cell := range cells {
+		sc, ok := byLabel[cell.Labels[0]]
+		if !ok {
+			t.Fatalf("cell with unknown scheme label %q", cell.Labels[0])
+		}
+		if measured[sc] == nil {
+			measured[sc] = make(map[float64]float64, len(fractions))
+		}
+		measured[sc][cell.Xs[1]] = cell.Result.Throughput
+	}
+	for _, sc := range schemes {
+		if len(measured[sc]) != len(fractions) {
+			t.Fatalf("scheme %v measured at %d fractions, want %d", sc, len(measured[sc]), len(fractions))
+		}
+	}
+
+	p := model.PaperParams()
+	asserted := 0
+	for _, f := range fractions {
+		obs := specdb.ModelObserved{MPFraction: f}
+		for a := 0; a < len(schemes); a++ {
+			for b := a + 1; b < len(schemes); b++ {
+				ma, mb := p.Predict(schemes[a], obs), p.Predict(schemes[b], obs)
+				lo, hi := schemes[a], schemes[b]
+				if mb > ma {
+					lo, hi = hi, lo
+					ma, mb = mb, ma
+				}
+				if ma < mb*(1+margin) {
+					continue // model margin too small to trust
+				}
+				asserted++
+				if measured[lo][f] <= measured[hi][f] {
+					t.Errorf("f=%.2f: model predicts %v (%.0f) > %v (%.0f) by >%.0f%%, but simulation measured %.0f vs %.0f",
+						f, lo, ma, hi, mb, margin*100, measured[lo][f], measured[hi][f])
+				}
+			}
+		}
+	}
+	if asserted < 8 {
+		t.Fatalf("only %d scheme pairs had a clear model margin; grid too coarse to validate crossovers", asserted)
+	}
+
+	// The qualitative Figure 10 crossover structure, in both the model and
+	// the simulation: speculation wins the mid-range, and locking overtakes
+	// blocking as the multi-partition fraction grows.
+	const mid, hiF = 0.3, 1.0
+	if rec := p.Recommend(specdb.ModelObserved{MPFraction: mid}); rec != specdb.Speculation {
+		t.Errorf("model mid-range recommendation = %v, want speculation", rec)
+	}
+	if !(measured[specdb.Speculation][mid] > measured[specdb.Blocking][mid] &&
+		measured[specdb.Speculation][mid] > measured[specdb.Locking][mid]) {
+		t.Errorf("simulation mid-range winner is not speculation: B=%.0f S=%.0f L=%.0f",
+			measured[specdb.Blocking][mid], measured[specdb.Speculation][mid], measured[specdb.Locking][mid])
+	}
+	if p.Predict(specdb.Locking, specdb.ModelObserved{MPFraction: hiF}) <= p.Predict(specdb.Blocking, specdb.ModelObserved{MPFraction: hiF}) {
+		t.Error("model does not predict locking > blocking at f=1")
+	}
+	if measured[specdb.Locking][hiF] <= measured[specdb.Blocking][hiF] {
+		t.Errorf("simulation does not measure locking > blocking at f=1: L=%.0f B=%.0f",
+			measured[specdb.Locking][hiF], measured[specdb.Blocking][hiF])
+	}
+}

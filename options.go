@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"specdb/internal/advisor"
 	"specdb/internal/costs"
 	"specdb/internal/txn"
 )
@@ -49,6 +50,7 @@ type settings struct {
 	setup      func(PartitionID, *Store)
 	workload   Generator
 	onComplete func(clientIdx int, inv *Invocation, reply *Reply)
+	advisor    *advisor.Config
 }
 
 // defaultSettings mirrors the paper's testbed: two partitions, 40 closed-loop
@@ -152,6 +154,19 @@ func WithWorkloadFactory(mk func() Generator) Option {
 // WithOnComplete observes every completed transaction (scripted runs).
 func WithOnComplete(fn func(clientIdx int, inv *Invocation, reply *Reply)) Option {
 	return func(s *settings) { s.onComplete = fn }
+}
+
+// WithAdvisor enables online adaptive concurrency control (§5.7): at every
+// cfg.Interval of virtual time during Run and RunFor, the DB measures the
+// interval's multi-partition fraction, multi-round fraction, abort rate and
+// conflict rate, feeds them through the §6 analytical model, and — subject
+// to the advisor's hysteresis (sample-size gate, improvement margin, switch
+// holdoff) — calls SetScheme with the model's recommendation. Zero Config
+// fields take documented defaults; WithScheme still selects the starting
+// scheme. Switches appear in SchemeHistory with Auto set. The fine-grained
+// drivers RunUntil and Step do not evaluate the advisor.
+func WithAdvisor(cfg AdvisorConfig) Option {
+	return func(s *settings) { c := cfg; s.advisor = &c }
 }
 
 // withSeedOffset shifts the configured seed; Sweep uses it to derive distinct

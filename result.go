@@ -20,9 +20,12 @@ type Result struct {
 	Retries     uint64
 	// Latency quantiles over the window.
 	P50, P95, P99 Time
-	// EngineStats per partition.
+	// EngineStats per partition, accumulated across every engine the
+	// partition has run (scheme switches retire engines but fold their
+	// counters forward).
 	EngineStats []core.EngineStats
-	// LockStats per partition (locking scheme only).
+	// LockStats per partition, accumulated across every locking engine the
+	// partition has run; nil when locking never ran.
 	LockStats []locks.Stats
 	// Utilization: fraction of wall-clock the actor's CPU was busy.
 	CoordUtilization float64
@@ -37,27 +40,49 @@ type Result struct {
 type Metrics struct {
 	// Now is the virtual time the cluster has been driven to.
 	Now Time
+	// Scheme is the concurrency control scheme currently running (it
+	// changes under SetScheme and the advisor).
+	Scheme Scheme
 	// Events is the number of simulation events delivered so far.
 	Events uint64
-	// Cumulative counters since t=0.
+	// Cumulative counters since t=0. CommittedMR counts committed
+	// multi-partition transactions that took more than one fragment round.
 	Completed   uint64
 	Committed   uint64
 	UserAborted uint64
 	CommittedSP uint64
 	CommittedMP uint64
+	CommittedMR uint64
 	Retries     uint64
 	// Interval covers [previous Snapshot's Now, this snapshot's Now).
 	Interval Interval
 }
 
-// Interval reports activity between two snapshots.
+// Interval reports activity between two snapshots: raw counters plus the
+// derived workload statistics the scheme advisor consumes (§5.7).
 type Interval struct {
+	// Start and End bound the interval in virtual time.
 	Start, End Time
-	Completed  uint64
-	Committed  uint64
-	Retries    uint64
+	// Completed, Committed, UserAborted, CommittedMP and Retries are the
+	// interval's counter deltas.
+	Completed   uint64
+	Committed   uint64
+	UserAborted uint64
+	CommittedMP uint64
+	Retries     uint64
 	// Throughput is completions per second of virtual time in the span.
 	Throughput float64
+	// MPFraction is the fraction of committed transactions that were
+	// multi-partition — the measured x-coordinate of Figures 4–10.
+	MPFraction float64
+	// MultiRoundFraction is the fraction of committed multi-partition
+	// transactions that took more than one fragment round (§5.4).
+	MultiRoundFraction float64
+	// AbortRate is user aborts per completed transaction (§5.3).
+	AbortRate float64
+	// ConflictRate is deadlock/timeout retries per completed transaction
+	// (§5.2; only the locking scheme retries).
+	ConflictRate float64
 }
 
 // Duration returns the interval's length.
@@ -91,7 +116,7 @@ func (db *DB) Result() Result {
 		res.CoordUtilization = float64(db.sch.BusyTime(db.coordID)) / float64(elapsed)
 	}
 	for p := range db.parts {
-		res.EngineStats = append(res.EngineStats, db.parts[p].Engine().Stats())
+		res.EngineStats = append(res.EngineStats, db.parts[p].EngineTotals())
 		if elapsed > 0 {
 			res.PartUtilization = append(res.PartUtilization,
 				float64(db.sch.BusyTime(db.partIDs[p]))/float64(elapsed))
