@@ -50,6 +50,7 @@ import (
 	"specdb/internal/coordinator"
 	"specdb/internal/core"
 	"specdb/internal/costs"
+	"specdb/internal/fault"
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
 	"specdb/internal/model"
@@ -150,11 +151,15 @@ type DB struct {
 	parts     []*partition.Partition
 	partIDs   []sim.ActorID
 	backups   [][]*replication.Backup
+	backupIDs [][]sim.ActorID
 	coord     *coordinator.Coordinator
 	coordID   sim.ActorID
 	clients   []*client.Client
 	clientIDs []sim.ActorID
 	collector *metrics.Collector
+	// faultCtlID is the fault-injection controller actor (0 when the run
+	// has no fault schedule).
+	faultCtlID sim.ActorID
 
 	started bool
 	// cursor is the virtual time the simulation has been driven to (the
@@ -220,6 +225,8 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	db.collector = metrics.NewCollector(cfg.warmup, end)
 
+	det := cfg.detect.WithDefaults()
+
 	// Partitions (primaries).
 	for p := 0; p < cfg.partitions; p++ {
 		store := storage.NewStore()
@@ -227,11 +234,14 @@ func Open(opts ...Option) (*DB, error) {
 			cfg.setup(PartitionID(p), store)
 		}
 		part := partition.New(partition.Config{
-			ID:       PartitionID(p),
-			Store:    store,
-			Registry: cfg.registry,
-			Costs:    &db.costModel,
-			Net:      db.net,
+			ID:            PartitionID(p),
+			Store:         store,
+			Registry:      cfg.registry,
+			Costs:         &db.costModel,
+			Net:           db.net,
+			Heartbeat:     det.Heartbeat,
+			DetectTimeout: det.Timeout,
+			Rec:           db.collector,
 		})
 		id := db.sch.Register(fmt.Sprintf("partition-%d", p), part)
 		db.parts = append(db.parts, part)
@@ -239,6 +249,7 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	// Backups.
 	db.backups = make([][]*replication.Backup, cfg.partitions)
+	db.backupIDs = make([][]sim.ActorID, cfg.partitions)
 	for p := 0; p < cfg.partitions; p++ {
 		var ids []sim.ActorID
 		for r := 1; r < cfg.replicas; r++ {
@@ -248,22 +259,50 @@ func Open(opts ...Option) (*DB, error) {
 			}
 			b := replication.New(store, cfg.registry, &db.costModel, db.net)
 			b.Primary = db.partIDs[p]
+			b.Partition = PartitionID(p)
+			b.Replica = r
+			b.Heartbeat = det.Heartbeat
+			b.Timeout = det.Timeout
+			b.Rec = db.collector
 			id := db.sch.Register(fmt.Sprintf("backup-%d-%d", p, r), b)
 			b.Bind(id)
 			ids = append(ids, id)
 			db.backups[p] = append(db.backups[p], b)
 		}
+		db.backupIDs[p] = ids
 		db.parts[p].SetBackups(ids)
+		// Each backup's peers are the partition's other backups.
+		for r, b := range db.backups[p] {
+			var peers []sim.ActorID
+			for q, id := range ids {
+				if q != r {
+					peers = append(peers, id)
+				}
+			}
+			b.Peers = peers
+		}
 	}
-	// Central coordinator (blocking and speculation schemes).
-	db.coord = coordinator.New(cfg.registry, cat, &db.costModel, db.net, db.partIDs)
+	// Central coordinator (blocking and speculation schemes). It owns its
+	// partition table: failovers re-target entries independently of the
+	// clients' copies.
+	db.coord = coordinator.New(cfg.registry, cat, &db.costModel, db.net,
+		append([]sim.ActorID(nil), db.partIDs...))
+	db.coord.Rec = db.collector
 	db.coordID = db.sch.Register("coordinator", db.coord)
 	db.coord.Bind(db.coordID)
+	for p := range db.backups {
+		for _, b := range db.backups[p] {
+			b.Coordinator = db.coordID
+		}
+	}
 
 	// Bind partition engines.
 	factory := engineFactory(cfg.scheme, cfg.lockCfg, cfg.specCfg)
 	for p := 0; p < cfg.partitions; p++ {
 		db.parts[p].Bind(db.partIDs[p], factory)
+		for _, b := range db.backups[p] {
+			b.EngineFactory = factory
+		}
 	}
 	// Clients.
 	for i := 0; i < cfg.clients; i++ {
@@ -275,7 +314,7 @@ func Open(opts ...Option) (*DB, error) {
 			Metrics:     db.collector,
 			Scheme:      cfg.scheme,
 			Coordinator: db.coordID,
-			Parts:       db.partIDs,
+			Parts:       append([]sim.ActorID(nil), db.partIDs...),
 			Gen:         cfg.workload,
 			Index:       i,
 		}
@@ -289,6 +328,11 @@ func Open(opts ...Option) (*DB, error) {
 		cl.Bind(id, cfg.seed*1_000_003+int64(i)*7919+1)
 		db.clients = append(db.clients, cl)
 		db.clientIDs = append(db.clientIDs, id)
+	}
+	db.coord.Clients = append([]sim.ActorID(nil), db.clientIDs...)
+	if len(cfg.faults) > 0 {
+		ctl := &fault.Controller{Rec: db.collector, Primaries: db.partIDs, Backups: db.backupIDs}
+		db.faultCtlID = db.sch.Register("fault-controller", ctl)
 	}
 	if cfg.advisor != nil {
 		db.adv = advisor.New(*cfg.advisor)
@@ -308,6 +352,42 @@ func (db *DB) ensureStarted() {
 	for _, id := range db.clientIDs {
 		db.sch.SendAt(0, id, client.Start{})
 	}
+	if db.faultCtlID == 0 {
+		return
+	}
+	// Schedule the crash faults, and arm heartbeats and failure detectors
+	// exactly where the schedule needs them (a CrashPrimary partition's
+	// primary pulses its monitoring backups; a CrashBackup partition's
+	// backups pulse their monitoring primary). Partitions outside the
+	// schedule run with zero failover overhead, and every armed loop has a
+	// deterministic stop condition, so the event queue still drains.
+	for _, ev := range db.cfg.faults {
+		db.sch.SendAt(ev.At, db.faultCtlID, ev)
+		switch ev.Kind {
+		case fault.KindCrashPrimary:
+			db.sch.SendAt(0, db.partIDs[ev.Partition], msg.StartPulse{})
+			for _, bid := range db.backupIDs[ev.Partition] {
+				db.sch.SendAt(0, bid, msg.StartMonitor{})
+			}
+		case fault.KindCrashBackup:
+			db.sch.SendAt(0, db.partIDs[ev.Partition], msg.StartMonitor{})
+			for _, bid := range db.backupIDs[ev.Partition] {
+				db.sch.SendAt(0, bid, msg.StartPulse{})
+			}
+		}
+	}
+}
+
+// livePrimary returns the partition process currently serving p: the
+// original primary, or — after a failover — the promoted backup's inner
+// partition.
+func (db *DB) livePrimary(p int) *partition.Partition {
+	for _, b := range db.backups[p] {
+		if inner := b.Promoted(); inner != nil {
+			return inner
+		}
+	}
+	return db.parts[p]
 }
 
 // syncCursor advances the drive cursor to the scheduler clock after stepping
@@ -320,6 +400,20 @@ func (db *DB) syncCursor() {
 
 // Now returns the virtual time the simulation has been driven to.
 func (db *DB) Now() Time { return db.cursor }
+
+// Stop halts the drive call in progress (Run, RunFor, RunUntil) after the
+// current event completes. It is intended for callbacks running inside a
+// drive call — e.g. a WithOnComplete observer stopping the run once a
+// scripted condition is met. The stop is sticky: every drive call returns
+// immediately (reporting the state so far) until Resume clears it, after
+// which driving continues from exactly where it stopped.
+func (db *DB) Stop() { db.sch.Stop() }
+
+// Resume clears a Stop, so subsequent drive calls process events again.
+func (db *DB) Resume() { db.sch.Resume() }
+
+// Stopped reports whether the DB is stopped (see Stop).
+func (db *DB) Stopped() bool { return db.sch.Stopped() }
 
 // Run drives the cluster to the configured horizon (Warmup+Measure), or to
 // quiescence when Measure is zero, and returns the collected Result. It
@@ -358,6 +452,12 @@ func (db *DB) advanceTo(horizon Time) int {
 		tick := db.advNextAt
 		if tick > db.cursor {
 			n += db.sch.Run(tick)
+			if db.sch.Stopped() {
+				// Stopped mid-slice: leave the cursor at the last event
+				// so a Resume continues from the true stop point.
+				db.syncCursor()
+				return n
+			}
 			db.cursor = tick
 		}
 		before := db.sch.Delivered
@@ -367,6 +467,10 @@ func (db *DB) advanceTo(horizon Time) int {
 	}
 	if horizon > db.cursor {
 		n += db.sch.Run(horizon)
+		if db.sch.Stopped() {
+			db.syncCursor()
+			return n
+		}
 		db.cursor = horizon
 	}
 	return n
@@ -384,7 +488,7 @@ func (db *DB) runToQuiescence() {
 	}
 	for {
 		db.sch.Run(db.advNextAt)
-		if db.sch.Empty() {
+		if db.sch.Empty() || db.sch.Stopped() {
 			db.syncCursor()
 			return
 		}
@@ -396,8 +500,9 @@ func (db *DB) runToQuiescence() {
 
 // RunUntil processes events one at a time until pred is satisfied, checking
 // it before each delivery. It returns true when pred held, or false when the
-// simulation went quiescent first — which makes it double as a quiescence
-// detector: RunUntil(func(Metrics) bool { return false }) drains the run.
+// simulation went quiescent (or was stopped via Stop) first — which makes it
+// double as a quiescence detector:
+// RunUntil(func(Metrics) bool { return false }) drains the run.
 // The Metrics passed to pred are a read-only peek; they do not consume the
 // Snapshot interval.
 func (db *DB) RunUntil(pred func(m Metrics) bool) bool {
@@ -490,6 +595,9 @@ func (db *DB) setScheme(sc Scheme, auto bool) error {
 	if sc == db.cfg.scheme {
 		return nil
 	}
+	if len(db.cfg.faults) > 0 && sc == Locking {
+		return ErrFaultsLocking
+	}
 	if db.started {
 		if err := db.drainQuiesce(); err != nil {
 			db.resumeClients() // never leave the cluster paused
@@ -497,8 +605,13 @@ func (db *DB) setScheme(sc Scheme, auto bool) error {
 		}
 	}
 	factory := engineFactory(sc, db.cfg.lockCfg, db.cfg.specCfg)
+	for p := range db.backups {
+		for _, b := range db.backups[p] {
+			b.EngineFactory = factory
+		}
+	}
 	for p := range db.parts {
-		if err := db.parts[p].SwapEngine(factory); err != nil {
+		if err := db.livePrimary(p).SwapEngine(factory); err != nil {
 			// Unreachable after a successful drain (drainQuiesce verified
 			// every partition quiescent); resume rather than poison the DB.
 			db.resumeClients()
@@ -555,6 +668,8 @@ func (db *DB) drainQuiesce() error {
 }
 
 // quiescent reports whether no transaction is active or in flight anywhere.
+// After a failover the promoted backup's partition stands in for the dead
+// primary, whose frozen in-crash state no longer matters.
 func (db *DB) quiescent() bool {
 	for _, cl := range db.clients {
 		if !cl.Idle() {
@@ -565,12 +680,24 @@ func (db *DB) quiescent() bool {
 		return false
 	}
 	for p := range db.parts {
-		if !db.parts[p].Quiescent() {
+		for _, b := range db.backups[p] {
+			if b.Recovering() {
+				return false
+			}
+		}
+		if !db.livePrimary(p).Quiescent() {
 			return false
 		}
 	}
 	return true
 }
+
+// Quiescent reports whether the cluster holds no transaction state: every
+// client is idle (its generator exhausted or paused), the coordinator has no
+// undecided transactions, and every partition's engine is empty. In a run
+// with faults the event queue may still hold failure-detector machinery, so
+// Quiescent — not an empty queue — is the "workload finished" signal.
+func (db *DB) Quiescent() bool { return db.quiescent() }
 
 // advisorTick evaluates one advisor interval over the collector's totals and
 // applies the recommended switch, if any.
@@ -609,16 +736,18 @@ func (db *DB) snapshot(advance bool) Metrics {
 	now := db.cursor
 	tot := db.collector.Totals
 	m := Metrics{
-		Now:         now,
-		Scheme:      db.cfg.scheme,
-		Events:      db.sch.Delivered,
-		Completed:   tot.Completed(),
-		Committed:   tot.Committed,
-		UserAborted: tot.UserAborted,
-		CommittedSP: tot.CommittedSP,
-		CommittedMP: tot.CommittedMP,
-		CommittedMR: tot.CommittedMR,
-		Retries:     tot.Retries,
+		Now:             now,
+		Scheme:          db.cfg.scheme,
+		Events:          db.sch.Delivered,
+		Completed:       tot.Completed(),
+		Committed:       tot.Committed,
+		UserAborted:     tot.UserAborted,
+		CommittedSP:     tot.CommittedSP,
+		CommittedMP:     tot.CommittedMP,
+		CommittedMR:     tot.CommittedMR,
+		Retries:         tot.Retries,
+		Failovers:       db.collector.Promotions(),
+		FailoverResends: db.collector.FailoverResends,
 	}
 	d := tot.Sub(db.snapCounts)
 	iv := Interval{
@@ -644,13 +773,21 @@ func (db *DB) snapshot(advance bool) Metrics {
 	return m
 }
 
-// PartitionStore returns partition p's primary store (inspection).
-func (db *DB) PartitionStore(p PartitionID) *Store { return db.parts[p].Store() }
+// PartitionStore returns partition p's live primary store (inspection).
+// After a failover this is the promoted backup's store; the dead primary's
+// frozen store is no longer reachable.
+func (db *DB) PartitionStore(p PartitionID) *Store { return db.livePrimary(int(p)).Store() }
 
-// BackupStores returns partition p's backup stores.
+// BackupStores returns partition p's backup stores. A backup promoted to
+// primary by a failover is excluded — its store is the partition's primary
+// store (PartitionStore), not a replica of it, and including it would turn
+// replica-equivalence checks into self-comparisons.
 func (db *DB) BackupStores(p PartitionID) []*Store {
 	var out []*Store
 	for _, b := range db.backups[p] {
+		if b.Promoted() != nil {
+			continue
+		}
 		out = append(out, b.Store)
 	}
 	return out

@@ -1,0 +1,88 @@
+// Failover: crash a partition primary mid-run and watch the cluster ride
+// through it. A two-partition cluster with k=2 replication (§3.2) runs the
+// microbenchmark under speculation; at t=150 ms partition 0's primary
+// fail-stops. Heartbeats go silent, the backup's failure detector fires, the
+// backup — which already holds every committed transaction plus the
+// prepared-but-undecided buffer — promotes itself, the coordinator resolves
+// the in-flight multi-partition transactions, clients re-target, and the
+// closed loops resume. Throughput dips for roughly the detection timeout and
+// recovers.
+//
+// Everything runs on the deterministic simulator: the same seed and fault
+// schedule reproduce the same crash, the same promotion, and the same
+// numbers, bit for bit.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"specdb"
+	"specdb/internal/kvstore"
+	"specdb/internal/workload"
+)
+
+func main() {
+	const (
+		partitions = 2
+		clients    = 40
+		keysPerTxn = 12
+		crashAt    = 150 * specdb.Millisecond
+		sliceLen   = 10 * specdb.Millisecond
+		horizon    = 300 * specdb.Millisecond
+	)
+
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+
+	db, err := specdb.Open(
+		specdb.WithPartitions(partitions),
+		specdb.WithClients(clients),
+		specdb.WithReplicas(2), // k-safety: one backup per partition
+		specdb.WithScheme(specdb.Speculation),
+		specdb.WithSeed(42),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keysPerTxn)
+		}),
+		specdb.WithWorkload(&workload.Micro{
+			Partitions: partitions,
+			KeysPerTxn: keysPerTxn,
+			MPFraction: 0.1,
+		}),
+		specdb.WithFaults(specdb.CrashPrimary(0, crashAt)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("two partitions, k=2 replication, %d clients; primary 0 dies at %v\n\n", clients, crashAt)
+	fmt.Println("   window        txn/s")
+	for db.Now() < horizon {
+		db.RunFor(sliceLen)
+		m := db.Snapshot()
+		bar := strings.Repeat("█", int(m.Interval.Throughput/2500))
+		note := ""
+		if m.Interval.Start <= crashAt && crashAt < m.Interval.End {
+			note = "  ← primary 0 crashes"
+		}
+		fmt.Printf("%9v %8.0f %s%s\n", m.Interval.End, m.Interval.Throughput, bar, note)
+	}
+
+	res := db.Result()
+	if len(res.Failovers) == 0 {
+		log.Fatal("no failover recorded")
+	}
+	ev := res.Failovers[0]
+	fmt.Printf("\nfailover timeline (partition %d):\n", ev.Partition)
+	fmt.Printf("  crashed   %v\n", ev.CrashedAt)
+	fmt.Printf("  detected  %v  (+%v of heartbeat silence)\n", ev.DetectedAt, ev.DetectedAt-ev.CrashedAt)
+	fmt.Printf("  promoted  %v  (+%v of recovery work)\n", ev.PromotedAt, ev.RecoveryLatency())
+	fmt.Printf("  downtime  %v total\n", ev.Downtime())
+	fmt.Printf("\nrecovery work: %d buffered txns committed, %d dropped, %d in-flight aborted, %d client resends\n",
+		ev.BufferedCommitted, ev.BufferedDropped, ev.AbortedInFlight, res.FailoverResends)
+	fmt.Printf("committed %d transactions across the crash; the promoted backup's store is\n", res.Committed)
+	fmt.Printf("the partition's state of record — nothing lost, nothing applied twice\n")
+}

@@ -37,9 +37,12 @@ type Client struct {
 	Metrics     *metrics.Collector
 	Scheme      core.Scheme
 	Coordinator sim.ActorID
-	Parts       []sim.ActorID
-	Gen         workload.Generator
-	Index       int
+	// Parts maps PartitionID to the primary's actor ID. Each client owns
+	// its copy: re-targeting after a failover is a per-client event,
+	// delivered by the coordinator's NewPrimary broadcast.
+	Parts []sim.ActorID
+	Gen   workload.Generator
+	Index int
 	// OnComplete, when set, observes every completed transaction
 	// (scripted/example use).
 	OnComplete func(inv *txn.Invocation, reply *msg.ClientReply)
@@ -116,9 +119,28 @@ func (c *Client) Receive(ctx *sim.Context, m sim.Message) {
 	case *msg.FragmentResult:
 		ctx.Spend(c.Costs.ClientMessage)
 		c.mpResult(ctx, v)
+	case *msg.NewPrimary:
+		ctx.Spend(c.Costs.ClientMessage)
+		c.newPrimary(ctx, v)
 	default:
 		panic(fmt.Sprintf("client: unexpected message %T", m))
 	}
+}
+
+// newPrimary re-targets a failed-over partition and, if the in-flight
+// single-partition attempt was addressed to it, resends the attempt — same
+// transaction ID, so the promoted primary can deduplicate it if the original
+// execution survived in the replica stream but the reply died with the old
+// primary. Multi-partition attempts need no action: the coordinator resolves
+// them (aborting unrecoverable ones with retryable replies).
+func (c *Client) newPrimary(ctx *sim.Context, v *msg.NewPrimary) {
+	c.Parts[v.Partition] = v.Actor
+	a := c.cur
+	if a == nil || a.mp != nil || len(a.plan.Parts) != 1 || a.plan.Parts[0] != v.Partition {
+		return
+	}
+	c.Metrics.NoteResend()
+	c.sendSP(ctx, a)
 }
 
 // issueNext pulls the next invocation from the generator and routes it.
@@ -146,23 +168,7 @@ func (c *Client) issue(ctx *sim.Context) {
 	a.id = msg.MakeTxnID(c.self, c.seq)
 	a.mp = nil
 	if len(a.plan.Parts) == 1 {
-		p := a.plan.Parts[0]
-		f := &msg.Fragment{
-			Txn:       a.id,
-			Proc:      a.inv.Proc,
-			Round:     0,
-			Last:      true,
-			Work:      a.plan.Work[p],
-			Partition: p,
-			Coord:     c.self,
-			Client:    c.self,
-			CanAbort:  a.plan.CanAbort,
-		}
-		if a.inv.AbortAt == p {
-			f.InjectAbort = true
-		}
-		ctx.Spend(c.Costs.ClientMessage)
-		c.Net.Send(ctx, c.Parts[p], f)
+		c.sendSP(ctx, a)
 		return
 	}
 	if c.Scheme == core.SchemeLocking {
@@ -181,6 +187,28 @@ func (c *Client) issue(ctx *sim.Context) {
 	}
 	ctx.Spend(c.Costs.ClientMessage)
 	c.Net.Send(ctx, c.Coordinator, req)
+}
+
+// sendSP sends (or, after a failover, resends) a single-partition attempt's
+// one fragment under its current transaction ID.
+func (c *Client) sendSP(ctx *sim.Context, a *attempt) {
+	p := a.plan.Parts[0]
+	f := &msg.Fragment{
+		Txn:       a.id,
+		Proc:      a.inv.Proc,
+		Round:     0,
+		Last:      true,
+		Work:      a.plan.Work[p],
+		Partition: p,
+		Coord:     c.self,
+		Client:    c.self,
+		CanAbort:  a.plan.CanAbort,
+	}
+	if a.inv.AbortAt == p {
+		f.InjectAbort = true
+	}
+	ctx.Spend(c.Costs.ClientMessage)
+	c.Net.Send(ctx, c.Parts[p], f)
 }
 
 // sendRound dispatches the current 2PC round (locking scheme).

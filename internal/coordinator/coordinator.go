@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"specdb/internal/costs"
+	"specdb/internal/metrics"
 	"specdb/internal/msg"
 	"specdb/internal/sim"
 	"specdb/internal/simnet"
@@ -31,13 +32,26 @@ type Coordinator struct {
 	Catalog  *txn.Catalog
 	Costs    *costs.Model
 	Net      *simnet.Net
-	// Parts maps PartitionID to the primary's actor ID.
+	// Parts maps PartitionID to the primary's actor ID. The coordinator
+	// owns this slice: a failover re-targets an entry to the promoted
+	// backup.
 	Parts []sim.ActorID
+	// Clients lists every client actor, for the NewPrimary broadcast on
+	// failover (set by the facade; nil outside fault runs).
+	Clients []sim.ActorID
+	// Rec records failover events (may be nil outside fault runs).
+	Rec *metrics.Collector
 
 	self  sim.ActorID
 	txns  map[msg.TxnID]*ctxn
 	order []msg.TxnID
 	gen   []uint32 // per-partition abort generation
+	// decided logs every finalized transaction's outcome. It backs
+	// failover recovery: a promoted backup asks for the outcomes of its
+	// buffered prepared transactions, whose decisions may have died with
+	// the old primary. (Unbounded by design — this is a simulation; a real
+	// system would truncate it at replica acknowledgment.)
+	decided map[msg.TxnID]bool
 
 	// Stats
 	Requests  uint64
@@ -60,6 +74,17 @@ type ctxn struct {
 	prior []msg.FragmentResult
 	// ready is set when all final-round votes are present and valid.
 	ready bool
+	// failed marks participants whose primary crashed while this
+	// transaction was in flight; their decisions are sent Recovery-flagged
+	// so the promoted backup resolves them against its prepared buffer
+	// instead of its fresh engine.
+	failed map[msg.PartitionID]bool
+	// doomed marks a transaction force-aborted at failover (its state at
+	// the dead partition was unrecoverable). Doomed transactions abort no
+	// matter what else happens: cascade discards must not clear their
+	// ready flag, or they would go back to waiting for a result the dead
+	// partition can never send.
+	doomed bool
 }
 
 // New builds a coordinator.
@@ -72,6 +97,7 @@ func New(reg *txn.Registry, cat *txn.Catalog, c *costs.Model, net *simnet.Net, p
 		Parts:    parts,
 		txns:     make(map[msg.TxnID]*ctxn),
 		gen:      make([]uint32, len(parts)),
+		decided:  make(map[msg.TxnID]bool),
 	}
 }
 
@@ -88,9 +114,72 @@ func (c *Coordinator) Receive(ctx *sim.Context, m sim.Message) {
 		c.request(ctx, v)
 	case *msg.FragmentResult:
 		c.result(ctx, v)
+	case *msg.RecoveryQuery:
+		c.recover(ctx, v)
 	default:
 		panic(fmt.Sprintf("coordinator: unexpected message %T", m))
 	}
+}
+
+// recover handles a partition failover: the promoted backup announces itself
+// and asks for the outcomes of its buffered prepared transactions. The
+// coordinator re-targets the partition, tells every client (clients then
+// resend stalled single-partition attempts to the new primary), answers the
+// outcome query from its decision log, and resolves in-flight transactions
+// touching the dead partition — aborting any whose state there is
+// unrecoverable (no final vote, or only a speculative one, §4.2.2: a
+// speculative vote's re-execution can no longer happen). Transactions that
+// had already voted non-speculatively at the dead primary survive: their
+// prepared work sits in the promoted backup's buffer, and their eventual
+// decisions are sent Recovery-flagged.
+func (c *Coordinator) recover(ctx *sim.Context, q *msg.RecoveryQuery) {
+	ctx.Spend(c.Costs.CoordMessage)
+	p := q.Partition
+	c.Parts[p] = q.NewPrimary
+	// Clients first, then the outcome reply, then any abort decisions from
+	// release(): FIFO links guarantee the new primary sees the outcomes
+	// before Recovery-flagged decisions, and clients learn the new target
+	// before their retryable abort replies arrive.
+	for _, cl := range c.Clients {
+		c.Net.Send(ctx, cl, &msg.NewPrimary{Partition: p, Actor: q.NewPrimary})
+	}
+	out := &msg.RecoveryOutcome{Partition: p}
+	for _, id := range q.Buffered {
+		if commit, ok := c.decided[id]; ok {
+			out.Outcomes = append(out.Outcomes, msg.TxnOutcome{Txn: id, Commit: commit})
+		}
+	}
+	ctx.Spend(c.Costs.CoordMessage)
+	c.Net.Send(ctx, q.NewPrimary, out)
+
+	aborted := 0
+	for _, id := range c.order {
+		t := c.txns[id]
+		if t == nil || !t.touches(p) {
+			continue
+		}
+		if t.failed == nil {
+			t.failed = make(map[msg.PartitionID]bool, 1)
+		}
+		t.failed[p] = true
+		if v := t.votes[p]; v != nil && !v.Speculative {
+			// A final vote (yes or no) from p is in hand: a yes-vote's
+			// prepared work sits in the promoted backup's buffer, a
+			// no-vote aborts through the normal path either way.
+			continue
+		}
+		// No vote, or only a speculative one whose re-execution died with
+		// the primary: the transaction cannot complete. Synthesize a
+		// killed no-vote so it aborts (retryable) in global order.
+		t.votes[p] = &msg.FragmentResult{Txn: id, Partition: p, Aborted: true, Killed: true}
+		t.ready = true
+		t.doomed = true
+		aborted++
+	}
+	if c.Rec != nil && aborted > 0 {
+		c.Rec.NoteInFlightAborted(int(p), aborted)
+	}
+	c.release(ctx)
 }
 
 func (c *Coordinator) request(ctx *sim.Context, r *msg.Request) {
@@ -157,7 +246,7 @@ func (c *Coordinator) result(ctx *sim.Context, r *msg.FragmentResult) {
 
 // advance moves t forward when the current round is fully reported.
 func (c *Coordinator) advance(ctx *sim.Context, t *ctxn) {
-	if t.ready || len(t.results) < len(t.plan.Parts) {
+	if t.ready || t.doomed || len(t.results) < len(t.plan.Parts) {
 		return
 	}
 	aborted := false
@@ -189,6 +278,16 @@ func (c *Coordinator) advance(ctx *sim.Context, t *ctxn) {
 	work := proc.Continue(t.req.Args, t.round, t.prior, c.Catalog)
 	t.results = make(map[msg.PartitionID]*msg.FragmentResult, len(t.plan.Parts))
 	c.sendRound(ctx, t, work)
+}
+
+// touches reports whether the transaction's plan includes partition p.
+func (t *ctxn) touches(p msg.PartitionID) bool {
+	for _, q := range t.plan.Parts {
+		if q == p {
+			return true
+		}
+	}
+	return false
 }
 
 // depsResolved reports whether every speculative result's dependency has
@@ -249,9 +348,10 @@ func (c *Coordinator) finalize(ctx *sim.Context, t *ctxn) {
 	}
 	for _, p := range t.plan.Parts {
 		ctx.Spend(c.Costs.CoordMessage)
-		c.Net.Send(ctx, c.Parts[p], &msg.Decision{Txn: t.id, Commit: commit, Gen: c.gen[p]})
+		c.Net.Send(ctx, c.Parts[p], &msg.Decision{Txn: t.id, Commit: commit, Gen: c.gen[p], Recovery: t.failed[p]})
 	}
 	delete(c.txns, t.id)
+	c.decided[t.id] = commit
 
 	reply := &msg.ClientReply{Txn: t.id, Committed: commit}
 	if commit {
@@ -285,6 +385,12 @@ func (c *Coordinator) discardDependents(t *ctxn) {
 	for _, id := range c.order {
 		o := c.txns[id]
 		if o == nil || o == t {
+			continue
+		}
+		if o.doomed {
+			// Aborting regardless; a stale speculative vote cannot change
+			// that outcome, and clearing ready would strand the
+			// transaction waiting on a dead partition.
 			continue
 		}
 		for p, r := range o.results {

@@ -108,7 +108,15 @@ func (e *BlockingEngine) execMultiFragment(t *blockedTxn, f *msg.Fragment) {
 func (e *BlockingEngine) Decision(d *msg.Decision) {
 	e.env.ChargeDecision()
 	if e.active == nil || e.active.id != d.Txn {
-		panic(fmt.Sprintf("blocking: decision for %d but active is %+v", d.Txn, e.active))
+		if d.Commit {
+			panic(fmt.Sprintf("blocking: commit for %d but active is %+v", d.Txn, e.active))
+		}
+		// An abort may target a transaction this partition never started:
+		// when a participant crashes, the coordinator aborts its in-flight
+		// transactions, and this partition may still hold their fragments
+		// queued behind the active transaction (or have none at all).
+		e.dropQueued(d.Txn)
+		return
 	}
 	if d.Commit {
 		e.env.Forget(d.Txn)
@@ -118,6 +126,19 @@ func (e *BlockingEngine) Decision(d *msg.Decision) {
 	}
 	e.active = nil
 	e.pump()
+}
+
+// dropQueued discards every queued fragment of an aborted-before-execution
+// transaction (participant-failure 2PC abort).
+func (e *BlockingEngine) dropQueued(id msg.TxnID) {
+	kept := e.queue[:0]
+	for _, f := range e.queue {
+		if f.Txn != id {
+			kept = append(kept, f)
+		}
+	}
+	e.queue = kept
+	e.env.Forget(id)
 }
 
 // pump executes queued transactions until a multi-partition transaction

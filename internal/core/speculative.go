@@ -256,17 +256,65 @@ func (e *SpecEngine) speculate(f *msg.Fragment) {
 }
 
 // Decision applies a 2PC outcome. Decisions arrive in global order, so they
-// always target the head of the uncommitted queue.
+// always target the head of the uncommitted queue — except for participant-
+// failure aborts, which may reach this partition before it ever executed the
+// transaction.
 func (e *SpecEngine) Decision(d *msg.Decision) {
 	e.env.ChargeDecision()
 	if len(e.unc) == 0 || e.unc[0].id != d.Txn {
-		panic(fmt.Sprintf("speculation: decision for %d does not match head", d.Txn))
+		if d.Commit {
+			panic(fmt.Sprintf("speculation: commit for %d does not match head", d.Txn))
+		}
+		if u := e.find(d.Txn); u != nil {
+			panic(fmt.Sprintf("speculation: abort for uncommitted non-head %d (ordering violated)", d.Txn))
+		}
+		// Failover abort for a transaction still waiting in the unexecuted
+		// queue (or never seen at all): discard its fragments.
+		e.dropUnexecuted(d.Txn)
+		return
 	}
 	if d.Commit {
 		e.commitHead()
 	} else {
 		e.abortHead()
 	}
+	e.pump()
+}
+
+// dropUnexecuted discards every unexecuted fragment of an aborted-before-
+// execution transaction (participant-failure 2PC abort), then undoes and
+// re-executes the uncommitted queue. The re-execution is not optional: the
+// abort bumped the coordinator's generation for this partition, so any
+// speculative result sent before it may have been discarded — and unlike a
+// normal abort (whose victim executed here, so its decision triggers the
+// abortHead cascade), dropping a never-executed fragment would otherwise
+// resend nothing, deadlocking the coordinator (§4.2.2's "undo, re-execute
+// and resend" contract).
+func (e *SpecEngine) dropUnexecuted(id msg.TxnID) {
+	kept := e.unexecuted[:0]
+	for _, f := range e.unexecuted {
+		if f.Txn != id {
+			kept = append(kept, f)
+		}
+	}
+	e.unexecuted = kept
+	e.env.Forget(id)
+	low := 0
+	if len(e.unc) > 0 && e.unc[0].frag.Round > 0 {
+		// A mid-round head keeps its place: its current-round results are
+		// non-speculative (round advancement implies its dependencies
+		// committed and it executed as head), so nothing of its round was
+		// discarded — and only its latest fragment is requeueable anyway.
+		low = 1
+	}
+	for i := len(e.unc) - 1; i >= low; i-- {
+		u := e.unc[i]
+		e.env.Rollback(u.id)
+		e.env.Forget(u.id)
+		e.unexecuted = append([]*msg.Fragment{u.frag}, e.unexecuted...)
+		e.stats.Redone++
+	}
+	e.unc = e.unc[:low]
 	e.pump()
 }
 

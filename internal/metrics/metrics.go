@@ -96,6 +96,60 @@ func (c *Counts) record(committed, multiPartition, multiRound bool) {
 	}
 }
 
+// Role identifies which replica of a partition a failover event concerns.
+type Role string
+
+// Failover event roles.
+const (
+	RolePrimary Role = "primary"
+	RoleBackup  Role = "backup"
+)
+
+// FailoverEvent records one crash fault and its handling: the crash itself,
+// its detection by the failure detector, and — for primary crashes — the
+// backup's promotion and the recovery work it entailed. Times are zero for
+// stages not (yet) reached.
+type FailoverEvent struct {
+	// Partition is the affected partition.
+	Partition int
+	// Role says whether the crashed process was the partition's primary
+	// or one of its backups; Replica is the 1-based backup index for
+	// backup crashes.
+	Role    Role
+	Replica int
+	// CrashedAt is the injected fault time; DetectedAt is when the
+	// failure detector declared the process dead; PromotedAt is when the
+	// promoted backup finished resolving its buffered transactions and
+	// took over as primary (primary crashes only).
+	CrashedAt, DetectedAt, PromotedAt sim.Time
+	// BufferedCommitted and BufferedDropped count the prepared-but-
+	// undecided transactions the promoted backup resolved at promotion
+	// from the coordinator's decision log.
+	BufferedCommitted, BufferedDropped int
+	// AbortedInFlight counts multi-partition transactions the coordinator
+	// aborted at failover because their state at the crashed primary was
+	// unrecoverable (no final vote, or only a speculative one).
+	AbortedInFlight int
+}
+
+// Downtime returns how long the partition was without a primary: promotion
+// minus crash time. Zero for backup crashes and unfinished failovers.
+func (e FailoverEvent) Downtime() sim.Time {
+	if e.Role != RolePrimary || e.PromotedAt == 0 {
+		return 0
+	}
+	return e.PromotedAt - e.CrashedAt
+}
+
+// RecoveryLatency returns detection-to-promotion time (the failover work
+// itself, excluding the detection timeout). Zero until promotion completes.
+func (e FailoverEvent) RecoveryLatency() sim.Time {
+	if e.Role != RolePrimary || e.PromotedAt == 0 {
+		return 0
+	}
+	return e.PromotedAt - e.DetectedAt
+}
+
 // Collector accumulates transaction completions. The paper's methodology is
 // a warm-up period followed by a measurement window; only completions inside
 // the window count (§5).
@@ -110,7 +164,66 @@ type Collector struct {
 	Window Counts
 	Totals Counts
 
+	// Failovers records crash faults and their handling, in the order the
+	// stages were observed. At most one event exists per (partition, role,
+	// replica): fault schedules allow one fault per partition.
+	Failovers []FailoverEvent
+	// FailoverResends counts single-partition attempts a client re-sent to
+	// a promoted primary after its original target crashed.
+	FailoverResends uint64
+
 	lat Histogram
+}
+
+// failover returns (appending if needed) the event slot for a partition/role.
+func (c *Collector) failover(part int, role Role, replica int) *FailoverEvent {
+	for i := range c.Failovers {
+		e := &c.Failovers[i]
+		if e.Partition == part && e.Role == role && e.Replica == replica {
+			return e
+		}
+	}
+	c.Failovers = append(c.Failovers, FailoverEvent{Partition: part, Role: role, Replica: replica})
+	return &c.Failovers[len(c.Failovers)-1]
+}
+
+// NoteCrash records a fault injection.
+func (c *Collector) NoteCrash(part int, role Role, replica int, at sim.Time) {
+	c.failover(part, role, replica).CrashedAt = at
+}
+
+// NoteDetected records a failure detector declaring a process dead.
+func (c *Collector) NoteDetected(part int, role Role, replica int, at sim.Time) {
+	c.failover(part, role, replica).DetectedAt = at
+}
+
+// NotePromoted records a backup completing its promotion to primary, with
+// the buffered-transaction resolution counts.
+func (c *Collector) NotePromoted(part int, at sim.Time, committed, dropped int) {
+	e := c.failover(part, RolePrimary, 0)
+	e.PromotedAt = at
+	e.BufferedCommitted = committed
+	e.BufferedDropped = dropped
+}
+
+// NoteInFlightAborted records coordinator-side failover aborts.
+func (c *Collector) NoteInFlightAborted(part, n int) {
+	c.failover(part, RolePrimary, 0).AbortedInFlight = n
+}
+
+// NoteResend records a client re-sending a stalled single-partition attempt
+// to a promoted primary.
+func (c *Collector) NoteResend() { c.FailoverResends++ }
+
+// Promotions returns the number of completed backup promotions.
+func (c *Collector) Promotions() int {
+	n := 0
+	for i := range c.Failovers {
+		if c.Failovers[i].Role == RolePrimary && c.Failovers[i].PromotedAt > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // NewCollector builds a collector for the given window.

@@ -112,6 +112,11 @@ type Decision struct {
 	// Gen carries the coordinator's (possibly just incremented, on
 	// abort) generation for the destination partition.
 	Gen uint32
+	// Recovery marks a decision for a transaction that was in flight when
+	// the destination partition's primary crashed. The promoted primary
+	// resolves it against its buffered prepared transactions instead of
+	// its (fresh) engine, which never saw the transaction.
+	Recovery bool
 }
 
 // ClientReply completes a transaction at its client.
@@ -141,6 +146,13 @@ type ReplicaForward struct {
 	Committed bool
 	// Seq distinguishes re-forwards after speculative re-execution.
 	Seq uint32
+	// Client is the end client of a committed single-partition forward,
+	// and Reply the reply the primary released to it. A promoted backup
+	// uses them to deduplicate client recovery resends: if the client's
+	// last applied transaction matches a resent fragment, the stored
+	// reply is returned instead of executing the transaction twice.
+	Client sim.ActorID
+	Reply  *ClientReply
 }
 
 // ReplicaAck acknowledges a ReplicaForward.
@@ -154,4 +166,67 @@ type ReplicaAck struct {
 type ReplicaDecision struct {
 	Txn    TxnID
 	Commit bool
+}
+
+// --- Failure detection and failover (crash faults) ---
+
+// Heartbeat is the liveness pulse exchanged between a primary and its
+// backups when fault injection is enabled. Primaries pulse their backups
+// (primary-crash detection); backups pulse their primary (backup-crash
+// detection). Heartbeats carry no payload and cost no CPU — only their
+// absence is information.
+type Heartbeat struct {
+	Partition PartitionID
+	From      sim.ActorID
+}
+
+// StartPulse kicks an actor's heartbeat loop at simulation start.
+type StartPulse struct{}
+
+// StopPulse ends an actor's heartbeat loop; the primary sends it to
+// surviving backups once a crashed backup has been detected and detached,
+// so the event queue can drain to quiescence.
+type StopPulse struct{}
+
+// StartMonitor arms an actor's failure detector at simulation start.
+type StartMonitor struct{}
+
+// RecoveryQuery is sent by a backup that has promoted itself after
+// detecting its primary's crash. It asks the coordinator for the outcomes
+// of the prepared-but-undecided transactions the backup holds buffered,
+// and doubles as the coordinator's failover notification for the
+// partition.
+type RecoveryQuery struct {
+	Partition PartitionID
+	// NewPrimary is the promoted backup's actor ID; the coordinator
+	// re-targets the partition and tells the clients.
+	NewPrimary sim.ActorID
+	// Buffered lists the buffered transactions, in forward order.
+	Buffered []TxnID
+}
+
+// TxnOutcome pairs a transaction with its decided 2PC outcome.
+type TxnOutcome struct {
+	Txn    TxnID
+	Commit bool
+}
+
+// RecoveryOutcome answers a RecoveryQuery: the outcomes of every buffered
+// transaction the coordinator had already decided, in decision order. The
+// promoted primary applies the commits and drops the aborts; buffered
+// transactions still pending at the coordinator are resolved later by
+// Recovery-flagged Decisions.
+type RecoveryOutcome struct {
+	Partition PartitionID
+	Outcomes  []TxnOutcome
+}
+
+// NewPrimary announces a completed promotion. The coordinator broadcasts it
+// to every client (which re-targets the partition and resends a stalled
+// single-partition attempt); the promoting backup sends it to surviving
+// peer backups (which re-target their acknowledgments and stand down their
+// own failure detectors).
+type NewPrimary struct {
+	Partition PartitionID
+	Actor     sim.ActorID
 }

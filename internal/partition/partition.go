@@ -13,10 +13,12 @@ package partition
 
 import (
 	"fmt"
+	"sort"
 
 	"specdb/internal/core"
 	"specdb/internal/costs"
 	"specdb/internal/locks"
+	"specdb/internal/metrics"
 	"specdb/internal/msg"
 	"specdb/internal/sim"
 	"specdb/internal/simnet"
@@ -28,6 +30,13 @@ import (
 // timerMsg wraps engine timer payloads.
 type timerMsg struct{ payload any }
 
+// pulseTick and probeTick drive the heartbeat loop and the backup failure
+// detector (fault-injection runs only).
+type (
+	pulseTick struct{}
+	probeTick struct{}
+)
+
 // Config assembles a partition.
 type Config struct {
 	ID       msg.PartitionID
@@ -37,6 +46,14 @@ type Config struct {
 	Net      *simnet.Net
 	// Backups are the replica actors for this partition (may be empty).
 	Backups []sim.ActorID
+
+	// Heartbeat and DetectTimeout parameterize the failure detector; they
+	// are only consulted after a StartPulse/StartMonitor message, which the
+	// facade sends when fault injection is enabled.
+	Heartbeat     sim.Time
+	DetectTimeout sim.Time
+	// Rec records failover events (may be nil outside fault runs).
+	Rec *metrics.Collector
 }
 
 // Partition is the primary process for one partition.
@@ -60,6 +77,15 @@ type Partition struct {
 	// genSeen is the latest coordinator abort-generation observed.
 	genSeen uint32
 
+	// Failure detection (fault-injection runs): the primary pulses its
+	// backups so they can detect a primary crash, and monitors their
+	// heartbeats so it can detach a crashed backup and release the votes
+	// and replies gated on its acknowledgments.
+	pulsing    bool
+	monitoring bool
+	lastHeard  map[sim.ActorID]sim.Time
+	rank       map[sim.ActorID]int // 1-based backup index, for metrics
+
 	// Stats
 	FragmentsIn  uint64
 	DecisionsIn  uint64
@@ -77,9 +103,12 @@ type workLog struct {
 }
 
 type pendingSend struct {
-	seq     uint32
-	waiting int
-	send    func()
+	seq uint32
+	// awaiting holds the backups whose acknowledgment is still missing;
+	// the gated send fires when it empties — by acks arriving, or by a
+	// crashed backup being detached.
+	awaiting map[sim.ActorID]bool
+	send     func()
 }
 
 // New builds a partition; call Bind with the actor ID and an engine factory
@@ -104,6 +133,10 @@ func (p *Partition) Bind(self sim.ActorID, factory func(env core.Env) core.Engin
 // primary because they need its ID for acknowledgments.
 func (p *Partition) SetBackups(ids []sim.ActorID) {
 	p.cfg.Backups = ids
+	p.rank = make(map[sim.ActorID]int, len(ids))
+	for i, id := range ids {
+		p.rank[id] = i + 1
+	}
 }
 
 // Engine exposes the concurrency control engine (for stats).
@@ -188,8 +221,105 @@ func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
 		p.ackArrived(v)
 	case timerMsg:
 		p.engine.Timer(v.payload)
+	case msg.StartPulse:
+		if !p.pulsing {
+			p.pulsing = true
+			p.pulse(ctx)
+		}
+	case pulseTick:
+		p.pulse(ctx)
+	case msg.StartMonitor:
+		if !p.monitoring {
+			p.monitoring = true
+			p.lastHeard = make(map[sim.ActorID]sim.Time, len(p.cfg.Backups))
+			for _, b := range p.cfg.Backups {
+				p.lastHeard[b] = ctx.Now()
+			}
+			ctx.After(p.cfg.DetectTimeout, probeTick{})
+		}
+	case probeTick:
+		p.probe(ctx)
+	case *msg.Heartbeat:
+		if p.monitoring {
+			p.lastHeard[v.From] = ctx.Now()
+		}
 	default:
 		panic(fmt.Sprintf("partition %d: unexpected message %T", p.cfg.ID, m))
+	}
+}
+
+// pulse sends one heartbeat to every attached backup and re-arms the loop.
+// Heartbeats charge no CPU: only their absence is information.
+func (p *Partition) pulse(ctx *sim.Context) {
+	if !p.pulsing {
+		return
+	}
+	for _, b := range p.cfg.Backups {
+		p.cfg.Net.Send(ctx, b, &msg.Heartbeat{Partition: p.cfg.ID, From: ctx.Self()})
+	}
+	ctx.After(p.cfg.Heartbeat, pulseTick{})
+}
+
+// probe checks every backup's heartbeat age, detaching any that has been
+// silent past the detection timeout, and re-arms itself for the earliest
+// next deadline. The first detection ends monitoring (fault schedules allow
+// one fault per partition, and the surviving backups are told to stop
+// pulsing), letting the event queue drain.
+func (p *Partition) probe(ctx *sim.Context) {
+	if !p.monitoring {
+		return
+	}
+	next := sim.Time(-1)
+	for _, b := range append([]sim.ActorID(nil), p.cfg.Backups...) {
+		deadline := p.lastHeard[b] + p.cfg.DetectTimeout
+		if ctx.Now() >= deadline {
+			p.dropBackup(ctx, b)
+			continue
+		}
+		if next < 0 || deadline < next {
+			next = deadline
+		}
+	}
+	if !p.monitoring || next < 0 {
+		p.monitoring = false
+		return
+	}
+	ctx.After(next-ctx.Now(), probeTick{})
+}
+
+// dropBackup detaches a crashed backup: it stops receiving forwards, every
+// send gated on its acknowledgment is released, and the surviving backups
+// are told to stop their own heartbeat pulses (the fault schedule allows
+// one fault per partition, so detection ends here too).
+func (p *Partition) dropBackup(ctx *sim.Context, dead sim.ActorID) {
+	p.monitoring = false
+	if p.cfg.Rec != nil {
+		p.cfg.Rec.NoteDetected(int(p.cfg.ID), metrics.RoleBackup, p.rank[dead], ctx.Now())
+	}
+	kept := p.cfg.Backups[:0]
+	for _, b := range p.cfg.Backups {
+		if b != dead {
+			kept = append(kept, b)
+		}
+	}
+	p.cfg.Backups = kept
+	delete(p.lastHeard, dead)
+	for _, b := range p.cfg.Backups {
+		p.cfg.Net.Send(ctx, b, msg.StopPulse{})
+	}
+	// Release gated sends in deterministic (TxnID) order.
+	ids := make([]msg.TxnID, 0, len(p.pending))
+	for id := range p.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ps := p.pending[id]
+		delete(ps.awaiting, dead)
+		if len(ps.awaiting) == 0 {
+			delete(p.pending, id)
+			ps.send()
+		}
 	}
 }
 
@@ -256,10 +386,15 @@ func (p *Partition) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
 	r.Gen = p.genSeen
 	p.ResultsOut++
 	if len(p.cfg.Backups) > 0 && f.Last && f.MultiPartition && !r.Aborted {
-		p.forwardThenSend(f.Txn, false, func() {
+		p.forwardThenSend(f.Txn, false, 0, nil, func() {
 			p.cfg.Net.Send(p.ctx, f.Coord, r)
 		})
 		return
+	}
+	if f.Last && f.MultiPartition && !r.Aborted {
+		// No backups (left) to forward to — work was logged while a now-
+		// detached backup was attached; drop it so nothing leaks.
+		delete(p.works, f.Txn)
 	}
 	p.cfg.Net.Send(p.ctx, f.Coord, r)
 }
@@ -270,11 +405,13 @@ func (p *Partition) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
 func (p *Partition) ReplyClient(f *msg.Fragment, reply *msg.ClientReply) {
 	p.RepliesOut++
 	if len(p.cfg.Backups) > 0 && reply.Committed {
-		p.forwardThenSend(f.Txn, true, func() {
+		p.forwardThenSend(f.Txn, true, f.Client, reply, func() {
 			p.cfg.Net.Send(p.ctx, f.Client, reply)
 		})
 		return
 	}
+	// Not forwarding (no backups left, or an abort): drop any logged work.
+	delete(p.works, f.Txn)
 	p.cfg.Net.Send(p.ctx, f.Client, reply)
 }
 
@@ -292,8 +429,10 @@ func (p *Partition) spend(d sim.Time) { p.ctx.Spend(d) }
 
 // forwardThenSend ships the transaction's executed work to every backup and
 // holds send until all acks arrive. A re-forward (speculative re-execution
-// after a cascade) supersedes the previous one.
-func (p *Partition) forwardThenSend(id msg.TxnID, committed bool, send func()) {
+// after a cascade) supersedes the previous one. Committed single-partition
+// forwards carry the client identity and reply so a promoted backup can
+// deduplicate recovery resends.
+func (p *Partition) forwardThenSend(id msg.TxnID, committed bool, client sim.ActorID, reply *msg.ClientReply, send func()) {
 	wl := p.works[id]
 	if wl == nil {
 		// Read-only transaction with no logged work still forwards (the
@@ -302,12 +441,14 @@ func (p *Partition) forwardThenSend(id msg.TxnID, committed bool, send func()) {
 	}
 	delete(p.works, id)
 	p.fwdSeq++
-	fw := &msg.ReplicaForward{Txn: id, Proc: wl.proc, Works: wl.works, Committed: committed, Seq: p.fwdSeq}
+	fw := &msg.ReplicaForward{Txn: id, Proc: wl.proc, Works: wl.works, Committed: committed, Seq: p.fwdSeq, Client: client, Reply: reply}
+	awaiting := make(map[sim.ActorID]bool, len(p.cfg.Backups))
 	for _, b := range p.cfg.Backups {
 		p.cfg.Net.Send(p.ctx, b, fw)
+		awaiting[b] = true
 	}
 	p.ForwardsOut++
-	p.pending[id] = &pendingSend{seq: p.fwdSeq, waiting: len(p.cfg.Backups), send: send}
+	p.pending[id] = &pendingSend{seq: p.fwdSeq, awaiting: awaiting, send: send}
 }
 
 func (p *Partition) ackArrived(a *msg.ReplicaAck) {
@@ -315,8 +456,8 @@ func (p *Partition) ackArrived(a *msg.ReplicaAck) {
 	if ps == nil || ps.seq != a.Seq {
 		return // stale ack from a superseded forward
 	}
-	ps.waiting--
-	if ps.waiting > 0 {
+	delete(ps.awaiting, a.From)
+	if len(ps.awaiting) > 0 {
 		return
 	}
 	delete(p.pending, a.Txn)

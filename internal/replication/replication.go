@@ -1,20 +1,41 @@
-// Package replication implements the backup processes of §3.2/§4.3. H-Store
-// uses k-replication instead of disk for durability: a transaction commits
-// once k replicas have received it. Backups re-execute forwarded transactions
+// Package replication implements the backup processes of §3.2/§4.3 and the
+// failover that makes the k-safety machinery worth having. H-Store uses
+// k-replication instead of disk for durability: a transaction commits once k
+// replicas have received it. Backups re-execute forwarded transactions
 // sequentially, in the order the primary committed them, without locks or
 // undo buffers — any data from remote partitions is baked into the forwarded
 // work, so backups never participate in distributed transactions.
+//
+// When fault injection is enabled, a backup also runs a timeout-based
+// failure detector over its primary's heartbeats. On detecting a crash, it
+// promotes itself: it already holds all committed state plus the
+// prepared-but-undecided buffer, so it builds a fresh partition process
+// around its own store, asks the coordinator for the outcomes of the
+// buffered transactions (and, implicitly, for in-flight transactions
+// touching the dead partition to be resolved), and takes over as primary —
+// deduplicating client recovery resends so no transaction commits twice.
+// See docs/ARCHITECTURE.md "Failures and recovery".
 package replication
 
 import (
 	"fmt"
 
+	"specdb/internal/core"
 	"specdb/internal/costs"
+	"specdb/internal/metrics"
 	"specdb/internal/msg"
+	"specdb/internal/partition"
 	"specdb/internal/sim"
 	"specdb/internal/simnet"
 	"specdb/internal/storage"
 	"specdb/internal/txn"
+)
+
+// pulseTick and checkTick drive the backup's heartbeat loop (backup-crash
+// detection by the primary) and its failure detector over the primary.
+type (
+	pulseTick struct{}
+	checkTick struct{}
 )
 
 // Backup is one backup replica of a partition.
@@ -24,11 +45,55 @@ type Backup struct {
 	Costs    *costs.Model
 	Net      *simnet.Net
 	Primary  sim.ActorID
-	self     sim.ActorID
+
+	// Failover wiring (set by the facade when fault injection is enabled).
+	// Partition is the replicated partition; Replica is this backup's
+	// 1-based rank, which staggers the detection timeout so exactly one
+	// surviving backup promotes. Peers are the partition's other backups.
+	Partition   msg.PartitionID
+	Replica     int
+	Coordinator sim.ActorID
+	Peers       []sim.ActorID
+	// Heartbeat and Timeout parameterize the failure detector.
+	Heartbeat sim.Time
+	Timeout   sim.Time
+	// EngineFactory builds the concurrency control engine on promotion;
+	// the facade keeps it current across adaptive scheme switches.
+	EngineFactory func(env core.Env) core.Engine
+	// Rec records failover events (may be nil outside fault runs).
+	Rec *metrics.Collector
+
+	self sim.ActorID
 
 	// buffered holds prepared multi-partition transactions awaiting the
-	// primary's decision forward.
+	// primary's decision forward; bufOrder preserves forward order for the
+	// recovery query.
 	buffered map[msg.TxnID]*msg.ReplicaForward
+	bufOrder []msg.TxnID
+
+	// lastReply remembers, per client, the most recently applied committed
+	// single-partition transaction and its reply. Clients are closed-loop
+	// (at most one transaction outstanding), so one entry per client is
+	// exactly the deduplication state a promoted primary needs.
+	lastReply map[sim.ActorID]*msg.ClientReply
+
+	// Failure detection and promotion state.
+	pulsing    bool
+	monitoring bool
+	lastHeard  sim.Time
+	// promoted is the partition process this backup becomes on promotion.
+	// resolved is set once the RecoveryOutcome has arrived AND every
+	// buffered transaction has been resolved; until then new fragments
+	// are stashed, because applying a late old-world commit directly to
+	// the store underneath an engine holding uncommitted undo state could
+	// let a later rollback erase the committed write.
+	promoted    *partition.Partition
+	outcomeSeen bool
+	resolved    bool
+	stash       []*msg.Fragment
+	// bufCommitted and bufDropped count buffered transactions resolved
+	// during recovery (for the failover metrics).
+	bufCommitted, bufDropped int
 
 	// Applied counts transactions applied to the backup store.
 	Applied uint64
@@ -37,26 +102,52 @@ type Backup struct {
 // New builds a backup.
 func New(store *storage.Store, reg *txn.Registry, c *costs.Model, net *simnet.Net) *Backup {
 	return &Backup{
-		Store:    store,
-		Registry: reg,
-		Costs:    c,
-		Net:      net,
-		buffered: make(map[msg.TxnID]*msg.ReplicaForward),
+		Store:     store,
+		Registry:  reg,
+		Costs:     c,
+		Net:       net,
+		buffered:  make(map[msg.TxnID]*msg.ReplicaForward),
+		lastReply: make(map[sim.ActorID]*msg.ClientReply),
 	}
 }
 
 // Bind sets the backup's own actor ID (after scheduler registration).
 func (b *Backup) Bind(self sim.ActorID) { b.self = self }
 
-// Receive handles primary traffic.
+// BufferedLen reports the number of buffered prepared-but-undecided
+// transactions (tests: must be zero at quiescence).
+func (b *Backup) BufferedLen() int { return len(b.buffered) }
+
+// Promoted returns the partition process this backup became after promotion,
+// or nil while it is still a passive backup.
+func (b *Backup) Promoted() *partition.Partition { return b.promoted }
+
+// Recovering reports whether a promotion is in flight: the backup has taken
+// over but old-world transactions are still being resolved (the coordinator's
+// RecoveryOutcome, plus Recovery-flagged decisions for any buffered
+// transaction that was still undecided at promotion).
+func (b *Backup) Recovering() bool { return b.promoted != nil && !b.resolved }
+
+// Receive handles primary traffic, failure detection, and — after promotion
+// — everything a partition primary handles.
 func (b *Backup) Receive(ctx *sim.Context, m sim.Message) {
+	if b.promoted != nil {
+		b.receivePromoted(ctx, m)
+		return
+	}
 	switch v := m.(type) {
 	case *msg.ReplicaForward:
 		if v.Committed {
 			b.apply(ctx, v)
+			if v.Reply != nil {
+				b.lastReply[v.Client] = v.Reply
+			}
 		} else {
 			// Prepared but undecided: buffer (a re-forward after a
 			// speculative cascade supersedes the previous one).
+			if _, seen := b.buffered[v.Txn]; !seen {
+				b.bufOrder = append(b.bufOrder, v.Txn)
+			}
 			b.buffered[v.Txn] = v
 		}
 		b.Net.Send(ctx, b.Primary, &msg.ReplicaAck{Txn: v.Txn, From: ctx.Self(), Seq: v.Seq})
@@ -65,12 +156,201 @@ func (b *Backup) Receive(ctx *sim.Context, m sim.Message) {
 		if !ok {
 			return // aborted before preparing, or never forwarded
 		}
-		delete(b.buffered, v.Txn)
+		b.unbuffer(v.Txn)
 		if v.Commit {
 			b.apply(ctx, fw)
 		}
+	case *msg.Heartbeat:
+		b.lastHeard = ctx.Now()
+	case msg.StartMonitor:
+		if !b.monitoring {
+			b.monitoring = true
+			b.lastHeard = ctx.Now()
+			ctx.After(b.staggeredTimeout(), checkTick{})
+		}
+	case checkTick:
+		b.check(ctx)
+	case msg.StartPulse:
+		if !b.pulsing {
+			b.pulsing = true
+			b.pulse(ctx)
+		}
+	case pulseTick:
+		b.pulse(ctx)
+	case msg.StopPulse:
+		b.pulsing = false
+	case *msg.NewPrimary:
+		// A lower-ranked peer promoted first: re-target acknowledgments
+		// and stand down this backup's own failure detector.
+		b.Primary = v.Actor
+		b.monitoring = false
 	default:
 		panic(fmt.Sprintf("backup: unexpected message %T", m))
+	}
+}
+
+// staggeredTimeout widens the detection timeout by replica rank so that the
+// lowest-ranked surviving backup always declares the crash first and
+// higher-ranked peers learn of its promotion before their own timers fire.
+func (b *Backup) staggeredTimeout() sim.Time {
+	return b.Timeout * sim.Time(b.Replica)
+}
+
+// pulse heartbeats the primary (backup-crash detection) and re-arms.
+func (b *Backup) pulse(ctx *sim.Context) {
+	if !b.pulsing {
+		return
+	}
+	b.Net.Send(ctx, b.Primary, &msg.Heartbeat{Partition: b.Partition, From: ctx.Self()})
+	ctx.After(b.Heartbeat, pulseTick{})
+}
+
+// check is the failure detector: if the primary has been silent past the
+// (rank-staggered) timeout, promote; otherwise re-arm for the next deadline.
+func (b *Backup) check(ctx *sim.Context) {
+	if !b.monitoring {
+		return
+	}
+	deadline := b.lastHeard + b.staggeredTimeout()
+	if ctx.Now() < deadline {
+		ctx.After(deadline-ctx.Now(), checkTick{})
+		return
+	}
+	b.promote(ctx)
+}
+
+// promote turns this backup into the partition's primary. The store already
+// holds every committed transaction; the buffered prepared transactions are
+// resolved through the coordinator's decision log (RecoveryQuery →
+// RecoveryOutcome). Surviving peer backups become the new primary's backups.
+func (b *Backup) promote(ctx *sim.Context) {
+	b.monitoring = false
+	if b.Rec != nil {
+		b.Rec.NoteDetected(int(b.Partition), metrics.RolePrimary, 0, ctx.Now())
+	}
+	inner := partition.New(partition.Config{
+		ID:       b.Partition,
+		Store:    b.Store,
+		Registry: b.Registry,
+		Costs:    b.Costs,
+		Net:      b.Net,
+		Backups:  append([]sim.ActorID(nil), b.Peers...),
+	})
+	inner.Bind(b.self, b.EngineFactory)
+	b.promoted = inner
+	for _, p := range b.Peers {
+		b.Net.Send(ctx, p, &msg.NewPrimary{Partition: b.Partition, Actor: b.self})
+	}
+	b.Net.Send(ctx, b.Coordinator, &msg.RecoveryQuery{
+		Partition:  b.Partition,
+		NewPrimary: b.self,
+		Buffered:   append([]msg.TxnID(nil), b.bufOrder...),
+	})
+}
+
+// receivePromoted dispatches messages after promotion: recovery traffic and
+// old-world decisions are resolved against the buffered transactions; all
+// normal partition traffic is delegated to the inner partition process.
+func (b *Backup) receivePromoted(ctx *sim.Context, m sim.Message) {
+	switch v := m.(type) {
+	case *msg.RecoveryOutcome:
+		for _, o := range v.Outcomes {
+			b.resolveBuffered(ctx, o.Txn, o.Commit)
+		}
+		b.outcomeSeen = true
+		b.maybeResume(ctx)
+	case *msg.Fragment:
+		if !b.resolved {
+			// Recovery still in flight: hold new work until every
+			// buffered old-world transaction has been resolved, so their
+			// writes land before anything new executes (and records undo)
+			// on top of them.
+			b.stash = append(b.stash, v)
+			return
+		}
+		b.fragment(ctx, v)
+	case *msg.Decision:
+		if _, old := b.buffered[v.Txn]; old {
+			// Old-world transaction decided after promotion: resolve the
+			// buffered forward; the inner engine never saw it.
+			b.resolveBuffered(ctx, v.Txn, v.Commit)
+			b.maybeResume(ctx)
+			return
+		}
+		if v.Recovery {
+			return // old-world transaction with no state here
+		}
+		b.promoted.Receive(ctx, m)
+	case *msg.ReplicaForward, *msg.ReplicaDecision, *msg.Heartbeat,
+		msg.StartMonitor, msg.StartPulse, msg.StopPulse, checkTick, pulseTick, *msg.NewPrimary:
+		// Stale pre-crash traffic or detector machinery; promotion is
+		// final and the old primary is dead.
+	default:
+		// Everything else — engine timers, peer acks — belongs to the
+		// inner partition process.
+		b.promoted.Receive(ctx, m)
+	}
+}
+
+// fragment delivers a fragment to the inner partition, deduplicating client
+// recovery resends: if the client's last applied committed transaction is
+// the one being resent, the stored reply is returned instead of executing
+// the transaction a second time.
+func (b *Backup) fragment(ctx *sim.Context, f *msg.Fragment) {
+	if lr := b.lastReply[f.Client]; lr != nil && lr.Txn == f.Txn {
+		b.Net.Send(ctx, f.Client, lr)
+		return
+	}
+	b.promoted.Receive(ctx, f)
+}
+
+// maybeResume opens the promoted primary for business once the recovery
+// outcome has arrived and no buffered transaction remains (transactions
+// still pending at the coordinator resolve through Recovery-flagged
+// decisions; holding new work until then keeps old-world commits strictly
+// before new-world execution). Stashed fragments replay in arrival order.
+func (b *Backup) maybeResume(ctx *sim.Context) {
+	if b.resolved || !b.outcomeSeen || len(b.buffered) > 0 {
+		return
+	}
+	b.resolved = true
+	if b.Rec != nil {
+		b.Rec.NotePromoted(int(b.Partition), ctx.Now(), b.bufCommitted, b.bufDropped)
+	}
+	stash := b.stash
+	b.stash = nil
+	for _, f := range stash {
+		b.fragment(ctx, f)
+	}
+}
+
+// resolveBuffered applies or drops one buffered transaction and relays the
+// outcome to peer backups (whose buffers mirror this one).
+func (b *Backup) resolveBuffered(ctx *sim.Context, id msg.TxnID, commit bool) {
+	fw, ok := b.buffered[id]
+	if !ok {
+		return
+	}
+	b.unbuffer(id)
+	if commit {
+		b.apply(ctx, fw)
+		b.bufCommitted++
+	} else {
+		b.bufDropped++
+	}
+	for _, p := range b.Peers {
+		b.Net.Send(ctx, p, &msg.ReplicaDecision{Txn: id, Commit: commit})
+	}
+}
+
+// unbuffer removes a transaction from the prepared buffer and its order.
+func (b *Backup) unbuffer(id msg.TxnID) {
+	delete(b.buffered, id)
+	for i, t := range b.bufOrder {
+		if t == id {
+			b.bufOrder = append(b.bufOrder[:i], b.bufOrder[i+1:]...)
+			break
+		}
 	}
 }
 

@@ -62,6 +62,7 @@ type actorState struct {
 	busyUntil Time
 	busyTotal Time
 	name      string
+	dead      bool
 }
 
 // Scheduler owns the event queue and all registered actors.
@@ -75,6 +76,9 @@ type Scheduler struct {
 
 	// Delivered counts events processed, for diagnostics and tests.
 	Delivered uint64
+	// Dropped counts events discarded because their destination actor was
+	// dead at delivery time (fail-stop crash faults).
+	Dropped uint64
 }
 
 // New returns an empty scheduler at time zero.
@@ -126,8 +130,31 @@ func (s *Scheduler) SendAt(at Time, to ActorID, msg Message) {
 	s.heap.push(event{at: at, seq: s.seq, to: to, msg: msg})
 }
 
-// Stop makes Run return after the current event completes.
+// Stop makes Run and Step return without processing further events. The flag
+// is sticky until Resume clears it, so a caller (typically a completion
+// callback inside a facade drive call) can halt a run mid-flight and later
+// continue it from exactly where it left off.
 func (s *Scheduler) Stop() { s.stopped = true }
+
+// Resume clears a Stop, allowing Run and Step to process events again.
+func (s *Scheduler) Resume() { s.stopped = false }
+
+// Stopped reports whether the scheduler is currently stopped.
+func (s *Scheduler) Stopped() bool { return s.stopped }
+
+// Kill marks an actor dead, modeling a fail-stop crash: every event delivered
+// to it from now on — including its own pending timers — is silently dropped
+// (counted in Dropped). Messages the actor sent before dying still arrive.
+// A kill is permanent; there is no revival.
+func (s *Scheduler) Kill(id ActorID) {
+	if id <= 0 || int(id) > len(s.actors) {
+		panic(fmt.Sprintf("sim: kill of unknown actor %d", id))
+	}
+	s.actors[id-1].dead = true
+}
+
+// Alive reports whether the actor has not been killed.
+func (s *Scheduler) Alive(id ActorID) bool { return !s.actors[id-1].dead }
 
 // Empty reports whether no events remain queued. In a closed-loop simulation
 // an empty queue is permanent quiescence: nothing further will happen without
@@ -142,6 +169,10 @@ func (s *Scheduler) Empty() bool {
 func (s *Scheduler) deliver(e event) {
 	s.now = e.at
 	a := &s.actors[e.to-1]
+	if a.dead {
+		s.Dropped++
+		return
+	}
 	start := e.at
 	if a.busyUntil > start {
 		start = a.busyUntil

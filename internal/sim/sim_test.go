@@ -316,3 +316,71 @@ func TestTimeString(t *testing.T) {
 		t.Errorf("Micros(1µs) = %v", Microsecond.Micros())
 	}
 }
+
+func TestKillDropsDeliveries(t *testing.T) {
+	s := New()
+	r := &recorder{}
+	a := s.Register("victim", r)
+	b := s.Register("witness", &recorder{})
+	s.SendAt(10*Microsecond, a, "before")
+	s.SendAt(30*Microsecond, a, "after")
+	s.SendAt(40*Microsecond, b, "other")
+	// Kill at t=20µs via an event so the ordering is part of the run.
+	k := s.Register("killer", HandlerFunc(func(ctx *Context, m Message) {
+		ctx.Scheduler().Kill(a)
+	}))
+	s.SendAt(20*Microsecond, k, "kill")
+	s.Drain()
+	if len(r.got) != 1 || r.got[0].msg != "before" {
+		t.Fatalf("victim got %v, want only the pre-kill delivery", r.got)
+	}
+	if s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+	if s.Alive(a) {
+		t.Error("victim still alive")
+	}
+	if !s.Alive(b) {
+		t.Error("witness dead")
+	}
+	if s.Now() != 40*Microsecond {
+		t.Errorf("Now = %v; dropped deliveries must still advance time", s.Now())
+	}
+}
+
+// HandlerFunc adapts a function to the Handler interface (tests).
+type HandlerFunc func(ctx *Context, m Message)
+
+// Receive implements Handler.
+func (f HandlerFunc) Receive(ctx *Context, m Message) { f(ctx, m) }
+
+func TestStopIsResumable(t *testing.T) {
+	s := New()
+	r := &recorder{}
+	a := s.Register("a", r)
+	for i := 0; i < 5; i++ {
+		s.SendAt(Time(i)*Microsecond, a, i)
+	}
+	stopper := s.Register("stopper", HandlerFunc(func(ctx *Context, m Message) {
+		ctx.Scheduler().Stop()
+	}))
+	s.SendAt(2*Microsecond+1, stopper, "stop")
+	n := s.Drain()
+	if !s.Stopped() {
+		t.Fatal("scheduler not stopped")
+	}
+	if len(r.got) != 3 {
+		t.Fatalf("delivered %d before stop, want 3", len(r.got))
+	}
+	if s.Step() || s.Run(Time(1<<60)) != 0 {
+		t.Fatal("stopped scheduler processed events")
+	}
+	s.Resume()
+	n += s.Drain()
+	if len(r.got) != 5 {
+		t.Fatalf("delivered %d after resume, want 5", len(r.got))
+	}
+	if n != 6 { // 5 payloads + the stop event
+		t.Errorf("processed %d events total, want 6", n)
+	}
+}

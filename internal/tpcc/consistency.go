@@ -44,6 +44,38 @@ func CheckConsistency(layout Layout, stores []*storage.Store) error {
 	return nil
 }
 
+// CheckReplicaConsistency verifies replication correctness at quiescence:
+// every backup store must match its primary key-for-key (backups re-execute
+// the primary's commit stream, so any divergence means a lost, duplicated or
+// re-ordered forward), and the backup stores must themselves satisfy the
+// TPC-C consistency conditions.
+func CheckReplicaConsistency(layout Layout, primaries []*storage.Store, backups [][]*storage.Store) error {
+	for p, reps := range backups {
+		for r, b := range reps {
+			if err := storage.DiffStores(primaries[p], b); err != nil {
+				return fmt.Errorf("partition %d backup %d diverges from primary: %w", p, r+1, err)
+			}
+		}
+	}
+	// The per-warehouse conditions also hold on each backup set (replica
+	// index r of every partition forms a consistent copy of the database).
+	if len(backups) > 0 {
+		for r := 0; r < len(backups[0]); r++ {
+			set := make([]*storage.Store, len(backups))
+			for p := range backups {
+				if r >= len(backups[p]) {
+					return fmt.Errorf("partition %d has %d backups, expected %d", p, len(backups[p]), len(backups[0]))
+				}
+				set[p] = backups[p][r]
+			}
+			if err := CheckConsistency(layout, set); err != nil {
+				return fmt.Errorf("backup set %d: %w", r+1, err)
+			}
+		}
+	}
+	return nil
+}
+
 func checkDistrict(s *storage.Store, w, d int, district *District) error {
 	// C2: max order id.
 	maxOID, orders := 0, 0

@@ -45,12 +45,31 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	args := &kvstore.Args{Keys: make(map[msg.PartitionID][]string)}
 	var parts []msg.PartitionID
 	if mp {
-		// Keys divided evenly across every partition.
+		// Keys divided as evenly as possible across every partition:
+		// KeysPerTxn/Partitions each, with the remainder spread one key
+		// apiece from a random starting partition so no partition is
+		// systematically favored and MP transactions do exactly as much
+		// work as SP ones (the Figure 4–7 comparisons depend on it).
+		// Partitions left with zero keys are not participants at all —
+		// with KeysPerTxn < Partitions the transaction simply touches
+		// fewer partitions, never issuing empty fragments.
 		per := m.KeysPerTxn / m.Partitions
+		rem := m.KeysPerTxn % m.Partitions
+		off := 0
+		if rem > 0 {
+			off = rng.Intn(m.Partitions)
+		}
 		for p := 0; p < m.Partitions; p++ {
+			n := per
+			if (p-off+m.Partitions)%m.Partitions < rem {
+				n++
+			}
+			if n == 0 {
+				continue
+			}
 			pid := msg.PartitionID(p)
-			keys := make([]string, per)
-			for i := 0; i < per; i++ {
+			keys := make([]string, n)
+			for i := 0; i < n; i++ {
 				keys[i] = kvstore.ClientKey(ci, pid, i)
 			}
 			args.Keys[pid] = keys

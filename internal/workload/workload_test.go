@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"specdb/internal/kvstore"
+	"specdb/internal/msg"
 	"specdb/internal/txn"
 )
 
@@ -177,4 +178,64 @@ type constGen struct{ proc string }
 
 func (c *constGen) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	return &txn.Invocation{Proc: c.proc, AbortAt: txn.NoAbort}
+}
+
+// TestMicroMPKeyDistribution is the regression test for the remainder bug:
+// multi-partition transactions must carry exactly KeysPerTxn keys total
+// (never silently dropping KeysPerTxn mod Partitions of them), spread as
+// evenly as possible, and must never issue zero-key fragments.
+func TestMicroMPKeyDistribution(t *testing.T) {
+	cases := []struct{ partitions, keys int }{
+		{2, 12}, // even split
+		{2, 7},  // remainder 1
+		{5, 12}, // remainder 2
+		{4, 1},  // fewer keys than partitions: single-partition plan
+		{3, 2},  // fewer keys than partitions: two participants
+	}
+	for _, tc := range cases {
+		m := &Micro{Partitions: tc.partitions, KeysPerTxn: tc.keys, MPFraction: 1}
+		rng := rand.New(rand.NewSource(3))
+		remTouch := make(map[msg.PartitionID]int)
+		for i := 0; i < 500; i++ {
+			inv := m.Next(7, rng)
+			args := inv.Args.(*kvstore.Args)
+			total, minK, maxK := 0, math.MaxInt, 0
+			for p, keys := range args.Keys {
+				if len(keys) == 0 {
+					t.Fatalf("%d/%d: zero-key fragment at partition %d", tc.partitions, tc.keys, p)
+				}
+				total += len(keys)
+				if len(keys) < minK {
+					minK = len(keys)
+				}
+				if len(keys) > maxK {
+					maxK = len(keys)
+				}
+				if len(keys) > tc.keys/tc.partitions {
+					remTouch[p]++
+				}
+			}
+			if total != tc.keys {
+				t.Fatalf("%d/%d: transaction carries %d keys, want %d", tc.partitions, tc.keys, total, tc.keys)
+			}
+			if maxK-minK > 1 {
+				t.Fatalf("%d/%d: uneven split min=%d max=%d", tc.partitions, tc.keys, minK, maxK)
+			}
+			want := tc.keys
+			if want > tc.partitions {
+				want = tc.partitions
+			}
+			if len(args.Keys) != want {
+				t.Fatalf("%d/%d: touches %d partitions, want %d", tc.partitions, tc.keys, len(args.Keys), want)
+			}
+		}
+		// The remainder must not systematically favor one partition.
+		if tc.keys%tc.partitions != 0 {
+			for p := 0; p < tc.partitions; p++ {
+				if remTouch[msg.PartitionID(p)] == 0 {
+					t.Errorf("%d/%d: partition %d never received a remainder key", tc.partitions, tc.keys, p)
+				}
+			}
+		}
+	}
 }

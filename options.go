@@ -6,6 +6,7 @@ import (
 
 	"specdb/internal/advisor"
 	"specdb/internal/costs"
+	"specdb/internal/fault"
 	"specdb/internal/txn"
 )
 
@@ -26,6 +27,17 @@ var (
 	ErrBadReplicas = errors.New("specdb: replica count must be positive")
 	// ErrBadWindow: warmup or measure is negative.
 	ErrBadWindow = errors.New("specdb: warmup and measure must be non-negative")
+	// ErrBadFaults: the fault schedule is invalid for the cluster shape
+	// (partition out of range, CrashPrimary without a backup to promote,
+	// more than one fault per partition, or bad detector parameters).
+	ErrBadFaults = errors.New("specdb: invalid fault schedule")
+	// ErrFaultsLocking: fault injection is limited to the coordinator-based
+	// schemes; under locking, clients coordinate 2PC themselves and there
+	// is no central decision log to recover buffered transactions from.
+	ErrFaultsLocking = errors.New("specdb: fault injection is not supported under the locking scheme")
+	// ErrFaultsAdvisor: the advisor may recommend switching to locking
+	// mid-run, which fault injection does not support.
+	ErrFaultsAdvisor = errors.New("specdb: fault injection cannot be combined with WithAdvisor")
 )
 
 // Option configures a DB at Open time. Options apply in order, so later
@@ -51,6 +63,8 @@ type settings struct {
 	workload   Generator
 	onComplete func(clientIdx int, inv *Invocation, reply *Reply)
 	advisor    *advisor.Config
+	faults     []fault.Event
+	detect     fault.Detection
 }
 
 // defaultSettings mirrors the paper's testbed: two partitions, 40 closed-loop
@@ -89,6 +103,17 @@ func (s *settings) validate() error {
 	}
 	if s.workload == nil {
 		return ErrNoWorkload
+	}
+	if len(s.faults) > 0 {
+		if s.scheme == Locking {
+			return ErrFaultsLocking
+		}
+		if s.advisor != nil {
+			return ErrFaultsAdvisor
+		}
+		if err := fault.Validate(s.faults, s.partitions, s.replicas, s.detect.WithDefaults()); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadFaults, err)
+		}
 	}
 	return nil
 }
@@ -167,6 +192,47 @@ func WithOnComplete(fn func(clientIdx int, inv *Invocation, reply *Reply)) Optio
 // drivers RunUntil and Step do not evaluate the advisor.
 func WithAdvisor(cfg AdvisorConfig) Option {
 	return func(s *settings) { c := cfg; s.advisor = &c }
+}
+
+// FaultEvent is one scheduled fail-stop crash; build with CrashPrimary or
+// CrashBackup.
+type FaultEvent = fault.Event
+
+// CrashPrimary schedules partition p's primary to fail-stop at the given
+// virtual time: the process dies mid-whatever-it-was-doing, messages to it
+// are dropped, and after the detection timeout the partition's first backup
+// promotes itself. Requires WithReplicas(k) with k >= 2.
+func CrashPrimary(p PartitionID, at Time) FaultEvent {
+	return fault.Event{Kind: fault.KindCrashPrimary, Partition: p, At: at}
+}
+
+// CrashBackup schedules partition p's replica-th backup (1-based) to
+// fail-stop at the given virtual time. The primary detects the silence,
+// detaches the backup, and releases every vote and reply that was gated on
+// its acknowledgments.
+func CrashBackup(p PartitionID, replica int, at Time) FaultEvent {
+	return fault.Event{Kind: fault.KindCrashBackup, Partition: p, Replica: replica, At: at}
+}
+
+// WithFaults installs a deterministic crash-fault schedule: each event kills
+// one process at a fixed virtual time, and the failure detector / promotion
+// machinery recovers (see docs/ARCHITECTURE.md, "Failures and recovery").
+// The same seed and schedule reproduce the same Result bit for bit. Each
+// partition may appear in at most one event; primary crashes require
+// replication (WithReplicas >= 2); the locking scheme and WithAdvisor are
+// not supported with faults.
+func WithFaults(events ...FaultEvent) Option {
+	return func(s *settings) { s.faults = append([]FaultEvent(nil), events...) }
+}
+
+// WithFailureDetection tunes the fault-run failure detector: heartbeat is
+// the liveness pulse interval and timeout the silence threshold after which
+// a process is declared dead. The timeout must be at least twice the
+// heartbeat and comfortably exceed the worst heartbeat delivery delay
+// (network latency plus receiver CPU backlog), or a loaded-but-alive
+// process gets declared dead. Defaults: 1 ms heartbeat, 10 ms timeout.
+func WithFailureDetection(heartbeat, timeout Time) Option {
+	return func(s *settings) { s.detect = fault.Detection{Heartbeat: heartbeat, Timeout: timeout} }
 }
 
 // withSeedOffset shifts the configured seed; Sweep uses it to derive distinct

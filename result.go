@@ -3,7 +3,14 @@ package specdb
 import (
 	"specdb/internal/core"
 	"specdb/internal/locks"
+	"specdb/internal/metrics"
 )
+
+// FailoverEvent records one crash fault and its handling: crash, detection,
+// promotion, and the recovery work (buffered transactions resolved,
+// in-flight transactions aborted). Its Downtime and RecoveryLatency methods
+// derive the paper-style availability numbers.
+type FailoverEvent = metrics.FailoverEvent
 
 // Result summarizes a run's measurement window.
 type Result struct {
@@ -27,11 +34,23 @@ type Result struct {
 	// LockStats per partition, accumulated across every locking engine the
 	// partition has run; nil when locking never ran.
 	LockStats []locks.Stats
-	// Utilization: fraction of wall-clock the actor's CPU was busy.
+	// Utilization: fraction of wall-clock the actor's CPU was busy. A
+	// failed-over partition's entry sums its dead primary's actor and the
+	// promoted backup's actor (whose busy time includes its backup-era
+	// replica application).
 	CoordUtilization float64
 	PartUtilization  []float64
 	// Events is the number of simulation events processed.
 	Events uint64
+	// Failovers records every injected crash fault and its handling
+	// (WithFaults runs only; nil otherwise).
+	Failovers []FailoverEvent
+	// Downtime is the total time partitions spent without a primary: the
+	// sum of crash-to-promotion spans over all primary failovers.
+	Downtime Time
+	// FailoverResends counts single-partition attempts clients re-sent to
+	// a promoted primary after its original target crashed.
+	FailoverResends uint64
 }
 
 // Metrics is a live snapshot of a running DB: cumulative whole-run counters
@@ -54,6 +73,10 @@ type Metrics struct {
 	CommittedMP uint64
 	CommittedMR uint64
 	Retries     uint64
+	// Failovers counts completed backup promotions so far; FailoverResends
+	// counts client attempts re-sent to promoted primaries.
+	Failovers       int
+	FailoverResends uint64
 	// Interval covers [previous Snapshot's Now, this snapshot's Now).
 	Interval Interval
 }
@@ -116,12 +139,31 @@ func (db *DB) Result() Result {
 		res.CoordUtilization = float64(db.sch.BusyTime(db.coordID)) / float64(elapsed)
 	}
 	for p := range db.parts {
-		res.EngineStats = append(res.EngineStats, db.parts[p].EngineTotals())
+		stats := db.parts[p].EngineTotals()
+		busy := db.sch.BusyTime(db.partIDs[p])
+		if live := db.livePrimary(p); live != db.parts[p] {
+			// Failed-over partition: fold in the promoted engine's work
+			// (and its actor's busy time) on top of the dead primary's
+			// pre-crash counters.
+			stats = stats.Add(live.EngineTotals())
+			for i, b := range db.backups[p] {
+				if b.Promoted() != nil {
+					busy += db.sch.BusyTime(db.backupIDs[p][i])
+				}
+			}
+		}
+		res.EngineStats = append(res.EngineStats, stats)
 		if elapsed > 0 {
-			res.PartUtilization = append(res.PartUtilization,
-				float64(db.sch.BusyTime(db.partIDs[p]))/float64(elapsed))
+			res.PartUtilization = append(res.PartUtilization, float64(busy)/float64(elapsed))
 		}
 	}
 	res.LockStats = db.lockStats()
+	if len(db.collector.Failovers) > 0 {
+		res.Failovers = append([]FailoverEvent(nil), db.collector.Failovers...)
+		for _, e := range res.Failovers {
+			res.Downtime += e.Downtime()
+		}
+	}
+	res.FailoverResends = db.collector.FailoverResends
 	return res
 }

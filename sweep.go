@@ -2,7 +2,9 @@ package specdb
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
+	"sync"
 )
 
 // The paper's evaluation is a family of grids — scheme × partitions ×
@@ -66,6 +68,14 @@ type Sweep struct {
 	// Repeats (default 1) reruns each cell with the seed offset by the
 	// repeat index, so repeat r of every cell sees seed base+r.
 	Repeats int
+	// Parallel bounds how many cells run concurrently. 0 or 1 runs the
+	// grid sequentially; n > 1 uses up to n workers; negative uses
+	// runtime.GOMAXPROCS(0). Every cell is an independent deterministic
+	// simulation, so the cells, their order, and every Result are
+	// identical to a sequential run — but beware option closures over
+	// shared mutable state: stateful generators must come from
+	// WithWorkloadFactory (as sequential sweeps already require).
+	Parallel int
 }
 
 // Cell is one completed grid cell.
@@ -79,20 +89,23 @@ type Cell struct {
 	Result Result
 }
 
-// Run executes every cell sequentially and deterministically, returning them
-// grid-major with repeats innermost. An invalid configuration aborts the
-// sweep with the offending cell identified in the error.
-func (s Sweep) Run() ([]Cell, error) {
-	for _, ax := range s.Axes {
-		if len(ax.Points) == 0 {
-			return nil, fmt.Errorf("specdb: sweep %q axis %q has no points", s.Name, ax.Name)
-		}
-	}
+// sweepJob is one (cell, repeat) of the grid, with its fully resolved
+// options.
+type sweepJob struct {
+	labels []string
+	xs     []float64
+	repeat int
+	opts   []Option
+}
+
+// jobs expands the grid into its (cell × repeat) jobs, grid-major with
+// repeats innermost — the documented output order.
+func (s Sweep) jobs() []sweepJob {
 	reps := s.Repeats
 	if reps <= 0 {
 		reps = 1
 	}
-	var cells []Cell
+	var out []sweepJob
 	idx := make([]int, len(s.Axes))
 	for {
 		labels := make([]string, len(s.Axes))
@@ -108,11 +121,7 @@ func (s Sweep) Run() ([]Cell, error) {
 			if r > 0 {
 				o = append(append([]Option(nil), opts...), withSeedOffset(int64(r)))
 			}
-			db, err := Open(o...)
-			if err != nil {
-				return nil, fmt.Errorf("specdb: sweep %q cell %v repeat %d: %w", s.Name, labels, r, err)
-			}
-			cells = append(cells, Cell{Labels: labels, Xs: xs, Repeat: r, Result: db.Run()})
+			out = append(out, sweepJob{labels: labels, xs: xs, repeat: r, opts: o})
 		}
 		// Odometer increment, last axis fastest.
 		i := len(idx) - 1
@@ -124,9 +133,63 @@ func (s Sweep) Run() ([]Cell, error) {
 			idx[i] = 0
 		}
 		if i < 0 {
-			return cells, nil
+			return out
 		}
 	}
+}
+
+// Run executes every cell deterministically, returning them grid-major with
+// repeats innermost. Cells run sequentially by default, or on a bounded
+// worker pool when Parallel is set — each cell is an independent simulation,
+// so the output (order included) is identical either way. An invalid
+// configuration aborts the sweep with the offending cell identified in the
+// error; with multiple failures, the first cell in grid order wins.
+func (s Sweep) Run() ([]Cell, error) {
+	for _, ax := range s.Axes {
+		if len(ax.Points) == 0 {
+			return nil, fmt.Errorf("specdb: sweep %q axis %q has no points", s.Name, ax.Name)
+		}
+	}
+	jobs := s.jobs()
+	cells := make([]Cell, len(jobs))
+	errs := make([]error, len(jobs))
+	runJob := func(i int) {
+		j := jobs[i]
+		db, err := Open(j.opts...)
+		if err != nil {
+			errs[i] = fmt.Errorf("specdb: sweep %q cell %v repeat %d: %w", s.Name, j.labels, j.repeat, err)
+			return
+		}
+		cells[i] = Cell{Labels: j.labels, Xs: j.xs, Repeat: j.repeat, Result: db.Run()}
+	}
+	workers := s.Parallel
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			runJob(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for i := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				runJob(i)
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
 }
 
 // MeanThroughput averages Result.Throughput over the repeats of each

@@ -154,3 +154,60 @@ func TestMeanThroughput(t *testing.T) {
 		t.Fatalf("MeanThroughput = %v, want %v", got, want)
 	}
 }
+
+// TestSweepParallelDeterminism: a parallel sweep must produce exactly the
+// cells a sequential one does — same order, same Results, bit for bit.
+func TestSweepParallelDeterminism(t *testing.T) {
+	build := func(parallel int) Sweep {
+		return Sweep{
+			Name: "par",
+			Base: quickBase(),
+			Axes: []Axis{
+				SchemeAxis(Blocking, Speculation, Locking),
+				NumAxis("mp", []float64{0, 0.2, 0.5}, func(f float64) []Option {
+					return []Option{WithWorkload(microWorkload(f))}
+				}),
+			},
+			Repeats:  2,
+			Parallel: parallel,
+		}
+	}
+	seq, err := build(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build(-1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 18 || len(par) != len(seq) {
+		t.Fatalf("cell counts: seq=%d par=%d, want 18", len(seq), len(par))
+	}
+	if !reflect.DeepEqual(seq, par) {
+		for i := range seq {
+			if !reflect.DeepEqual(seq[i], par[i]) {
+				t.Fatalf("cell %d differs:\nseq: %+v\npar: %+v", i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+// TestSweepParallelError: errors surface identically under parallel
+// execution, identifying the first failing cell in grid order.
+func TestSweepParallelError(t *testing.T) {
+	s := Sweep{
+		Name: "bad",
+		Base: quickBase(),
+		Axes: []Axis{NumAxis("parts", []float64{2, -1, -2}, func(x float64) []Option {
+			return []Option{WithPartitions(int(x))}
+		})},
+		Parallel: -1,
+	}
+	_, err := s.Run()
+	if !errors.Is(err, ErrBadPartitions) {
+		t.Fatalf("err = %v, want ErrBadPartitions", err)
+	}
+	if !strings.Contains(err.Error(), "[-1]") {
+		t.Fatalf("error does not identify the first bad cell: %v", err)
+	}
+}
