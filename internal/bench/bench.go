@@ -29,6 +29,10 @@ type Opts struct {
 	// Coarse reduces the number of x-axis points.
 	Coarse bool
 	Seed   int64
+	// Tally, when non-nil, accumulates every cell's events and completed
+	// transactions as the experiment runs — the simulator-side half of the
+	// host perf measurements (see MeasurePerf).
+	Tally *Tally
 }
 
 // DefaultOpts is the full-fidelity configuration used for EXPERIMENTS.md.
@@ -113,7 +117,9 @@ const (
 	microKeys    = 12
 )
 
-// microGen builds the §5.1 workload generator for one configuration.
+// microGen builds the §5.1 workload generator for one configuration. Micro
+// keeps per-client issue buffers, so every cell needs its own instance —
+// cells install it via WithWorkloadFactory, never by sharing one value.
 func microGen(c microCfg) specdb.Generator {
 	return &workload.Micro{
 		Partitions:   2,
@@ -124,6 +130,11 @@ func microGen(c microCfg) specdb.Generator {
 		AbortProb:    c.abortProb,
 		TwoRound:     c.twoRound,
 	}
+}
+
+// microWorkload is the WithWorkloadFactory option for one micro config.
+func microWorkload(c microCfg) specdb.Option {
+	return specdb.WithWorkloadFactory(func() specdb.Generator { return microGen(c) })
 }
 
 // microOpts builds the full option set for one microbenchmark cell.
@@ -144,7 +155,7 @@ func microOpts(o Opts, c microCfg) []specdb.Option {
 			kvstore.AddSchema(s)
 			kvstore.Load(s, p, microClients, microKeys)
 		}),
-		specdb.WithWorkload(microGen(c)),
+		microWorkload(c),
 	}
 	if c.replicas > 0 {
 		opts = append(opts, specdb.WithReplicas(c.replicas))
@@ -158,7 +169,9 @@ func runMicro(o Opts, c microCfg) specdb.Result {
 	if err != nil {
 		panic(fmt.Sprintf("bench: invalid micro config: %v", err))
 	}
-	return db.Run()
+	r := db.Run()
+	o.tally(r)
+	return r
 }
 
 // mpAxis sweeps the multi-partition fraction for one base configuration.
@@ -166,7 +179,7 @@ func mpAxis(base microCfg, grid []float64) specdb.Axis {
 	return specdb.NumAxis("mp-fraction", grid, func(f float64) []specdb.Option {
 		c := base
 		c.mpFrac = f
-		return []specdb.Option{specdb.WithWorkload(microGen(c))}
+		return []specdb.Option{microWorkload(c)}
 	})
 }
 
@@ -185,6 +198,7 @@ func sweepGrid(o Opts, name string, base microCfg, grid []float64) Series {
 	if err != nil {
 		panic(fmt.Sprintf("bench: sweep %s: %v", name, err))
 	}
+	o.tallyCells(cells)
 	s := Series{Name: name}
 	for _, cell := range cells {
 		s.Points = append(s.Points, Point{X: cell.Xs[0] * 100, Y: cell.Result.Throughput})
@@ -337,6 +351,7 @@ func Figure8() Experiment {
 			if err != nil {
 				panic(fmt.Sprintf("bench: fig8: %v", err))
 			}
+			o.tallyCells(cells)
 			return schemeSeries(cells, schemes)
 		},
 	}
@@ -370,6 +385,7 @@ func Figure9() Experiment {
 			if err != nil {
 				panic(fmt.Sprintf("bench: fig9: %v", err))
 			}
+			o.tallyCells(cells)
 			series := schemeSeries(cells, schemes)
 			// Re-express the x-axis as the expected MP fraction.
 			for si := range series {
@@ -522,6 +538,7 @@ func AblationReplication() Experiment {
 				if err != nil {
 					panic(fmt.Sprintf("bench: replication sweep: %v", err))
 				}
+				o.tallyCells(cells)
 				s := Series{Name: schemeName(scheme)}
 				for _, cell := range cells {
 					s.Points = append(s.Points, Point{X: cell.Xs[0], Y: cell.Result.Throughput})

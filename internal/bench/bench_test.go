@@ -122,3 +122,53 @@ func TestQuickFigure4Shape(t *testing.T) {
 			lock[last].Y, spec[last].Y, block[last].Y)
 	}
 }
+
+func TestBaselineRoundTrip(t *testing.T) {
+	e := Experiment{ID: "x"}
+	series := []Series{{Name: "s", Points: []Point{{0, 100}, {20, 80}}}}
+	var sb strings.Builder
+	if err := FormatJSON(&sb, e, series); err != nil {
+		t.Fatal(err)
+	}
+	FormatPerfJSON(&sb, Perf{Experiment: "x", Perf: true, Allocs: 5})
+	cells, err := ReadBaseline(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells (perf record must be skipped), want 2", len(cells))
+	}
+	if cells[1] != (BaselineCell{Experiment: "x", Series: "s", X: 20, Y: 80}) {
+		t.Fatalf("cell = %+v", cells[1])
+	}
+}
+
+func TestCompareBaseline(t *testing.T) {
+	base := []BaselineCell{
+		{"fig4", "Speculation", 0, 1000},
+		{"fig4", "Speculation", 50, 500},
+		{"fig9", "Locking", 0, 800},
+	}
+	// Within tolerance, above baseline, and a baseline-only cell from an
+	// experiment that was not re-run: all pass.
+	fresh := []BaselineCell{
+		{"fig4", "Speculation", 0, 800},
+		{"fig4", "Speculation", 50, 700},
+		{"fig4", "NewSeries", 0, 1}, // not in baseline: ignored
+	}
+	if bad := CompareBaseline(base, fresh, 0.25); len(bad) != 0 {
+		t.Fatalf("unexpected regressions: %v", bad)
+	}
+	// A drop beyond tolerance fails.
+	fresh[0].Y = 700
+	bad := CompareBaseline(base, fresh, 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "fig4/Speculation/x=0") {
+		t.Fatalf("regressions = %v, want one for fig4/Speculation/x=0", bad)
+	}
+	// A baseline cell that vanished from a re-run experiment fails.
+	fresh[0].Y = 1000
+	bad = CompareBaseline(base, fresh[:1], 0.25)
+	if len(bad) != 1 || !strings.Contains(bad[0], "missing from fresh run") {
+		t.Fatalf("regressions = %v, want one missing-cell failure", bad)
+	}
+}

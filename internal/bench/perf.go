@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"specdb"
+)
+
+// The paper's claim is *low overhead*: the schemes win or lose by the CPU
+// cost of the concurrency-control path itself (§4, Figure 4). Virtual-time
+// throughput alone cannot see that cost — the simulator charges CPU through
+// the cost model, not through the Go runtime. Perf is the host-side
+// counterpart: wall-clock time, simulation events delivered, and heap
+// allocations for one experiment run, normalized to events/second and
+// allocations per transaction. cmd/ccbench records these next to each
+// experiment's series, and BENCH_*.json carries them as the repository's
+// performance trajectory across PRs.
+
+// Tally accumulates simulator-side totals across every cell an experiment
+// runs. Experiments add each cell's Result as it completes; the mutex makes
+// that safe under parallel sweeps.
+type Tally struct {
+	mu sync.Mutex
+	// Events is the total number of simulation events delivered.
+	Events uint64
+	// Completed is the total number of completed transactions, warm-up
+	// included (allocations accrue over the whole run).
+	Completed uint64
+	// Cells is the number of simulation runs tallied.
+	Cells int
+}
+
+// Add folds one cell's Result into the tally.
+func (t *Tally) Add(r specdb.Result) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.Events += r.Events
+	t.Completed += r.CompletedTotal
+	t.Cells++
+	t.mu.Unlock()
+}
+
+// tally records a cell Result against the Opts' tally, if one is attached.
+func (o Opts) tally(r specdb.Result) { o.Tally.Add(r) }
+
+// tallyCells records every cell of a completed sweep.
+func (o Opts) tallyCells(cells []specdb.Cell) {
+	if o.Tally == nil {
+		return
+	}
+	for i := range cells {
+		o.Tally.Add(cells[i].Result)
+	}
+}
+
+// Perf is the host-side measurement of one experiment run.
+type Perf struct {
+	Experiment string `json:"experiment"`
+	// Perf marks the record so NDJSON consumers (and the ccbench baseline
+	// comparison) can tell it apart from grid cells.
+	Perf bool `json:"perf"`
+	// WallSeconds is real elapsed time for the whole experiment.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells is the number of simulation runs the experiment performed.
+	Cells int `json:"cells"`
+	// Events and EventsPerSec measure kernel speed: simulation events
+	// delivered, total and per wall-clock second.
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Txns counts completed transactions across all cells (whole runs,
+	// warm-up included).
+	Txns uint64 `json:"txns"`
+	// Allocs and AllocsPerTxn measure hot-path garbage: heap allocations
+	// (runtime.MemStats.Mallocs delta) total and per completed transaction.
+	Allocs       uint64  `json:"allocs"`
+	AllocsPerTxn float64 `json:"allocs_per_txn"`
+	// AllocBytes is the matching MemStats.TotalAlloc delta.
+	AllocBytes uint64 `json:"alloc_bytes"`
+}
+
+// MeasurePerf runs one experiment while measuring it: the experiment's series
+// come back unchanged, alongside wall time, events/sec and allocs/txn. The
+// allocation numbers cover everything the experiment does (setup and data
+// loading included), so they are an upper bound on the transaction path
+// itself — comparable across commits, which is what the BENCH_*.json
+// trajectory needs.
+func MeasurePerf(e Experiment, o Opts) ([]Series, Perf) {
+	t := &Tally{}
+	o.Tally = t
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	series := e.Run(o)
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+	p := Perf{
+		Experiment:  e.ID,
+		Perf:        true,
+		WallSeconds: wall,
+		Cells:       t.Cells,
+		Events:      t.Events,
+		Txns:        t.Completed,
+		Allocs:      after.Mallocs - before.Mallocs,
+		AllocBytes:  after.TotalAlloc - before.TotalAlloc,
+	}
+	if wall > 0 {
+		p.EventsPerSec = float64(t.Events) / wall
+	}
+	if t.Completed > 0 {
+		p.AllocsPerTxn = float64(p.Allocs) / float64(t.Completed)
+	}
+	return series, p
+}

@@ -70,7 +70,7 @@ func Table1() Experiment {
 				cellAxis.Points = append(cellAxis.Points, specdb.AxisPoint{
 					Label: c.name,
 					X:     float64(i),
-					Opts:  []specdb.Option{specdb.WithWorkload(microGen(cfg))},
+					Opts:  []specdb.Option{microWorkload(cfg)},
 				})
 			}
 			grid, err := specdb.Sweep{
@@ -81,6 +81,7 @@ func Table1() Experiment {
 			if err != nil {
 				panic(fmt.Sprintf("bench: table1: %v", err))
 			}
+			o.tallyCells(grid)
 			var out []Series
 			for i, c := range cells {
 				vals := map[string]float64{}

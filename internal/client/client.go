@@ -13,7 +13,7 @@ package client
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"specdb/internal/core"
 	"specdb/internal/costs"
@@ -318,6 +318,6 @@ func (c *Client) finish(ctx *sim.Context, r *msg.ClientReply) {
 // with tests).
 func SortPartitions(parts []msg.PartitionID) []msg.PartitionID {
 	out := append([]msg.PartitionID(nil), parts...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

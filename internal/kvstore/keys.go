@@ -1,0 +1,155 @@
+package kvstore
+
+import (
+	"sync"
+
+	"specdb/internal/msg"
+)
+
+// Key-name interning. The microbenchmark issues millions of transactions
+// over a tiny fixed key population, and formatting every name with
+// fmt.Sprintf on the issue path dominated CPU and allocation profiles —
+// exactly the per-transaction overhead the paper says decides which scheme
+// wins (§4, Figure 4). Names and per-client key slices are built once and
+// cached process-wide; steady-state lookups take a read lock and allocate
+// nothing.
+//
+// Interned slices are SHARED and MUST NOT be mutated. Fragment works alias
+// them, and replicas may replay those works long after the issuing client
+// has moved on to its next transaction (a backup applies a buffered
+// multi-partition forward when the decision arrives, which can be after the
+// client's reply) — immutability is what makes the workload generator's
+// buffer reuse safe under replication and speculative re-execution.
+
+type keyID struct {
+	c, i int
+	p    msg.PartitionID
+}
+
+type sliceID struct {
+	c, n int
+	p    msg.PartitionID
+	// hot marks the conflict variant: element 0 is the partition's
+	// contended key instead of the client's own first key (§5.2).
+	hot bool
+}
+
+var intern struct {
+	sync.RWMutex
+	names  map[keyID]string
+	slices map[sliceID][]string
+}
+
+// formatKey builds the canonical "cCCC.pPP.kKK" name without fmt: the
+// fields are fixed-width decimal, which keeps names sortable and identical
+// to the historical fmt.Sprintf("c%03d.p%02d.k%02d", ...) format.
+func formatKey(c int, p msg.PartitionID, i int) string {
+	var b [12]byte
+	b[0] = 'c'
+	putWide(b[1:4], c)
+	b[4] = '.'
+	b[5] = 'p'
+	putWide(b[6:8], int(p))
+	b[8] = '.'
+	b[9] = 'k'
+	putWide(b[10:12], i)
+	return string(b[:])
+}
+
+// putWide writes v right-aligned in decimal with leading zeros. Values wider
+// than the field (clients beyond 999, say) widen it like %03d would; they
+// never occur in the paper's configurations, so the slow path is fine.
+func putWide(dst []byte, v int) {
+	if v < 0 {
+		panic("kvstore: negative key field")
+	}
+	for i := len(dst) - 1; i >= 0; i-- {
+		dst[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if v > 0 {
+		panic("kvstore: key field overflow") // widen the key format first
+	}
+}
+
+// ClientKey names client c's i-th private key on partition p. The §5.1
+// microbenchmark gives every client its own keys so that, absent the
+// deliberate conflict knob, transactions never contend. Names are interned:
+// repeated calls return the same string without formatting.
+func ClientKey(c int, p msg.PartitionID, i int) string {
+	id := keyID{c: c, i: i, p: p}
+	intern.RLock()
+	s, ok := intern.names[id]
+	intern.RUnlock()
+	if ok {
+		return s
+	}
+	intern.Lock()
+	defer intern.Unlock()
+	return nameLocked(id)
+}
+
+// nameLocked returns (interning if absent) the name for id. Callers must
+// hold the intern write lock.
+func nameLocked(id keyID) string {
+	if s, ok := intern.names[id]; ok {
+		return s
+	}
+	if intern.names == nil {
+		intern.names = make(map[keyID]string)
+	}
+	s := formatKey(id.c, id.p, id.i)
+	intern.names[id] = s
+	return s
+}
+
+// HotKey is the contended key of §5.2 on partition p: the first client's
+// (partition 0) or second client's (partition 1) first key, which those
+// pinned clients write in nearly every transaction.
+func HotKey(p msg.PartitionID) string {
+	return ClientKey(int(p), p, 0)
+}
+
+// PartitionKeys returns client c's first n key names on partition p as an
+// interned slice: [ClientKey(c,p,0) .. ClientKey(c,p,n-1)]. The slice is
+// shared across callers and must not be mutated.
+func PartitionKeys(c int, p msg.PartitionID, n int) []string {
+	return internedSlice(sliceID{c: c, p: p, n: n})
+}
+
+// ConflictKeys is PartitionKeys with the first key replaced by the
+// partition's contended key (§5.2's conflict injection). Shared; do not
+// mutate.
+func ConflictKeys(c int, p msg.PartitionID, n int) []string {
+	return internedSlice(sliceID{c: c, p: p, n: n, hot: true})
+}
+
+func internedSlice(id sliceID) []string {
+	intern.RLock()
+	s, ok := intern.slices[id]
+	intern.RUnlock()
+	if ok {
+		return s
+	}
+	intern.Lock()
+	defer intern.Unlock()
+	if s, ok := intern.slices[id]; ok {
+		return s
+	}
+	if intern.slices == nil {
+		intern.slices = make(map[sliceID][]string)
+	}
+	// Elements go through the name table too, so ClientKey and the slices
+	// hand out the identical string values.
+	s = make([]string, id.n)
+	for i := range s {
+		s[i] = nameLocked(keyID{c: id.c, i: i, p: id.p})
+	}
+	if id.hot && id.n > 0 {
+		// The partition's contended key is its pinned client's first key
+		// (HotKey, not callable here: it would re-enter the lock).
+		s[0] = nameLocked(keyID{c: int(id.p), i: 0, p: id.p})
+	}
+	intern.slices[id] = s
+	return s
+}

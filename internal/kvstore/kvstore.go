@@ -10,7 +10,7 @@ package kvstore
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"specdb/internal/msg"
 	"specdb/internal/storage"
@@ -57,7 +57,7 @@ func (Proc) Plan(args any, cat *txn.Catalog) txn.Plan {
 	for p := range a.Keys {
 		parts = append(parts, p)
 	}
-	sort.Slice(parts, func(i, j int) bool { return parts[i] < parts[j] })
+	slices.Sort(parts)
 	rounds := 1
 	if a.TwoRound {
 		rounds = 2

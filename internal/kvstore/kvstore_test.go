@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"sync"
 	"testing"
 
 	"specdb/internal/msg"
@@ -131,4 +132,71 @@ func TestHotKeyIsPinnedClientsFirstKey(t *testing.T) {
 	if HotKey(1) != ClientKey(1, 1, 0) {
 		t.Fatal("hot key 1")
 	}
+}
+
+func TestClientKeyFormat(t *testing.T) {
+	// The interned names must match the historical Sprintf format exactly:
+	// stores loaded by older fixtures and the docs both spell keys this way.
+	cases := []struct {
+		c, i int
+		p    msg.PartitionID
+		want string
+	}{
+		{0, 0, 0, "c000.p00.k00"},
+		{39, 11, 1, "c039.p01.k11"},
+		{7, 3, 12, "c007.p12.k03"},
+		{123, 45, 67, "c123.p67.k45"},
+	}
+	for _, tc := range cases {
+		if got := ClientKey(tc.c, tc.p, tc.i); got != tc.want {
+			t.Fatalf("ClientKey(%d,%d,%d) = %q, want %q", tc.c, tc.p, tc.i, got, tc.want)
+		}
+	}
+}
+
+func TestInternedSlicesAreStableAndShared(t *testing.T) {
+	a := PartitionKeys(3, 1, 6)
+	b := PartitionKeys(3, 1, 6)
+	if len(a) != 6 || &a[0] != &b[0] {
+		t.Fatal("repeated PartitionKeys must return the identical slice")
+	}
+	for i, k := range a {
+		if k != ClientKey(3, 1, i) {
+			t.Fatalf("slice element %d = %q, want %q", i, k, ClientKey(3, 1, i))
+		}
+	}
+	c := ConflictKeys(3, 1, 6)
+	if c[0] != HotKey(1) {
+		t.Fatalf("conflict slice head = %q, want hot key %q", c[0], HotKey(1))
+	}
+	for i := 1; i < 6; i++ {
+		if c[i] != a[i] {
+			t.Fatalf("conflict slice tail diverges at %d", i)
+		}
+	}
+	if &c[0] == &a[0] {
+		t.Fatal("conflict variant must be a distinct slice")
+	}
+}
+
+func TestInterningIsConcurrencySafe(t *testing.T) {
+	// Parallel sweeps run many simulations at once; the intern tables are
+	// process-wide and must tolerate concurrent warming.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c := (g*31 + i) % 50
+				p := msg.PartitionID(i % 4)
+				if PartitionKeys(c, p, 1+i%12)[0] != ClientKey(c, p, 0) {
+					panic("interned slice head mismatch")
+				}
+				_ = ConflictKeys(c, p, 1+i%12)
+				_ = HotKey(p)
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -1,25 +1,9 @@
 package kvstore
 
 import (
-	"fmt"
-
 	"specdb/internal/msg"
 	"specdb/internal/storage"
 )
-
-// ClientKey names client c's i-th private key on partition p. The §5.1
-// microbenchmark gives every client its own keys so that, absent the
-// deliberate conflict knob, transactions never contend.
-func ClientKey(c int, p msg.PartitionID, i int) string {
-	return fmt.Sprintf("c%03d.p%02d.k%02d", c, p, i)
-}
-
-// HotKey is the contended key of §5.2 on partition p: the first client's
-// (partition 0) or second client's (partition 1) first key, which those
-// pinned clients write in nearly every transaction.
-func HotKey(p msg.PartitionID) string {
-	return ClientKey(int(p), p, 0)
-}
 
 // AddSchema registers the kv table on a partition store.
 func AddSchema(s *storage.Store) {

@@ -330,6 +330,11 @@ func (h *Histogram) Quantile(q float64) sim.Time {
 	for i, c := range h.counts {
 		cum += c
 		if cum > target {
+			if i == len(h.counts)-1 {
+				// The top bucket is unbounded (overflow clamps into it),
+				// so its only honest upper bound is the observed maximum.
+				return h.max
+			}
 			hi := sim.Time(float64(histBase) * math.Pow(histGrowth, float64(i+1)))
 			if hi > h.max {
 				hi = h.max

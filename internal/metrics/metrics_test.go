@@ -168,3 +168,69 @@ func TestWorkloadRatesEmpty(t *testing.T) {
 		t.Fatal("zero counts should yield zero rates")
 	}
 }
+
+// TestHistogramEdgeCases is the table-driven audit of the histogram's
+// boundary behavior (ISSUE 4 satellite): an empty histogram's quantiles,
+// samples below histBase, and samples past the last of the 128 log buckets —
+// which must clamp into the top bucket rather than index out of range.
+func TestHistogramEdgeCases(t *testing.T) {
+	const top = 1 << 62 // far beyond the last bucket boundary
+	cases := []struct {
+		name    string
+		samples []sim.Time
+		q       float64
+		want    func(got sim.Time) bool
+		desc    string
+	}{
+		{"empty q=0", nil, 0, func(g sim.Time) bool { return g == 0 }, "0"},
+		{"empty q=0.5", nil, 0.5, func(g sim.Time) bool { return g == 0 }, "0"},
+		{"empty q=1", nil, 1, func(g sim.Time) bool { return g == 0 }, "0"},
+		{"zero sample", []sim.Time{0}, 0.5, func(g sim.Time) bool { return g == 0 }, "exact max"},
+		{"below base", []sim.Time{1, 2, 3}, 0.5,
+			func(g sim.Time) bool { return g >= 0 && g <= 3 }, "clamped to observed max"},
+		{"at base boundary", []sim.Time{10 * sim.Microsecond}, 0.5,
+			func(g sim.Time) bool { return g == 10*sim.Microsecond }, "exact max"},
+		{"past last bucket", []sim.Time{top}, 0.5,
+			func(g sim.Time) bool { return g == top }, "clamped to max, no panic"},
+		{"mixed extremes", []sim.Time{1, top}, 0,
+			func(g sim.Time) bool { return g == 1 }, "min"},
+		{"mixed extremes q=1", []sim.Time{1, top}, 1,
+			func(g sim.Time) bool { return g == top }, "max"},
+		{"q below range", []sim.Time{5 * sim.Microsecond}, -1,
+			func(g sim.Time) bool { return g == 5*sim.Microsecond }, "min"},
+		{"q above range", []sim.Time{5 * sim.Microsecond}, 2,
+			func(g sim.Time) bool { return g == 5*sim.Microsecond }, "max"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, s := range tc.samples {
+				h.Add(s)
+			}
+			got := h.Quantile(tc.q)
+			if !tc.want(got) {
+				t.Fatalf("Quantile(%g) = %v, want %s", tc.q, got, tc.desc)
+			}
+		})
+	}
+}
+
+// TestHistogramOverflowAccumulates fills the top bucket with many oversized
+// samples: every one must land in bucket 127 (not panic, not vanish), and
+// quantiles over them must stay within [min, max].
+func TestHistogramOverflowAccumulates(t *testing.T) {
+	var h Histogram
+	const huge = sim.Time(1) << 60
+	for i := 0; i < 100; i++ {
+		h.Add(huge + sim.Time(i))
+	}
+	if h.N() != 100 {
+		t.Fatalf("N = %d", h.N())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < huge || got > huge+99 {
+			t.Fatalf("Quantile(%g) = %v outside sample range", q, got)
+		}
+	}
+}

@@ -68,6 +68,16 @@ type Partition struct {
 	ctx          *sim.Context // valid only during Receive
 
 	undos map[msg.TxnID]*undo.Buffer
+	// undoFree recycles undo buffers: Forget returns a transaction's buffer
+	// (cleared, capacity kept) and Execute hands it to the next transaction,
+	// so steady-state undo recording allocates nothing. Safe because Forget
+	// is only reached after any fiber running the transaction has unwound.
+	undoFree []*undo.Buffer
+	// view is the reusable fragment execution view for synchronous
+	// executions (nil Locker). Lock-acquiring executions run on fibers that
+	// can suspend mid-fragment — several may be in flight — so they get
+	// fresh views instead.
+	view storage.TxnView
 	// works accumulates executed fragment inputs per transaction for
 	// replica forwarding.
 	works map[msg.TxnID]*workLog
@@ -336,11 +346,21 @@ func (p *Partition) Execute(f *msg.Fragment, withUndo bool, locker storage.Locke
 	if withUndo {
 		buf = p.undos[f.Txn]
 		if buf == nil {
-			buf = undo.New()
+			if n := len(p.undoFree); n > 0 {
+				buf = p.undoFree[n-1]
+				p.undoFree = p.undoFree[:n-1]
+			} else {
+				buf = undo.New()
+			}
 			p.undos[f.Txn] = buf
 		}
 	}
-	view := storage.NewTxnView(p.cfg.Store, buf, locker)
+	view := &p.view
+	if locker != nil {
+		view = storage.NewTxnView(p.cfg.Store, buf, locker)
+	} else {
+		view.Reset(p.cfg.Store, buf, nil)
+	}
 	proc := p.cfg.Registry.Get(f.Proc)
 	out, err := proc.Run(view, f.Work)
 	cost := p.cfg.Costs.Fragment(f.Proc, view.Reads+view.Writes, view.Writes, view.LockAcquires, withUndo)
@@ -374,9 +394,13 @@ func (p *Partition) Rollback(id msg.TxnID) {
 	delete(p.works, id)
 }
 
-// Forget drops undo and forwarding state.
+// Forget drops undo and forwarding state, recycling the undo buffer.
 func (p *Partition) Forget(id msg.TxnID) {
-	delete(p.undos, id)
+	if buf := p.undos[id]; buf != nil {
+		delete(p.undos, id)
+		buf.Discard()
+		p.undoFree = append(p.undoFree, buf)
+	}
 }
 
 // SendResult returns a fragment result to its coordinator, forwarding to

@@ -95,6 +95,9 @@ type Backup struct {
 	// during recovery (for the failover metrics).
 	bufCommitted, bufDropped int
 
+	// view is the reusable replay view (apply is synchronous).
+	view storage.TxnView
+
 	// Applied counts transactions applied to the backup store.
 	Applied uint64
 }
@@ -355,10 +358,13 @@ func (b *Backup) unbuffer(id msg.TxnID) {
 }
 
 // apply re-executes a transaction's fragments against the backup store.
+// Replay is synchronous (no locks, no undo), so one reusable view serves
+// every work.
 func (b *Backup) apply(ctx *sim.Context, fw *msg.ReplicaForward) {
+	proc := b.Registry.Get(fw.Proc)
 	for _, w := range fw.Works {
-		proc := b.Registry.Get(fw.Proc)
-		view := storage.NewTxnView(b.Store, nil, nil)
+		view := &b.view
+		view.Reset(b.Store, nil, nil)
 		if _, err := proc.Run(view, w); err != nil {
 			panic(fmt.Sprintf("backup: forwarded transaction %d aborted on replay: %v", fw.Txn, err))
 		}

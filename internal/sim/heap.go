@@ -1,11 +1,22 @@
 package sim
 
-// eventHeap is a binary min-heap of events ordered by (at, seq). A hand
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). A hand
 // rolled heap (rather than container/heap) avoids interface boxing on the
 // hot path; the simulator delivers millions of events per benchmark run.
+//
+// The 4-ary layout halves the sift-down depth of a binary heap: events are
+// 40+ bytes, so the extra sibling comparisons stay inside one or two cache
+// lines while every level saved is a (likely missed) random access. (at,
+// seq) is a total order — seq is unique — so heap shape never affects pop
+// order, which keeps the arity an implementation detail with no effect on
+// simulation determinism.
 type eventHeap struct {
 	ev []event
 }
+
+// arity is the heap's branching factor. Children of node i are
+// arity*i+1 .. arity*i+arity; the parent of node i is (i-1)/arity.
+const arity = 4
 
 func (h *eventHeap) Len() int { return len(h.ev) }
 
@@ -21,7 +32,7 @@ func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / arity
 		if !h.less(i, parent) {
 			break
 		}
@@ -44,16 +55,26 @@ func (h *eventHeap) pop() (event, bool) {
 	top := h.ev[0]
 	last := len(h.ev) - 1
 	h.ev[0] = h.ev[last]
+	// Zero the vacated tail slot: it holds a copy of the moved-from event,
+	// whose Message (and everything it references) would otherwise be kept
+	// alive by the backing array for as long as the heap lives.
+	h.ev[last] = event{}
 	h.ev = h.ev[:last]
 	i := 0
 	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.ev) && h.less(l, smallest) {
-			smallest = l
+		first := arity*i + 1
+		if first >= len(h.ev) {
+			break
 		}
-		if r < len(h.ev) && h.less(r, smallest) {
-			smallest = r
+		end := first + arity
+		if end > len(h.ev) {
+			end = len(h.ev)
+		}
+		smallest := i
+		for c := first; c < end; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
 		}
 		if smallest == i {
 			break

@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPopZeroesVacatedSlot is the liveness regression test for the heap's
+// moved-from tail element: pop used to leave it in the backing array, so the
+// last-popped event's Message (and everything it references) stayed
+// reachable — and uncollectable — for as long as the heap lived.
+func TestPopZeroesVacatedSlot(t *testing.T) {
+	var h eventHeap
+	payloads := []*[]byte{}
+	for i := 0; i < 16; i++ {
+		p := make([]byte, 1)
+		payloads = append(payloads, &p)
+		h.push(event{at: Time(i), seq: uint64(i), to: 1, msg: &p})
+	}
+	for i := 0; i < 12; i++ {
+		if _, ok := h.pop(); !ok {
+			t.Fatal("pop failed")
+		}
+	}
+	// Every slot beyond the live length must be fully zeroed.
+	backing := h.ev[:cap(h.ev)]
+	for i := len(h.ev); i < len(backing); i++ {
+		if backing[i] != (event{}) {
+			t.Fatalf("vacated slot %d still holds %+v", i, backing[i])
+		}
+	}
+	_ = payloads
+}
+
+// TestHeapRandomPushPop interleaves pushes and pops and checks the pop
+// sequence is always the (at, seq) minimum of what remains — the 4-ary
+// sift-down must behave exactly like the binary one did.
+func TestHeapRandomPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h eventHeap
+	live := map[uint64]Time{}
+	seq := uint64(0)
+	for round := 0; round < 5000; round++ {
+		if h.Len() == 0 || rng.Intn(3) != 0 {
+			seq++
+			at := Time(rng.Intn(50))
+			h.push(event{at: at, seq: seq, to: 1})
+			live[seq] = at
+		} else {
+			e, ok := h.pop()
+			if !ok {
+				t.Fatal("pop on non-empty heap failed")
+			}
+			// e must be the minimum of live by (at, seq).
+			for s, at := range live {
+				if at < e.at || (at == e.at && s < e.seq) {
+					t.Fatalf("popped (%d,%d) but (%d,%d) was smaller", e.at, e.seq, at, s)
+				}
+			}
+			delete(live, e.seq)
+		}
+	}
+	prev := event{at: -1}
+	for h.Len() > 0 {
+		e, _ := h.pop()
+		if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
+			t.Fatalf("drain out of order: (%d,%d) after (%d,%d)", e.at, e.seq, prev.at, prev.seq)
+		}
+		prev = e
+		delete(live, e.seq)
+	}
+	if len(live) != 0 {
+		t.Fatalf("%d events lost", len(live))
+	}
+}
+
+// TestActorAccessorsPanicOnUnknownID: every actor accessor must reject
+// ActorID(0), negative and unregistered IDs with the scheduler's clear panic
+// message, not a raw slice index error.
+func TestActorAccessorsPanicOnUnknownID(t *testing.T) {
+	s := New()
+	s.Register("only", HandlerFunc(func(*Context, Message) {}))
+	cases := []struct {
+		name string
+		call func(id ActorID)
+	}{
+		{"Handler", func(id ActorID) { s.Handler(id) }},
+		{"Name", func(id ActorID) { s.Name(id) }},
+		{"BusyTime", func(id ActorID) { s.BusyTime(id) }},
+		{"Alive", func(id ActorID) { s.Alive(id) }},
+		{"Kill", func(id ActorID) { s.Kill(id) }},
+	}
+	for _, tc := range cases {
+		for _, id := range []ActorID{0, -1, 2, 99} {
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("%s(%d) did not panic", tc.name, id)
+					}
+					if msg, ok := r.(string); !ok || msg != "sim: unknown actor "+itoa(int(id)) {
+						t.Fatalf("%s(%d) panic = %v, want clear message", tc.name, id, r)
+					}
+				}()
+				tc.call(id)
+			}()
+		}
+	}
+	// Valid IDs still work.
+	if s.Name(1) != "only" || !s.Alive(1) {
+		t.Fatal("valid actor rejected")
+	}
+}
+
+// itoa avoids strconv in the panic-message comparison.
+func itoa(v int) string {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [8]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+// TestStepAllocationFree pins the kernel's allocations per event at zero:
+// once the heap's backing array has grown to its working size, delivering an
+// event (pop, dispatch, push of the reply) must not allocate. This is the
+// satellite regression gate for the ISSUE 4 kernel slimming.
+func TestStepAllocationFree(t *testing.T) {
+	s := New()
+	var a1, a2 ActorID
+	msg := &struct{ hops int }{}
+	a1 = s.Register("a1", HandlerFunc(func(ctx *Context, m Message) {
+		ctx.Spend(Microsecond)
+		ctx.Send(a2, m, 10*Microsecond)
+	}))
+	a2 = s.Register("a2", HandlerFunc(func(ctx *Context, m Message) {
+		ctx.Spend(Microsecond)
+		ctx.Send(a1, m, 10*Microsecond)
+	}))
+	s.SendAt(0, a1, msg)
+	// Warm the heap and scheduler state.
+	for i := 0; i < 64; i++ {
+		if !s.Step() {
+			t.Fatal("ping-pong went quiescent")
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if !s.Step() {
+			t.Fatal("ping-pong went quiescent")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Scheduler.Step allocates %.2f objects/event, want 0", avg)
+	}
+}

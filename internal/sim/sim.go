@@ -94,20 +94,30 @@ func (s *Scheduler) Register(name string, h Handler) ActorID {
 	return ActorID(len(s.actors))
 }
 
+// actor returns the state for id, panicking with a clear message on
+// ActorID(0), negative or never-registered IDs — the same contract SendAt
+// enforces, instead of a raw index error.
+func (s *Scheduler) actor(id ActorID) *actorState {
+	if id <= 0 || int(id) > len(s.actors) {
+		panic(fmt.Sprintf("sim: unknown actor %d", id))
+	}
+	return &s.actors[id-1]
+}
+
 // Handler returns the handler registered for id.
 func (s *Scheduler) Handler(id ActorID) Handler {
-	return s.actors[id-1].handler
+	return s.actor(id).handler
 }
 
 // Name returns the name the actor was registered with.
 func (s *Scheduler) Name(id ActorID) string {
-	return s.actors[id-1].name
+	return s.actor(id).name
 }
 
 // BusyTime returns the total virtual CPU time the actor has consumed, for
 // utilization measurements (e.g. coordinator saturation, §5.1).
 func (s *Scheduler) BusyTime(id ActorID) Time {
-	return s.actors[id-1].busyTotal
+	return s.actor(id).busyTotal
 }
 
 // NumActors returns the number of registered actors.
@@ -147,14 +157,11 @@ func (s *Scheduler) Stopped() bool { return s.stopped }
 // (counted in Dropped). Messages the actor sent before dying still arrive.
 // A kill is permanent; there is no revival.
 func (s *Scheduler) Kill(id ActorID) {
-	if id <= 0 || int(id) > len(s.actors) {
-		panic(fmt.Sprintf("sim: kill of unknown actor %d", id))
-	}
-	s.actors[id-1].dead = true
+	s.actor(id).dead = true
 }
 
 // Alive reports whether the actor has not been killed.
-func (s *Scheduler) Alive(id ActorID) bool { return !s.actors[id-1].dead }
+func (s *Scheduler) Alive(id ActorID) bool { return !s.actor(id).dead }
 
 // Empty reports whether no events remain queued. In a closed-loop simulation
 // an empty queue is permanent quiescence: nothing further will happen without

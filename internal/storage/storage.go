@@ -31,6 +31,10 @@ type Table interface {
 	// Descend visits lo <= key < hi descending; empty hi means unbounded.
 	Descend(lo, hi string, fn func(k string, v any) bool)
 	Len() int
+	// Restore reinstates a before-image captured by Put or Delete; tables
+	// are the undo.Restorer of their own rows, which lets TxnView record
+	// value-typed undo entries without a per-entry allocation.
+	Restore(key string, prev any, existed bool)
 }
 
 // BTreeTable is an ordered table.
@@ -65,6 +69,10 @@ func (b *BTreeTable) Descend(lo, hi string, fn func(k string, v any) bool) {
 }
 
 func (b *BTreeTable) Len() int { return b.t.Len() }
+
+func (b *BTreeTable) Restore(key string, prev any, existed bool) {
+	restoreRow(b, key, prev, existed)
+}
 
 // HashTable is an unordered table. Scans are supported for completeness but
 // cost a sort; schema authors should use BTreeTable where scans matter.
@@ -128,6 +136,19 @@ func (h *HashTable) Descend(lo, hi string, fn func(k string, v any) bool) {
 }
 
 func (h *HashTable) Len() int { return len(h.m) }
+
+func (h *HashTable) Restore(key string, prev any, existed bool) {
+	restoreRow(h, key, prev, existed)
+}
+
+// restoreRow applies one undo before-image to a table.
+func restoreRow(t Table, key string, prev any, existed bool) {
+	if existed {
+		t.Put(key, prev)
+	} else {
+		t.Delete(key)
+	}
+}
 
 // Store is the collection of tables owned by one partition.
 type Store struct {
@@ -256,6 +277,15 @@ func NewTxnView(store *Store, undoBuf *undo.Buffer, locker Locker) *TxnView {
 	return &TxnView{store: store, undo: undoBuf, locker: locker}
 }
 
+// Reset re-initializes a view in place, zeroing its counters. Executors that
+// run fragments to completion on one goroutine (everything except the
+// locking engine's suspended fibers) reuse a single view across fragments
+// instead of allocating one per execution; procedures must not retain the
+// view beyond Run, which the txn.Procedure contract already demands.
+func (v *TxnView) Reset(store *Store, undoBuf *undo.Buffer, locker Locker) {
+	*v = TxnView{store: store, undo: undoBuf, locker: locker}
+}
+
 // Store returns the underlying store (for schema-aware helpers).
 func (v *TxnView) Store() *Store { return v.store }
 
@@ -290,9 +320,10 @@ func (v *TxnView) GetForUpdate(table, key string) (any, bool) {
 func (v *TxnView) Put(table, key string, val any) {
 	v.lock(table, key, true)
 	v.Writes++
-	prev, existed := v.store.Table(table).Put(key, val)
+	t := v.store.Table(table)
+	prev, existed := t.Put(key, val)
 	if v.undo != nil {
-		v.undo.Record(&rowImage{t: v.store.Table(table), key: key, prev: prev, existed: existed})
+		v.undo.Record(undo.Entry{Target: t, Key: key, Prev: prev, Existed: existed})
 	}
 }
 
@@ -300,9 +331,10 @@ func (v *TxnView) Put(table, key string, val any) {
 func (v *TxnView) Delete(table, key string) bool {
 	v.lock(table, key, true)
 	v.Writes++
-	prev, existed := v.store.Table(table).Delete(key)
+	t := v.store.Table(table)
+	prev, existed := t.Delete(key)
 	if v.undo != nil && existed {
-		v.undo.Record(&rowImage{t: v.store.Table(table), key: key, prev: prev, existed: true})
+		v.undo.Record(undo.Entry{Target: t, Key: key, Prev: prev, Existed: true})
 	}
 	return existed
 }
@@ -325,20 +357,4 @@ func (v *TxnView) Descend(table, lo, hi string, fn func(k string, val any) bool)
 		v.Reads++
 		return fn(k, val)
 	})
-}
-
-// rowImage restores a row to its pre-mutation state.
-type rowImage struct {
-	t       Table
-	key     string
-	prev    any
-	existed bool
-}
-
-func (r *rowImage) Undo() {
-	if r.existed {
-		r.t.Put(r.key, r.prev)
-	} else {
-		r.t.Delete(r.key)
-	}
 }

@@ -274,8 +274,8 @@ func TestFingerprintSensitivity(t *testing.T) {
 func TestUndoFuncAdapter(t *testing.T) {
 	n := 0
 	b := undo.New()
-	b.Record(undo.Func(func() { n++ }))
-	b.Record(undo.Func(func() { n += 10 }))
+	b.Record(undo.Entry{Target: undo.Func(func() { n++ })})
+	b.Record(undo.Entry{Target: undo.Func(func() { n += 10 })})
 	if b.Len() != 2 {
 		t.Fatalf("Len = %d", b.Len())
 	}

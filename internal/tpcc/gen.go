@@ -35,9 +35,19 @@ var lastNameSyllables = [10]string{
 	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
 }
 
-// LastName builds the deterministic TPC-C last name for a number in 0..999.
+// lastNames interns all 1000 last names. Payment and OrderStatus format a
+// name on 60% of issues (clause 2.5.1.2), which made LastName's string
+// concatenation a per-invocation allocation on the generation hot path.
+var lastNames = func() (names [1000]string) {
+	for n := range names {
+		names[n] = lastNameSyllables[n/100] + lastNameSyllables[(n/10)%10] + lastNameSyllables[n%10]
+	}
+	return
+}()
+
+// LastName returns the deterministic TPC-C last name for a number in 0..999.
 func LastName(num int) string {
-	return lastNameSyllables[num/100] + lastNameSyllables[(num/10)%10] + lastNameSyllables[num%10]
+	return lastNames[num]
 }
 
 // nuRand constants (clause 2.1.6). C values are fixed per run for
@@ -197,6 +207,25 @@ type Mix struct {
 	// clock provides order entry timestamps; it only needs to be unique
 	// per generator, not synchronized.
 	clock int64
+	// perClient reuses each client's Invocation shell across issues (the
+	// closed-loop ownership contract of workload.Generator). Unlike the
+	// microbenchmark, the Args must stay freshly allocated: TPC-C fragment
+	// works alias their args (noHomeWork.A and friends), works are forwarded
+	// to replicas, and a backup applies a buffered multi-partition forward
+	// when its decision arrives — possibly after the client has already
+	// issued its next transaction.
+	perClient []*txn.Invocation
+}
+
+// inv returns client ci's reusable invocation shell.
+func (m *Mix) inv(ci int) *txn.Invocation {
+	for ci >= len(m.perClient) {
+		m.perClient = append(m.perClient, nil)
+	}
+	if m.perClient[ci] == nil {
+		m.perClient[ci] = &txn.Invocation{}
+	}
+	return m.perClient[ci]
 }
 
 // Standard mix weights (TPC-C clause 5.2.3 steady state).
@@ -208,25 +237,29 @@ const (
 	weightStockLevel  = 0.04
 )
 
-// Next implements workload.Generator.
+// Next implements workload.Generator. The returned Invocation is client
+// ci's reused shell — valid until the client's next call, per the Generator
+// contract; its Args are freshly built (see perClient).
 func (m *Mix) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	w := (ci % m.Layout.Warehouses) + 1
 	m.clock++
+	inv := m.inv(ci)
+	inv.AbortAt = txn.NoAbort
 	if m.NewOrderOnly {
-		return m.newOrder(w, rng)
+		return m.newOrder(inv, w, rng)
 	}
 	x := rng.Float64()
 	switch {
 	case x < weightNewOrder:
-		return m.newOrder(w, rng)
+		return m.newOrder(inv, w, rng)
 	case x < weightNewOrder+weightPayment:
-		return m.payment(w, rng)
+		return m.payment(inv, w, rng)
 	case x < weightNewOrder+weightPayment+weightOrderStatus:
-		return m.orderStatus(w, rng)
+		return m.orderStatus(inv, w, rng)
 	case x < weightNewOrder+weightPayment+weightOrderStatus+weightDelivery:
-		return m.delivery(w, rng)
+		return m.delivery(inv, w, rng)
 	default:
-		return m.stockLevel(w, rng)
+		return m.stockLevel(inv, w, rng)
 	}
 }
 
@@ -259,7 +292,7 @@ func (m *Mix) remoteWarehouse(rng *rand.Rand, home int) int {
 	return w
 }
 
-func (m *Mix) newOrder(w int, rng *rand.Rand) *txn.Invocation {
+func (m *Mix) newOrder(inv *txn.Invocation, w int, rng *rand.Rand) *txn.Invocation {
 	nItems := 5 + rng.Intn(11)
 	lines := make([]NewOrderLine, nItems)
 	for i := range lines {
@@ -278,17 +311,15 @@ func (m *Mix) newOrder(w int, rng *rand.Rand) *txn.Invocation {
 	if rng.Intn(100) == 0 {
 		lines[nItems-1].IID = m.Scale.Items + 1
 	}
-	return &txn.Invocation{
-		Proc: ProcNewOrder,
-		Args: &NewOrderArgs{
-			WID: w, DID: m.district(rng), CID: m.customerID(rng),
-			Lines: lines, EntryD: m.clock,
-		},
-		AbortAt: txn.NoAbort,
+	inv.Proc = ProcNewOrder
+	inv.Args = &NewOrderArgs{
+		WID: w, DID: m.district(rng), CID: m.customerID(rng),
+		Lines: lines, EntryD: m.clock,
 	}
+	return inv
 }
 
-func (m *Mix) payment(w int, rng *rand.Rand) *txn.Invocation {
+func (m *Mix) payment(inv *txn.Invocation, w int, rng *rand.Rand) *txn.Invocation {
 	cw, cd := w, m.district(rng)
 	if m.RemotePaymentProb > 0 && rng.Float64() < m.RemotePaymentProb {
 		cw = m.remoteWarehouse(rng, w)
@@ -305,7 +336,9 @@ func (m *Mix) payment(w int, rng *rand.Rand) *txn.Invocation {
 	} else {
 		args.CID = m.customerID(rng)
 	}
-	return &txn.Invocation{Proc: ProcPayment, Args: args, AbortAt: txn.NoAbort}
+	inv.Proc = ProcPayment
+	inv.Args = args
+	return inv
 }
 
 func (m *Mix) nameNum(rng *rand.Rand) int {
@@ -316,30 +349,28 @@ func (m *Mix) nameNum(rng *rand.Rand) int {
 	return nuRand(rng, 255, cLast, 0, limit-1)
 }
 
-func (m *Mix) orderStatus(w int, rng *rand.Rand) *txn.Invocation {
+func (m *Mix) orderStatus(inv *txn.Invocation, w int, rng *rand.Rand) *txn.Invocation {
 	args := &OrderStatusArgs{WID: w, DID: m.district(rng)}
 	if rng.Intn(100) < 60 {
 		args.CLast = LastName(m.nameNum(rng))
 	} else {
 		args.CID = m.customerID(rng)
 	}
-	return &txn.Invocation{Proc: ProcOrderStatus, Args: args, AbortAt: txn.NoAbort}
+	inv.Proc = ProcOrderStatus
+	inv.Args = args
+	return inv
 }
 
-func (m *Mix) delivery(w int, rng *rand.Rand) *txn.Invocation {
-	return &txn.Invocation{
-		Proc:    ProcDelivery,
-		Args:    &DeliveryArgs{WID: w, CarrierID: 1 + rng.Intn(10), When: m.clock},
-		AbortAt: txn.NoAbort,
-	}
+func (m *Mix) delivery(inv *txn.Invocation, w int, rng *rand.Rand) *txn.Invocation {
+	inv.Proc = ProcDelivery
+	inv.Args = &DeliveryArgs{WID: w, CarrierID: 1 + rng.Intn(10), When: m.clock}
+	return inv
 }
 
-func (m *Mix) stockLevel(w int, rng *rand.Rand) *txn.Invocation {
-	return &txn.Invocation{
-		Proc:    ProcStockLevel,
-		Args:    &StockLevelArgs{WID: w, DID: m.district(rng), Threshold: 10 + rng.Intn(11)},
-		AbortAt: txn.NoAbort,
-	}
+func (m *Mix) stockLevel(inv *txn.Invocation, w int, rng *rand.Rand) *txn.Invocation {
+	inv.Proc = ProcStockLevel
+	inv.Args = &StockLevelArgs{WID: w, DID: m.district(rng), Threshold: 10 + rng.Intn(11)}
+	return inv
 }
 
 var _ workload.Generator = (*Mix)(nil)

@@ -4,14 +4,29 @@
 // is the "very low overhead" fast path the paper measures as tsp vs tspS.
 package undo
 
-// Entry is one undoable effect. Implementations live next to the state they
-// restore (e.g. internal/storage row images).
-type Entry interface {
-	// Undo restores the state captured by the entry.
-	Undo()
+// Restorer reinstates one captured before-image. Implementations live next
+// to the state they restore (internal/storage tables implement it for row
+// images).
+type Restorer interface {
+	// Restore puts back the captured state: the previous value when the key
+	// existed, or removal when it did not.
+	Restore(key string, prev any, existed bool)
 }
 
-// Buffer accumulates entries for one transaction.
+// Entry is one undoable effect, held by value: recording appends to the
+// buffer's slice instead of allocating a per-entry object. Undo recording
+// sits on the per-write hot path of every transaction that can abort, so
+// this is a measured allocs/txn matter, not a style one.
+type Entry struct {
+	Target  Restorer
+	Key     string
+	Prev    any
+	Existed bool
+}
+
+// Buffer accumulates entries for one transaction. Buffers are reusable:
+// Rollback and Discard clear the log but keep its capacity, so a pooled
+// buffer's steady state records without growing.
 type Buffer struct {
 	entries []Entry
 }
@@ -31,18 +46,27 @@ func (b *Buffer) Len() int { return len(b.entries) }
 // Rollback undoes all entries in reverse order and clears the buffer.
 func (b *Buffer) Rollback() {
 	for i := len(b.entries) - 1; i >= 0; i-- {
-		b.entries[i].Undo()
+		e := &b.entries[i]
+		e.Target.Restore(e.Key, e.Prev, e.Existed)
 	}
-	b.entries = b.entries[:0]
+	b.reset()
 }
 
 // Discard drops all entries without applying them (commit path).
 func (b *Buffer) Discard() {
+	b.reset()
+}
+
+// reset empties the log, zeroing the slots so retained capacity does not pin
+// old row values against the garbage collector.
+func (b *Buffer) reset() {
+	clear(b.entries)
 	b.entries = b.entries[:0]
 }
 
-// Func adapts a closure to Entry, for callers with one-off restoration logic.
+// Func adapts a closure to Restorer, for callers with one-off restoration
+// logic; the captured entry fields are ignored.
 type Func func()
 
-// Undo calls the closure.
-func (f Func) Undo() { f() }
+// Restore calls the closure.
+func (f Func) Restore(string, any, bool) { f() }

@@ -7,13 +7,13 @@ type probe struct {
 	id  int
 }
 
-func (p probe) Undo() { *p.log = append(*p.log, p.id) }
+func (p probe) Restore(string, any, bool) { *p.log = append(*p.log, p.id) }
 
 func TestRollbackReverseOrder(t *testing.T) {
 	var log []int
 	b := New()
 	for i := 1; i <= 4; i++ {
-		b.Record(probe{&log, i})
+		b.Record(Entry{Target: probe{&log, i}})
 	}
 	if b.Len() != 4 {
 		t.Fatalf("Len = %d", b.Len())
@@ -33,7 +33,7 @@ func TestRollbackReverseOrder(t *testing.T) {
 func TestRollbackIdempotentAfterClear(t *testing.T) {
 	var log []int
 	b := New()
-	b.Record(probe{&log, 1})
+	b.Record(Entry{Target: probe{&log, 1}})
 	b.Rollback()
 	b.Rollback()
 	if len(log) != 1 {
@@ -44,13 +44,13 @@ func TestRollbackIdempotentAfterClear(t *testing.T) {
 func TestDiscardDropsWithoutApplying(t *testing.T) {
 	var log []int
 	b := New()
-	b.Record(probe{&log, 1})
+	b.Record(Entry{Target: probe{&log, 1}})
 	b.Discard()
 	if len(log) != 0 || b.Len() != 0 {
 		t.Fatalf("discard applied entries: %v", log)
 	}
 	// Buffer is reusable after Discard.
-	b.Record(probe{&log, 2})
+	b.Record(Entry{Target: probe{&log, 2}})
 	b.Rollback()
 	if len(log) != 1 || log[0] != 2 {
 		t.Fatalf("reuse failed: %v", log)
@@ -60,9 +60,28 @@ func TestDiscardDropsWithoutApplying(t *testing.T) {
 func TestFuncEntry(t *testing.T) {
 	n := 0
 	b := New()
-	b.Record(Func(func() { n = 7 }))
+	b.Record(Entry{Target: Func(func() { n = 7 })})
 	b.Rollback()
 	if n != 7 {
 		t.Fatal("Func entry not applied")
+	}
+}
+
+// TestResetReleasesReferences pins the buffer-reuse contract: clearing the
+// log must zero the retained slots (so pooled buffers do not pin old row
+// values) while keeping capacity (so steady-state recording does not grow).
+func TestResetReleasesReferences(t *testing.T) {
+	b := New()
+	for i := 0; i < 8; i++ {
+		b.Record(Entry{Target: Func(func() {}), Key: "k", Prev: i})
+	}
+	b.Discard()
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after Discard", b.Len())
+	}
+	for i, e := range b.entries[:cap(b.entries)] {
+		if e != (Entry{}) {
+			t.Fatalf("slot %d not zeroed: %+v", i, e)
+		}
 	}
 }

@@ -13,6 +13,17 @@ import (
 
 // Generator produces the next invocation for a closed-loop client, or nil
 // when the client should stop.
+//
+// Ownership: the returned Invocation (and its Args) belongs to the generator
+// and is only valid until the next Next call with the same clientIdx.
+// Closed-loop clients issue exactly one transaction at a time, so generators
+// may reuse a per-client buffer across calls — Micro does, which keeps the
+// issue path allocation-free. Anything with a longer lifetime than the
+// transaction (fragment works shipped to replicas, for example) must not
+// alias mutable parts of the Args; Micro satisfies this by building Args
+// exclusively from interned immutable key slices (kvstore.PartitionKeys).
+// A generator instance is stateful and belongs to one DB: concurrent cells
+// of a parallel Sweep need WithWorkloadFactory.
 type Generator interface {
 	Next(clientIdx int, rng *rand.Rand) *txn.Invocation
 }
@@ -37,13 +48,52 @@ type Micro struct {
 	// TwoRound issues multi-partition transactions with separate read
 	// and write rounds (§5.4).
 	TwoRound bool
+
+	// perClient holds each client's reusable issue buffer, grown lazily on
+	// first use. Clients are closed-loop — at most one transaction
+	// outstanding — so by the time a client asks for its next invocation,
+	// nothing mutable from its previous one is referenced anywhere: the key
+	// slices placed in Args are interned and immutable (safe to alias from
+	// replica forwards), and the Invocation, Args struct and Keys map are
+	// only read between issue and reply. Reuse makes the steady-state issue
+	// path allocation-free (see TestMicroNextAllocationFree).
+	perClient []*microBuf
 }
 
-// Next implements Generator.
+// microBuf is one client's reusable invocation state.
+type microBuf struct {
+	inv   txn.Invocation
+	args  kvstore.Args
+	parts []msg.PartitionID
+}
+
+// buf returns (growing if needed) client ci's issue buffer. Pointers keep
+// buffer addresses stable across growth; the simulation is single-threaded,
+// so lazy growth needs no locking.
+func (m *Micro) buf(ci int) *microBuf {
+	for ci >= len(m.perClient) {
+		m.perClient = append(m.perClient, nil)
+	}
+	b := m.perClient[ci]
+	if b == nil {
+		b = &microBuf{}
+		b.args.Keys = make(map[msg.PartitionID][]string, m.Partitions)
+		b.inv.Proc = kvstore.ProcName
+		b.inv.Args = &b.args
+		m.perClient[ci] = b
+	}
+	return b
+}
+
+// Next implements Generator. The returned Invocation is client ci's reused
+// buffer — valid until the client's next call, per the Generator contract.
 func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	mp := rng.Float64() < m.MPFraction
-	args := &kvstore.Args{Keys: make(map[msg.PartitionID][]string)}
-	var parts []msg.PartitionID
+	b := m.buf(ci)
+	args := &b.args
+	clear(args.Keys)
+	args.TwoRound = false
+	parts := b.parts[:0]
 	if mp {
 		// Keys divided as evenly as possible across every partition:
 		// KeysPerTxn/Partitions each, with the remainder spread one key
@@ -68,11 +118,7 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 				continue
 			}
 			pid := msg.PartitionID(p)
-			keys := make([]string, n)
-			for i := 0; i < n; i++ {
-				keys[i] = kvstore.ClientKey(ci, pid, i)
-			}
-			args.Keys[pid] = keys
+			args.Keys[pid] = kvstore.PartitionKeys(ci, pid, n)
 			parts = append(parts, pid)
 		}
 		args.TwoRound = m.TwoRound
@@ -83,21 +129,21 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 		} else {
 			pid = msg.PartitionID(rng.Intn(m.Partitions))
 		}
-		keys := make([]string, m.KeysPerTxn)
-		for i := 0; i < m.KeysPerTxn; i++ {
-			keys[i] = kvstore.ClientKey(ci, pid, i)
-		}
-		args.Keys[pid] = keys
+		args.Keys[pid] = kvstore.PartitionKeys(ci, pid, m.KeysPerTxn)
 		parts = append(parts, pid)
 	}
 	// Conflicts (§5.2): non-pinned clients hit the contended key on one
 	// of their partitions with probability p. Each transaction conflicts
-	// at a single partition only, so deadlock remains impossible.
+	// at a single partition only, so deadlock remains impossible. The
+	// interned slices are immutable, so the substitution swaps in the
+	// conflict variant of the slice rather than rewriting its first key.
 	if m.ConflictProb > 0 && !(m.Pinned && ci < m.Partitions) && rng.Float64() < m.ConflictProb {
 		target := parts[rng.Intn(len(parts))]
-		args.Keys[target][0] = kvstore.HotKey(target)
+		args.Keys[target] = kvstore.ConflictKeys(ci, target, len(args.Keys[target]))
 	}
-	inv := &txn.Invocation{Proc: kvstore.ProcName, Args: args, AbortAt: txn.NoAbort}
+	b.parts = parts
+	inv := &b.inv
+	inv.AbortAt = txn.NoAbort
 	if m.AbortProb > 0 && rng.Float64() < m.AbortProb {
 		// Multi-partition transactions abort locally at one partition;
 		// the other participants abort during 2PC (§5.3).

@@ -239,3 +239,58 @@ func TestMicroMPKeyDistribution(t *testing.T) {
 		}
 	}
 }
+
+// TestMicroNextAllocationFree pins the issue path's allocations at zero:
+// once a client's buffer and the interned key slices are warm, generating an
+// invocation — SP, MP, conflict and abort variants included — must not
+// allocate. This is the regression gate for the ISSUE 4 hot-path overhaul;
+// if it fires, something reintroduced per-issue garbage (the pre-overhaul
+// path allocated ~17 objects per call).
+func TestMicroNextAllocationFree(t *testing.T) {
+	m := &Micro{
+		Partitions:   2,
+		KeysPerTxn:   12,
+		MPFraction:   0.5,
+		ConflictProb: 0.3,
+		Pinned:       true,
+		AbortProb:    0.2,
+	}
+	rng := rand.New(rand.NewSource(9))
+	// Warm every (client, partition, n) slice the grid can produce.
+	for i := 0; i < 4000; i++ {
+		m.Next(i%8, rng)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		m.Next(5, rng)
+	})
+	if avg != 0 {
+		t.Fatalf("Micro.Next allocates %.2f objects/issue, want 0", avg)
+	}
+}
+
+// TestMicroBufferReuseContract: the invocation returned for a client is that
+// client's reused buffer (stable pointer), while different clients get
+// distinct buffers — the closed-loop ownership contract documented on
+// Generator.
+func TestMicroBufferReuseContract(t *testing.T) {
+	m := micro()
+	rng := rand.New(rand.NewSource(10))
+	a1 := m.Next(0, rng)
+	b1 := m.Next(1, rng)
+	a2 := m.Next(0, rng)
+	if a1 != a2 {
+		t.Fatal("same client must reuse its invocation buffer")
+	}
+	if a1 == b1 {
+		t.Fatal("distinct clients must not share a buffer")
+	}
+	// The key slices handed out are the interned ones: immutable and shared,
+	// so two issues of the same shape alias the same backing array.
+	ka := a1.Args.(*kvstore.Args)
+	for p, keys := range ka.Keys {
+		want := kvstore.PartitionKeys(0, p, len(keys))
+		if len(keys) != len(want) || &keys[0] != &want[0] {
+			t.Fatalf("partition %d keys are not the interned slice", p)
+		}
+	}
+}

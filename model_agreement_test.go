@@ -45,8 +45,8 @@ func TestModelMatchesSimulatedCrossovers(t *testing.T) {
 		Axes: []specdb.Axis{
 			specdb.SchemeAxis(schemes...),
 			specdb.NumAxis("mp", fractions, func(f float64) []specdb.Option {
-				return []specdb.Option{specdb.WithWorkload(&workload.Micro{
-					Partitions: 2, KeysPerTxn: keys, MPFraction: f,
+				return []specdb.Option{specdb.WithWorkloadFactory(func() specdb.Generator {
+					return &workload.Micro{Partitions: 2, KeysPerTxn: keys, MPFraction: f}
 				})}
 			}),
 		},

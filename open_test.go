@@ -116,6 +116,25 @@ func TestDeterministicByteIdenticalResult(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossEngineWarmup: the allocation overhaul added
+// process-level warm state — interned key tables, pooled undo buffers and
+// lock entries, reused generator and view buffers. None of it may leak into
+// results: the first (cold) run of a configuration and every later (warm)
+// run, including runs interleaved with *different* configurations that churn
+// the shared intern tables and pools, must produce bit-identical Results.
+func TestDeterministicAcrossEngineWarmup(t *testing.T) {
+	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+		cold := mustOpen(t, timedOpts(scheme, 0.3)...).Run()
+		// Churn the shared warm state with unrelated configurations.
+		mustOpen(t, timedOpts(scheme, 0.7)...).Run()
+		mustOpen(t, append(timedOpts(scheme, 0.5), WithClients(7), WithSeed(99))...).Run()
+		warm := mustOpen(t, timedOpts(scheme, 0.3)...).Run()
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("%v: cold and warm results differ:\ncold: %+v\nwarm: %+v", scheme, cold, warm)
+		}
+	}
+}
+
 // TestLegacyConfigShim: the deprecated Run(Config) facade produces the same
 // Result as the equivalent Open call.
 func TestLegacyConfigShim(t *testing.T) {

@@ -13,6 +13,13 @@ func microWorkload(mpFrac float64) Generator {
 	return &workload.Micro{Partitions: 2, KeysPerTxn: testKeys, MPFraction: mpFrac}
 }
 
+// microWorkloadOpt installs a fresh Micro per Open: Micro keeps per-client
+// issue buffers, so sweeps — whose cells may run in parallel — must not
+// share one instance (the WithWorkloadFactory contract).
+func microWorkloadOpt(mpFrac float64) Option {
+	return WithWorkloadFactory(func() Generator { return microWorkload(mpFrac) })
+}
+
 // liveOpts is an open-ended (Measure zero) cluster for interactive driving.
 func liveOpts(scheme Scheme, mpFrac float64) []Option {
 	return []Option{

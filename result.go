@@ -25,6 +25,11 @@ type Result struct {
 	CommittedSP uint64
 	CommittedMP uint64
 	Retries     uint64
+	// CompletedTotal counts completions over the whole run, warm-up and
+	// post-window included. Host-side perf normalization (allocs per
+	// transaction, internal/bench.Perf) divides by this, since allocations
+	// accrue over the whole run, not just the measurement window.
+	CompletedTotal uint64
 	// Latency quantiles over the window.
 	P50, P95, P99 Time
 	// EngineStats per partition, accumulated across every engine the
@@ -116,16 +121,17 @@ func (iv Interval) Duration() Time { return iv.End - iv.Start }
 func (db *DB) Result() Result {
 	win := db.collector.Window
 	res := Result{
-		Throughput:  db.collector.Throughput(),
-		Committed:   win.Committed,
-		UserAborted: win.UserAborted,
-		CommittedSP: win.CommittedSP,
-		CommittedMP: win.CommittedMP,
-		Retries:     win.Retries,
-		P50:         db.collector.LatencyQuantile(0.50),
-		P95:         db.collector.LatencyQuantile(0.95),
-		P99:         db.collector.LatencyQuantile(0.99),
-		Events:      db.sch.Delivered,
+		Throughput:     db.collector.Throughput(),
+		Committed:      win.Committed,
+		UserAborted:    win.UserAborted,
+		CommittedSP:    win.CommittedSP,
+		CommittedMP:    win.CommittedMP,
+		Retries:        win.Retries,
+		CompletedTotal: db.collector.Totals.Completed(),
+		P50:            db.collector.LatencyQuantile(0.50),
+		P95:            db.collector.LatencyQuantile(0.95),
+		P99:            db.collector.LatencyQuantile(0.99),
+		Events:         db.sch.Delivered,
 	}
 	if db.cfg.measure == 0 {
 		// Open-ended run: rate over elapsed post-warm-up virtual time.

@@ -19,7 +19,7 @@ func quickBase() []Option {
 		WithMeasure(20 * Millisecond),
 		WithRegistry(kvRegistry()),
 		WithSetup(kvSetup(testClients)),
-		WithWorkload(microWorkload(0)),
+		microWorkloadOpt(0),
 	}
 }
 
@@ -32,7 +32,7 @@ func TestSweepGridOrder(t *testing.T) {
 		Axes: []Axis{
 			SchemeAxis(schemes...),
 			NumAxis("mp", fracs, func(f float64) []Option {
-				return []Option{WithWorkload(microWorkload(f))}
+				return []Option{microWorkloadOpt(f)}
 			}),
 		},
 	}.Run()
@@ -165,7 +165,7 @@ func TestSweepParallelDeterminism(t *testing.T) {
 			Axes: []Axis{
 				SchemeAxis(Blocking, Speculation, Locking),
 				NumAxis("mp", []float64{0, 0.2, 0.5}, func(f float64) []Option {
-					return []Option{WithWorkload(microWorkload(f))}
+					return []Option{microWorkloadOpt(f)}
 				}),
 			},
 			Repeats:  2,
