@@ -165,14 +165,16 @@ type DB struct {
 	// cursor is the virtual time the simulation has been driven to (the
 	// time horizon passed to the scheduler, not merely the last event).
 	cursor Time
-	// Snapshot interval baseline.
+	// Snapshot interval baseline (counters and latency histograms).
 	snapAt     Time
 	snapCounts metrics.Counts
+	snapLat    metrics.LatencySet
 
 	// Adaptive concurrency control (WithAdvisor).
 	adv       *advisor.Advisor
-	advNextAt Time           // next evaluation boundary
-	advBase   metrics.Counts // advisor's own interval baseline
+	advNextAt Time               // next evaluation boundary
+	advBase   metrics.Counts     // advisor's own interval baseline
+	advLat    metrics.LatencySet // advisor's latency baseline
 	history   []SchemeChange
 }
 
@@ -304,6 +306,7 @@ func Open(opts ...Option) (*DB, error) {
 			b.EngineFactory = factory
 		}
 	}
+	db.shapeWorkload(cfg.workload)
 	// Clients.
 	for i := 0; i < cfg.clients; i++ {
 		cl := &client.Client{
@@ -317,6 +320,7 @@ func Open(opts ...Option) (*DB, error) {
 			Parts:       append([]sim.ActorID(nil), db.partIDs...),
 			Gen:         cfg.workload,
 			Index:       i,
+			Arrival:     cfg.arrivalFor(i),
 		}
 		if cfg.onComplete != nil {
 			idx := i
@@ -339,6 +343,26 @@ func Open(opts ...Option) (*DB, error) {
 		db.advNextAt = db.adv.Interval()
 	}
 	return db, nil
+}
+
+// shapeWorkload tells a shape-aware generator what it is feeding: client
+// count for shared keyspaces, window and replication for the buffer-reuse
+// contract (see workload.ShapeAware). Open applies it to the configured
+// generator and SetWorkload to every replacement — a swapped-in generator
+// must not default to closed-loop buffer reuse on an open-loop cluster.
+func (db *DB) shapeWorkload(gen Generator) {
+	window := 1
+	if db.cfg.openLoop != nil {
+		window = db.cfg.openLoop.withDefaults().Window
+	}
+	if sa, ok := gen.(workload.ShapeAware); ok {
+		sa.SetShape(workload.Shape{
+			Clients:     db.cfg.clients,
+			Partitions:  db.cfg.partitions,
+			Replicas:    db.cfg.replicas,
+			MaxInFlight: window,
+		})
+	}
 }
 
 // ensureStarted schedules every client's first request at t=0. It runs once,
@@ -535,14 +559,18 @@ func (db *DB) SetWorkload(gen Generator) error {
 	if gen == nil {
 		return ErrNoWorkload
 	}
+	db.shapeWorkload(gen)
 	db.cfg.workload = gen
 	for i, cl := range db.clients {
 		cl.SetGenerator(gen)
-		if db.started && cl.Idle() {
-			// Restart at the driven-to cursor, not the last event time:
-			// a generator that drained mid-slice must begin the new
-			// phase at the phase boundary, keeping Snapshot intervals
-			// honest.
+		// Restart at the driven-to cursor, not the last event time: a
+		// generator that drained mid-slice must begin the new phase at the
+		// phase boundary, keeping Snapshot intervals honest. Open-loop
+		// clients are re-kicked even when not idle — a window>1 client
+		// whose generator exhausted mid-flight has a dead arrival timer
+		// but a non-empty in-flight set, and Start (idempotent in both
+		// loop styles) is what re-arms it.
+		if db.started && (cl.Idle() || cl.Arrival != nil) {
 			db.sch.SendAt(db.cursor, db.clientIDs[i], client.Start{})
 		}
 	}
@@ -630,6 +658,7 @@ func (db *DB) setScheme(sc Scheme, auto bool) error {
 		// were measured under the old scheme — and arm its holdoff so a
 		// manual choice is not second-guessed from stale statistics.
 		db.advBase = db.collector.Totals
+		db.advLat = db.collector.TotalLat
 		db.adv.NoteSwitch()
 	}
 	return nil
@@ -705,8 +734,12 @@ func (db *DB) advisorTick() {
 	tot := db.collector.Totals
 	d := tot.Sub(db.advBase)
 	db.advBase = tot
+	dl := db.collector.TotalLat.Sub(db.advLat)
+	db.advLat = db.collector.TotalLat
+	lat := dl.Merged()
 	s := advisor.Stats{
 		Completed: d.Completed(),
+		P99:       lat.Quantile(0.99),
 		Observed: ModelObserved{
 			MPFraction:   d.MPFraction(),
 			MultiRound:   d.MultiRoundFraction(),
@@ -746,10 +779,13 @@ func (db *DB) snapshot(advance bool) Metrics {
 		CommittedMP:     tot.CommittedMP,
 		CommittedMR:     tot.CommittedMR,
 		Retries:         tot.Retries,
+		Shed:            tot.Shed,
 		Failovers:       db.collector.Promotions(),
 		FailoverResends: db.collector.FailoverResends,
 	}
 	d := tot.Sub(db.snapCounts)
+	dl := db.collector.TotalLat.Sub(db.snapLat)
+	lat := dl.Merged()
 	iv := Interval{
 		Start:              db.snapAt,
 		End:                now,
@@ -758,17 +794,21 @@ func (db *DB) snapshot(advance bool) Metrics {
 		UserAborted:        d.UserAborted,
 		CommittedMP:        d.CommittedMP,
 		Retries:            d.Retries,
+		Shed:               d.Shed,
 		MPFraction:         d.MPFraction(),
 		MultiRoundFraction: d.MultiRoundFraction(),
 		AbortRate:          d.AbortRate(),
 		ConflictRate:       d.ConflictRate(),
+		P50:                lat.Quantile(0.50),
+		P95:                lat.Quantile(0.95),
+		P99:                lat.Quantile(0.99),
 	}
 	if span := now - db.snapAt; span > 0 {
 		iv.Throughput = float64(d.Completed()) / (float64(span) / float64(Second))
 	}
 	m.Interval = iv
 	if advance {
-		db.snapAt, db.snapCounts = now, tot
+		db.snapAt, db.snapCounts, db.snapLat = now, tot, db.collector.TotalLat
 	}
 	return m
 }

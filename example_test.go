@@ -103,6 +103,43 @@ func ExampleSweep() {
 // ExampleDB_SetScheme switches a live cluster's concurrency control scheme
 // mid-run: the DB drains to a quiescent point, swaps every partition's
 // engine, and resumes — all in virtual time, so the run stays deterministic.
+// ExampleWithOpenLoop drives a cluster with open-loop Poisson arrivals far
+// above its service rate: the in-flight window and pending queue stay
+// bounded, the excess is shed, and the tail latency reflects the queueing
+// the paper's closed-loop clients cannot express. Deterministic, so the
+// output is exact.
+func ExampleWithOpenLoop() {
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	const clients, keys = 8, 12
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(clients),
+		specdb.WithRegistry(reg),
+		specdb.WithSeed(1),
+		specdb.WithWarmup(10*specdb.Millisecond),
+		specdb.WithMeasure(100*specdb.Millisecond),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keys)
+		}),
+		specdb.WithWorkload(&workload.Micro{Partitions: 2, KeysPerTxn: keys}),
+		specdb.WithOpenLoop(specdb.OpenLoopConfig{
+			Rate:   100_000, // far beyond the ~30k/s service rate
+			Window: 2,
+			Queue:  4,
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := db.Run()
+	fmt.Printf("served %d, shed %d, p50 %v, p99 %v\n",
+		res.Committed, res.Shed, res.Latency.P50, res.Latency.P99)
+	// Output:
+	// served 3073, shed 6975, p50 1648.446µs, p99 2755.461µs
+}
+
 func ExampleDB_SetScheme() {
 	reg := specdb.NewRegistry()
 	reg.Register(kvstore.Proc{})

@@ -1,0 +1,157 @@
+package specdb_test
+
+import (
+	"reflect"
+	"testing"
+
+	"specdb"
+	"specdb/internal/kvstore"
+	"specdb/internal/workload"
+)
+
+// fuzzConfig is a fuzz input decoded into a valid Open configuration. Every
+// raw value is clamped into range rather than rejected, so all inputs
+// exercise a run.
+type fuzzConfig struct {
+	seed       int64
+	scheme     specdb.Scheme
+	partitions int
+	clients    int
+	mpFrac     float64
+	conflict   float64
+	abortProb  float64
+	twoRound   bool
+	replicas   int
+	faultKind  uint8 // 0 none, 1 crash primary, 2 crash backup
+	openLoop   bool
+	rate       float64
+	window     int
+	keySkew    float64
+}
+
+// decode clamps raw fuzz values into a valid configuration, resolving the
+// cross-field constraints Open would reject (locking with faults, fault
+// schedules without backups, open-loop windows with faults).
+func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
+	twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8) fuzzConfig {
+	c := fuzzConfig{
+		seed:       seed,
+		scheme:     specdb.Scheme(int(scheme) % 3),
+		partitions: 1 + int(partitions)%3,
+		clients:    1 + int(clients)%8,
+		mpFrac:     float64(mpPct%101) / 100,
+		conflict:   float64(conflictPct%101) / 100,
+		abortProb:  float64(abortPct%101) / 100 / 4, // ≤ 25%, keeps runs busy
+		twoRound:   twoRound,
+		replicas:   1 + int(replicas)%3,
+		faultKind:  faultKind % 3,
+		openLoop:   openLoop,
+		rate:       1000 + float64(rate%200_000),
+		window:     1 + int(window)%4,
+		keySkew:    float64(skewPct%100) / 100,
+	}
+	if c.keySkew > 0.99 {
+		c.keySkew = 0.99
+	}
+	if c.faultKind != 0 {
+		if c.scheme == specdb.Locking {
+			c.faultKind = 0 // faults are not supported under locking
+		} else {
+			if c.replicas < 2 {
+				c.replicas = 2 // crash schedules need a backup
+			}
+			c.window = 1 // recovery resend dedup requires one in flight
+		}
+	}
+	return c
+}
+
+// open assembles a DB from a decoded config. Generators come fresh per call
+// so the two runs of a pair share no state.
+func (c fuzzConfig) open(t *testing.T) *specdb.DB {
+	t.Helper()
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	opts := []specdb.Option{
+		specdb.WithPartitions(c.partitions),
+		specdb.WithClients(c.clients),
+		specdb.WithScheme(c.scheme),
+		specdb.WithReplicas(c.replicas),
+		specdb.WithSeed(c.seed),
+		specdb.WithWarmup(2 * specdb.Millisecond),
+		specdb.WithMeasure(10 * specdb.Millisecond),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, 8, 4)
+		}),
+		specdb.WithWorkloadFactory(func() specdb.Generator {
+			return &workload.Micro{
+				Partitions:   c.partitions,
+				KeysPerTxn:   4,
+				MPFraction:   c.mpFrac,
+				ConflictProb: c.conflict,
+				AbortProb:    c.abortProb,
+				TwoRound:     c.twoRound,
+				KeySkew:      c.keySkew,
+			}
+		}),
+	}
+	switch c.faultKind {
+	case 1:
+		opts = append(opts, specdb.WithFaults(specdb.CrashPrimary(0, 4*specdb.Millisecond)))
+	case 2:
+		opts = append(opts, specdb.WithFaults(specdb.CrashBackup(0, 1, 4*specdb.Millisecond)))
+	}
+	if c.openLoop {
+		opts = append(opts, specdb.WithOpenLoop(specdb.OpenLoopConfig{
+			Rate:   c.rate,
+			Window: c.window,
+			Queue:  4,
+		}))
+	}
+	db, err := specdb.Open(opts...)
+	if err != nil {
+		t.Fatalf("decoded config must be valid: %v (%+v)", err, c)
+	}
+	return db
+}
+
+// FuzzDeterminism is the property gate for the simulator's core promise:
+// a Result is a pure function of its options. Any valid configuration —
+// scheme, workload shape, skew, fault schedule, open-loop arrivals — run
+// twice from scratch must produce bit-identical Results. The seed corpus
+// (f.Add plus testdata/fuzz) pins all three schemes, both fault kinds, and
+// the open-loop/Zipfian paths, and runs on every plain `go test`.
+func FuzzDeterminism(f *testing.F) {
+	// scheme: 0 blocking, 1 speculation, 2 locking (see specdb consts).
+	// Baseline closed-loop uniform, one per scheme.
+	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0))
+	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0))
+	// Fault schedules: primary crash under speculation and blocking,
+	// backup crash under speculation.
+	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0))
+	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0))
+	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0))
+	// Open-loop: underload and overload windows, all three schemes.
+	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0))
+	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0))
+	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0))
+	// Zipfian skew, closed and open loop, with replication.
+	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90))
+	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99))
+	// Open loop + fault + replication together.
+	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50))
+
+	f.Fuzz(func(t *testing.T, seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
+		twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8) {
+		c := decode(seed, scheme, partitions, clients, mpPct, conflictPct, abortPct,
+			twoRound, replicas, faultKind, openLoop, rate, window, skewPct)
+		a := c.open(t).Run()
+		b := c.open(t).Run()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("same options, different Results:\n%+v\nvs\n%+v\nconfig %+v", a, b, c)
+		}
+	})
+}

@@ -56,6 +56,14 @@ type Config struct {
 	// Holdoff is how many evaluation intervals to skip after a switch
 	// (default 1).
 	Holdoff int
+	// LatencyCeiling, when positive, is a tail-latency SLO: an interval
+	// whose p99 completion latency exceeds it is treated as evidence the
+	// current scheme is failing the workload, and the hysteresis margin is
+	// waived for that evaluation — any predicted improvement justifies the
+	// switch. The sample-size gate and post-switch holdoff still apply, so
+	// a single noisy interval cannot flap the cluster. Zero disables the
+	// signal.
+	LatencyCeiling sim.Time
 }
 
 // withDefaults fills zero fields.
@@ -84,6 +92,9 @@ func (c Config) withDefaults() Config {
 type Stats struct {
 	// Completed is the number of transactions completed in the interval.
 	Completed uint64
+	// P99 is the interval's 99th-percentile completion latency (zero when
+	// unmeasured); it only matters when Config.LatencyCeiling is set.
+	P99 sim.Time
 	// Observed are the model inputs measured over the interval.
 	Observed model.Observed
 }
@@ -159,7 +170,13 @@ func (a *Advisor) Observe(current core.Scheme, s Stats) (core.Scheme, bool) {
 	}
 	cur := a.cfg.Params.Predict(current, obs)
 	cand := a.cfg.Params.Predict(best, obs)
-	if cand < cur*(1+a.cfg.Margin) {
+	margin := a.cfg.Margin
+	if a.cfg.LatencyCeiling > 0 && s.P99 > a.cfg.LatencyCeiling {
+		// Tail-latency SLO breach: stop demanding a comfortable throughput
+		// margin before escaping the current scheme.
+		margin = 0
+	}
+	if cand < cur*(1+margin) {
 		return current, false
 	}
 	a.holdoff = a.cfg.Holdoff

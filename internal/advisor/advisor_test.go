@@ -5,6 +5,7 @@ import (
 
 	"specdb/internal/core"
 	"specdb/internal/model"
+	"specdb/internal/sim"
 )
 
 func stats(completed uint64, o model.Observed) Stats {
@@ -67,6 +68,33 @@ func TestObserveMarginGate(t *testing.T) {
 	}
 	if sc, ok := a.Observe(core.SchemeSpeculative, stats(100, model.Observed{})); ok {
 		t.Fatalf("switched to %v on a gain inside the hysteresis margin", sc)
+	}
+}
+
+// TestLatencyCeilingWaivesMargin: the same zero-gain scenario the margin
+// gate blocks must go through when the interval's p99 breaches the
+// configured tail-latency SLO — any predicted improvement then justifies
+// escaping the current scheme — while an interval inside the SLO keeps the
+// margin.
+func TestLatencyCeilingWaivesMargin(t *testing.T) {
+	mk := func(p99 sim.Time) (core.Scheme, bool) {
+		a := New(Config{LatencyCeiling: sim.Millisecond})
+		s := stats(100, model.Observed{})
+		s.P99 = p99
+		return a.Observe(core.SchemeSpeculative, s)
+	}
+	if sc, ok := mk(5 * sim.Millisecond); !ok || sc != core.SchemeBlocking {
+		t.Fatalf("SLO breach: got (%v, %v), want switch to blocking", sc, ok)
+	}
+	if sc, ok := mk(100 * sim.Microsecond); ok {
+		t.Fatalf("inside SLO: switched to %v despite margin", sc)
+	}
+	// Zero ceiling disables the signal entirely.
+	a := New(Config{})
+	s := stats(100, model.Observed{})
+	s.P99 = sim.Second
+	if sc, ok := a.Observe(core.SchemeSpeculative, s); ok {
+		t.Fatalf("disabled ceiling: switched to %v", sc)
 	}
 }
 

@@ -45,9 +45,24 @@ func QuickOpts() Opts {
 	return Opts{Warmup: 20 * sim.Millisecond, Measure: 100 * sim.Millisecond, Coarse: true, Seed: 42}
 }
 
-// Point is one measurement.
+// Point is one measurement: the series' Y value at X, plus the cell's
+// completion-latency percentiles in microseconds (zero when the experiment
+// has no simulated cell behind the point, e.g. model curves).
 type Point struct {
-	X, Y float64
+	X, Y          float64
+	P50, P95, P99 float64
+}
+
+// pointFor builds a measured point from a sweep cell: throughput as Y and
+// the window latency percentiles alongside.
+func pointFor(x float64, r specdb.Result) Point {
+	return Point{
+		X:   x,
+		Y:   r.Throughput,
+		P50: r.P50.Micros(),
+		P95: r.P95.Micros(),
+		P99: r.P99.Micros(),
+	}
 }
 
 // Series is one labelled curve.
@@ -66,13 +81,16 @@ type Experiment struct {
 	Run   func(o Opts) []Series
 }
 
-// All returns every experiment in paper order.
+// All returns every experiment: the paper's figures and tables in paper
+// order, the ablations, then the beyond-the-paper load experiments
+// (open-loop tail latency, Zipfian skew).
 func All() []Experiment {
 	return []Experiment{
 		Figure4(), Figure5(), Figure6(), Figure7(),
 		Figure8(), Figure9(), Figure10(),
 		Table1(), Table2(),
 		AblationAlwaysLock(), AblationLocalSpec(), AblationReplication(),
+		LatencyOpenLoop(), ZipfSkew(),
 	}
 }
 
@@ -110,6 +128,8 @@ type microCfg struct {
 	alwaysLock bool
 	localOnly  bool
 	replicas   int
+	keySkew    float64
+	partSkew   float64
 }
 
 const (
@@ -122,13 +142,15 @@ const (
 // cells install it via WithWorkloadFactory, never by sharing one value.
 func microGen(c microCfg) specdb.Generator {
 	return &workload.Micro{
-		Partitions:   2,
-		KeysPerTxn:   microKeys,
-		MPFraction:   c.mpFrac,
-		ConflictProb: c.conflict,
-		Pinned:       c.pinned,
-		AbortProb:    c.abortProb,
-		TwoRound:     c.twoRound,
+		Partitions:    2,
+		KeysPerTxn:    microKeys,
+		MPFraction:    c.mpFrac,
+		ConflictProb:  c.conflict,
+		Pinned:        c.pinned,
+		AbortProb:     c.abortProb,
+		TwoRound:      c.twoRound,
+		KeySkew:       c.keySkew,
+		PartitionSkew: c.partSkew,
 	}
 }
 
@@ -201,7 +223,7 @@ func sweepGrid(o Opts, name string, base microCfg, grid []float64) Series {
 	o.tallyCells(cells)
 	s := Series{Name: name}
 	for _, cell := range cells {
-		s.Points = append(s.Points, Point{X: cell.Xs[0] * 100, Y: cell.Result.Throughput})
+		s.Points = append(s.Points, pointFor(cell.Xs[0]*100, cell.Result))
 	}
 	return s
 }
@@ -407,7 +429,7 @@ func schemeSeries(cells []specdb.Cell, schemes []specdb.Scheme) []Series {
 	for i, scheme := range schemes {
 		s := Series{Name: schemeName(scheme)}
 		for _, cell := range cells[i*per : (i+1)*per] {
-			s.Points = append(s.Points, Point{X: cell.Xs[1], Y: cell.Result.Throughput})
+			s.Points = append(s.Points, pointFor(cell.Xs[1], cell.Result))
 		}
 		out = append(out, s)
 	}
@@ -430,10 +452,10 @@ func Figure10() Experiment {
 			mBlock := Series{Name: "Model Blocking"}
 			mLock := Series{Name: "Model Locking"}
 			for _, f := range mpFractions(o) {
-				mSpec.Points = append(mSpec.Points, Point{f * 100, p.Speculation(f)})
-				mLocal.Points = append(mLocal.Points, Point{f * 100, p.LocalSpeculation(f)})
-				mBlock.Points = append(mBlock.Points, Point{f * 100, p.Blocking(f)})
-				mLock.Points = append(mLock.Points, Point{f * 100, p.Locking(f)})
+				mSpec.Points = append(mSpec.Points, Point{X: f * 100, Y: p.Speculation(f)})
+				mLocal.Points = append(mLocal.Points, Point{X: f * 100, Y: p.LocalSpeculation(f)})
+				mBlock.Points = append(mBlock.Points, Point{X: f * 100, Y: p.Blocking(f)})
+				mLock.Points = append(mLock.Points, Point{X: f * 100, Y: p.Locking(f)})
 			}
 			return []Series{
 				mSpec, mLocal, mBlock, mLock,
@@ -541,7 +563,7 @@ func AblationReplication() Experiment {
 				o.tallyCells(cells)
 				s := Series{Name: schemeName(scheme)}
 				for _, cell := range cells {
-					s.Points = append(s.Points, Point{X: cell.Xs[0], Y: cell.Result.Throughput})
+					s.Points = append(s.Points, pointFor(cell.Xs[0], cell.Result))
 				}
 				out = append(out, s)
 			}

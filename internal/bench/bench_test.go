@@ -71,8 +71,8 @@ func TestWinnerTieReporting(t *testing.T) {
 func TestFormatColumnar(t *testing.T) {
 	e := Experiment{ID: "x", Title: "T", Ref: "§0", XAxis: "x", YAxis: "y"}
 	series := []Series{
-		{Name: "s1", Points: []Point{{0, 10}, {1, 20}}},
-		{Name: "s2", Points: []Point{{0, 30}, {1, 40}}},
+		{Name: "s1", Points: []Point{{X: 0, Y: 10}, {X: 1, Y: 20}}},
+		{Name: "s2", Points: []Point{{X: 0, Y: 30}, {X: 1, Y: 40}}},
 	}
 	var sb strings.Builder
 	Format(&sb, e, series)
@@ -86,7 +86,7 @@ func TestFormatColumnar(t *testing.T) {
 
 func TestFormatCSV(t *testing.T) {
 	e := Experiment{ID: "x"}
-	series := []Series{{Name: "a,b", Points: []Point{{1, 2}}}}
+	series := []Series{{Name: "a,b", Points: []Point{{X: 1, Y: 2}}}}
 	var sb strings.Builder
 	FormatCSV(&sb, e, series)
 	if !strings.Contains(sb.String(), "x,a;b,1,2") {
@@ -125,7 +125,7 @@ func TestQuickFigure4Shape(t *testing.T) {
 
 func TestBaselineRoundTrip(t *testing.T) {
 	e := Experiment{ID: "x"}
-	series := []Series{{Name: "s", Points: []Point{{0, 100}, {20, 80}}}}
+	series := []Series{{Name: "s", Points: []Point{{X: 0, Y: 100}, {X: 20, Y: 80}}}}
 	var sb strings.Builder
 	if err := FormatJSON(&sb, e, series); err != nil {
 		t.Fatal(err)

@@ -25,20 +25,33 @@ func Format(w io.Writer, e Experiment, series []Series) {
 		fmt.Fprintln(w)
 		return
 	}
-	// Column layout keyed by x.
+	// Column layout keyed by x. Series whose points carry latency
+	// percentiles get a p99 column next to their value column.
 	xs := sortedXs(series)
 	fmt.Fprintf(w, "%10s", "x")
 	for _, s := range series {
 		fmt.Fprintf(w, "  %*s", colWidth(s.Name), s.Name)
+		if seriesHasLat(s) {
+			fmt.Fprintf(w, "  %8s", "p99µs")
+		}
 	}
 	fmt.Fprintln(w)
 	for _, x := range xs {
 		fmt.Fprintf(w, "%10.1f", x)
 		for _, s := range series {
-			if y, ok := yAt(s, x); ok {
-				fmt.Fprintf(w, "  %*.0f", colWidth(s.Name), y)
+			p, ok := pointAt(s, x)
+			if ok {
+				fmt.Fprintf(w, "  %*.0f", colWidth(s.Name), p.Y)
 			} else {
 				fmt.Fprintf(w, "  %*s", colWidth(s.Name), "-")
+			}
+			if !seriesHasLat(s) {
+				continue
+			}
+			if ok {
+				fmt.Fprintf(w, "  %8.0f", p.P99)
+			} else {
+				fmt.Fprintf(w, "  %8s", "-")
 			}
 		}
 		fmt.Fprintln(w)
@@ -46,20 +59,34 @@ func Format(w io.Writer, e Experiment, series []Series) {
 	fmt.Fprintln(w)
 }
 
-// FormatCSV renders the series as CSV: x,series,y rows.
+// seriesHasLat reports whether any point of the series carries latency
+// percentiles (model curves do not).
+func seriesHasLat(s Series) bool {
+	for _, p := range s.Points {
+		if p.P99 > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FormatCSV renders the series as CSV: x,series,y rows with the latency
+// percentile columns alongside (zero when the point has no simulated cell
+// behind it).
 func FormatCSV(w io.Writer, e Experiment, series []Series) {
-	fmt.Fprintf(w, "experiment,series,x,y\n")
+	fmt.Fprintf(w, "experiment,series,x,y,p50_us,p95_us,p99_us\n")
 	for _, s := range series {
 		name := strings.ReplaceAll(s.Name, ",", ";")
 		for _, p := range s.Points {
-			fmt.Fprintf(w, "%s,%s,%g,%g\n", e.ID, name, p.X, p.Y)
+			fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g\n", e.ID, name, p.X, p.Y, p.P50, p.P95, p.P99)
 		}
 	}
 }
 
 // FormatJSON emits one JSON object per measured point (grid cell), newline
 // delimited, so bench trajectories can be consumed without scraping the
-// aligned text output.
+// aligned text output. Measured cells carry their latency percentiles (in
+// microseconds) next to the throughput; model-curve points omit them.
 func FormatJSON(w io.Writer, e Experiment, series []Series) error {
 	enc := json.NewEncoder(w)
 	for _, s := range series {
@@ -73,7 +100,10 @@ func FormatJSON(w io.Writer, e Experiment, series []Series) error {
 				YAxis      string  `json:"y_axis,omitempty"`
 				X          float64 `json:"x"`
 				Y          float64 `json:"y"`
-			}{e.ID, e.Title, e.Ref, s.Name, e.XAxis, e.YAxis, p.X, p.Y}
+				P50        float64 `json:"p50_us,omitempty"`
+				P95        float64 `json:"p95_us,omitempty"`
+				P99        float64 `json:"p99_us,omitempty"`
+			}{e.ID, e.Title, e.Ref, s.Name, e.XAxis, e.YAxis, p.X, p.Y, p.P50, p.P95, p.P99}
 			if err := enc.Encode(rec); err != nil {
 				return err
 			}
@@ -127,11 +157,11 @@ func sortedXs(series []Series) []float64 {
 	return xs
 }
 
-func yAt(s Series, x float64) (float64, bool) {
+func pointAt(s Series, x float64) (Point, bool) {
 	for _, p := range s.Points {
 		if p.X == x {
-			return p.Y, true
+			return p, true
 		}
 	}
-	return 0, false
+	return Point{}, false
 }

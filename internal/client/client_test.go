@@ -1,6 +1,8 @@
 package client
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"specdb/internal/core"
@@ -247,6 +249,101 @@ func TestClosedLoopIssuesNextAfterReply(t *testing.T) {
 	}
 	if f.cl.Issued != 2 {
 		t.Fatalf("issued = %d", f.cl.Issued)
+	}
+}
+
+// echoPart commits every fragment immediately, recycling reply objects so
+// the allocation pin below measures only the client's own path.
+type echoPart struct {
+	ring [32]msg.ClientReply
+	i    int
+}
+
+func (e *echoPart) Receive(ctx *sim.Context, m sim.Message) {
+	f, ok := m.(*msg.Fragment)
+	if !ok {
+		return
+	}
+	r := &e.ring[e.i%len(e.ring)]
+	e.i++
+	*r = msg.ClientReply{Txn: f.Txn, Committed: true}
+	ctx.Send(f.Client, r, 10*sim.Microsecond)
+}
+
+// fixedGen returns the same prebuilt invocation forever (zero allocations).
+type fixedGen struct{ inv *txn.Invocation }
+
+func (g *fixedGen) Next(ci int, rng *rand.Rand) *txn.Invocation { return g.inv }
+
+// fixedProc hands out a prebuilt plan (zero allocations).
+type fixedProc struct{ plan txn.Plan }
+
+func (p fixedProc) Name() string                                  { return "fixed" }
+func (p fixedProc) Plan(args any, cat *txn.Catalog) txn.Plan      { return p.plan }
+func (p fixedProc) Run(view *storage.TxnView, w any) (any, error) { return nil, nil }
+func (p fixedProc) Output(args any, final []msg.FragmentResult) any {
+	return nil
+}
+func (p fixedProc) Continue(args any, round int, prior []msg.FragmentResult, cat *txn.Catalog) map[msg.PartitionID]any {
+	return nil
+}
+
+// TestOpenLoopIssuePathAllocations extends the ISSUE 4 zero-garbage gates to
+// the open-loop machinery: with a zero-alloc generator and plan, a steady
+// arrival→issue→reply cycle allocates exactly one object per transaction —
+// the Fragment message the closed loop also pays for. Arrival ticks, the
+// pending queue, the attempt freelist and reply handling add nothing.
+func TestOpenLoopIssuePathAllocations(t *testing.T) {
+	s := sim.New()
+	reg := txn.NewRegistry()
+	part := &echoPart{}
+	partID := s.Register("p", part)
+	cm := costs.Default()
+	reg.Register(fixedProc{plan: txn.Plan{
+		Parts:  []msg.PartitionID{0},
+		Work:   map[msg.PartitionID]any{0: nil},
+		Rounds: 1,
+	}})
+	cl := &Client{
+		Registry: reg,
+		Catalog:  &txn.Catalog{NumPartitions: 1},
+		Costs:    &cm,
+		Net:      simnet.New(cm.OneWayLatency),
+		Metrics:  metrics.NewCollector(0, sim.Time(1<<60)),
+		Scheme:   core.SchemeSpeculative,
+		Parts:    []sim.ActorID{partID},
+		Gen:      &fixedGen{inv: &txn.Invocation{Proc: "fixed", AbortAt: txn.NoAbort}},
+		Arrival: &Arrival{
+			Mean:   50 * sim.Microsecond,
+			Window: 2,
+			Queue:  4,
+		},
+	}
+	clID := s.Register("client", cl)
+	cl.Bind(clID, 1)
+	s.SendAt(0, clID, Start{})
+	for i := 0; i < 2000; i++ {
+		if !s.Step() {
+			t.Fatal("open loop went quiescent")
+		}
+	}
+	var before, after runtime.MemStats
+	completedBefore := cl.Completed
+	runtime.ReadMemStats(&before)
+	for i := 0; i < 4000; i++ {
+		s.Step()
+	}
+	runtime.ReadMemStats(&after)
+	txns := cl.Completed - completedBefore
+	allocs := after.Mallocs - before.Mallocs
+	if txns == 0 {
+		t.Fatal("no transactions completed in measurement span")
+	}
+	// One Fragment per transaction, plus a little slack for runtime noise
+	// (ReadMemStats itself and incidental background allocation).
+	if limit := txns + txns/10 + 8; allocs > limit {
+		t.Fatalf("open-loop path: %d allocs for %d txns (limit %d) — ≈%.2f/txn, want ≈1",
+			allocs, txns, limit, float64(allocs)/float64(txns))
 	}
 }
 

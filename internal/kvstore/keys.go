@@ -103,6 +103,16 @@ func nameLocked(id keyID) string {
 	return s
 }
 
+// SharedKey views a partition's whole loaded key population — every
+// client's keysPerClient keys — as one flat rank space and returns the
+// interned name of rank idx: client idx/keysPerClient's key idx mod
+// keysPerClient. Skewed workloads (workload.Micro's KeySkew) sample ranks
+// from this space, so rank 0 (client 0's first key) is the hottest key
+// without any loader changes.
+func SharedKey(p msg.PartitionID, keysPerClient, idx int) string {
+	return ClientKey(idx/keysPerClient, p, idx%keysPerClient)
+}
+
 // HotKey is the contended key of §5.2 on partition p: the first client's
 // (partition 0) or second client's (partition 1) first key, which those
 // pinned clients write in nearly every transaction.

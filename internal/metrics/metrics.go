@@ -22,6 +22,10 @@ type Counts struct {
 	// more than one fragment round (§5.4's "general" transactions).
 	CommittedMR uint64
 	Retries     uint64
+	// Shed counts open-loop arrivals dropped because the client's in-flight
+	// window and pending queue were both full — the backpressure signal of
+	// an overloaded open-loop run. Closed-loop runs never shed.
+	Shed uint64
 }
 
 // Completed returns committed plus user-aborted transactions (user aborts
@@ -38,6 +42,7 @@ func (c Counts) Sub(prev Counts) Counts {
 		CommittedMP: c.CommittedMP - prev.CommittedMP,
 		CommittedMR: c.CommittedMR - prev.CommittedMR,
 		Retries:     c.Retries - prev.Retries,
+		Shed:        c.Shed - prev.Shed,
 	}
 }
 
@@ -172,7 +177,13 @@ type Collector struct {
 	// a promoted primary after its original target crashed.
 	FailoverResends uint64
 
-	lat Histogram
+	// WindowLat holds issue-to-completion latency histograms restricted to
+	// the measurement window, split single-/multi-partition and
+	// committed/aborted; TotalLat covers the whole run and backs live
+	// interval snapshots (interval latency is the Sub of two TotalLat
+	// copies, like interval Counts).
+	WindowLat LatencySet
+	TotalLat  LatencySet
 }
 
 // failover returns (appending if needed) the event slot for a partition/role.
@@ -242,11 +253,12 @@ func (c *Collector) inWindow(now sim.Time) bool {
 // fragment round.
 func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound bool) {
 	c.Totals.record(committed, multiPartition, multiRound)
+	c.TotalLat.Add(now-start, multiPartition, !committed)
 	if !c.inWindow(now) {
 		return
 	}
 	c.Window.record(committed, multiPartition, multiRound)
-	c.lat.Add(now - start)
+	c.WindowLat.Add(now-start, multiPartition, !committed)
 }
 
 // Retry records a transaction attempt killed and re-submitted.
@@ -254,6 +266,15 @@ func (c *Collector) Retry(now sim.Time) {
 	c.Totals.Retries++
 	if c.inWindow(now) {
 		c.Window.Retries++
+	}
+}
+
+// Shed records an open-loop arrival dropped by a full client window and
+// queue (overload backpressure).
+func (c *Collector) NoteShed(now sim.Time) {
+	c.Totals.Shed++
+	if c.inWindow(now) {
+		c.Window.Shed++
 	}
 }
 
@@ -269,9 +290,85 @@ func (c *Collector) Throughput() float64 {
 	return float64(c.Completed()) / (float64(window) / float64(sim.Second))
 }
 
-// LatencyQuantile returns the q-quantile (0..1) of completion latency.
-func (c *Collector) LatencyQuantile(q float64) sim.Time {
-	return c.lat.Quantile(q)
+// LatencySet is the 2×2 latency split the evaluation reports: single- vs
+// multi-partition crossed with committed vs user-aborted. The value is plain
+// data (fixed-size arrays), so snapshots are struct copies and interval
+// histograms are Subs of two copies.
+type LatencySet struct {
+	// hists is indexed [multiPartition][aborted].
+	hists [2][2]Histogram
+}
+
+func idx(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Add records one completion latency in the matching class histogram.
+func (s *LatencySet) Add(d sim.Time, multiPartition, aborted bool) {
+	s.hists[idx(multiPartition)][idx(aborted)].Add(d)
+}
+
+// Hist returns the class histogram for in-place inspection.
+func (s *LatencySet) Hist(multiPartition, aborted bool) *Histogram {
+	return &s.hists[idx(multiPartition)][idx(aborted)]
+}
+
+// Merged returns all four class histograms merged into one.
+func (s *LatencySet) Merged() Histogram {
+	var out Histogram
+	for i := range s.hists {
+		for j := range s.hists[i] {
+			out.Merge(&s.hists[i][j])
+		}
+	}
+	return out
+}
+
+// Sub returns the per-class histogram deltas s − prev, the interval between
+// two snapshots of the same collector (see Histogram.Sub for the min/max
+// caveat).
+func (s LatencySet) Sub(prev LatencySet) LatencySet {
+	var out LatencySet
+	for i := range s.hists {
+		for j := range s.hists[i] {
+			out.hists[i][j] = s.hists[i][j].Sub(prev.hists[i][j])
+		}
+	}
+	return out
+}
+
+// N returns the total number of samples across all classes.
+func (s *LatencySet) N() uint64 {
+	var n uint64
+	for i := range s.hists {
+		for j := range s.hists[i] {
+			n += s.hists[i][j].N()
+		}
+	}
+	return n
+}
+
+// LatencySummary condenses one histogram into the percentiles the
+// evaluation reports.
+type LatencySummary struct {
+	// N is the number of samples summarized.
+	N uint64
+	// P50, P95 and P99 are latency quantiles; Max is the largest sample.
+	P50, P95, P99, Max sim.Time
+}
+
+// Summarize condenses a histogram into its reporting percentiles.
+func Summarize(h *Histogram) LatencySummary {
+	return LatencySummary{
+		N:   h.N(),
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+		Max: h.Quantile(1),
+	}
 }
 
 // Histogram is a log-bucketed latency histogram: bucket i covers
@@ -313,6 +410,42 @@ func (h *Histogram) Add(v sim.Time) {
 
 // N returns the sample count.
 func (h *Histogram) N() uint64 { return h.n }
+
+// Merge folds o's samples into h. Bucket counts add exactly; min and max
+// combine, so quantiles of the merged histogram behave as if every sample
+// had been Added to h directly.
+func (h *Histogram) Merge(o *Histogram) {
+	if o.n == 0 {
+		return
+	}
+	if h.n == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if o.max > h.max {
+		h.max = o.max
+	}
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	h.n += o.n
+}
+
+// Sub returns the histogram of samples recorded after prev was copied from
+// the same (monotonically growing) histogram: bucket counts and n subtract
+// exactly. The interval's true min and max are not recoverable from bucket
+// counts, so the result keeps h's overall bounds — quantiles remain correct
+// to bucket resolution, with the top bucket clamped to the whole-run max.
+func (h Histogram) Sub(prev Histogram) Histogram {
+	out := h
+	for i := range out.counts {
+		out.counts[i] -= prev.counts[i]
+	}
+	out.n -= prev.n
+	if out.n == 0 {
+		return Histogram{}
+	}
+	return out
+}
 
 // Quantile returns an upper bound of the q-quantile.
 func (h *Histogram) Quantile(q float64) sim.Time {

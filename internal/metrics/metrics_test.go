@@ -131,7 +131,8 @@ func TestLatencyQuantileThroughCollector(t *testing.T) {
 		start := sim.Time(i) * sim.Millisecond
 		c.TxnDone(start+100*sim.Microsecond, start, true, false, false)
 	}
-	p50 := c.LatencyQuantile(0.5)
+	m := c.WindowLat.Merged()
+	p50 := m.Quantile(0.5)
 	if p50 < 80*sim.Microsecond || p50 > 130*sim.Microsecond {
 		t.Fatalf("p50 latency = %v, want ≈100µs", p50)
 	}
@@ -212,6 +213,159 @@ func TestHistogramEdgeCases(t *testing.T) {
 				t.Fatalf("Quantile(%g) = %v, want %s", tc.q, got, tc.desc)
 			}
 		})
+	}
+}
+
+// TestHistogramMerge is the table-driven gate for Merge on the new latency
+// path (LatencySet.Merged feeds Result's percentiles): merging must behave
+// exactly as if every sample had been Added to one histogram — including
+// the edge cases the ISSUE 4 audit pinned (empty operands, single samples,
+// samples past the last bucket).
+func TestHistogramMerge(t *testing.T) {
+	const top = sim.Time(1) << 62 // beyond the last bucket boundary
+	cases := []struct {
+		name string
+		a, b []sim.Time
+	}{
+		{"both empty", nil, nil},
+		{"empty into empty-a", nil, []sim.Time{5 * sim.Microsecond}},
+		{"empty b", []sim.Time{5 * sim.Microsecond}, nil},
+		{"single samples", []sim.Time{10 * sim.Microsecond}, []sim.Time{20 * sim.Microsecond}},
+		{"min from b", []sim.Time{100 * sim.Microsecond}, []sim.Time{1}},
+		{"max from b", []sim.Time{1}, []sim.Time{100 * sim.Microsecond}},
+		{"beyond last bucket", []sim.Time{50 * sim.Microsecond}, []sim.Time{top}},
+		{"overlapping buckets", []sim.Time{10, 20, 30, 40, 50}, []sim.Time{15, 25, 35}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var a, b, want Histogram
+			for _, s := range tc.a {
+				a.Add(s)
+				want.Add(s)
+			}
+			for _, s := range tc.b {
+				b.Add(s)
+				want.Add(s)
+			}
+			a.Merge(&b)
+			if a != want {
+				t.Fatalf("merge differs from direct adds:\n%+v\nvs\n%+v", a, want)
+			}
+			for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+				if got, w := a.Quantile(q), want.Quantile(q); got != w {
+					t.Fatalf("Quantile(%g) = %v, direct = %v", q, got, w)
+				}
+			}
+		})
+	}
+}
+
+// TestHistogramSub covers the interval-latency path: Sub of two snapshots of
+// a growing histogram yields exactly the delta's bucket counts, quantiles of
+// the delta stay within the delta's sample range (to bucket resolution, top
+// bucket clamped to the whole-run max), and edge cases (empty delta, single
+// sample, beyond-last-bucket) hold.
+func TestHistogramSub(t *testing.T) {
+	const top = sim.Time(1) << 62
+	cases := []struct {
+		name   string
+		before []sim.Time
+		after  []sim.Time
+	}{
+		{"empty delta", []sim.Time{10 * sim.Microsecond}, nil},
+		{"delta from empty baseline", nil, []sim.Time{10 * sim.Microsecond}},
+		{"single sample delta", []sim.Time{20 * sim.Microsecond}, []sim.Time{40 * sim.Microsecond}},
+		{"beyond last bucket delta", []sim.Time{10 * sim.Microsecond}, []sim.Time{top}},
+		{"many", []sim.Time{10, 20, 30}, []sim.Time{100 * sim.Microsecond, 200 * sim.Microsecond}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, s := range tc.before {
+				h.Add(s)
+			}
+			snap := h
+			for _, s := range tc.after {
+				h.Add(s)
+			}
+			d := h.Sub(snap)
+			if d.N() != uint64(len(tc.after)) {
+				t.Fatalf("delta N = %d, want %d", d.N(), len(tc.after))
+			}
+			if len(tc.after) == 0 {
+				if d != (Histogram{}) {
+					t.Fatalf("empty delta not zero: %+v", d)
+				}
+				return
+			}
+			// Quantiles stay within [whole-run min, whole-run max]: the
+			// delta's own extremes are unknowable from buckets alone.
+			for _, q := range []float64{0, 0.5, 1} {
+				got := d.Quantile(q)
+				if got < h.Quantile(0) || got > h.Quantile(1) {
+					t.Fatalf("delta Quantile(%g) = %v outside run range", q, got)
+				}
+			}
+		})
+	}
+}
+
+// TestLatencySetSplit pins the 2×2 classification: each (multiPartition,
+// aborted) combination lands in its own histogram, Merged sees all of them,
+// and Sub distributes over the classes.
+func TestLatencySetSplit(t *testing.T) {
+	var s LatencySet
+	s.Add(10*sim.Microsecond, false, false)
+	s.Add(20*sim.Microsecond, false, false)
+	s.Add(30*sim.Microsecond, true, false)
+	s.Add(40*sim.Microsecond, false, true)
+	s.Add(50*sim.Microsecond, true, true)
+	if n := s.Hist(false, false).N(); n != 2 {
+		t.Fatalf("SP committed N = %d", n)
+	}
+	for _, c := range []struct{ mp, ab bool }{{true, false}, {false, true}, {true, true}} {
+		if n := s.Hist(c.mp, c.ab).N(); n != 1 {
+			t.Fatalf("class %+v N = %d", c, n)
+		}
+	}
+	m := s.Merged()
+	if m.N() != 5 || s.N() != 5 {
+		t.Fatalf("merged N = %d, set N = %d", m.N(), s.N())
+	}
+	if m.Quantile(0) != 10*sim.Microsecond || m.Quantile(1) != 50*sim.Microsecond {
+		t.Fatalf("merged range [%v, %v]", m.Quantile(0), m.Quantile(1))
+	}
+	snap := s
+	s.Add(60*sim.Microsecond, true, false)
+	d := s.Sub(snap)
+	if d.N() != 1 || d.Hist(true, false).N() != 1 {
+		t.Fatalf("delta misclassified: %+v", d)
+	}
+}
+
+// TestCollectorLatencySplit drives the collector and checks the window/total
+// split of the latency classes alongside the shed counter.
+func TestCollectorLatencySplit(t *testing.T) {
+	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
+	at := func(t sim.Time) sim.Time { return t * sim.Millisecond }
+	c.TxnDone(at(50), at(49), true, false, false) // warm-up: totals only
+	c.TxnDone(at(150), at(149), true, false, false)
+	c.TxnDone(at(160), at(158), true, true, false)
+	c.TxnDone(at(170), at(169), false, true, false)
+	c.NoteShed(at(50))  // warm-up shed
+	c.NoteShed(at(150)) // window shed
+	if c.WindowLat.N() != 3 || c.TotalLat.N() != 4 {
+		t.Fatalf("window lat N=%d total lat N=%d", c.WindowLat.N(), c.TotalLat.N())
+	}
+	if c.WindowLat.Hist(true, false).N() != 1 || c.WindowLat.Hist(true, true).N() != 1 {
+		t.Fatal("MP classes misfiled")
+	}
+	if c.Window.Shed != 1 || c.Totals.Shed != 2 {
+		t.Fatalf("shed window=%d totals=%d", c.Window.Shed, c.Totals.Shed)
+	}
+	sum := Summarize(c.WindowLat.Hist(false, false))
+	if sum.N != 1 || sum.P50 != sim.Millisecond || sum.Max != sim.Millisecond {
+		t.Fatalf("summary = %+v", sum)
 	}
 }
 

@@ -202,6 +202,14 @@ type Mix struct {
 	// RemotePaymentProb is the probability a Payment pays a customer of a
 	// remote warehouse (TPC-C default 0.15).
 	RemotePaymentProb float64
+	// RemoteSkew, when in (0,1), draws the remote warehouse (NewOrder
+	// supply lines and Payment customer warehouses) from a Zipfian over
+	// the other warehouses in index order — warehouse 1 (or 2, from
+	// warehouse 1's view) is the hottest remote partner — instead of
+	// uniformly. This is the hot-partition knob for TPC-C: skewed remote
+	// choice concentrates multi-partition traffic on the partitions owning
+	// the low-numbered warehouses.
+	RemoteSkew float64
 	// NewOrderOnly issues 100% NewOrder transactions (§5.6).
 	NewOrderOnly bool
 	// clock provides order entry timestamps; it only needs to be unique
@@ -213,12 +221,26 @@ type Mix struct {
 	// works alias their args (noHomeWork.A and friends), works are forwarded
 	// to replicas, and a backup applies a buffered multi-partition forward
 	// when its decision arrives — possibly after the client has already
-	// issued its next transaction.
-	perClient []*txn.Invocation
+	// issued its next transaction. SetShape switches even the shell to
+	// fresh allocation when an open-loop window lets one client hold
+	// several invocations in flight.
+	perClient  []*txn.Invocation
+	fresh      bool
+	remoteZipf *workload.Zipf
 }
 
-// inv returns client ci's reusable invocation shell.
+// SetShape implements workload.ShapeAware: shells cannot be reused when a
+// client may hold more than one invocation in flight.
+func (m *Mix) SetShape(s workload.Shape) {
+	m.fresh = s.MaxInFlight > 1
+}
+
+// inv returns client ci's reusable invocation shell (or a fresh one when
+// reuse is unsafe; see SetShape).
 func (m *Mix) inv(ci int) *txn.Invocation {
+	if m.fresh {
+		return &txn.Invocation{}
+	}
 	for ci >= len(m.perClient) {
 		m.perClient = append(m.perClient, nil)
 	}
@@ -285,7 +307,15 @@ func (m *Mix) remoteWarehouse(rng *rand.Rand, home int) int {
 	if m.Layout.Warehouses == 1 {
 		return home
 	}
-	w := 1 + rng.Intn(m.Layout.Warehouses-1)
+	var w int
+	if m.RemoteSkew > 0 {
+		if m.remoteZipf == nil {
+			m.remoteZipf = workload.NewZipf(m.Layout.Warehouses-1, m.RemoteSkew)
+		}
+		w = 1 + m.remoteZipf.Sample(rng)
+	} else {
+		w = 1 + rng.Intn(m.Layout.Warehouses-1)
+	}
 	if w >= home {
 		w++
 	}

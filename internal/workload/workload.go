@@ -49,6 +49,25 @@ type Micro struct {
 	// and write rounds (§5.4).
 	TwoRound bool
 
+	// KeySkew, when in (0,1), replaces each client's private key range with
+	// Zipfian draws over the partition's shared keyspace (all Clients ×
+	// KeysPerTxn loaded keys; rank 0 hottest) — the skewed-popularity regime
+	// of Larson et al. and YCSB (0.99 is YCSB's default skew). Zero keeps
+	// the paper's uniform private-key workload. Skewed draws produce real
+	// key conflicts on their own, so ConflictProb's hot-key substitution is
+	// not applied when KeySkew is set.
+	KeySkew float64
+	// PartitionSkew, when in (0,1), picks each single-partition
+	// transaction's home partition from a Zipfian over partitions
+	// (partition 0 hottest) instead of uniformly — the hot-partition knob.
+	// Pinned clients stay pinned.
+	PartitionSkew float64
+	// Clients is the number of clients sharing the skewed keyspace
+	// (KeySkew mode sizes its rank space as Clients × KeysPerTxn, matching
+	// what kvstore.Load populates). Zero is filled from the cluster shape
+	// when Open runs the generator (SetShape).
+	Clients int
+
 	// perClient holds each client's reusable issue buffer, grown lazily on
 	// first use. Clients are closed-loop — at most one transaction
 	// outstanding — so by the time a client asks for its next invocation,
@@ -57,7 +76,18 @@ type Micro struct {
 	// replica forwards), and the Invocation, Args struct and Keys map are
 	// only read between issue and reply. Reuse makes the steady-state issue
 	// path allocation-free (see TestMicroNextAllocationFree).
+	//
+	// Two run shapes void that reasoning, and SetShape switches Next to
+	// fresh per-issue allocation for them: open-loop windows above one (a
+	// client holds several invocations in flight at once), and KeySkew
+	// under replication (skewed key slices are written per issue, but a
+	// backup may replay a forwarded work that aliases them after the client
+	// has moved on — interned slices tolerate that by immutability, mutable
+	// buffers do not).
 	perClient []*microBuf
+	fresh     bool
+	keyZipf   *Zipf
+	partZipf  *Zipf
 }
 
 // microBuf is one client's reusable invocation state.
@@ -65,6 +95,11 @@ type microBuf struct {
 	inv   txn.Invocation
 	args  kvstore.Args
 	parts []msg.PartitionID
+	// ranks is the zipf scratch buffer; skew holds per-partition reusable
+	// key slices for KeySkew mode. ranks never escapes the call; skew
+	// slices are reused only when SetShape proved reuse safe (see fresh).
+	ranks []int
+	skew  [][]string
 }
 
 // buf returns (growing if needed) client ci's issue buffer. Pointers keep
@@ -85,14 +120,76 @@ func (m *Micro) buf(ci int) *microBuf {
 	return b
 }
 
+// SetShape implements ShapeAware: it fills the shared-keyspace client count
+// and decides whether per-client buffer reuse is safe for this cluster
+// shape (see perClient).
+func (m *Micro) SetShape(s Shape) {
+	if m.Clients == 0 {
+		m.Clients = s.Clients
+	}
+	m.fresh = s.MaxInFlight > 1 || (m.KeySkew > 0 && s.Replicas > 1)
+}
+
+// samplers lazily builds the zipf samplers once the keyspace size is known.
+func (m *Micro) samplers() {
+	if m.KeySkew > 0 && m.keyZipf == nil {
+		if m.Clients <= 0 {
+			panic("workload: Micro.KeySkew needs Clients (set it or run via Open, which calls SetShape)")
+		}
+		m.keyZipf = NewZipf(m.Clients*m.KeysPerTxn, m.KeySkew)
+	}
+	if m.PartitionSkew > 0 && m.partZipf == nil {
+		m.partZipf = NewZipf(m.Partitions, m.PartitionSkew)
+	}
+}
+
+// skewKeys fills a key slice with n distinct Zipfian draws over partition
+// pid's shared keyspace, ascending by rank (canonical lock order). The slice
+// is client ci's reusable buffer when reuse is safe, or a fresh allocation
+// when it is not (see perClient).
+func (m *Micro) skewKeys(b *microBuf, pid msg.PartitionID, n int, rng *rand.Rand) []string {
+	if cap(b.ranks) < n {
+		b.ranks = make([]int, n)
+	}
+	ranks := b.ranks[:n]
+	m.keyZipf.SampleDistinct(rng, ranks)
+	var dst []string
+	if m.fresh {
+		dst = make([]string, n)
+	} else {
+		if b.skew == nil {
+			b.skew = make([][]string, m.Partitions)
+		}
+		if cap(b.skew[pid]) < n {
+			b.skew[pid] = make([]string, n)
+		}
+		dst = b.skew[pid][:n]
+	}
+	for i, r := range ranks {
+		dst[i] = kvstore.SharedKey(pid, m.KeysPerTxn, r)
+	}
+	return dst
+}
+
 // Next implements Generator. The returned Invocation is client ci's reused
-// buffer — valid until the client's next call, per the Generator contract.
+// buffer — valid until the client's next call, per the Generator contract —
+// unless SetShape switched to fresh allocation (open-loop windows,
+// replicated skew).
 func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	m.samplers()
 	mp := rng.Float64() < m.MPFraction
 	b := m.buf(ci)
-	args := &b.args
-	clear(args.Keys)
-	args.TwoRound = false
+	var inv *txn.Invocation
+	var args *kvstore.Args
+	if m.fresh {
+		args = &kvstore.Args{Keys: make(map[msg.PartitionID][]string, m.Partitions)}
+		inv = &txn.Invocation{Proc: kvstore.ProcName, Args: args}
+	} else {
+		inv = &b.inv
+		args = &b.args
+		clear(args.Keys)
+		args.TwoRound = false
+	}
 	parts := b.parts[:0]
 	if mp {
 		// Keys divided as evenly as possible across every partition:
@@ -118,18 +215,29 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 				continue
 			}
 			pid := msg.PartitionID(p)
-			args.Keys[pid] = kvstore.PartitionKeys(ci, pid, n)
+			if m.KeySkew > 0 {
+				args.Keys[pid] = m.skewKeys(b, pid, n, rng)
+			} else {
+				args.Keys[pid] = kvstore.PartitionKeys(ci, pid, n)
+			}
 			parts = append(parts, pid)
 		}
 		args.TwoRound = m.TwoRound
 	} else {
 		var pid msg.PartitionID
-		if m.Pinned && ci < m.Partitions {
+		switch {
+		case m.Pinned && ci < m.Partitions:
 			pid = msg.PartitionID(ci)
-		} else {
+		case m.PartitionSkew > 0:
+			pid = msg.PartitionID(m.partZipf.Sample(rng))
+		default:
 			pid = msg.PartitionID(rng.Intn(m.Partitions))
 		}
-		args.Keys[pid] = kvstore.PartitionKeys(ci, pid, m.KeysPerTxn)
+		if m.KeySkew > 0 {
+			args.Keys[pid] = m.skewKeys(b, pid, m.KeysPerTxn, rng)
+		} else {
+			args.Keys[pid] = kvstore.PartitionKeys(ci, pid, m.KeysPerTxn)
+		}
 		parts = append(parts, pid)
 	}
 	// Conflicts (§5.2): non-pinned clients hit the contended key on one
@@ -137,12 +245,12 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	// at a single partition only, so deadlock remains impossible. The
 	// interned slices are immutable, so the substitution swaps in the
 	// conflict variant of the slice rather than rewriting its first key.
-	if m.ConflictProb > 0 && !(m.Pinned && ci < m.Partitions) && rng.Float64() < m.ConflictProb {
+	// KeySkew mode skips the knob: skewed draws already collide.
+	if m.ConflictProb > 0 && m.KeySkew == 0 && !(m.Pinned && ci < m.Partitions) && rng.Float64() < m.ConflictProb {
 		target := parts[rng.Intn(len(parts))]
 		args.Keys[target] = kvstore.ConflictKeys(ci, target, len(args.Keys[target]))
 	}
 	b.parts = parts
-	inv := &b.inv
 	inv.AbortAt = txn.NoAbort
 	if m.AbortProb > 0 && rng.Float64() < m.AbortProb {
 		// Multi-partition transactions abort locally at one partition;
@@ -187,10 +295,26 @@ func (l *Limit) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	return l.Gen.Next(ci, rng)
 }
 
+// SetShape forwards the cluster shape to the wrapped generator.
+func (l *Limit) SetShape(s Shape) {
+	if sa, ok := l.Gen.(ShapeAware); ok {
+		sa.SetShape(s)
+	}
+}
+
 // Mixed interleaves generators by weight, for composite workloads.
 type Mixed struct {
 	Gens    []Generator
 	Weights []float64
+}
+
+// SetShape forwards the cluster shape to every wrapped generator.
+func (m *Mixed) SetShape(s Shape) {
+	for _, g := range m.Gens {
+		if sa, ok := g.(ShapeAware); ok {
+			sa.SetShape(s)
+		}
+	}
 }
 
 // Next implements Generator.

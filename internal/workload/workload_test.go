@@ -268,6 +268,172 @@ func TestMicroNextAllocationFree(t *testing.T) {
 	}
 }
 
+// TestZipfDistribution checks the Gray/YCSB sampler against first
+// principles: rank 0's frequency must match 1/zeta(n,theta) and the rank
+// frequencies must decay.
+func TestZipfDistribution(t *testing.T) {
+	const n, theta = 100, 0.99
+	z := NewZipf(n, theta)
+	rng := rand.New(rand.NewSource(7))
+	counts := make([]int, n)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		r := z.Sample(rng)
+		if r < 0 || r >= n {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// zeta(100, 0.99) ≈ 4.863; P(0) ≈ 0.2056.
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	p0 := float64(counts[0]) / draws
+	if math.Abs(p0-1/zetan) > 0.01 {
+		t.Fatalf("P(rank 0) = %f, want ≈ %f", p0, 1/zetan)
+	}
+	// Aggregate decay: the top decile must dominate the bottom half.
+	top, bottom := 0, 0
+	for i := 0; i < n/10; i++ {
+		top += counts[i]
+	}
+	for i := n / 2; i < n; i++ {
+		bottom += counts[i]
+	}
+	if top <= bottom {
+		t.Fatalf("no skew: top decile %d vs bottom half %d", top, bottom)
+	}
+}
+
+// TestZipfSampleDistinct: distinct, ascending, in-range ranks — including
+// the degenerate full-keyspace draw where rejection must fall back.
+func TestZipfSampleDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, tc := range []struct{ n, k int }{{100, 12}, {12, 12}, {2, 2}, {5, 3}} {
+		z := NewZipf(tc.n, 0.99)
+		dst := make([]int, tc.k)
+		for iter := 0; iter < 200; iter++ {
+			z.SampleDistinct(rng, dst)
+			for i := range dst {
+				if dst[i] < 0 || dst[i] >= tc.n {
+					t.Fatalf("n=%d k=%d: rank %d out of range", tc.n, tc.k, dst[i])
+				}
+				if i > 0 && dst[i] <= dst[i-1] {
+					t.Fatalf("n=%d k=%d: not ascending-distinct: %v", tc.n, tc.k, dst)
+				}
+			}
+		}
+	}
+}
+
+// TestZipfSampleAllocationFree pins the sampler at zero allocations — the
+// skewed issue path inherits the ISSUE 4 zero-garbage contract.
+func TestZipfSampleAllocationFree(t *testing.T) {
+	z := NewZipf(480, 0.99)
+	rng := rand.New(rand.NewSource(9))
+	dst := make([]int, 12)
+	if avg := testing.AllocsPerRun(500, func() { z.Sample(rng) }); avg != 0 {
+		t.Fatalf("Zipf.Sample allocates %.2f objects/draw, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(500, func() { z.SampleDistinct(rng, dst) }); avg != 0 {
+		t.Fatalf("Zipf.SampleDistinct allocates %.2f objects/draw, want 0", avg)
+	}
+}
+
+// TestMicroZipfNextAllocationFree extends the Micro.Next=0 gate to the
+// skewed path: with reuse proven safe (no replication, window 1 — the shape
+// SetShape encodes), a warmed skewed generator must not allocate per issue.
+func TestMicroZipfNextAllocationFree(t *testing.T) {
+	m := &Micro{
+		Partitions:    2,
+		KeysPerTxn:    12,
+		MPFraction:    0.5,
+		KeySkew:       0.9,
+		PartitionSkew: 0.6,
+	}
+	m.SetShape(Shape{Clients: 8, Partitions: 2, Replicas: 1, MaxInFlight: 1})
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 4000; i++ {
+		m.Next(i%8, rng)
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		m.Next(5, rng)
+	})
+	if avg != 0 {
+		t.Fatalf("skewed Micro.Next allocates %.2f objects/issue, want 0", avg)
+	}
+}
+
+// TestMicroZipfKeys: skewed issues draw KeysPerTxn distinct interned keys
+// from the shared keyspace, and hot ranks dominate.
+func TestMicroZipfKeys(t *testing.T) {
+	m := &Micro{Partitions: 2, KeysPerTxn: 4, KeySkew: 0.99}
+	m.SetShape(Shape{Clients: 4, Partitions: 2, Replicas: 1, MaxInFlight: 1})
+	rng := rand.New(rand.NewSource(11))
+	hot := kvstore.SharedKey(0, 4, 0)
+	hotSeen := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		inv := m.Next(0, rng)
+		keys := inv.Args.(*kvstore.Args).Keys[0]
+		if keys == nil {
+			continue // SP txn landed on partition 1
+		}
+		if len(keys) != 4 {
+			t.Fatalf("keys = %v", keys)
+		}
+		seen := map[string]bool{}
+		for _, k := range keys {
+			if seen[k] {
+				t.Fatalf("duplicate key %q in %v", k, keys)
+			}
+			seen[k] = true
+		}
+		if seen[hot] {
+			hotSeen++
+		}
+	}
+	// Rank 0 of a 16-key zipf(0.99) keyspace appears in far more than the
+	// uniform 4/16 of transactions.
+	if hotSeen < n/3 {
+		t.Fatalf("hot key in %d/%d issues, want skewed dominance", hotSeen, n)
+	}
+}
+
+// TestMicroFreshModeDistinctInvocations: when the shape makes buffer reuse
+// unsafe (open-loop window above one), consecutive issues must return
+// distinct invocations with distinct args.
+func TestMicroFreshModeDistinctInvocations(t *testing.T) {
+	m := micro()
+	m.SetShape(Shape{Clients: 4, Partitions: 2, Replicas: 1, MaxInFlight: 4})
+	rng := rand.New(rand.NewSource(12))
+	a := m.Next(0, rng)
+	b := m.Next(0, rng)
+	if a == b || a.Args == b.Args {
+		t.Fatal("fresh mode must not reuse buffers across in-flight invocations")
+	}
+	// Replicated skew also forces fresh keys.
+	ms := &Micro{Partitions: 2, KeysPerTxn: 4, KeySkew: 0.9}
+	ms.SetShape(Shape{Clients: 4, Partitions: 2, Replicas: 2, MaxInFlight: 1})
+	x := ms.Next(0, rng)
+	kx := x.Args.(*kvstore.Args).Keys
+	var firstKeys []string
+	for _, ks := range kx {
+		firstKeys = ks
+	}
+	y := ms.Next(0, rng)
+	if x == y {
+		t.Fatal("replicated skew must allocate fresh invocations")
+	}
+	// x's key slice must be left untouched by y's issue.
+	for _, ks := range kx {
+		if &ks[0] != &firstKeys[0] {
+			t.Fatal("prior invocation's keys were rewritten")
+		}
+	}
+}
+
 // TestMicroBufferReuseContract: the invocation returned for a client is that
 // client's reused buffer (stable pointer), while different clients get
 // distinct buffers — the closed-loop ownership contract documented on

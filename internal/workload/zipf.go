@@ -1,0 +1,139 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+)
+
+// Zipf samples ranks 0..N-1 with Zipfian popularity: rank 0 is the hottest,
+// and P(rank = k) ∝ 1/(k+1)^Theta. It implements the Gray et al. "Quickly
+// generating billion-record synthetic databases" method that YCSB
+// popularized, which supports the skew range benchmarks actually use
+// (0 < Theta < 1; YCSB's default is 0.99) — math/rand's Zipf requires s > 1
+// and cannot express it.
+//
+// Sampling consumes exactly one Float64 from the caller's rng and allocates
+// nothing, so generators built on it keep the issue path deterministic and
+// garbage-free (see TestZipfSampleAllocationFree). The constants are
+// precomputed once at construction (O(N) zeta sum).
+type Zipf struct {
+	n     int
+	theta float64
+
+	alpha float64
+	zetan float64
+	eta   float64
+	zeta2 float64 // zeta(2, theta) = 1 + 0.5^theta, also the rank-1 cutoff
+}
+
+// NewZipf builds a sampler over n ranks with skew theta. It panics unless
+// n >= 1 and 0 < theta < 1 — the range the Gray method is defined on; use
+// uniform selection for theta = 0.
+func NewZipf(n int, theta float64) *Zipf {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: zipf over %d ranks", n))
+	}
+	if theta <= 0 || theta >= 1 {
+		panic(fmt.Sprintf("workload: zipf skew %v outside (0,1)", theta))
+	}
+	z := &Zipf{n: n, theta: theta}
+	for i := 1; i <= n; i++ {
+		z.zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z.zeta2 = 1 + math.Pow(0.5, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws one rank in [0, N), consuming one Float64 from rng.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if z.n >= 2 && uz < z.zeta2 {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// SampleDistinct fills dst with k distinct ranks in ascending order,
+// rejection-sampling duplicates. When skew concentrates so hard that
+// rejection stalls (bounded attempts), remaining slots fall back to the
+// smallest unused ranks — deterministic, and exactly the hot ranks a
+// maximally skewed draw would favor anyway. It panics if k exceeds N.
+// dst must have length k; nothing is allocated.
+func (z *Zipf) SampleDistinct(rng *rand.Rand, dst []int) {
+	k := len(dst)
+	if k > z.n {
+		panic(fmt.Sprintf("workload: %d distinct ranks from a %d-rank zipf", k, z.n))
+	}
+	got := 0
+	attempts := 0
+	for got < k && attempts < 8*k+32 {
+		attempts++
+		r := z.Sample(rng)
+		dup := false
+		for i := 0; i < got; i++ {
+			if dst[i] == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst[got] = r
+			got++
+		}
+	}
+	for r := 0; got < k; r++ {
+		dup := false
+		for i := 0; i < got; i++ {
+			if dst[i] == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst[got] = r
+			got++
+		}
+	}
+	// Ascending order gives every transaction the same canonical lock
+	// acquisition order within a partition, so skewed workloads contend
+	// without deadlocking inside a partition.
+	slices.Sort(dst)
+}
+
+// Shape describes the cluster a generator feeds: how many clients call Next,
+// how the data is partitioned and replicated, and how many invocations per
+// client may be outstanding at once (1 = closed loop; open-loop windows are
+// larger). Open passes it to generators implementing ShapeAware before the
+// run starts.
+type Shape struct {
+	Clients     int
+	Partitions  int
+	Replicas    int
+	MaxInFlight int
+}
+
+// ShapeAware is implemented by generators that adapt to the cluster shape —
+// sizing a shared keyspace by the client count, or switching from per-client
+// buffer reuse to per-issue allocation when the in-flight window or
+// replication makes reuse unsafe (see the Generator ownership contract).
+type ShapeAware interface {
+	SetShape(Shape)
+}

@@ -1,0 +1,431 @@
+package specdb_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"specdb"
+	"specdb/internal/kvstore"
+	"specdb/internal/workload"
+)
+
+const olClients = 20
+
+// openLoopOpts builds a 2-partition micro cluster with the given open-loop
+// config and workload knobs.
+func openLoopOpts(ol specdb.OpenLoopConfig, keySkew, partSkew, mpFrac float64, extra ...specdb.Option) []specdb.Option {
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	opts := []specdb.Option{
+		specdb.WithPartitions(2),
+		specdb.WithClients(olClients),
+		specdb.WithRegistry(reg),
+		specdb.WithSeed(11),
+		specdb.WithWarmup(10 * specdb.Millisecond),
+		specdb.WithMeasure(80 * specdb.Millisecond),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, olClients, 12)
+		}),
+		specdb.WithWorkloadFactory(func() specdb.Generator {
+			return &workload.Micro{
+				Partitions:    2,
+				KeysPerTxn:    12,
+				MPFraction:    mpFrac,
+				KeySkew:       keySkew,
+				PartitionSkew: partSkew,
+			}
+		}),
+		specdb.WithOpenLoop(ol),
+	}
+	return append(opts, extra...)
+}
+
+// TestOpenLoopUnderload: offered load well below capacity must be served in
+// full — completions track arrivals, nothing is shed, and the latency split
+// summaries are consistent with the window counters.
+func TestOpenLoopUnderload(t *testing.T) {
+	db, err := specdb.Open(openLoopOpts(specdb.OpenLoopConfig{Rate: 5000}, 0, 0, 0.1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.Run()
+	if res.Shed != 0 {
+		t.Fatalf("underloaded run shed %d arrivals", res.Shed)
+	}
+	// 5000/s over an 80 ms window ≈ 400 completions; Poisson noise stays
+	// well inside ±40%.
+	if res.Throughput < 3000 || res.Throughput > 7000 {
+		t.Fatalf("throughput = %.0f, want ≈5000 (offered load)", res.Throughput)
+	}
+	if res.Latency.N != res.Committed+res.UserAborted {
+		t.Fatalf("latency N = %d, completions = %d", res.Latency.N, res.Committed+res.UserAborted)
+	}
+	if res.LatencySP.N+res.LatencyMP.N != res.Committed {
+		t.Fatalf("SP+MP latency N = %d, committed = %d", res.LatencySP.N+res.LatencyMP.N, res.Committed)
+	}
+	if res.LatencyAborted.N != res.UserAborted {
+		t.Fatalf("aborted latency N = %d, user aborts = %d", res.LatencyAborted.N, res.UserAborted)
+	}
+	if res.P50 == 0 || res.P99 < res.P50 {
+		t.Fatalf("latency percentiles inconsistent: p50=%v p99=%v", res.P50, res.P99)
+	}
+	if res.Latency.P50 != res.P50 || res.Latency.P99 != res.P99 {
+		t.Fatal("Latency summary disagrees with the flat P50/P99 fields")
+	}
+}
+
+// TestOpenLoopOverloadBounded is the overload regression gate: an arrival
+// rate far above the service rate must keep every client's in-flight count
+// inside its window and its backlog inside the queue bound (shedding the
+// rest), RunFor must terminate, and the latency/abort counters must stay
+// consistent with the completions.
+func TestOpenLoopOverloadBounded(t *testing.T) {
+	const window, queue = 4, 8
+	db, err := specdb.Open(openLoopOpts(
+		specdb.OpenLoopConfig{Rate: 2_000_000, Window: window, Queue: queue}, 0, 0, 0.1)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive in slices, checking the bound mid-run, not just at the end.
+	for i := 0; i < 9; i++ {
+		db.RunFor(10 * specdb.Millisecond)
+		for ci, cl := range db.Clients() {
+			if got := cl.InFlight(); got > window {
+				t.Fatalf("client %d in-flight = %d > window %d", ci, got, window)
+			}
+			if got := cl.Pending(); got > queue {
+				t.Fatalf("client %d pending = %d > queue %d", ci, got, queue)
+			}
+		}
+	}
+	res := db.Result()
+	if res.Shed == 0 {
+		t.Fatal("overloaded run shed nothing")
+	}
+	if res.Latency.N != res.Committed+res.UserAborted {
+		t.Fatalf("latency N = %d, completions = %d", res.Latency.N, res.Committed+res.UserAborted)
+	}
+	// Per-client accounting: issues either completed or are still in
+	// flight; arrivals either issued, wait in the queue, or were shed.
+	var issued, completed, inflight uint64
+	for _, cl := range db.Clients() {
+		issued += cl.Issued
+		completed += cl.Completed
+		inflight += uint64(cl.InFlight())
+	}
+	if issued != completed+inflight {
+		t.Fatalf("issued=%d != completed=%d + inflight=%d", issued, completed, inflight)
+	}
+	// Under overload the queue is persistently full, so p99 must include
+	// queueing delay: at least the service time of a full window ahead.
+	if res.P99 <= res.P50 || res.P50 == 0 {
+		t.Fatalf("overload percentiles p50=%v p99=%v", res.P50, res.P99)
+	}
+	// The whole-run shed total must equal the sum of per-client shed
+	// counters, and the window count can only be a part of it.
+	var clientShed uint64
+	for _, cl := range db.Clients() {
+		clientShed += cl.Shed
+	}
+	m := db.Peek()
+	if m.Shed != clientShed {
+		t.Fatalf("metrics total shed=%d, clients shed %d", m.Shed, clientShed)
+	}
+	if res.Shed > m.Shed {
+		t.Fatalf("window shed %d exceeds whole-run shed %d", res.Shed, m.Shed)
+	}
+}
+
+// TestOpenLoopWindowConcurrency: a window above one must actually be used —
+// some client holds more than one transaction in flight at some point.
+func TestOpenLoopWindowConcurrency(t *testing.T) {
+	db, err := specdb.Open(openLoopOpts(
+		specdb.OpenLoopConfig{Rate: 400_000, Window: 4}, 0, 0, 0.3)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawConcurrent := false
+	db.RunUntil(func(m specdb.Metrics) bool {
+		for _, cl := range db.Clients() {
+			if cl.InFlight() > 1 {
+				sawConcurrent = true
+				return true
+			}
+		}
+		return m.Now > 90*specdb.Millisecond
+	})
+	if !sawConcurrent {
+		t.Fatal("window=4 never produced concurrent in-flight transactions")
+	}
+}
+
+// TestOpenLoopUniformDeterministicSpacing: uniform arrivals with one client
+// are exactly Mean apart, so the completion count is the window length over
+// the gap (no Poisson noise).
+func TestOpenLoopUniformDeterministicSpacing(t *testing.T) {
+	db, err := specdb.Open(openLoopOpts(
+		specdb.OpenLoopConfig{Rate: 10000, Process: specdb.UniformArrivals}, 0, 0, 0)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.Run()
+	// 10000/s over 80 ms = 800 arrivals in-window; allow edge slop for
+	// phase offsets and the warmup boundary.
+	if res.Committed < 790 || res.Committed > 810 {
+		t.Fatalf("uniform arrivals committed = %d, want ≈800", res.Committed)
+	}
+}
+
+// TestOpenLoopZipfDeterminism: open-loop + Zipfian skew + partition skew is
+// the newest, most stateful path; two runs from the same options must agree
+// bit for bit — including the latency summaries.
+func TestOpenLoopZipfDeterminism(t *testing.T) {
+	run := func() specdb.Result {
+		db, err := specdb.Open(openLoopOpts(
+			specdb.OpenLoopConfig{Rate: 100_000, Window: 3, Queue: 4}, 0.9, 0.7, 0.2)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db.Run()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed open-loop zipf runs diverged:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Committed == 0 {
+		t.Fatal("skewed open-loop run committed nothing")
+	}
+}
+
+// TestZipfSkewShiftsLoad: partition skew must actually concentrate
+// single-partition work on partition 0.
+func TestZipfSkewShiftsLoad(t *testing.T) {
+	db, err := specdb.Open(openLoopOpts(
+		specdb.OpenLoopConfig{Rate: 20000}, 0, 0.9, 0)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := db.Run()
+	if len(res.EngineStats) != 2 {
+		t.Fatalf("engine stats = %d", len(res.EngineStats))
+	}
+	p0 := res.EngineStats[0].Executed
+	p1 := res.EngineStats[1].Executed
+	// Zipf over two ranks with theta=0.9 predicts a 2^0.9 ≈ 1.87× tilt
+	// toward partition 0; uniform selection would be ≈1×.
+	if float64(p0) < 1.5*float64(p1) {
+		t.Fatalf("partition skew 0.9: partition 0 executed %d fragments vs partition 1's %d, want ≈1.87×", p0, p1)
+	}
+}
+
+// TestOpenLoopValidation covers the new Open-time error paths.
+func TestOpenLoopValidation(t *testing.T) {
+	base := func(ol specdb.OpenLoopConfig, extra ...specdb.Option) error {
+		_, err := specdb.Open(openLoopOpts(ol, 0, 0, 0, extra...)...)
+		return err
+	}
+	if err := base(specdb.OpenLoopConfig{}); !errors.Is(err, specdb.ErrBadOpenLoop) {
+		t.Fatalf("zero rate: %v", err)
+	}
+	if err := base(specdb.OpenLoopConfig{Rate: 1000, Window: -1}); !errors.Is(err, specdb.ErrBadOpenLoop) {
+		t.Fatalf("negative window: %v", err)
+	}
+	if err := base(specdb.OpenLoopConfig{Rate: 1000, Queue: -2}); !errors.Is(err, specdb.ErrBadOpenLoop) {
+		t.Fatalf("bad queue: %v", err)
+	}
+	if err := base(specdb.OpenLoopConfig{Rate: 1000}, specdb.WithMeasure(0)); !errors.Is(err, specdb.ErrOpenLoopUnbounded) {
+		t.Fatalf("open-ended open loop: %v", err)
+	}
+	err := base(specdb.OpenLoopConfig{Rate: 1000, Window: 2},
+		specdb.WithReplicas(2),
+		specdb.WithFaults(specdb.CrashPrimary(0, 20*specdb.Millisecond)))
+	if !errors.Is(err, specdb.ErrFaultsOpenLoopWindow) {
+		t.Fatalf("faults with window>1: %v", err)
+	}
+	// Window 1 with faults is allowed.
+	_, err = specdb.Open(openLoopOpts(specdb.OpenLoopConfig{Rate: 1000}, 0, 0, 0,
+		specdb.WithReplicas(2),
+		specdb.WithFaults(specdb.CrashPrimary(0, 20*specdb.Millisecond)))...)
+	if err != nil {
+		t.Fatalf("faults with window=1 rejected: %v", err)
+	}
+}
+
+// TestOpenLoopRestartAfterExhaustion: a finite generator ends the arrival
+// process (stranded queued arrivals counted as shed, nothing silently
+// dropped); SetWorkload must restart it — the documented phase-swap
+// contract also holds open-loop.
+func TestOpenLoopRestartAfterExhaustion(t *testing.T) {
+	mk := func() specdb.Generator {
+		return &workload.Limit{
+			Gen: &workload.Micro{Partitions: 2, KeysPerTxn: 12},
+			N:   50,
+		}
+	}
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(4),
+		specdb.WithRegistry(reg),
+		specdb.WithSeed(9),
+		specdb.WithMeasure(200*specdb.Millisecond),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, 4, 12)
+		}),
+		specdb.WithWorkloadFactory(mk),
+		specdb.WithOpenLoop(specdb.OpenLoopConfig{Rate: 50_000, Window: 1, Queue: 4}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(50 * specdb.Millisecond)
+	first := db.Peek().Completed
+	if first != 50 {
+		t.Fatalf("finite generator completed %d, want 50", first)
+	}
+	var issued, completed, shed uint64
+	for _, cl := range db.Clients() {
+		issued += cl.Issued
+		completed += cl.Completed
+		shed += cl.Shed
+		if cl.Pending() != 0 {
+			t.Fatalf("exhausted client still holds %d pending arrivals", cl.Pending())
+		}
+	}
+	if issued != completed {
+		t.Fatalf("issued=%d completed=%d after exhaustion", issued, completed)
+	}
+	if shed == 0 {
+		t.Fatal("overloaded finite run shed nothing (stranded arrivals uncounted?)")
+	}
+	// A fresh generator must restart the arrival process.
+	if err := db.SetWorkload(mk()); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(50 * specdb.Millisecond)
+	after := db.Peek().Completed
+	if after != first+50 {
+		t.Fatalf("restarted clients completed %d, want %d", after, first+50)
+	}
+	// SetWorkload must apply the shape contract to replacements too: a
+	// skewed generator without Clients set gets it from the cluster shape
+	// (it would panic at its first issue otherwise).
+	if err := db.SetWorkload(&workload.Micro{Partitions: 2, KeysPerTxn: 12, KeySkew: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(50 * specdb.Millisecond)
+	if got := db.Peek().Completed; got <= after {
+		t.Fatalf("skewed replacement generated nothing: %d", got)
+	}
+}
+
+// TestOpenLoopRestartWithInFlight: a window>1 client can exhaust its
+// generator while transactions are still in flight — it is not Idle, but
+// its arrival timer is dead. SetWorkload must still restart every such
+// client, or it silently generates zero load for the rest of the run.
+func TestOpenLoopRestartWithInFlight(t *testing.T) {
+	const clients = 4
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	db, err := specdb.Open(
+		specdb.WithPartitions(2),
+		specdb.WithClients(clients),
+		specdb.WithRegistry(reg),
+		specdb.WithSeed(17),
+		specdb.WithMeasure(300*specdb.Millisecond),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, 12)
+		}),
+		specdb.WithWorkloadFactory(func() specdb.Generator {
+			return &workload.Limit{Gen: &workload.Micro{Partitions: 2, KeysPerTxn: 12}, N: 15}
+		}),
+		// High rate + window 3: clients refill their windows instantly, so
+		// the shared 15-invocation budget runs out while txns are in flight.
+		specdb.WithOpenLoop(specdb.OpenLoopConfig{Rate: 500_000, Window: 3, Queue: 2}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(50 * specdb.Millisecond)
+	if got := db.Peek().Completed; got != 15 {
+		t.Fatalf("finite phase completed %d, want 15", got)
+	}
+	if err := db.SetWorkload(&workload.Micro{Partitions: 2, KeysPerTxn: 12}); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(100 * specdb.Millisecond)
+	for ci, cl := range db.Clients() {
+		if cl.Issued <= 15/clients {
+			t.Fatalf("client %d frozen after SetWorkload: issued %d", ci, cl.Issued)
+		}
+	}
+}
+
+// TestRateAxisSweep: the offered-load axis produces one cell per rate, and
+// served throughput tracks the offered rate while the cluster is
+// underloaded.
+func TestRateAxisSweep(t *testing.T) {
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	cells, err := specdb.Sweep{
+		Name: "rates",
+		Base: []specdb.Option{
+			specdb.WithPartitions(2),
+			specdb.WithClients(olClients),
+			specdb.WithRegistry(reg),
+			specdb.WithSeed(5),
+			specdb.WithWarmup(10 * specdb.Millisecond),
+			specdb.WithMeasure(80 * specdb.Millisecond),
+			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+				kvstore.AddSchema(s)
+				kvstore.Load(s, p, olClients, 12)
+			}),
+			specdb.WithWorkloadFactory(func() specdb.Generator {
+				return &workload.Micro{Partitions: 2, KeysPerTxn: 12}
+			}),
+		},
+		Axes: []specdb.Axis{specdb.RateAxis([]float64{4000, 12000}, specdb.OpenLoopConfig{Window: 2})},
+	}.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	lo, hi := cells[0].Result.Throughput, cells[1].Result.Throughput
+	if lo < 3000 || lo > 5000 || hi < 10000 || hi > 14000 {
+		t.Fatalf("throughput did not track offered load: %.0f, %.0f", lo, hi)
+	}
+}
+
+// TestOpenLoopSchemeSwitchDrains: SetScheme's drain must hold queued
+// arrivals during the pause and flush them after the swap — the run keeps
+// completing transactions under the new scheme.
+func TestOpenLoopSchemeSwitchDrains(t *testing.T) {
+	db, err := specdb.Open(openLoopOpts(
+		specdb.OpenLoopConfig{Rate: 50_000, Window: 2}, 0, 0, 0.2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(30 * specdb.Millisecond)
+	before := db.Peek().Completed
+	if before == 0 {
+		t.Fatal("nothing completed before the switch")
+	}
+	if err := db.SetScheme(specdb.Blocking); err != nil {
+		t.Fatal(err)
+	}
+	db.RunFor(30 * specdb.Millisecond)
+	after := db.Peek().Completed
+	if after <= before {
+		t.Fatalf("no completions after scheme switch: before=%d after=%d", before, after)
+	}
+	if got := db.Scheme(); got != specdb.Blocking {
+		t.Fatalf("scheme = %v", got)
+	}
+}

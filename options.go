@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"specdb/internal/advisor"
+	"specdb/internal/client"
 	"specdb/internal/costs"
 	"specdb/internal/fault"
 	"specdb/internal/txn"
@@ -38,6 +39,17 @@ var (
 	// ErrFaultsAdvisor: the advisor may recommend switching to locking
 	// mid-run, which fault injection does not support.
 	ErrFaultsAdvisor = errors.New("specdb: fault injection cannot be combined with WithAdvisor")
+	// ErrBadOpenLoop: the open-loop configuration is invalid (rate not
+	// positive, or a negative window/queue other than QueueNone).
+	ErrBadOpenLoop = errors.New("specdb: invalid open-loop configuration")
+	// ErrOpenLoopUnbounded: open-loop arrivals never cease, so an
+	// open-ended run (Measure zero) would not terminate; set WithMeasure.
+	ErrOpenLoopUnbounded = errors.New("specdb: open-loop runs need a measurement window (WithMeasure)")
+	// ErrFaultsOpenLoopWindow: failover recovery deduplicates resends by
+	// remembering one reply per client, which assumes at most one
+	// transaction outstanding per client; open-loop windows above one break
+	// that.
+	ErrFaultsOpenLoopWindow = errors.New("specdb: fault injection is limited to open-loop windows of 1")
 )
 
 // Option configures a DB at Open time. Options apply in order, so later
@@ -65,6 +77,7 @@ type settings struct {
 	advisor    *advisor.Config
 	faults     []fault.Event
 	detect     fault.Detection
+	openLoop   *OpenLoopConfig
 }
 
 // defaultSettings mirrors the paper's testbed: two partitions, 40 closed-loop
@@ -113,6 +126,21 @@ func (s *settings) validate() error {
 		}
 		if err := fault.Validate(s.faults, s.partitions, s.replicas, s.detect.WithDefaults()); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadFaults, err)
+		}
+	}
+	if s.openLoop != nil {
+		ol := s.openLoop.withDefaults()
+		if s.openLoop.Rate <= 0 {
+			return fmt.Errorf("%w (rate=%g)", ErrBadOpenLoop, s.openLoop.Rate)
+		}
+		if s.openLoop.Window < 0 || (s.openLoop.Queue < 0 && s.openLoop.Queue != QueueNone) {
+			return fmt.Errorf("%w (window=%d queue=%d)", ErrBadOpenLoop, s.openLoop.Window, s.openLoop.Queue)
+		}
+		if s.measure == 0 {
+			return ErrOpenLoopUnbounded
+		}
+		if len(s.faults) > 0 && ol.Window > 1 {
+			return ErrFaultsOpenLoopWindow
 		}
 	}
 	return nil
@@ -176,6 +204,78 @@ func WithWorkloadFactory(mk func() Generator) Option {
 	return func(s *settings) { s.workload = mk() }
 }
 
+// ArrivalProcess selects how open-loop interarrival gaps are drawn.
+type ArrivalProcess = client.Process
+
+// Arrival processes for OpenLoopConfig.
+const (
+	// PoissonArrivals draws exponential interarrival gaps — the memoryless
+	// aggregate of many independent users. The default.
+	PoissonArrivals = client.Poisson
+	// UniformArrivals spaces arrivals exactly evenly (a paced load
+	// generator); clients are phase-staggered so the aggregate stream is
+	// even too.
+	UniformArrivals = client.Uniform
+)
+
+// QueueNone disables the open-loop pending queue: arrivals beyond the
+// in-flight window are shed immediately.
+const QueueNone = -1
+
+// Default open-loop bounds applied for zero OpenLoopConfig fields.
+const (
+	// DefaultOpenLoopWindow is the per-client in-flight bound.
+	DefaultOpenLoopWindow = 1
+	// DefaultOpenLoopQueue is the per-client pending-arrival bound.
+	DefaultOpenLoopQueue = 16
+)
+
+// OpenLoopConfig configures open-loop load generation (WithOpenLoop).
+type OpenLoopConfig struct {
+	// Rate is the aggregate offered load in transactions per second of
+	// virtual time, divided evenly across the clients. Required.
+	Rate float64
+	// Process selects Poisson (default) or uniform interarrival gaps.
+	Process ArrivalProcess
+	// Window bounds each client's simultaneously in-flight transactions
+	// (default 1).
+	Window int
+	// Queue bounds each client's arrivals waiting for a window slot
+	// (default 16; QueueNone disables queueing). Arrivals beyond window
+	// and queue are shed and counted (Result.Shed) — bounded backpressure,
+	// never an unbounded backlog.
+	Queue int
+}
+
+// withDefaults fills zero fields.
+func (c OpenLoopConfig) withDefaults() OpenLoopConfig {
+	if c.Window == 0 {
+		c.Window = DefaultOpenLoopWindow
+	}
+	if c.Queue == 0 {
+		c.Queue = DefaultOpenLoopQueue
+	}
+	if c.Queue == QueueNone {
+		c.Queue = 0
+	}
+	return c
+}
+
+// WithOpenLoop replaces the paper's closed-loop clients with an open-loop
+// arrival process: requests arrive at the configured aggregate rate on a
+// deterministic Poisson or uniform stream regardless of how fast the cluster
+// responds, each client holding at most Window transactions in flight with a
+// bounded pending queue behind it (overload sheds arrivals rather than
+// growing memory). Latency is measured from arrival, so queue wait — the
+// open-loop overload signal the closed loop cannot express — shows up in the
+// percentiles. Interarrival gaps come from each client's seeded RNG, so runs
+// stay bit-for-bit reproducible. Requires WithMeasure (arrivals never
+// cease); fault schedules require Window 1 (recovery resend dedup remembers
+// one reply per client).
+func WithOpenLoop(cfg OpenLoopConfig) Option {
+	return func(s *settings) { c := cfg; s.openLoop = &c }
+}
+
 // WithOnComplete observes every completed transaction (scripted runs).
 func WithOnComplete(fn func(clientIdx int, inv *Invocation, reply *Reply)) Option {
 	return func(s *settings) { s.onComplete = fn }
@@ -233,6 +333,31 @@ func WithFaults(events ...FaultEvent) Option {
 // process gets declared dead. Defaults: 1 ms heartbeat, 10 ms timeout.
 func WithFailureDetection(heartbeat, timeout Time) Option {
 	return func(s *settings) { s.detect = fault.Detection{Heartbeat: heartbeat, Timeout: timeout} }
+}
+
+// arrivalFor builds client i's arrival process, or nil for closed-loop
+// runs. The aggregate rate divides evenly: each client's mean gap is
+// clients/Rate seconds. Uniform clients are phase-staggered by 1/Rate so the
+// aggregate stream stays evenly spaced.
+func (s *settings) arrivalFor(i int) *client.Arrival {
+	if s.openLoop == nil {
+		return nil
+	}
+	ol := s.openLoop.withDefaults()
+	mean := Time(float64(s.clients) / ol.Rate * float64(Second))
+	if mean < 1 {
+		mean = 1
+	}
+	a := &client.Arrival{
+		Mean:    mean,
+		Process: ol.Process,
+		Window:  ol.Window,
+		Queue:   ol.Queue,
+	}
+	if ol.Process == UniformArrivals {
+		a.Phase = mean * Time(i) / Time(s.clients)
+	}
+	return a
 }
 
 // withSeedOffset shifts the configured seed; Sweep uses it to derive distinct

@@ -12,6 +12,10 @@ import (
 // derive the paper-style availability numbers.
 type FailoverEvent = metrics.FailoverEvent
 
+// LatencySummary condenses one latency class into sample count, p50/p95/p99
+// quantiles, and the observed maximum.
+type LatencySummary = metrics.LatencySummary
+
 // Result summarizes a run's measurement window.
 type Result struct {
 	// Throughput is completed transactions per second of measurement
@@ -30,8 +34,24 @@ type Result struct {
 	// transaction, internal/bench.Perf) divides by this, since allocations
 	// accrue over the whole run, not just the measurement window.
 	CompletedTotal uint64
-	// Latency quantiles over the window.
+	// Latency quantiles over the window, all completions merged (the same
+	// numbers as Latency's percentiles, kept as flat fields for easy
+	// printing).
 	P50, P95, P99 Time
+	// Latency summarizes issue-to-completion latency over every completion
+	// in the window; the split summaries separate committed
+	// single-partition, committed multi-partition, and user-aborted
+	// transactions — speculation's cascading aborts and locking's stalls
+	// live in different cells of that split. Open-loop runs measure from
+	// arrival, so window/queue wait counts.
+	Latency        LatencySummary
+	LatencySP      LatencySummary
+	LatencyMP      LatencySummary
+	LatencyAborted LatencySummary
+	// Shed counts open-loop arrivals dropped inside the window because the
+	// issuing client's in-flight window and pending queue were both full
+	// (overload backpressure). Always zero for closed-loop runs.
+	Shed uint64
 	// EngineStats per partition, accumulated across every engine the
 	// partition has run (scheme switches retire engines but fold their
 	// counters forward).
@@ -78,6 +98,9 @@ type Metrics struct {
 	CommittedMP uint64
 	CommittedMR uint64
 	Retries     uint64
+	// Shed counts open-loop arrivals dropped by full client windows and
+	// queues so far (overload backpressure).
+	Shed uint64
 	// Failovers counts completed backup promotions so far; FailoverResends
 	// counts client attempts re-sent to promoted primaries.
 	Failovers       int
@@ -111,6 +134,12 @@ type Interval struct {
 	// ConflictRate is deadlock/timeout retries per completed transaction
 	// (§5.2; only the locking scheme retries).
 	ConflictRate float64
+	// Shed is the interval's open-loop backpressure drop count.
+	Shed uint64
+	// P50, P95 and P99 are completion-latency quantiles over the
+	// interval's completions (all classes merged), from the run-total
+	// histogram delta — accurate to bucket resolution.
+	P50, P95, P99 Time
 }
 
 // Duration returns the interval's length.
@@ -120,6 +149,10 @@ func (iv Interval) Duration() Time { return iv.End - iv.Start }
 // (after RunFor/Step) for a partial view or after Run for the final one.
 func (db *DB) Result() Result {
 	win := db.collector.Window
+	wl := &db.collector.WindowLat
+	all := wl.Merged()
+	aborted := *wl.Hist(false, true)
+	aborted.Merge(wl.Hist(true, true))
 	res := Result{
 		Throughput:     db.collector.Throughput(),
 		Committed:      win.Committed,
@@ -127,10 +160,15 @@ func (db *DB) Result() Result {
 		CommittedSP:    win.CommittedSP,
 		CommittedMP:    win.CommittedMP,
 		Retries:        win.Retries,
+		Shed:           win.Shed,
 		CompletedTotal: db.collector.Totals.Completed(),
-		P50:            db.collector.LatencyQuantile(0.50),
-		P95:            db.collector.LatencyQuantile(0.95),
-		P99:            db.collector.LatencyQuantile(0.99),
+		P50:            all.Quantile(0.50),
+		P95:            all.Quantile(0.95),
+		P99:            all.Quantile(0.99),
+		Latency:        metrics.Summarize(&all),
+		LatencySP:      metrics.Summarize(wl.Hist(false, false)),
+		LatencyMP:      metrics.Summarize(wl.Hist(true, false)),
+		LatencyAborted: metrics.Summarize(&aborted),
 		Events:         db.sch.Delivered,
 	}
 	if db.cfg.measure == 0 {

@@ -43,6 +43,18 @@ func NumAxis(name string, xs []float64, mk func(x float64) []Option) Axis {
 	return ax
 }
 
+// RateAxis builds an axis over open-loop offered loads: one point per
+// arrivals/sec value, sharing the rest of the open-loop configuration
+// (window, queue, process). Sweeping rate through the saturation knee is the
+// canonical tail-latency experiment (ccbench's latency-openloop).
+func RateAxis(rates []float64, cfg OpenLoopConfig) Axis {
+	return NumAxis("offered-load", rates, func(r float64) []Option {
+		c := cfg
+		c.Rate = r
+		return []Option{WithOpenLoop(c)}
+	})
+}
+
 // SchemeAxis builds an axis over concurrency control schemes.
 func SchemeAxis(schemes ...Scheme) Axis {
 	ax := Axis{Name: "scheme"}
