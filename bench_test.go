@@ -61,6 +61,8 @@ func BenchmarkTable2ModelVariables(b *testing.B)  { benchExperiment(b, "table2")
 func BenchmarkAblationAlwaysLock(b *testing.B)    { benchExperiment(b, "ablation-alwayslock") }
 func BenchmarkAblationLocalSpec(b *testing.B)     { benchExperiment(b, "ablation-localspec") }
 func BenchmarkAblationReplication(b *testing.B)   { benchExperiment(b, "ablation-replication") }
+func BenchmarkRecoveryCheckpoint(b *testing.B)    { benchExperiment(b, "recovery-checkpoint") }
+func BenchmarkDurableOverhead(b *testing.B)       { benchExperiment(b, "durable-overhead") }
 
 // --- Real-CPU component benchmarks (this engine's Table 2 equivalents) ---
 

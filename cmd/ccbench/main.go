@@ -9,11 +9,13 @@
 //	ccbench -experiment fig4 -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints the same rows/series the paper reports — plus the
-// beyond-the-paper load experiments (latency-openloop, zipf-skew); see
+// beyond-the-paper load experiments (latency-openloop, zipf-skew) and the
+// durability experiments (recovery-checkpoint, durable-overhead); see
 // EXPERIMENTS.md for the recorded comparison against the paper's curves.
 // With -json, one JSON object per grid cell is emitted (newline delimited)
 // for machine consumption (BENCH_*.json trajectories) — measured cells carry
-// p50_us/p95_us/p99_us completion-latency percentiles next to throughput —
+// p50_us/p95_us/p99_us completion-latency percentiles next to throughput,
+// and recovery cells add recovery_ms/log_bytes/replay_txns —
 // followed by one perf record per experiment ("perf":true) carrying wall
 // time, events/sec and allocs/txn; text mode prints the same perf line as a
 // comment and a p99 column per measured series.
@@ -37,7 +39,7 @@ import (
 
 func main() {
 	var (
-		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, or all)")
+		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, or all)")
 		quick      = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit newline-delimited JSON, one object per grid cell plus perf records")

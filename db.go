@@ -50,6 +50,7 @@ import (
 	"specdb/internal/coordinator"
 	"specdb/internal/core"
 	"specdb/internal/costs"
+	"specdb/internal/durable"
 	"specdb/internal/fault"
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
@@ -157,6 +158,13 @@ type DB struct {
 	clients   []*client.Client
 	clientIDs []sim.ActorID
 	collector *metrics.Collector
+	// loggers holds each partition's command log (nil entries — and a nil
+	// slice — when durability is off). restarters holds the crash-restart
+	// actors, indexed by partition; entries exist only for partitions with a
+	// scheduled CrashRestart fault.
+	loggers      []*durable.Logger
+	restarters   []*replication.Restarter
+	restarterIDs []sim.ActorID
 	// faultCtlID is the fault-injection controller actor (0 when the run
 	// has no fault schedule).
 	faultCtlID sim.ActorID
@@ -229,11 +237,31 @@ func Open(opts ...Option) (*DB, error) {
 
 	det := cfg.detect.WithDefaults()
 
-	// Partitions (primaries).
+	var durCfg durable.Config
+	if cfg.durable != nil {
+		d := cfg.durable.withDefaults()
+		durCfg = durable.Config{
+			GroupCommitBytes: d.GroupCommit.MaxBytes,
+			GroupCommitDelay: d.GroupCommit.MaxDelay,
+			CheckpointEvery:  d.CheckpointInterval,
+			DiskLatency:      d.DiskLatency,
+			DiskBandwidth:    d.DiskBandwidth,
+		}
+		db.loggers = make([]*durable.Logger, cfg.partitions)
+	}
+
+	// Partitions (primaries), each with its own log disk when durable.
 	for p := 0; p < cfg.partitions; p++ {
 		store := storage.NewStore()
 		if cfg.setup != nil {
 			cfg.setup(PartitionID(p), store)
+		}
+		var lg *durable.Logger
+		if cfg.durable != nil {
+			diskID := db.sch.Register(fmt.Sprintf("disk-%d", p),
+				&durable.Disk{Latency: durCfg.DiskLatency, Bandwidth: durCfg.DiskBandwidth})
+			lg = durable.NewLogger(durCfg, diskID)
+			db.loggers[p] = lg
 		}
 		part := partition.New(partition.Config{
 			ID:            PartitionID(p),
@@ -241,11 +269,16 @@ func Open(opts ...Option) (*DB, error) {
 			Registry:      cfg.registry,
 			Costs:         &db.costModel,
 			Net:           db.net,
+			Logger:        lg,
 			Heartbeat:     det.Heartbeat,
 			DetectTimeout: det.Timeout,
 			Rec:           db.collector,
 		})
 		id := db.sch.Register(fmt.Sprintf("partition-%d", p), part)
+		if lg != nil {
+			lg.Bind(id)
+			lg.InstallInitial(store)
+		}
 		db.parts = append(db.parts, part)
 		db.partIDs = append(db.partIDs, id)
 	}
@@ -297,6 +330,23 @@ func Open(opts ...Option) (*DB, error) {
 			b.Coordinator = db.coordID
 		}
 	}
+	// Restarters, for partitions with a scheduled crash-restart fault.
+	db.restarters = make([]*replication.Restarter, cfg.partitions)
+	db.restarterIDs = make([]sim.ActorID, cfg.partitions)
+	for _, ev := range cfg.faults {
+		if ev.Kind != fault.KindCrashRestart {
+			continue
+		}
+		p := int(ev.Partition)
+		r := replication.NewRestarter(db.loggers[p], cfg.registry, &db.costModel, db.net)
+		r.Partition = ev.Partition
+		r.Coordinator = db.coordID
+		r.Rec = db.collector
+		id := db.sch.Register(fmt.Sprintf("restarter-%d", p), r)
+		r.Bind(id)
+		db.restarters[p] = r
+		db.restarterIDs[p] = id
+	}
 
 	// Bind partition engines.
 	factory := engineFactory(cfg.scheme, cfg.lockCfg, cfg.specCfg)
@@ -304,6 +354,9 @@ func Open(opts ...Option) (*DB, error) {
 		db.parts[p].Bind(db.partIDs[p], factory)
 		for _, b := range db.backups[p] {
 			b.EngineFactory = factory
+		}
+		if r := db.restarters[p]; r != nil {
+			r.EngineFactory = factory
 		}
 	}
 	db.shapeWorkload(cfg.workload)
@@ -335,7 +388,13 @@ func Open(opts ...Option) (*DB, error) {
 	}
 	db.coord.Clients = append([]sim.ActorID(nil), db.clientIDs...)
 	if len(cfg.faults) > 0 {
-		ctl := &fault.Controller{Rec: db.collector, Primaries: db.partIDs, Backups: db.backupIDs}
+		ctl := &fault.Controller{
+			Rec:          db.collector,
+			Primaries:    db.partIDs,
+			Backups:      db.backupIDs,
+			Restarters:   db.restarterIDs,
+			RestartDelay: det.Timeout,
+		}
 		db.faultCtlID = db.sch.Register("fault-controller", ctl)
 	}
 	if cfg.advisor != nil {
@@ -398,16 +457,25 @@ func (db *DB) ensureStarted() {
 			for _, bid := range db.backupIDs[ev.Partition] {
 				db.sch.SendAt(0, bid, msg.StartPulse{})
 			}
+		case fault.KindCrashRestart:
+			// No heartbeats: there is no replica to detect the crash. The
+			// controller tells the restarter directly, one restart delay
+			// (the detection timeout) after the kill.
 		}
 	}
 }
 
 // livePrimary returns the partition process currently serving p: the
-// original primary, or — after a failover — the promoted backup's inner
-// partition.
+// original primary, or — after a failover or crash-restart — the promoted
+// backup's or restarted process's inner partition.
 func (db *DB) livePrimary(p int) *partition.Partition {
 	for _, b := range db.backups[p] {
 		if inner := b.Promoted(); inner != nil {
+			return inner
+		}
+	}
+	if r := db.restarters[p]; r != nil {
+		if inner := r.Promoted(); inner != nil {
 			return inner
 		}
 	}
@@ -637,6 +705,9 @@ func (db *DB) setScheme(sc Scheme, auto bool) error {
 		for _, b := range db.backups[p] {
 			b.EngineFactory = factory
 		}
+		if r := db.restarters[p]; r != nil {
+			r.EngineFactory = factory
+		}
 	}
 	for p := range db.parts {
 		if err := db.livePrimary(p).SwapEngine(factory); err != nil {
@@ -714,6 +785,9 @@ func (db *DB) quiescent() bool {
 				return false
 			}
 		}
+		if r := db.restarters[p]; r != nil && r.Recovering() {
+			return false
+		}
 		if !db.livePrimary(p).Quiescent() {
 			return false
 		}
@@ -782,6 +856,7 @@ func (db *DB) snapshot(advance bool) Metrics {
 		Shed:            tot.Shed,
 		Failovers:       db.collector.Promotions(),
 		FailoverResends: db.collector.FailoverResends,
+		Restarts:        db.collector.Restarts(),
 	}
 	d := tot.Sub(db.snapCounts)
 	dl := db.collector.TotalLat.Sub(db.snapLat)
@@ -831,6 +906,17 @@ func (db *DB) BackupStores(p PartitionID) []*Store {
 		out = append(out, b.Store)
 	}
 	return out
+}
+
+// LogBytes returns a copy of partition p's command-log byte image — the
+// deterministic durable transcript of its committed transaction invocations.
+// It is the bit-identity surface the durability determinism tests compare:
+// same seed, same schedule, same bytes. Nil when durability is off.
+func (db *DB) LogBytes(p PartitionID) []byte {
+	if db.loggers == nil {
+		return nil
+	}
+	return append([]byte(nil), db.loggers[p].Image()...)
 }
 
 // Coordinator exposes coordinator counters (inspection).

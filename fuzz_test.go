@@ -1,6 +1,7 @@
 package specdb_test
 
 import (
+	"bytes"
 	"reflect"
 	"testing"
 
@@ -22,18 +23,21 @@ type fuzzConfig struct {
 	abortProb  float64
 	twoRound   bool
 	replicas   int
-	faultKind  uint8 // 0 none, 1 crash primary, 2 crash backup
+	faultKind  uint8 // 0 none, 1 crash primary, 2 crash backup, 3 crash-restart
 	openLoop   bool
 	rate       float64
 	window     int
 	keySkew    float64
+	durable    bool
+	ckptMs     int
 }
 
 // decode clamps raw fuzz values into a valid configuration, resolving the
 // cross-field constraints Open would reject (locking with faults, fault
 // schedules without backups, open-loop windows with faults).
 func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
-	twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8) fuzzConfig {
+	twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
+	durable bool, ckptMs uint8) fuzzConfig {
 	c := fuzzConfig{
 		seed:       seed,
 		scheme:     specdb.Scheme(int(scheme) % 3),
@@ -44,11 +48,13 @@ func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPc
 		abortProb:  float64(abortPct%101) / 100 / 4, // ≤ 25%, keeps runs busy
 		twoRound:   twoRound,
 		replicas:   1 + int(replicas)%3,
-		faultKind:  faultKind % 3,
+		faultKind:  faultKind % 4,
 		openLoop:   openLoop,
 		rate:       1000 + float64(rate%200_000),
 		window:     1 + int(window)%4,
 		keySkew:    float64(skewPct%100) / 100,
+		durable:    durable,
+		ckptMs:     1 + int(ckptMs)%8,
 	}
 	if c.keySkew > 0.99 {
 		c.keySkew = 0.99
@@ -57,10 +63,16 @@ func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPc
 		if c.scheme == specdb.Locking {
 			c.faultKind = 0 // faults are not supported under locking
 		} else {
-			if c.replicas < 2 {
+			c.window = 1 // recovery resend dedup requires one in flight
+			if c.faultKind == 3 {
+				// Crash-restart recovers from the command log, not a
+				// backup: it requires durability and an unreplicated
+				// partition.
+				c.durable = true
+				c.replicas = 1
+			} else if c.replicas < 2 {
 				c.replicas = 2 // crash schedules need a backup
 			}
-			c.window = 1 // recovery resend dedup requires one in flight
 		}
 	}
 	return c
@@ -102,6 +114,13 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 		opts = append(opts, specdb.WithFaults(specdb.CrashPrimary(0, 4*specdb.Millisecond)))
 	case 2:
 		opts = append(opts, specdb.WithFaults(specdb.CrashBackup(0, 1, 4*specdb.Millisecond)))
+	case 3:
+		opts = append(opts, specdb.WithFaults(specdb.CrashRestart(0, 4*specdb.Millisecond)))
+	}
+	if c.durable {
+		opts = append(opts, specdb.WithDurability(specdb.DurabilityConfig{
+			CheckpointInterval: specdb.Time(c.ckptMs) * specdb.Millisecond,
+		}))
 	}
 	if c.openLoop {
 		opts = append(opts, specdb.WithOpenLoop(specdb.OpenLoopConfig{
@@ -119,39 +138,58 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 
 // FuzzDeterminism is the property gate for the simulator's core promise:
 // a Result is a pure function of its options. Any valid configuration —
-// scheme, workload shape, skew, fault schedule, open-loop arrivals — run
-// twice from scratch must produce bit-identical Results. The seed corpus
-// (f.Add plus testdata/fuzz) pins all three schemes, both fault kinds, and
-// the open-loop/Zipfian paths, and runs on every plain `go test`.
+// scheme, workload shape, skew, fault schedule, durability, open-loop
+// arrivals — run twice from scratch must produce bit-identical Results, and
+// a durable configuration must also produce bit-identical command-log bytes
+// on every partition. The seed corpus (f.Add plus testdata/fuzz) pins all
+// three schemes, all three fault kinds, the durable logging path, and the
+// open-loop/Zipfian paths, and runs on every plain `go test`.
 func FuzzDeterminism(f *testing.F) {
 	// scheme: 0 blocking, 1 speculation, 2 locking (see specdb consts).
 	// Baseline closed-loop uniform, one per scheme.
-	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0))
-	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0))
-	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0))
+	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
 	// Fault schedules: primary crash under speculation and blocking,
 	// backup crash under speculation.
-	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0))
-	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0))
-	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
 	// Open-loop: underload and overload windows, all three schemes.
-	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0))
-	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0))
-	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0))
+	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0))
+	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0))
+	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0))
 	// Zipfian skew, closed and open loop, with replication.
-	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90))
-	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99))
+	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0))
+	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0))
 	// Open loop + fault + replication together.
-	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50))
+	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0))
+	// Durable command logging: fault-free under all three schemes (log
+	// bytes must still be bit-identical), and crash-restart under
+	// speculation and blocking with different checkpoint intervals.
+	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2))
+	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4))
+	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1))
+	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5))
+	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2))
 
 	f.Fuzz(func(t *testing.T, seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
-		twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8) {
+		twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
+		durable bool, ckptMs uint8) {
 		c := decode(seed, scheme, partitions, clients, mpPct, conflictPct, abortPct,
-			twoRound, replicas, faultKind, openLoop, rate, window, skewPct)
-		a := c.open(t).Run()
-		b := c.open(t).Run()
+			twoRound, replicas, faultKind, openLoop, rate, window, skewPct, durable, ckptMs)
+		dbA, dbB := c.open(t), c.open(t)
+		a, b := dbA.Run(), dbB.Run()
 		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("same options, different Results:\n%+v\nvs\n%+v\nconfig %+v", a, b, c)
+		}
+		// The command log's byte transcript is part of the determinism
+		// surface: same options, same bytes, partition by partition.
+		for p := 0; p < c.partitions; p++ {
+			la, lb := dbA.LogBytes(specdb.PartitionID(p)), dbB.LogBytes(specdb.PartitionID(p))
+			if !bytes.Equal(la, lb) {
+				t.Fatalf("partition %d log bytes diverge (%d vs %d bytes), config %+v", p, len(la), len(lb), c)
+			}
 		}
 	})
 }

@@ -47,10 +47,15 @@ func QuickOpts() Opts {
 
 // Point is one measurement: the series' Y value at X, plus the cell's
 // completion-latency percentiles in microseconds (zero when the experiment
-// has no simulated cell behind the point, e.g. model curves).
+// has no simulated cell behind the point, e.g. model curves). Cells of the
+// recovery experiments also carry the durability counters: recovery latency,
+// log bytes replayed, and transactions re-executed (zero elsewhere).
 type Point struct {
 	X, Y          float64
 	P50, P95, P99 float64
+	RecoveryMs    float64
+	LogBytes      uint64
+	ReplayTxns    uint64
 }
 
 // pointFor builds a measured point from a sweep cell: throughput as Y and
@@ -91,6 +96,7 @@ func All() []Experiment {
 		Table1(), Table2(),
 		AblationAlwaysLock(), AblationLocalSpec(), AblationReplication(),
 		LatencyOpenLoop(), ZipfSkew(),
+		RecoveryCheckpoint(), DurableOverhead(),
 	}
 }
 

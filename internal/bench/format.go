@@ -74,11 +74,12 @@ func seriesHasLat(s Series) bool {
 // percentile columns alongside (zero when the point has no simulated cell
 // behind it).
 func FormatCSV(w io.Writer, e Experiment, series []Series) {
-	fmt.Fprintf(w, "experiment,series,x,y,p50_us,p95_us,p99_us\n")
+	fmt.Fprintf(w, "experiment,series,x,y,p50_us,p95_us,p99_us,recovery_ms,log_bytes,replay_txns\n")
 	for _, s := range series {
 		name := strings.ReplaceAll(s.Name, ",", ";")
 		for _, p := range s.Points {
-			fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g\n", e.ID, name, p.X, p.Y, p.P50, p.P95, p.P99)
+			fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%g,%d,%d\n", e.ID, name, p.X, p.Y, p.P50, p.P95, p.P99,
+				p.RecoveryMs, p.LogBytes, p.ReplayTxns)
 		}
 	}
 }
@@ -103,7 +104,11 @@ func FormatJSON(w io.Writer, e Experiment, series []Series) error {
 				P50        float64 `json:"p50_us,omitempty"`
 				P95        float64 `json:"p95_us,omitempty"`
 				P99        float64 `json:"p99_us,omitempty"`
-			}{e.ID, e.Title, e.Ref, s.Name, e.XAxis, e.YAxis, p.X, p.Y, p.P50, p.P95, p.P99}
+				RecoveryMs float64 `json:"recovery_ms,omitempty"`
+				LogBytes   uint64  `json:"log_bytes,omitempty"`
+				ReplayTxns uint64  `json:"replay_txns,omitempty"`
+			}{e.ID, e.Title, e.Ref, s.Name, e.XAxis, e.YAxis, p.X, p.Y, p.P50, p.P95, p.P99,
+				p.RecoveryMs, p.LogBytes, p.ReplayTxns}
 			if err := enc.Encode(rec); err != nil {
 				return err
 			}

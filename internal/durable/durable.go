@@ -1,0 +1,468 @@
+// Package durable implements the durability subsystem: per-partition command
+// logging with group commit, fuzzy checkpoints, and the state needed to
+// recover a crashed partition from "disk" (a simulated device actor).
+//
+// The design follows the command-logging argument for partitioned main-memory
+// engines (Wu et al., "Fast Failure Recovery for Main-Memory DBMSs on
+// Multicores"): instead of physical redo images, the log records committed
+// transaction *invocations* in commit order, and recovery re-executes them —
+// deterministic single-threaded partitions make replay bit-identical to the
+// original execution. Group commit (Larson et al.) keeps the logging path off
+// the transaction critical path: appends are in-memory, and only the batched
+// disk write's completion gates the release of replies and votes.
+//
+// The command log is, structurally, a disk-backed replica. A partition
+// appends exactly where it forwards to backups (internal/partition's gating
+// points) and holds the same sends: a committed single-partition reply or a
+// multi-partition commit vote is released only once its record is on disk —
+// the disk edition of §3.3's "sending the transaction to the backups is
+// equivalent to forcing the participant's 2PC vote to disk". Decision records
+// are appended ungated: a lost decision is recovered from the coordinator's
+// decision log, exactly as a promoted backup resolves its buffered
+// transactions.
+//
+// Durability is a log prefix: batches are sealed in append order and written
+// FIFO by a single-queue disk actor, so a record is durable only if every
+// earlier record is. A batch whose write completion had not been processed
+// when the partition crashed is conservatively lost — safe, because every
+// reply and vote gated on it was still held, so no client or coordinator ever
+// observed the lost records.
+package durable
+
+import (
+	"fmt"
+	"strconv"
+
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+)
+
+// RecordKind discriminates log records.
+type RecordKind uint8
+
+const (
+	// RecordCommitted is a committed single-partition transaction: replay
+	// applies it immediately.
+	RecordCommitted RecordKind = iota
+	// RecordPrepared is a prepared multi-partition transaction whose 2PC
+	// outcome was not yet known at append time: replay buffers it until a
+	// RecordDecision (or the coordinator's recovery answer) resolves it.
+	RecordPrepared
+	// RecordDecision is a 2PC outcome for an earlier RecordPrepared.
+	RecordDecision
+)
+
+// Record is one command-log entry. The byte image (AppendRecord) is the
+// durable representation; the in-memory Record keeps references to the same
+// invocation values so replay re-executes without re-parsing.
+type Record struct {
+	Kind RecordKind
+	Txn  msg.TxnID
+	Proc string
+	// Works are the fragment inputs the primary executed for the
+	// transaction, in execution order (remote reads baked in, as in replica
+	// forwarding) — the command to replay.
+	Works []any
+	// Commit is the decision outcome (RecordDecision only).
+	Commit bool
+	// Client and Reply are kept for committed single-partition records so a
+	// restarted primary can deduplicate client recovery resends, exactly as
+	// a promoted backup does. They are not part of the byte image: the log
+	// stores inputs, and deterministic re-execution regenerates outputs.
+	Client sim.ActorID
+	Reply  *msg.ClientReply
+	// Size is the record's encoded length in bytes.
+	Size int
+}
+
+// Gate identifies a send held until its log record is durable: the
+// transaction and the record index its release is keyed on (a speculative
+// re-execution appends a fresh record, superseding the old gate).
+type Gate struct {
+	Txn msg.TxnID
+	Rec int
+}
+
+// AppendEncoder is implemented by fragment work types that can encode
+// themselves into the log image without reflection or allocation (the hot
+// path's 0-alloc discipline). Works without it fall back to fmt, which is
+// deterministic for the simulator's value types (maps print in sorted key
+// order — the same discipline Store.Fingerprint relies on) but allocates.
+type AppendEncoder interface {
+	// AppendLog appends a deterministic encoding of the work to dst and
+	// returns the extended slice.
+	AppendLog(dst []byte) []byte
+}
+
+// AppendRecord appends the deterministic byte encoding of one record to dst
+// and returns the extended slice. The format is a compact line per record:
+//
+//	C t=<txn> p=<proc> w=<work>|<work>...\n   committed single-partition
+//	P t=<txn> p=<proc> w=<work>|<work>...\n   prepared multi-partition
+//	D t=<txn> c=<0|1>\n                       decision
+//
+// With pre-grown buffers and AppendEncoder works the call performs no
+// allocations (see the AllocsPerRun pin in the package tests).
+func AppendRecord(dst []byte, kind RecordKind, txn msg.TxnID, proc string, works []any, commit bool) []byte {
+	switch kind {
+	case RecordCommitted:
+		dst = append(dst, 'C')
+	case RecordPrepared:
+		dst = append(dst, 'P')
+	case RecordDecision:
+		dst = append(dst, 'D')
+	}
+	dst = append(dst, " t="...)
+	dst = strconv.AppendUint(dst, uint64(txn), 10)
+	if kind == RecordDecision {
+		dst = append(dst, " c="...)
+		if commit {
+			dst = append(dst, '1')
+		} else {
+			dst = append(dst, '0')
+		}
+		return append(dst, '\n')
+	}
+	dst = append(dst, " p="...)
+	dst = append(dst, proc...)
+	dst = append(dst, " w="...)
+	for i, w := range works {
+		if i > 0 {
+			dst = append(dst, '|')
+		}
+		if enc, ok := w.(AppendEncoder); ok {
+			dst = enc.AppendLog(dst)
+		} else {
+			dst = fmt.Appendf(dst, "%v", w)
+		}
+	}
+	return append(dst, '\n')
+}
+
+// Config is the resolved durability configuration for one partition.
+type Config struct {
+	// GroupCommitBytes seals the open batch when it reaches this size.
+	GroupCommitBytes int
+	// GroupCommitDelay seals a non-empty open batch after this long.
+	GroupCommitDelay sim.Time
+	// CheckpointEvery is the target interval between fuzzy checkpoints.
+	CheckpointEvery sim.Time
+	// DiskLatency is the disk's fixed per-write (and per-read) latency.
+	DiskLatency sim.Time
+	// DiskBandwidth is the disk's throughput in bytes per second of virtual
+	// time, charged on top of DiskLatency.
+	DiskBandwidth float64
+}
+
+// WriteReq asks the disk actor to persist bytes. The payload itself stays in
+// the logger; the disk only models service time.
+type WriteReq struct {
+	// Seq identifies the write in the issuer's sequence (log batches and
+	// checkpoints use separate sequences, discriminated by Checkpoint).
+	Seq uint64
+	// Bytes sizes the write for the bandwidth charge.
+	Bytes int
+	// Checkpoint marks checkpoint-image writes (no gating semantics).
+	Checkpoint bool
+	// Notify receives the WriteDone.
+	Notify sim.ActorID
+}
+
+// WriteDone reports a completed disk write back to the log's owner.
+type WriteDone struct {
+	Seq        uint64
+	Checkpoint bool
+}
+
+// FlushTick is the group-commit delay timer. Batch identifies the open batch
+// it was armed for; a tick for an already-sealed batch is stale and ignored.
+type FlushTick struct {
+	Batch uint64
+}
+
+// Disk is the simulated log device: a single-queue actor whose busy-until CPU
+// models serialized writes with a fixed latency plus a bandwidth term.
+// Writes complete in issue order (FIFO), which is what makes durability a
+// log prefix.
+type Disk struct {
+	Latency   sim.Time
+	Bandwidth float64
+}
+
+// Receive services one write request.
+func (d *Disk) Receive(ctx *sim.Context, m sim.Message) {
+	req, ok := m.(*WriteReq)
+	if !ok {
+		panic(fmt.Sprintf("durable: disk received unexpected message %T", m))
+	}
+	ctx.Spend(d.serviceTime(req.Bytes))
+	ctx.Send(req.Notify, &WriteDone{Seq: req.Seq, Checkpoint: req.Checkpoint}, 0)
+}
+
+func (d *Disk) serviceTime(bytes int) sim.Time {
+	t := d.Latency
+	if d.Bandwidth > 0 {
+		t += sim.Time(float64(bytes) / d.Bandwidth * float64(sim.Second))
+	}
+	return t
+}
+
+// Checkpoint is one durable store snapshot: replaying the log records at
+// index >= Offset on top of Store reconstructs the partition's committed
+// state. Offset counts *all* records appended when the snapshot was taken —
+// valid because snapshots are only captured at partition-quiescent points,
+// where every appended record's transaction is fully resolved and applied.
+type Checkpoint struct {
+	Store  *storage.Store
+	Offset int
+	// Bytes is the snapshot's approximate size, pricing the checkpoint
+	// write and the recovery-time load.
+	Bytes uint64
+	// At is the capture time.
+	At sim.Time
+}
+
+// sealedBatch is one group-commit batch written to disk and awaiting its
+// completion notification.
+type sealedBatch struct {
+	seq   uint64
+	upto  int // records[:upto] are covered once this batch is durable
+	bytes int
+}
+
+// Logger owns one partition's command log and checkpoint state. It is plain
+// state mutated from its owner's Receive (no actor of its own): appends and
+// flushes happen inside partition deliveries, disk completions are delivered
+// to the owner and handed back via Durable/CheckpointDurable.
+type Logger struct {
+	cfg   Config
+	disk  sim.ActorID
+	owner sim.ActorID
+
+	// records and image grow in lockstep: records[i]'s bytes are
+	// image[sum(Size[:i]) : sum(Size[:i+1])]. The image is retained whole —
+	// it is the run's deterministic byte transcript (LogBytes) and the
+	// bit-identity surface the determinism tests compare.
+	records []Record
+	image   []byte
+
+	// durableRecs/durableLen are the durability watermark: the prefix of
+	// records/image confirmed on disk.
+	durableRecs int
+	durableLen  int
+
+	// Group commit: the open batch covers records[batchFrom:] with
+	// batchBytes encoded bytes. batchID increments on every seal, aging any
+	// armed FlushTick for the sealed batch.
+	batchID    uint64
+	batchFrom  int
+	batchBytes int
+	writeSeq   uint64
+	sealed     []sealedBatch
+
+	// Checkpoints: ckpt is the latest durable snapshot; writing is the one
+	// in flight (at most one), installed on its WriteDone.
+	ckpt      Checkpoint
+	writing   *Checkpoint
+	ckptSeq   uint64
+	ckptCount int
+	truncated uint64
+
+	// released is reused scratch for Durable's gate list.
+	released []Gate
+
+	// AppendedBytes and DurableBatches are cumulative counters for
+	// observability.
+	AppendedBytes  uint64
+	DurableBatches uint64
+}
+
+// NewLogger builds a logger writing to the given disk actor. Call Bind after
+// registering the owning partition, and InstallInitial with the loaded store.
+func NewLogger(cfg Config, disk sim.ActorID) *Logger {
+	return &Logger{cfg: cfg, disk: disk}
+}
+
+// Bind sets the owner actor that receives WriteDone notifications.
+func (l *Logger) Bind(owner sim.ActorID) { l.owner = owner }
+
+// InstallInitial records the freshly loaded store as checkpoint zero, so a
+// crash before the first periodic checkpoint recovers from the initial load
+// plus the whole log.
+func (l *Logger) InstallInitial(store *storage.Store) {
+	l.ckpt = Checkpoint{Store: store.Clone(), Offset: 0, Bytes: store.ApproxBytes()}
+}
+
+// CheckpointEvery returns the configured checkpoint interval.
+func (l *Logger) CheckpointEvery() sim.Time { return l.cfg.CheckpointEvery }
+
+// AppendCommitted appends a committed single-partition transaction record and
+// returns its index — the gate the caller's reply release is keyed on.
+func (l *Logger) AppendCommitted(ctx *sim.Context, txn msg.TxnID, proc string, works []any, client sim.ActorID, reply *msg.ClientReply) int {
+	return l.append(ctx, Record{Kind: RecordCommitted, Txn: txn, Proc: proc, Works: works, Client: client, Reply: reply})
+}
+
+// AppendPrepared appends a prepared multi-partition transaction record and
+// returns its index — the gate the caller's commit vote is keyed on.
+func (l *Logger) AppendPrepared(ctx *sim.Context, txn msg.TxnID, proc string, works []any) int {
+	return l.append(ctx, Record{Kind: RecordPrepared, Txn: txn, Proc: proc, Works: works})
+}
+
+// AppendDecision appends a 2PC outcome record. Decisions are not gated on
+// durability: a lost decision recovers from the coordinator's decision log.
+func (l *Logger) AppendDecision(ctx *sim.Context, txn msg.TxnID, commit bool) {
+	l.append(ctx, Record{Kind: RecordDecision, Txn: txn, Commit: commit})
+}
+
+func (l *Logger) append(ctx *sim.Context, rec Record) int {
+	start := len(l.image)
+	l.image = AppendRecord(l.image, rec.Kind, rec.Txn, rec.Proc, rec.Works, rec.Commit)
+	rec.Size = len(l.image) - start
+	l.AppendedBytes += uint64(rec.Size)
+	l.records = append(l.records, rec)
+	if l.batchBytes == 0 {
+		// Opening a batch: arm its latency bound. The tick carries the
+		// batch id, so it no-ops if the batch seals by size first.
+		ctx.After(l.cfg.GroupCommitDelay, FlushTick{Batch: l.batchID})
+	}
+	l.batchBytes += rec.Size
+	if l.batchBytes >= l.cfg.GroupCommitBytes {
+		l.seal(ctx)
+	}
+	return len(l.records) - 1
+}
+
+// Flush seals the open batch if the given FlushTick is still current.
+func (l *Logger) Flush(ctx *sim.Context, batch uint64) {
+	if batch != l.batchID || l.batchBytes == 0 {
+		return
+	}
+	l.seal(ctx)
+}
+
+// seal closes the open batch and issues its disk write. Log appends charge no
+// partition CPU: command logging's transaction-visible cost is group-commit
+// latency, not CPU (the point of logging invocations, not data).
+func (l *Logger) seal(ctx *sim.Context) {
+	l.writeSeq++
+	l.sealed = append(l.sealed, sealedBatch{seq: l.writeSeq, upto: len(l.records), bytes: l.batchBytes})
+	l.batchID++
+	l.batchFrom = len(l.records)
+	bytes := l.batchBytes
+	l.batchBytes = 0
+	ctx.Send(l.disk, &WriteReq{Seq: l.writeSeq, Bytes: bytes, Notify: l.owner}, 0)
+}
+
+// Durable processes a log batch's WriteDone: the durability watermark
+// advances over the batch and every newly durable committed/prepared record's
+// gate is returned, in append order. The returned slice is reused scratch.
+func (l *Logger) Durable(seq uint64) []Gate {
+	if len(l.sealed) == 0 || l.sealed[0].seq != seq {
+		panic(fmt.Sprintf("durable: out-of-order batch completion %d", seq))
+	}
+	front := l.sealed[0]
+	l.sealed = append(l.sealed[:0], l.sealed[1:]...)
+	l.released = l.released[:0]
+	for i := l.durableRecs; i < front.upto; i++ {
+		r := &l.records[i]
+		l.durableLen += r.Size
+		if r.Kind != RecordDecision {
+			l.released = append(l.released, Gate{Txn: r.Txn, Rec: i})
+		}
+	}
+	l.durableRecs = front.upto
+	l.DurableBatches++
+	return l.released
+}
+
+// CanCheckpoint reports whether a new checkpoint may start (one in flight).
+func (l *Logger) CanCheckpoint() bool { return l.writing == nil }
+
+// StartCheckpoint captures a fuzzy checkpoint: a shallow clone of the store
+// (cheap under the copy-on-write row discipline) taken at a
+// partition-quiescent point, stamped with the current record offset, and
+// written to disk. The caller must hold the quiescence invariant: every
+// appended record's transaction is resolved and applied, so snapshot +
+// records[Offset:] is exactly the committed state.
+func (l *Logger) StartCheckpoint(ctx *sim.Context, store *storage.Store) {
+	if l.writing != nil {
+		return
+	}
+	snap := &Checkpoint{Store: store.Clone(), Offset: len(l.records), Bytes: store.ApproxBytes(), At: ctx.Now()}
+	l.writing = snap
+	l.ckptSeq++
+	ctx.Send(l.disk, &WriteReq{Seq: l.ckptSeq, Bytes: int(snap.Bytes), Checkpoint: true, Notify: l.owner}, 0)
+}
+
+// CheckpointDurable installs the in-flight checkpoint once its disk write
+// completes, rotating the log: records below the new offset are retired (the
+// simulator keeps the byte image for determinism checks, but accounts the
+// truncation).
+func (l *Logger) CheckpointDurable(seq uint64) {
+	if l.writing == nil || l.ckptSeq != seq {
+		return
+	}
+	for i := l.ckpt.Offset; i < l.writing.Offset; i++ {
+		l.truncated += uint64(l.records[i].Size)
+	}
+	l.ckpt = *l.writing
+	l.writing = nil
+	l.ckptCount++
+}
+
+// Latest returns the latest durable checkpoint.
+func (l *Logger) Latest() Checkpoint { return l.ckpt }
+
+// Tail returns the durable log records recovery must replay on top of the
+// latest checkpoint: those at index >= the checkpoint offset, up to the
+// durability watermark. A checkpoint can cover records that never became
+// durable (its snapshot is captured after they applied), in which case the
+// tail is empty — the snapshot already holds their effects.
+func (l *Logger) Tail() []Record {
+	if l.ckpt.Offset >= l.durableRecs {
+		return nil
+	}
+	return l.records[l.ckpt.Offset:l.durableRecs]
+}
+
+// Reattach resets the logger to its on-disk truth after a crash and hands
+// ownership to the restarted process: volatile state — the open batch,
+// sealed-but-unconfirmed writes, any in-flight checkpoint — is discarded,
+// and records/image truncate to the durability watermark. Appends resume
+// from there.
+func (l *Logger) Reattach(owner sim.ActorID) {
+	l.owner = owner
+	l.records = l.records[:l.durableRecs]
+	l.image = l.image[:l.durableLen]
+	l.batchID++ // age any armed FlushTick (its timer died with the owner anyway)
+	l.batchFrom = l.durableRecs
+	l.batchBytes = 0
+	l.sealed = l.sealed[:0]
+	l.writing = nil
+}
+
+// ReadCost prices loading bytes from the disk at recovery (same latency and
+// bandwidth model as writes).
+func (l *Logger) ReadCost(bytes uint64) sim.Time {
+	d := Disk{Latency: l.cfg.DiskLatency, Bandwidth: l.cfg.DiskBandwidth}
+	return d.serviceTime(int(bytes))
+}
+
+// OpenBatchBytes returns the encoded size of the open (unsealed) batch.
+// Zero means every appended record is in a batch already queued on the FIFO
+// disk — the condition under which a checkpoint write issued now is ordered
+// after all of them (see Partition's checkpoint-quiescence rule).
+func (l *Logger) OpenBatchBytes() int { return l.batchBytes }
+
+// Image returns the log's deterministic byte transcript (not a copy).
+func (l *Logger) Image() []byte { return l.image }
+
+// DurableLen returns the byte length of the durable log prefix.
+func (l *Logger) DurableLen() int { return l.durableLen }
+
+// Checkpoints returns how many periodic checkpoints have been installed.
+func (l *Logger) Checkpoints() int { return l.ckptCount }
+
+// TruncatedBytes returns the log bytes retired by checkpoint rotation.
+func (l *Logger) TruncatedBytes() uint64 { return l.truncated }

@@ -27,6 +27,11 @@ const (
 	KindCrashPrimary Kind = iota
 	// KindCrashBackup kills one backup replica of a partition.
 	KindCrashBackup
+	// KindCrashRestart kills a partition's primary and, after a restart
+	// delay, brings it back from disk: the restarter actor loads the latest
+	// checkpoint, replays the durable command-log tail, and takes over.
+	// Requires durability (WithDurability) and no replication.
+	KindCrashRestart
 )
 
 // Event is one scheduled fail-stop crash.
@@ -73,7 +78,7 @@ func (d Detection) WithDefaults() Detection {
 // event (a partition that lost its primary has no further redundancy to
 // lose, and a second fault on the same replica chain is outside the one-
 // promotion state machine).
-func Validate(events []Event, partitions, replicas int, det Detection) error {
+func Validate(events []Event, partitions, replicas int, det Detection, durable bool) error {
 	if len(events) == 0 {
 		return nil
 	}
@@ -101,6 +106,13 @@ func Validate(events []Event, partitions, replicas int, det Detection) error {
 			if ev.Replica < 1 || ev.Replica > replicas-1 {
 				return fmt.Errorf("fault %d: backup replica %d out of range [1,%d]", i, ev.Replica, replicas-1)
 			}
+		case KindCrashRestart:
+			if !durable {
+				return fmt.Errorf("fault %d: crash-restart of partition %d needs durability (WithDurability)", i, ev.Partition)
+			}
+			if replicas != 1 {
+				return fmt.Errorf("fault %d: crash-restart models recovery from disk and needs replicas == 1 (got %d; use CrashPrimary for failover)", i, replicas)
+			}
 		default:
 			return fmt.Errorf("fault %d: unknown kind %d", i, ev.Kind)
 		}
@@ -115,6 +127,12 @@ type Controller struct {
 	Rec       *metrics.Collector
 	Primaries []sim.ActorID
 	Backups   [][]sim.ActorID
+	// Restarters maps partitions to their restarter actors (crash-restart
+	// schedules only; zero entries elsewhere). RestartDelay is how long
+	// after the kill the restarter is told to begin recovery — the
+	// supervisor noticing the dead process and re-launching it.
+	Restarters   []sim.ActorID
+	RestartDelay sim.Time
 }
 
 // Receive executes one scheduled fault.
@@ -130,5 +148,9 @@ func (c *Controller) Receive(ctx *sim.Context, m sim.Message) {
 	case KindCrashBackup:
 		ctx.Scheduler().Kill(c.Backups[ev.Partition][ev.Replica-1])
 		c.Rec.NoteCrash(int(ev.Partition), metrics.RoleBackup, ev.Replica, ctx.Now())
+	case KindCrashRestart:
+		ctx.Scheduler().Kill(c.Primaries[ev.Partition])
+		c.Rec.NoteRestartCrash(int(ev.Partition), ctx.Now())
+		ctx.Send(c.Restarters[ev.Partition], msg.Restart{}, c.RestartDelay)
 	}
 }

@@ -11,6 +11,7 @@ package kvstore
 import (
 	"fmt"
 	"slices"
+	"strconv"
 
 	"specdb/internal/msg"
 	"specdb/internal/storage"
@@ -42,6 +43,27 @@ type work struct {
 	// Vals carries the round-1 write values for two-round transactions,
 	// computed at the coordinator from the round-0 reads.
 	Vals []int64
+}
+
+// AppendLog appends a deterministic encoding of the fragment input to dst,
+// satisfying durable.AppendEncoder so command-log appends on the
+// microbenchmark hot path stay allocation-free (keys, round, and any
+// round-1 write values, all via append/strconv).
+func (w *work) AppendLog(dst []byte) []byte {
+	dst = append(dst, "kv r="...)
+	dst = strconv.AppendInt(dst, int64(w.Round), 10)
+	if w.ReadOnly {
+		dst = append(dst, " ro"...)
+	}
+	for i, k := range w.Keys {
+		dst = append(dst, ' ')
+		dst = append(dst, k...)
+		if w.Vals != nil {
+			dst = append(dst, '=')
+			dst = strconv.AppendInt(dst, w.Vals[i], 10)
+		}
+	}
+	return dst
 }
 
 // Proc implements the read/write stored procedure.

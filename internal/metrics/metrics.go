@@ -155,6 +155,47 @@ func (e FailoverEvent) RecoveryLatency() sim.Time {
 	return e.PromotedAt - e.DetectedAt
 }
 
+// RecoveryEvent records one crash-restart fault and its recovery timeline:
+// the crash, the restart (supervisor brings the process back and it begins
+// loading from disk), and the resume (checkpoint loaded, log tail replayed,
+// in-flight transactions resolved, partition open for business). Times are
+// zero for stages not (yet) reached.
+type RecoveryEvent struct {
+	// Partition is the crashed (and restarted) partition.
+	Partition int
+	// CrashedAt is the injected fault time; RestartedAt is when the
+	// restarted process began recovery; ResumedAt is when it finished and
+	// took over as primary.
+	CrashedAt, RestartedAt, ResumedAt sim.Time
+	// CheckpointBytes is the size of the checkpoint image loaded;
+	// LogBytes is the durable log tail replayed on top of it, and
+	// ReplayTxns the transactions re-executed from that tail.
+	CheckpointBytes, LogBytes uint64
+	ReplayTxns                int
+	// BufferedCommitted and BufferedDropped count replayed prepared-but-
+	// undecided transactions resolved from the coordinator's decision log.
+	BufferedCommitted, BufferedDropped int
+}
+
+// Downtime returns how long the partition was without a primary: resume
+// minus crash time. Zero until the restart completes.
+func (e RecoveryEvent) Downtime() sim.Time {
+	if e.ResumedAt == 0 {
+		return 0
+	}
+	return e.ResumedAt - e.CrashedAt
+}
+
+// RecoveryLatency returns restart-to-resume time — the recovery work itself
+// (checkpoint load, log replay, in-flight resolution), excluding the restart
+// delay. Zero until the restart completes.
+func (e RecoveryEvent) RecoveryLatency() sim.Time {
+	if e.ResumedAt == 0 {
+		return 0
+	}
+	return e.ResumedAt - e.RestartedAt
+}
+
 // Collector accumulates transaction completions. The paper's methodology is
 // a warm-up period followed by a measurement window; only completions inside
 // the window count (§5).
@@ -176,6 +217,10 @@ type Collector struct {
 	// FailoverResends counts single-partition attempts a client re-sent to
 	// a promoted primary after its original target crashed.
 	FailoverResends uint64
+
+	// Recoveries records crash-restart faults and their recovery timelines,
+	// in the order the stages were observed (at most one per partition).
+	Recoveries []RecoveryEvent
 
 	// WindowLat holds issue-to-completion latency histograms restricted to
 	// the measurement window, split single-/multi-partition and
@@ -231,6 +276,52 @@ func (c *Collector) Promotions() int {
 	n := 0
 	for i := range c.Failovers {
 		if c.Failovers[i].Role == RolePrimary && c.Failovers[i].PromotedAt > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// recovery returns (appending if needed) the event slot for a partition.
+func (c *Collector) recovery(part int) *RecoveryEvent {
+	for i := range c.Recoveries {
+		if c.Recoveries[i].Partition == part {
+			return &c.Recoveries[i]
+		}
+	}
+	c.Recoveries = append(c.Recoveries, RecoveryEvent{Partition: part})
+	return &c.Recoveries[len(c.Recoveries)-1]
+}
+
+// NoteRestartCrash records a crash-restart fault injection.
+func (c *Collector) NoteRestartCrash(part int, at sim.Time) {
+	c.recovery(part).CrashedAt = at
+}
+
+// NoteRestartBegun records a restarted process beginning recovery, with the
+// checkpoint and log-tail sizes it is loading.
+func (c *Collector) NoteRestartBegun(part int, at sim.Time, ckptBytes, logBytes uint64, replayTxns int) {
+	e := c.recovery(part)
+	e.RestartedAt = at
+	e.CheckpointBytes = ckptBytes
+	e.LogBytes = logBytes
+	e.ReplayTxns = replayTxns
+}
+
+// NoteRestartResumed records a restarted partition completing recovery and
+// resuming service, with the buffered-transaction resolution counts.
+func (c *Collector) NoteRestartResumed(part int, at sim.Time, committed, dropped int) {
+	e := c.recovery(part)
+	e.ResumedAt = at
+	e.BufferedCommitted = committed
+	e.BufferedDropped = dropped
+}
+
+// Restarts returns the number of completed crash-restart recoveries.
+func (c *Collector) Restarts() int {
+	n := 0
+	for i := range c.Recoveries {
+		if c.Recoveries[i].ResumedAt > 0 {
 			n++
 		}
 	}

@@ -221,6 +221,12 @@ type RecoveryOutcome struct {
 	Outcomes  []TxnOutcome
 }
 
+// Restart tells a crashed partition's restarter actor to begin crash-restart
+// recovery: load the latest checkpoint, replay the durable log tail, and take
+// over as primary. The fault controller sends it one restart delay after the
+// kill (modeling the supervisor noticing the dead process).
+type Restart struct{}
+
 // NewPrimary announces a completed promotion. The coordinator broadcasts it
 // to every client (which re-targets the partition and resends a stalled
 // single-partition attempt); the promoting backup sends it to surviving

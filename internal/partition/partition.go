@@ -17,6 +17,7 @@ import (
 
 	"specdb/internal/core"
 	"specdb/internal/costs"
+	"specdb/internal/durable"
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
 	"specdb/internal/msg"
@@ -46,6 +47,10 @@ type Config struct {
 	Net      *simnet.Net
 	// Backups are the replica actors for this partition (may be empty).
 	Backups []sim.ActorID
+	// Logger is the partition's command log (nil when durability is off).
+	// Appends happen at exactly the replica-forward points and gate the
+	// same sends: the log is a disk-backed replica (see internal/durable).
+	Logger *durable.Logger
 
 	// Heartbeat and DetectTimeout parameterize the failure detector; they
 	// are only consulted after a StartPulse/StartMonitor message, which the
@@ -81,9 +86,14 @@ type Partition struct {
 	// works accumulates executed fragment inputs per transaction for
 	// replica forwarding.
 	works map[msg.TxnID]*workLog
-	// pending holds votes/replies gated on backup acks.
+	// pending holds votes/replies gated on backup acks and log durability.
 	pending map[msg.TxnID]*pendingSend
 	fwdSeq  uint32
+	// nextCkptAt and ckptPending drive the lazy fuzzy-checkpoint trigger:
+	// no timer events — checkpoint boundaries are checked on normal message
+	// flow, and an overdue checkpoint fires at the next quiescent point.
+	nextCkptAt  sim.Time
+	ckptPending bool
 	// genSeen is the latest coordinator abort-generation observed.
 	genSeen uint32
 
@@ -116,10 +126,19 @@ type pendingSend struct {
 	seq uint32
 	// awaiting holds the backups whose acknowledgment is still missing;
 	// the gated send fires when it empties — by acks arriving, or by a
-	// crashed backup being detached.
+	// crashed backup being detached — AND the log record (if any) is
+	// durable.
 	awaiting map[sim.ActorID]bool
-	send     func()
+	// logWait is set while the transaction's command-log record awaits its
+	// group-commit batch; logRec keys the release (a speculative
+	// re-execution appends a fresh record, superseding the old gate).
+	logWait bool
+	logRec  int
+	send    func()
 }
+
+// ready reports whether every gate has cleared.
+func (ps *pendingSend) ready() bool { return len(ps.awaiting) == 0 && !ps.logWait }
 
 // New builds a partition; call Bind with the actor ID and an engine factory
 // after registering it with the scheduler.
@@ -216,11 +235,14 @@ func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
 		if v.Gen > p.genSeen {
 			p.genSeen = v.Gen
 		}
-		// Resolve buffered multi-partition forwards at the backups
-		// BEFORE the engine reacts: committing the decision may release
-		// speculated single-partition transactions whose forwards must
-		// follow this transaction on the (FIFO) backup link, preserving
-		// the primary's commit order at the backups.
+		// Record the outcome BEFORE the engine reacts, for the same reason
+		// backups get it first: committing the decision may release
+		// speculated single-partition transactions whose forwards (and log
+		// records) must follow this transaction, preserving the primary's
+		// commit order on the (FIFO) backup link and in the log.
+		if p.cfg.Logger != nil {
+			p.cfg.Logger.AppendDecision(ctx, v.Txn, v.Commit)
+		}
 		if len(p.cfg.Backups) > 0 {
 			for _, b := range p.cfg.Backups {
 				p.cfg.Net.Send(ctx, b, &msg.ReplicaDecision{Txn: v.Txn, Commit: v.Commit})
@@ -229,6 +251,16 @@ func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
 		p.engine.Decision(v)
 	case *msg.ReplicaAck:
 		p.ackArrived(v)
+	case *durable.WriteDone:
+		if v.Checkpoint {
+			p.cfg.Logger.CheckpointDurable(v.Seq)
+		} else {
+			for _, g := range p.cfg.Logger.Durable(v.Seq) {
+				p.logDurable(g)
+			}
+		}
+	case durable.FlushTick:
+		p.cfg.Logger.Flush(ctx, v.Batch)
 	case timerMsg:
 		p.engine.Timer(v.payload)
 	case msg.StartPulse:
@@ -256,6 +288,68 @@ func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
 	default:
 		panic(fmt.Sprintf("partition %d: unexpected message %T", p.cfg.ID, m))
 	}
+	if p.cfg.Logger != nil {
+		p.maybeCheckpoint(ctx)
+	}
+}
+
+// maybeCheckpoint drives the fuzzy-checkpoint schedule without timer events
+// (a self-rearming timer would keep the event queue from draining): every
+// delivery checks whether a checkpoint boundary has passed, and an overdue
+// checkpoint is captured at the first partition-quiescent point — where every
+// appended log record's transaction is resolved and applied, so snapshot +
+// log tail is exactly the committed state.
+func (p *Partition) maybeCheckpoint(ctx *sim.Context) {
+	every := p.cfg.Logger.CheckpointEvery()
+	if every <= 0 {
+		return
+	}
+	if p.nextCkptAt == 0 {
+		p.nextCkptAt = every
+	}
+	if ctx.Now() >= p.nextCkptAt {
+		p.ckptPending = true
+		for p.nextCkptAt <= ctx.Now() {
+			p.nextCkptAt += every
+		}
+	}
+	if p.ckptPending && p.cfg.Logger.CanCheckpoint() && p.ckptQuiescent() {
+		p.ckptPending = false
+		p.cfg.Logger.StartCheckpoint(ctx, p.cfg.Store)
+	}
+}
+
+// ckptQuiescent reports whether a fuzzy checkpoint may be captured now: the
+// engine holds no live or speculative transaction state (so the store is
+// exactly the committed state) and every appended log record sits in a batch
+// already queued on the FIFO disk — a checkpoint write issued now completes
+// after all of them, so an *installed* checkpoint can never cover a record
+// whose gated send was still held at a later crash. Unlike full Quiescent(),
+// sends gated on batch durability may still be pending: their transactions
+// are committed and applied, and the disk's FIFO order releases them before
+// the snapshot installs. Without this relaxation checkpoints would starve
+// under sustained load, where some reply is almost always gated on group
+// commit.
+func (p *Partition) ckptQuiescent() bool {
+	return p.engine.Quiescent() && len(p.undos) == 0 && len(p.works) == 0 &&
+		p.cfg.Logger.OpenBatchBytes() == 0
+}
+
+// logDurable clears the log gate of one newly durable record, releasing the
+// held send if its backup acknowledgments have also all arrived. A gate for a
+// superseded record (speculative re-execution re-appended) is stale and
+// ignored; the transaction's release is keyed on its latest record.
+func (p *Partition) logDurable(g durable.Gate) {
+	ps := p.pending[g.Txn]
+	if ps == nil || !ps.logWait || ps.logRec != g.Rec {
+		return
+	}
+	ps.logWait = false
+	if !ps.ready() {
+		return
+	}
+	delete(p.pending, g.Txn)
+	ps.send()
 }
 
 // pulse sends one heartbeat to every attached backup and re-arms the loop.
@@ -326,7 +420,7 @@ func (p *Partition) dropBackup(ctx *sim.Context, dead sim.ActorID) {
 	for _, id := range ids {
 		ps := p.pending[id]
 		delete(ps.awaiting, dead)
-		if len(ps.awaiting) == 0 {
+		if ps.ready() {
 			delete(p.pending, id)
 			ps.send()
 		}
@@ -372,8 +466,8 @@ func (p *Partition) Execute(f *msg.Fragment, withUndo bool, locker storage.Locke
 		}
 		return core.ExecOutcome{Output: out, Aborted: true}
 	}
-	// Log the work for replica forwarding.
-	if len(p.cfg.Backups) > 0 {
+	// Log the work for replica forwarding and/or command logging.
+	if len(p.cfg.Backups) > 0 || p.cfg.Logger != nil {
 		wl := p.works[f.Txn]
 		if wl == nil {
 			wl = &workLog{proc: f.Proc}
@@ -409,8 +503,8 @@ func (p *Partition) Forget(id msg.TxnID) {
 func (p *Partition) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
 	r.Gen = p.genSeen
 	p.ResultsOut++
-	if len(p.cfg.Backups) > 0 && f.Last && f.MultiPartition && !r.Aborted {
-		p.forwardThenSend(f.Txn, false, 0, nil, func() {
+	if (len(p.cfg.Backups) > 0 || p.cfg.Logger != nil) && f.Last && f.MultiPartition && !r.Aborted {
+		p.gateSend(f.Txn, false, 0, nil, func() {
 			p.cfg.Net.Send(p.ctx, f.Coord, r)
 		})
 		return
@@ -428,8 +522,8 @@ func (p *Partition) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
 // client [when] all acknowledgments from the backups are received", §3.2).
 func (p *Partition) ReplyClient(f *msg.Fragment, reply *msg.ClientReply) {
 	p.RepliesOut++
-	if len(p.cfg.Backups) > 0 && reply.Committed {
-		p.forwardThenSend(f.Txn, true, f.Client, reply, func() {
+	if (len(p.cfg.Backups) > 0 || p.cfg.Logger != nil) && reply.Committed {
+		p.gateSend(f.Txn, true, f.Client, reply, func() {
 			p.cfg.Net.Send(p.ctx, f.Client, reply)
 		})
 		return
@@ -451,12 +545,15 @@ func (p *Partition) ChargeDecision() {
 
 func (p *Partition) spend(d sim.Time) { p.ctx.Spend(d) }
 
-// forwardThenSend ships the transaction's executed work to every backup and
-// holds send until all acks arrive. A re-forward (speculative re-execution
-// after a cascade) supersedes the previous one. Committed single-partition
-// forwards carry the client identity and reply so a promoted backup can
-// deduplicate recovery resends.
-func (p *Partition) forwardThenSend(id msg.TxnID, committed bool, client sim.ActorID, reply *msg.ClientReply, send func()) {
+// gateSend records the transaction at its durability points — appending its
+// command-log record and shipping its executed work to every backup — and
+// holds send until every gate clears: the record's group-commit batch is on
+// disk, and all backup acks have arrived. A re-forward (speculative
+// re-execution after a cascade) supersedes the previous one, in the log too:
+// the fresh record's gate replaces the old record's. Committed
+// single-partition records and forwards carry the client identity and reply
+// so a restarted or promoted process can deduplicate recovery resends.
+func (p *Partition) gateSend(id msg.TxnID, committed bool, client sim.ActorID, reply *msg.ClientReply, send func()) {
 	wl := p.works[id]
 	if wl == nil {
 		// Read-only transaction with no logged work still forwards (the
@@ -464,15 +561,27 @@ func (p *Partition) forwardThenSend(id msg.TxnID, committed bool, client sim.Act
 		wl = &workLog{}
 	}
 	delete(p.works, id)
-	p.fwdSeq++
-	fw := &msg.ReplicaForward{Txn: id, Proc: wl.proc, Works: wl.works, Committed: committed, Seq: p.fwdSeq, Client: client, Reply: reply}
-	awaiting := make(map[sim.ActorID]bool, len(p.cfg.Backups))
-	for _, b := range p.cfg.Backups {
-		p.cfg.Net.Send(p.ctx, b, fw)
-		awaiting[b] = true
+	ps := &pendingSend{send: send, logRec: -1}
+	if lg := p.cfg.Logger; lg != nil {
+		if committed {
+			ps.logRec = lg.AppendCommitted(p.ctx, id, wl.proc, wl.works, client, reply)
+		} else {
+			ps.logRec = lg.AppendPrepared(p.ctx, id, wl.proc, wl.works)
+		}
+		ps.logWait = true
 	}
-	p.ForwardsOut++
-	p.pending[id] = &pendingSend{seq: p.fwdSeq, awaiting: awaiting, send: send}
+	if len(p.cfg.Backups) > 0 {
+		p.fwdSeq++
+		ps.seq = p.fwdSeq
+		fw := &msg.ReplicaForward{Txn: id, Proc: wl.proc, Works: wl.works, Committed: committed, Seq: p.fwdSeq, Client: client, Reply: reply}
+		ps.awaiting = make(map[sim.ActorID]bool, len(p.cfg.Backups))
+		for _, b := range p.cfg.Backups {
+			p.cfg.Net.Send(p.ctx, b, fw)
+			ps.awaiting[b] = true
+		}
+		p.ForwardsOut++
+	}
+	p.pending[id] = ps
 }
 
 func (p *Partition) ackArrived(a *msg.ReplicaAck) {
@@ -481,7 +590,7 @@ func (p *Partition) ackArrived(a *msg.ReplicaAck) {
 		return // stale ack from a superseded forward
 	}
 	delete(ps.awaiting, a.From)
-	if len(ps.awaiting) > 0 {
+	if !ps.ready() {
 		return
 	}
 	delete(p.pending, a.Txn)

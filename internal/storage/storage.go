@@ -211,6 +211,48 @@ func (s *Store) Fingerprint() uint64 {
 	return h
 }
 
+// Clone returns a snapshot of the store: fresh tables of the same kinds
+// holding the same keys and row values. Row values are shared, not copied —
+// safe under the copy-on-write row discipline (updates Put fresh values,
+// never mutate in place), so a clone taken at a quiescent instant stays
+// consistent while the original keeps mutating. Fuzzy checkpoints
+// (internal/durable) are built on exactly this property.
+func (s *Store) Clone() *Store {
+	out := NewStore()
+	for _, name := range s.order {
+		t := s.tables[name]
+		var nt Table
+		if _, ordered := t.(*BTreeTable); ordered {
+			nt = NewBTreeTable(name)
+		} else {
+			nt = NewHashTable(name)
+		}
+		t.Ascend("", "", func(k string, v any) bool {
+			nt.Put(k, v)
+			return true
+		})
+		out.AddTable(nt)
+	}
+	return out
+}
+
+// ApproxBytes estimates the store's serialized size — keys plus a fixed
+// per-row value charge — for pricing checkpoint writes and recovery loads.
+// The paper's workloads use deliberately tiny values (§5.1), so a coarse
+// estimate is plenty.
+func (s *Store) ApproxBytes() uint64 {
+	const perRow = 16
+	var n uint64
+	for _, name := range s.order {
+		n += uint64(len(name))
+		s.tables[name].Ascend("", "", func(k string, v any) bool {
+			n += uint64(len(k)) + perRow
+			return true
+		})
+	}
+	return n
+}
+
 // DiffStores compares two stores key-for-key, returning a descriptive error
 // for the first divergence found (table sets, row counts, keys, or values —
 // values compared by their fmt representation, matching Fingerprint's

@@ -50,6 +50,8 @@ var (
 	// transaction outstanding per client; open-loop windows above one break
 	// that.
 	ErrFaultsOpenLoopWindow = errors.New("specdb: fault injection is limited to open-loop windows of 1")
+	// ErrBadDurability: a DurabilityConfig field is negative.
+	ErrBadDurability = errors.New("specdb: invalid durability configuration")
 )
 
 // Option configures a DB at Open time. Options apply in order, so later
@@ -78,6 +80,7 @@ type settings struct {
 	faults     []fault.Event
 	detect     fault.Detection
 	openLoop   *OpenLoopConfig
+	durable    *DurabilityConfig
 }
 
 // defaultSettings mirrors the paper's testbed: two partitions, 40 closed-loop
@@ -124,8 +127,15 @@ func (s *settings) validate() error {
 		if s.advisor != nil {
 			return ErrFaultsAdvisor
 		}
-		if err := fault.Validate(s.faults, s.partitions, s.replicas, s.detect.WithDefaults()); err != nil {
+		if err := fault.Validate(s.faults, s.partitions, s.replicas, s.detect.WithDefaults(), s.durable != nil); err != nil {
 			return fmt.Errorf("%w: %v", ErrBadFaults, err)
+		}
+	}
+	if s.durable != nil {
+		d := *s.durable
+		if d.GroupCommit.MaxBytes < 0 || d.GroupCommit.MaxDelay < 0 ||
+			d.CheckpointInterval < 0 || d.DiskLatency < 0 || d.DiskBandwidth < 0 {
+			return fmt.Errorf("%w (%+v)", ErrBadDurability, d)
 		}
 	}
 	if s.openLoop != nil {
@@ -306,6 +316,17 @@ func CrashPrimary(p PartitionID, at Time) FaultEvent {
 	return fault.Event{Kind: fault.KindCrashPrimary, Partition: p, At: at}
 }
 
+// CrashRestart schedules partition p's primary to fail-stop at the given
+// virtual time and come back from disk: after the restart delay (the failure-
+// detection timeout, modeling the supervisor noticing the dead process), the
+// restarted process loads the latest durable checkpoint, replays the command-
+// log tail, resolves in-flight transactions through the coordinator's decision
+// log, and resumes as primary. Requires WithDurability and is mutually
+// exclusive with replication (use CrashPrimary for failover).
+func CrashRestart(p PartitionID, at Time) FaultEvent {
+	return fault.Event{Kind: fault.KindCrashRestart, Partition: p, At: at}
+}
+
 // CrashBackup schedules partition p's replica-th backup (1-based) to
 // fail-stop at the given virtual time. The primary detects the silence,
 // detaches the backup, and releases every vote and reply that was gated on
@@ -333,6 +354,85 @@ func WithFaults(events ...FaultEvent) Option {
 // process gets declared dead. Defaults: 1 ms heartbeat, 10 ms timeout.
 func WithFailureDetection(heartbeat, timeout Time) Option {
 	return func(s *settings) { s.detect = fault.Detection{Heartbeat: heartbeat, Timeout: timeout} }
+}
+
+// Default durability parameters applied for zero DurabilityConfig fields.
+const (
+	// DefaultGroupCommitBytes seals a group-commit batch at 4 KiB.
+	DefaultGroupCommitBytes = 4096
+	// DefaultGroupCommitDelay bounds a record's wait for its batch at 50 µs.
+	DefaultGroupCommitDelay = 50 * Microsecond
+	// DefaultCheckpointInterval spaces fuzzy checkpoints 25 ms apart.
+	DefaultCheckpointInterval = 25 * Millisecond
+	// DefaultDiskLatency is the simulated log device's per-write latency,
+	// 20 µs — a datacenter NVMe flush.
+	DefaultDiskLatency = 20 * Microsecond
+	// DefaultDiskBandwidth is the simulated log device's throughput,
+	// 500 MiB/s.
+	DefaultDiskBandwidth = 500 << 20
+)
+
+// GroupCommitConfig bounds the command log's write batching: a batch is
+// written when it reaches MaxBytes or when its oldest record has waited
+// MaxDelay, whichever comes first.
+type GroupCommitConfig struct {
+	// MaxBytes seals the open batch by size (default 4096).
+	MaxBytes int
+	// MaxDelay seals a non-empty open batch by age (default 50 µs) — the
+	// latency bound a committed transaction's reply can wait on the log.
+	MaxDelay Time
+}
+
+// DurabilityConfig enables the durability subsystem: each partition appends
+// committed transaction invocations to a per-partition command log (group-
+// committed to a simulated disk), captures fuzzy checkpoints of its store on
+// the configured interval, and can recover from a crash by reloading the
+// latest checkpoint and replaying the log tail (see CrashRestart). Zero
+// fields take the documented defaults.
+type DurabilityConfig struct {
+	// GroupCommit bounds write batching.
+	GroupCommit GroupCommitConfig
+	// CheckpointInterval is the target time between fuzzy checkpoints
+	// (default 25 ms). Shorter intervals mean shorter log tails and faster
+	// recovery, at the cost of more checkpoint writes.
+	CheckpointInterval Time
+	// DiskLatency is the simulated log device's fixed per-operation latency
+	// (default 20 µs).
+	DiskLatency Time
+	// DiskBandwidth is the device's throughput in bytes per second of
+	// virtual time (default 500 MiB/s), charged on top of DiskLatency.
+	DiskBandwidth float64
+}
+
+// withDefaults fills zero fields.
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.GroupCommit.MaxBytes == 0 {
+		c.GroupCommit.MaxBytes = DefaultGroupCommitBytes
+	}
+	if c.GroupCommit.MaxDelay == 0 {
+		c.GroupCommit.MaxDelay = DefaultGroupCommitDelay
+	}
+	if c.CheckpointInterval == 0 {
+		c.CheckpointInterval = DefaultCheckpointInterval
+	}
+	if c.DiskLatency == 0 {
+		c.DiskLatency = DefaultDiskLatency
+	}
+	if c.DiskBandwidth == 0 {
+		c.DiskBandwidth = DefaultDiskBandwidth
+	}
+	return c
+}
+
+// WithDurability enables command logging and fuzzy checkpointing. Committed
+// single-partition replies and multi-partition commit votes are released only
+// once their log record's group-commit batch is on the simulated disk — the
+// disk edition of forwarding to backups — so durable runs trade a little
+// latency for crash-restart recovery (CrashRestart). Runs without faults
+// still pay the logging overhead, which is exactly what the durable-overhead
+// benchmark measures.
+func WithDurability(cfg DurabilityConfig) Option {
+	return func(s *settings) { c := cfg; s.durable = &c }
 }
 
 // arrivalFor builds client i's arrival process, or nil for closed-loop

@@ -1,6 +1,8 @@
 package specdb
 
 import (
+	"sort"
+
 	"specdb/internal/core"
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
@@ -11,6 +13,12 @@ import (
 // in-flight transactions aborted). Its Downtime and RecoveryLatency methods
 // derive the paper-style availability numbers.
 type FailoverEvent = metrics.FailoverEvent
+
+// RecoveryEvent records one crash-restart fault and its recovery timeline:
+// crash, restart, resume, plus the recovery work (checkpoint bytes loaded,
+// log bytes and transactions replayed, buffered transactions resolved). Its
+// Downtime and RecoveryLatency methods derive the restart-cost numbers.
+type RecoveryEvent = metrics.RecoveryEvent
 
 // LatencySummary condenses one latency class into sample count, p50/p95/p99
 // quantiles, and the observed maximum.
@@ -71,11 +79,19 @@ type Result struct {
 	// (WithFaults runs only; nil otherwise).
 	Failovers []FailoverEvent
 	// Downtime is the total time partitions spent without a primary: the
-	// sum of crash-to-promotion spans over all primary failovers.
+	// sum of crash-to-promotion spans over all primary failovers, plus the
+	// crash-to-resume spans over all crash-restarts.
 	Downtime Time
 	// FailoverResends counts single-partition attempts clients re-sent to
 	// a promoted primary after its original target crashed.
 	FailoverResends uint64
+	// Recovery records every crash-restart fault's recovery timeline
+	// (WithDurability + CrashRestart runs only; nil otherwise).
+	Recovery []RecoveryEvent
+	// ReplayParallelism is the maximum number of partitions that were
+	// recovering (restart to resume) at the same instant — the parallel
+	// replay width of a multi-partition crash.
+	ReplayParallelism int
 }
 
 // Metrics is a live snapshot of a running DB: cumulative whole-run counters
@@ -102,9 +118,11 @@ type Metrics struct {
 	// queues so far (overload backpressure).
 	Shed uint64
 	// Failovers counts completed backup promotions so far; FailoverResends
-	// counts client attempts re-sent to promoted primaries.
+	// counts client attempts re-sent to promoted primaries; Restarts counts
+	// completed crash-restart recoveries.
 	Failovers       int
 	FailoverResends uint64
+	Restarts        int
 	// Interval covers [previous Snapshot's Now, this snapshot's Now).
 	Interval Interval
 }
@@ -195,6 +213,9 @@ func (db *DB) Result() Result {
 					busy += db.sch.BusyTime(db.backupIDs[p][i])
 				}
 			}
+			if r := db.restarters[p]; r != nil && r.Promoted() != nil {
+				busy += db.sch.BusyTime(db.restarterIDs[p])
+			}
 		}
 		res.EngineStats = append(res.EngineStats, stats)
 		if elapsed > 0 {
@@ -209,5 +230,44 @@ func (db *DB) Result() Result {
 		}
 	}
 	res.FailoverResends = db.collector.FailoverResends
+	if len(db.collector.Recoveries) > 0 {
+		res.Recovery = append([]RecoveryEvent(nil), db.collector.Recoveries...)
+		for _, e := range res.Recovery {
+			res.Downtime += e.Downtime()
+		}
+		res.ReplayParallelism = replayParallelism(res.Recovery)
+	}
 	return res
+}
+
+// replayParallelism returns the maximum number of recoveries whose
+// restart-to-resume intervals overlapped at one instant: sweep the interval
+// endpoints in time order, counting starts before ends at ties (a recovery
+// resuming exactly when another restarts still overlaps it at that instant).
+func replayParallelism(evs []RecoveryEvent) int {
+	type edge struct {
+		at    Time
+		delta int
+	}
+	var edges []edge
+	for _, e := range evs {
+		if e.ResumedAt == 0 || e.RestartedAt == 0 {
+			continue
+		}
+		edges = append(edges, edge{e.RestartedAt, +1}, edge{e.ResumedAt, -1})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return edges[i].delta > edges[j].delta
+	})
+	cur, max := 0, 0
+	for _, e := range edges {
+		cur += e.delta
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
 }
