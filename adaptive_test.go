@@ -10,7 +10,8 @@ import (
 
 // adaptiveRun drives one DB through two workload phases with the advisor
 // enabled: a single-round low-MP phase where the §6 model recommends
-// speculation, then a two-round high-MP phase where it recommends locking.
+// speculation, then a two-round high-MP phase where it recommends OCC (the
+// workload is conflict-free, so the optimistic engine's lower overhead wins).
 // It returns the switch history and the final cumulative metrics.
 func adaptiveRun(t *testing.T) ([]specdb.SchemeChange, specdb.Metrics) {
 	t.Helper()
@@ -66,7 +67,7 @@ func TestAdvisorSwitchesSchemesAcrossPhases(t *testing.T) {
 	history, m := adaptiveRun(t)
 
 	// (a) At least one automatic switch occurred (this scenario produces
-	// two: blocking→speculation in phase 1, speculation→locking in 2).
+	// two: blocking→speculation in phase 1, speculation→OCC in 2).
 	if len(history) < 2 {
 		t.Fatalf("scheme history = %+v, want at least 2 switches", history)
 	}
@@ -82,8 +83,8 @@ func TestAdvisorSwitchesSchemesAcrossPhases(t *testing.T) {
 		t.Errorf("first switch = %+v, want blocking→speculation", history[0])
 	}
 	last := history[len(history)-1]
-	if last.To != specdb.Locking {
-		t.Errorf("last switch = %+v, want →locking", last)
+	if last.To != specdb.OCC {
+		t.Errorf("last switch = %+v, want →occ", last)
 	}
 	if m.Completed == 0 || m.CommittedMR == 0 {
 		t.Fatalf("metrics look empty: %+v", m)
@@ -109,7 +110,7 @@ func TestAdvisorRunsAreReproducible(t *testing.T) {
 	}
 }
 
-// TestSetSchemeManual walks one DB through all three schemes by hand and
+// TestSetSchemeManual walks one DB through all five schemes by hand and
 // checks the drain-and-swap contract: data stays consistent, history records
 // the switches as manual, and engine counters accumulate across swaps.
 func TestSetSchemeManual(t *testing.T) {
@@ -154,10 +155,20 @@ func TestSetSchemeManual(t *testing.T) {
 	}
 	checkConsistent("after blocking→locking")
 	db.RunFor(20 * specdb.Millisecond)
+	if err := db.SetScheme(specdb.MVCC); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent("after locking→mvcc")
+	db.RunFor(20 * specdb.Millisecond)
+	if err := db.SetScheme(specdb.OCC); err != nil {
+		t.Fatal(err)
+	}
+	checkConsistent("after mvcc→occ")
+	db.RunFor(20 * specdb.Millisecond)
 	if err := db.SetScheme(specdb.Speculation); err != nil {
 		t.Fatal(err)
 	}
-	checkConsistent("after locking→speculation")
+	checkConsistent("after occ→speculation")
 	db.RunFor(20 * specdb.Millisecond)
 	if got := db.Scheme(); got != specdb.Speculation {
 		t.Fatalf("Scheme() = %v", got)
@@ -184,8 +195,8 @@ func TestSetSchemeManual(t *testing.T) {
 	}
 
 	h := db.SchemeHistory()
-	if len(h) != 2 {
-		t.Fatalf("history = %+v, want 2 manual switches", h)
+	if len(h) != 4 {
+		t.Fatalf("history = %+v, want 4 manual switches", h)
 	}
 	for _, c := range h {
 		if c.Auto {
@@ -197,7 +208,7 @@ func TestSetSchemeManual(t *testing.T) {
 	if err := db.SetScheme(specdb.Speculation); err != nil {
 		t.Fatalf("no-op switch errored: %v", err)
 	}
-	if len(db.SchemeHistory()) != 2 {
+	if len(db.SchemeHistory()) != 4 {
 		t.Error("no-op switch appended to history")
 	}
 	if err := db.SetScheme(specdb.Scheme(42)); err == nil {

@@ -9,8 +9,9 @@
 //	ccbench -experiment fig4 -cpuprofile cpu.out -memprofile mem.out
 //
 // Each experiment prints the same rows/series the paper reports — plus the
-// beyond-the-paper load experiments (latency-openloop, zipf-skew) and the
-// durability experiments (recovery-checkpoint, durable-overhead); see
+// beyond-the-paper load experiments (latency-openloop, zipf-skew), the
+// durability experiments (recovery-checkpoint, durable-overhead), and the
+// optimistic-engine crossovers (mvcc-crossover, occ-retry); see
 // EXPERIMENTS.md for the recorded comparison against the paper's curves.
 // With -json, one JSON object per grid cell is emitted (newline delimited)
 // for machine consumption (BENCH_*.json trajectories) — measured cells carry
@@ -39,7 +40,7 @@ import (
 
 func main() {
 	var (
-		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, or all)")
+		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, or all)")
 		quick      = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit newline-delimited JSON, one object per grid cell plus perf records")

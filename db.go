@@ -4,10 +4,13 @@
 //
 // Open assembles single-threaded partition engines, optional backup
 // replicas, a central coordinator, and closed-loop clients on a
-// deterministic discrete-event simulation of the paper's testbed. Three
+// deterministic discrete-event simulation of the paper's testbed. Five
 // concurrency control schemes decide what a partition does during the
 // network stalls of multi-partition transactions: blocking, speculative
-// execution, and single-threaded two-phase locking.
+// execution, single-threaded two-phase locking, multiversion timestamp
+// ordering (MVCC — declared read-only transactions run from snapshots and
+// never block or abort), and optimistic concurrency control (OCC —
+// transactions run immediately and validate their read sets at commit).
 //
 // Quick start:
 //
@@ -56,6 +59,9 @@ import (
 	"specdb/internal/metrics"
 	"specdb/internal/model"
 	"specdb/internal/msg"
+	"specdb/internal/mvcc"
+	"specdb/internal/occ"
+	"specdb/internal/oracle"
 	"specdb/internal/partition"
 	"specdb/internal/replication"
 	"specdb/internal/sim"
@@ -126,6 +132,8 @@ const (
 	Blocking    = core.SchemeBlocking
 	Speculation = core.SchemeSpeculative
 	Locking     = core.SchemeLocking
+	MVCC        = core.SchemeMVCC
+	OCC         = core.SchemeOCC
 )
 
 // Time units.
@@ -168,6 +176,9 @@ type DB struct {
 	// faultCtlID is the fault-injection controller actor (0 when the run
 	// has no fault schedule).
 	faultCtlID sim.ActorID
+	// histories holds each partition's serializability-oracle trace when
+	// the test-only withHistory option is set (nil otherwise).
+	histories []*oracle.PartitionHistory
 
 	started bool
 	// cursor is the virtual time the simulation has been driven to (the
@@ -199,14 +210,21 @@ type SchemeChange struct {
 }
 
 // engineFactory returns the constructor for the validated scheme.
-func engineFactory(scheme Scheme, lockCfg LockConfig, specCfg SpecConfig) func(env core.Env) core.Engine {
+func (db *DB) engineFactory(scheme Scheme) func(env core.Env) core.Engine {
 	switch scheme {
 	case Blocking:
 		return func(env core.Env) core.Engine { return core.NewBlocking(env) }
 	case Speculation:
+		specCfg := db.cfg.specCfg
 		return func(env core.Env) core.Engine { return core.NewSpeculativeWith(env, specCfg) }
 	case Locking:
+		lockCfg := db.cfg.lockCfg
 		return func(env core.Env) core.Engine { return core.NewLocking(env, lockCfg) }
+	case MVCC:
+		return func(env core.Env) core.Engine { return mvcc.New(env) }
+	case OCC:
+		occCfg := occ.Config{DisableValidation: db.cfg.brokenOCC}
+		return func(env core.Env) core.Engine { return occ.New(env, occCfg) }
 	}
 	return nil // unreachable: Open validated the scheme
 }
@@ -263,6 +281,11 @@ func Open(opts ...Option) (*DB, error) {
 			lg = durable.NewLogger(durCfg, diskID)
 			db.loggers[p] = lg
 		}
+		var hist *oracle.PartitionHistory
+		if cfg.history {
+			hist = oracle.NewPartitionHistory()
+			db.histories = append(db.histories, hist)
+		}
 		part := partition.New(partition.Config{
 			ID:            PartitionID(p),
 			Store:         store,
@@ -273,6 +296,7 @@ func Open(opts ...Option) (*DB, error) {
 			Heartbeat:     det.Heartbeat,
 			DetectTimeout: det.Timeout,
 			Rec:           db.collector,
+			History:       hist,
 		})
 		id := db.sch.Register(fmt.Sprintf("partition-%d", p), part)
 		if lg != nil {
@@ -349,7 +373,7 @@ func Open(opts ...Option) (*DB, error) {
 	}
 
 	// Bind partition engines.
-	factory := engineFactory(cfg.scheme, cfg.lockCfg, cfg.specCfg)
+	factory := db.engineFactory(cfg.scheme)
 	for p := 0; p < cfg.partitions; p++ {
 		db.parts[p].Bind(db.partIDs[p], factory)
 		for _, b := range db.backups[p] {
@@ -678,7 +702,7 @@ func (db *DB) SchemeHistory() []SchemeChange {
 // converge to the primary's state.
 func (db *DB) SetScheme(sc Scheme) error {
 	switch sc {
-	case Blocking, Speculation, Locking:
+	case Blocking, Speculation, Locking, MVCC, OCC:
 	default:
 		return fmt.Errorf("%w (%d)", ErrBadScheme, int(sc))
 	}
@@ -700,7 +724,7 @@ func (db *DB) setScheme(sc Scheme, auto bool) error {
 			return err
 		}
 	}
-	factory := engineFactory(sc, db.cfg.lockCfg, db.cfg.specCfg)
+	factory := db.engineFactory(sc)
 	for p := range db.backups {
 		for _, b := range db.backups[p] {
 			b.EngineFactory = factory
@@ -819,6 +843,7 @@ func (db *DB) advisorTick() {
 			MultiRound:   d.MultiRoundFraction(),
 			AbortRate:    d.AbortRate(),
 			ConflictRate: d.ConflictRate(),
+			ReadFraction: d.ReadFraction(),
 		},
 	}
 	if sc, switchNow := db.adv.Observe(db.cfg.scheme, s); switchNow {

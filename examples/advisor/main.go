@@ -102,7 +102,10 @@ func main() {
 		fmt.Printf("  t=%-12v %v → %v\n", c.At, c.From, c.To)
 	}
 	fmt.Println("\nCaveats encoded in Table 1 of the paper: speculation wins when")
-	fmt.Println("multi-partition transactions are simple and aborts rare; locking")
-	fmt.Println("wins when multi-round transactions dominate; blocking when nearly")
-	fmt.Println("everything is single-partition.")
+	fmt.Println("multi-partition transactions are simple and aborts rare; blocking")
+	fmt.Println("when nearly everything is single-partition. For multi-round")
+	fmt.Println("transactions the paper prescribes locking; with the optimistic")
+	fmt.Println("engines available, the extended model sends a conflict-free")
+	fmt.Println("multi-round phase to OCC instead — locking remains the pick once")
+	fmt.Println("conflicts climb.")
 }

@@ -30,17 +30,20 @@ type fuzzConfig struct {
 	keySkew    float64
 	durable    bool
 	ckptMs     int
+	readFrac   float64
+	adaptive   bool
 }
 
 // decode clamps raw fuzz values into a valid configuration, resolving the
-// cross-field constraints Open would reject (locking with faults, fault
-// schedules without backups, open-loop windows with faults).
+// cross-field constraints Open would reject (locking with faults, faults with
+// the advisor, fault schedules without backups, open-loop windows with
+// faults).
 func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
 	twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
-	durable bool, ckptMs uint8) fuzzConfig {
+	durable bool, ckptMs uint8, readPct uint8, adaptive bool) fuzzConfig {
 	c := fuzzConfig{
 		seed:       seed,
-		scheme:     specdb.Scheme(int(scheme) % 3),
+		scheme:     specdb.Scheme(int(scheme) % 5),
 		partitions: 1 + int(partitions)%3,
 		clients:    1 + int(clients)%8,
 		mpFrac:     float64(mpPct%101) / 100,
@@ -55,6 +58,8 @@ func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPc
 		keySkew:    float64(skewPct%100) / 100,
 		durable:    durable,
 		ckptMs:     1 + int(ckptMs)%8,
+		readFrac:   float64(readPct%101) / 100,
+		adaptive:   adaptive,
 	}
 	if c.keySkew > 0.99 {
 		c.keySkew = 0.99
@@ -62,6 +67,8 @@ func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPc
 	if c.faultKind != 0 {
 		if c.scheme == specdb.Locking {
 			c.faultKind = 0 // faults are not supported under locking
+		} else if c.adaptive {
+			c.faultKind = 0 // the advisor may switch to locking mid-run
 		} else {
 			c.window = 1 // recovery resend dedup requires one in flight
 			if c.faultKind == 3 {
@@ -106,8 +113,12 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 				AbortProb:    c.abortProb,
 				TwoRound:     c.twoRound,
 				KeySkew:      c.keySkew,
+				ReadFraction: c.readFrac,
 			}
 		}),
+	}
+	if c.adaptive {
+		opts = append(opts, specdb.WithAdvisor(specdb.AdvisorConfig{Interval: 5 * specdb.Millisecond}))
 	}
 	switch c.faultKind {
 	case 1:
@@ -142,42 +153,62 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 // arrivals — run twice from scratch must produce bit-identical Results, and
 // a durable configuration must also produce bit-identical command-log bytes
 // on every partition. The seed corpus (f.Add plus testdata/fuzz) pins all
-// three schemes, all three fault kinds, the durable logging path, and the
-// open-loop/Zipfian paths, and runs on every plain `go test`.
+// five schemes, all three fault kinds, the durable logging path, the
+// open-loop/Zipfian paths, and advisor-driven scheme switches, and runs on
+// every plain `go test`.
 func FuzzDeterminism(f *testing.F) {
-	// scheme: 0 blocking, 1 speculation, 2 locking (see specdb consts).
-	// Baseline closed-loop uniform, one per scheme.
-	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
+	// scheme: 0 blocking, 1 speculation, 2 locking, 3 mvcc, 4 occ (see
+	// specdb consts). Baseline closed-loop uniform, one per scheme.
+	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
+	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
+	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
 	// Fault schedules: primary crash under speculation and blocking,
 	// backup crash under speculation.
-	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
+	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
+	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
 	// Open-loop: underload and overload windows, all three schemes.
-	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0))
-	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0))
-	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0), uint8(0), false)
+	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0), uint8(0), false)
+	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0), uint8(0), false)
 	// Zipfian skew, closed and open loop, with replication.
-	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0))
-	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0))
+	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0), uint8(0), false)
+	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0), uint8(0), false)
 	// Open loop + fault + replication together.
-	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0))
+	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0), uint8(0), false)
 	// Durable command logging: fault-free under all three schemes (log
 	// bytes must still be bit-identical), and crash-restart under
 	// speculation and blocking with different checkpoint intervals.
-	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2))
-	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4))
-	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1))
-	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5))
-	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2))
+	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false)
+	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4), uint8(0), false)
+	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1), uint8(0), false)
+	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5), uint8(0), false)
+	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2), uint8(0), false)
+	// The optimistic engines. MVCC under a read-heavy mix with conflicts
+	// (kill/retry + backoff on the write side, snapshot reads on the read
+	// side), and with Zipfian skew + replication; OCC under hot-key
+	// conflicts with two-round transactions, and under open-loop arrivals.
+	f.Add(int64(61), uint8(3), uint8(1), uint8(7), uint8(30), uint8(50), uint8(4), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(60), false)
+	f.Add(int64(62), uint8(3), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(95), false, uint8(0), uint8(40), false)
+	f.Add(int64(63), uint8(4), uint8(1), uint8(7), uint8(40), uint8(60), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(25), false)
+	f.Add(int64(64), uint8(4), uint8(1), uint8(7), uint8(20), uint8(30), uint8(0), false, uint8(0), uint8(0), true, uint32(50_000), uint8(1), uint8(0), false, uint8(0), uint8(30), false)
+	// Durable logging under the optimistic engines: retried transactions
+	// must still produce bit-identical log bytes.
+	f.Add(int64(65), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false)
+	f.Add(int64(66), uint8(4), uint8(1), uint8(5), uint8(30), uint8(40), uint8(4), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(30), false)
+	// Advisor-driven switches: start on blocking with a workload the model
+	// steers to OCC (conflict-free two-round MP), and start on locking with
+	// a read-heavy mix that steers to MVCC. Switch points and all results
+	// must replay bit-identically.
+	f.Add(int64(71), uint8(0), uint8(1), uint8(7), uint8(60), uint8(0), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true)
+	f.Add(int64(72), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(80), true)
 
 	f.Fuzz(func(t *testing.T, seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
 		twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
-		durable bool, ckptMs uint8) {
+		durable bool, ckptMs uint8, readPct uint8, adaptive bool) {
 		c := decode(seed, scheme, partitions, clients, mpPct, conflictPct, abortPct,
-			twoRound, replicas, faultKind, openLoop, rate, window, skewPct, durable, ckptMs)
+			twoRound, replicas, faultKind, openLoop, rate, window, skewPct, durable, ckptMs,
+			readPct, adaptive)
 		dbA, dbB := c.open(t), c.open(t)
 		a, b := dbA.Run(), dbB.Run()
 		if !reflect.DeepEqual(a, b) {

@@ -107,12 +107,13 @@ const conflictDecay = 0.9
 type Advisor struct {
 	cfg     Config
 	holdoff int
-	// lockConflict remembers the conflict rate last measured under the
-	// locking scheme. Blocking and speculation never retry, so the raw
-	// measurement collapses to zero the moment the cluster switches away
-	// from locking — without memory the advisor would immediately flap
-	// back. The memory decays while away, so locking is re-tried only
-	// occasionally on workloads whose contention may have subsided.
+	// lockConflict remembers the conflict rate last measured under a
+	// retrying scheme (locking, OCC or MVCC). Blocking and speculation
+	// never retry, so the raw measurement collapses to zero the moment the
+	// cluster switches away — without memory the advisor would immediately
+	// flap back. The memory decays while away, so a contended scheme is
+	// re-tried only occasionally on workloads whose contention may have
+	// subsided.
 	lockConflict float64
 }
 
@@ -142,16 +143,18 @@ func (a *Advisor) NoteSwitch() { a.holdoff = a.cfg.Holdoff }
 // the best candidate's predicted gain over the current scheme is within the
 // hysteresis margin.
 //
-// The conflict rate is only observable while the locking scheme runs (the
-// other schemes never retry), so Observe substitutes the decaying remembered
-// value whenever it exceeds the measurement — without it, switching away
-// from a contended locking run would zero the signal and invite an
-// immediate flap back.
+// The conflict rate is only observable while a retrying scheme runs —
+// locking (deadlock/timeout kills), OCC (validation failures) or MVCC
+// (timestamp-order kills); blocking and speculation never retry — so
+// Observe substitutes the decaying remembered value whenever it exceeds the
+// measurement. Without it, switching away from a contended run would zero
+// the signal and invite an immediate flap back.
 func (a *Advisor) Observe(current core.Scheme, s Stats) (core.Scheme, bool) {
 	obs := s.Observed
-	if current == core.SchemeLocking {
+	switch current {
+	case core.SchemeLocking, core.SchemeOCC, core.SchemeMVCC:
 		a.lockConflict = obs.ConflictRate
-	} else {
+	default:
 		a.lockConflict *= conflictDecay
 		if a.lockConflict > obs.ConflictRate {
 			obs.ConflictRate = a.lockConflict

@@ -34,7 +34,15 @@ func TestRecommendFollowsModel(t *testing.T) {
 	}{
 		{model.Observed{MPFraction: 0}, core.SchemeBlocking}, // exact tie → least machinery
 		{model.Observed{MPFraction: 0.2}, core.SchemeSpeculative},
-		{model.Observed{MPFraction: 0.6, MultiRound: 1}, core.SchemeLocking},
+		// Conflict-free multi-round: the non-stalling schemes win, and
+		// OCC's tracking overhead (O) undercuts locking's (L).
+		{model.Observed{MPFraction: 0.6, MultiRound: 1}, core.SchemeOCC},
+		// Contended multi-round: each OCC conflict wastes a whole
+		// execution, so locking's blocking discipline takes over.
+		{model.Observed{MPFraction: 0.6, MultiRound: 1, ConflictRate: 0.5}, core.SchemeLocking},
+		// Read-heavy: MVCC's snapshot reads dodge both the undo buffer
+		// and the tracking tax.
+		{model.Observed{MPFraction: 0.2, ReadFraction: 0.8}, core.SchemeMVCC},
 	}
 	for _, c := range cases {
 		if got := a.Recommend(c.o); got != c.want {
@@ -104,15 +112,15 @@ func TestObserveHoldoffAfterSwitch(t *testing.T) {
 	if _, ok := a.Observe(core.SchemeBlocking, s); !ok {
 		t.Fatal("first observation should switch")
 	}
-	// The cluster is now speculative; feed stats that recommend locking.
+	// The cluster is now speculative; feed stats that recommend OCC.
 	s2 := stats(100, model.Observed{MPFraction: 0.6, MultiRound: 1})
 	for i := 0; i < 2; i++ {
 		if sc, ok := a.Observe(core.SchemeSpeculative, s2); ok {
 			t.Fatalf("observation %d switched to %v during holdoff", i, sc)
 		}
 	}
-	if sc, ok := a.Observe(core.SchemeSpeculative, s2); !ok || sc != core.SchemeLocking {
-		t.Fatalf("post-holdoff Observe = (%v, %v), want (locking, true)", sc, ok)
+	if sc, ok := a.Observe(core.SchemeSpeculative, s2); !ok || sc != core.SchemeOCC {
+		t.Fatalf("post-holdoff Observe = (%v, %v), want (occ, true)", sc, ok)
 	}
 }
 

@@ -97,6 +97,7 @@ func All() []Experiment {
 		AblationAlwaysLock(), AblationLocalSpec(), AblationReplication(),
 		LatencyOpenLoop(), ZipfSkew(),
 		RecoveryCheckpoint(), DurableOverhead(),
+		MVCCCrossover(), OCCRetry(),
 	}
 }
 
@@ -136,6 +137,7 @@ type microCfg struct {
 	replicas   int
 	keySkew    float64
 	partSkew   float64
+	readFrac   float64
 }
 
 const (
@@ -157,6 +159,7 @@ func microGen(c microCfg) specdb.Generator {
 		TwoRound:      c.twoRound,
 		KeySkew:       c.keySkew,
 		PartitionSkew: c.partSkew,
+		ReadFraction:  c.readFrac,
 	}
 }
 
@@ -498,6 +501,10 @@ func schemeName(s specdb.Scheme) string {
 		return "Speculation"
 	case specdb.Blocking:
 		return "Blocking"
+	case specdb.MVCC:
+		return "MVCC"
+	case specdb.OCC:
+		return "OCC"
 	default:
 		return "Locking"
 	}

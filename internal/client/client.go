@@ -127,6 +127,17 @@ type attempt struct {
 	id    msg.TxnID
 	start sim.Time // arrival/first-issue time (latency includes retries and queueing)
 	mp    *mpDrive
+	// tries counts consecutive kills of this attempt, driving the
+	// optimistic schemes' retry backoff.
+	tries int
+}
+
+// retryMsg is a delayed reissue of a killed attempt. The id guards against
+// firing on a recycled attempt: release zeroes the attempt and issue assigns
+// a fresh transaction ID, so a stale timer can never match.
+type retryMsg struct {
+	a  *attempt
+	id msg.TxnID
 }
 
 // mpDrive is the client-side 2PC driver state (locking scheme).
@@ -198,6 +209,10 @@ func (c *Client) Receive(ctx *sim.Context, m sim.Message) {
 	case *msg.NewPrimary:
 		ctx.Spend(c.Costs.ClientMessage)
 		c.newPrimary(ctx, v)
+	case *retryMsg:
+		if v.a.id == v.id && c.lookup(v.id) == v.a {
+			c.issue(ctx, v.a)
+		}
 	default:
 		panic(fmt.Sprintf("client: unexpected message %T", m))
 	}
@@ -401,6 +416,7 @@ func (c *Client) issue(ctx *sim.Context, a *attempt) {
 		Client:   c.self,
 		Parts:    a.plan.Parts,
 		CanAbort: a.plan.CanAbort,
+		ReadOnly: a.plan.ReadOnly,
 		AbortAt:  a.inv.AbortAt,
 	}
 	ctx.Spend(c.Costs.ClientMessage)
@@ -421,6 +437,7 @@ func (c *Client) sendSP(ctx *sim.Context, a *attempt) {
 		Coord:     c.self,
 		Client:    c.self,
 		CanAbort:  a.plan.CanAbort,
+		ReadOnly:  a.plan.ReadOnly,
 	}
 	if a.inv.AbortAt == p {
 		f.InjectAbort = true
@@ -451,6 +468,7 @@ func (c *Client) sendRound(ctx *sim.Context, a *attempt) {
 			Client:         c.self,
 			MultiPartition: true,
 			CanAbort:       a.plan.CanAbort,
+			ReadOnly:       a.plan.ReadOnly,
 		}
 		if a.mp.round == 0 && a.inv.AbortAt == p {
 			f.InjectAbort = true
@@ -515,10 +533,50 @@ func (c *Client) decide(ctx *sim.Context, a *attempt, commit bool) {
 func (c *Client) complete(ctx *sim.Context, a *attempt, r *msg.ClientReply) {
 	if r.Retryable {
 		c.Metrics.Retry(ctx.Now())
+		if d := c.retryDelay(a); d > 0 {
+			ctx.Scheduler().SendAt(ctx.Now()+d, c.self, &retryMsg{a: a, id: a.id})
+			return
+		}
 		c.issue(ctx, a)
 		return
 	}
 	c.finish(ctx, a, r)
+}
+
+// retryBackoffBase is the first reissue delay after an MVCC or OCC kill,
+// roughly one single-partition execution.
+const retryBackoffBase = 50 * sim.Microsecond
+
+// retryDelay spaces consecutive reissues of a killed attempt under the
+// optimistic schemes: exponential growth with a deterministic per-client
+// jitter. Without it, transactions killed in the same event retry in the
+// same event, re-conflict identically and livelock — the simulation is
+// deterministic, so lockstep never breaks on its own. Locking needs no
+// backoff (its lock queues make a retrier wait for the winner instead of
+// re-killing it), and keeping its path untouched preserves every existing
+// locking trace bit-for-bit.
+func (c *Client) retryDelay(a *attempt) sim.Time {
+	switch c.Scheme {
+	case core.SchemeMVCC, core.SchemeOCC:
+	default:
+		return 0
+	}
+	a.tries++
+	shift := a.tries - 1
+	if shift > 4 {
+		shift = 4
+	}
+	jitter := splitmix64(uint64(c.self)<<32^uint64(c.seq)) % uint64(retryBackoffBase)
+	return retryBackoffBase<<shift + sim.Time(jitter)
+}
+
+// splitmix64 is the SplitMix64 finalizer — a deterministic bit mixer for
+// retry jitter, independent of the workload RNG stream.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // finish records the completion and feeds the load loop: closed-loop issues
@@ -526,7 +584,7 @@ func (c *Client) complete(ctx *sim.Context, a *attempt, r *msg.ClientReply) {
 // window slot.
 func (c *Client) finish(ctx *sim.Context, a *attempt, r *msg.ClientReply) {
 	c.Completed++
-	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1, a.plan.Rounds > 1)
+	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1, a.plan.Rounds > 1, a.plan.ReadOnly)
 	if c.OnComplete != nil {
 		c.OnComplete(a.inv, r)
 	}

@@ -214,6 +214,7 @@ func (c *Coordinator) sendRound(ctx *sim.Context, t *ctxn, work map[msg.Partitio
 			Client:         t.req.Client,
 			MultiPartition: true,
 			CanAbort:       t.req.CanAbort,
+			ReadOnly:       t.req.ReadOnly,
 			Gen:            c.gen[p],
 		}
 		if t.round == 0 && t.req.AbortAt == p {

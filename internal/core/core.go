@@ -1,4 +1,4 @@
-// Package core implements the paper's contribution: three low-overhead
+// Package core implements the paper's contribution: low-overhead
 // concurrency control schemes for single-threaded, partitioned, main-memory
 // execution engines.
 //
@@ -11,6 +11,11 @@
 //     physical) concurrency, with a lock-free fast path when no transactions
 //     are active, waits-for cycle detection, and distributed-deadlock
 //     timeouts.
+//
+// Two beyond-the-paper schemes from the main-memory literature (Larson et
+// al.) live in sibling packages behind the same Engine interface:
+// multiversion timestamp ordering (internal/mvcc) and optimistic validation
+// (internal/occ).
 //
 // Engines are pure state machines: all I/O, storage, timing and replication
 // effects go through the Env interface provided by the hosting partition
@@ -34,6 +39,14 @@ const (
 	SchemeSpeculative
 	// SchemeLocking is single-threaded strict two-phase locking (§4.3).
 	SchemeLocking
+	// SchemeMVCC is multiversion timestamp ordering (internal/mvcc):
+	// read-only transactions read a consistent snapshot and never block or
+	// abort; conflicting writes abort the later timestamp.
+	SchemeMVCC
+	// SchemeOCC is optimistic concurrency control (internal/occ): read/write
+	// sets are tracked during execution and validated at commit; validation
+	// failure aborts and retries through the client resend path.
+	SchemeOCC
 )
 
 func (s Scheme) String() string {
@@ -44,6 +57,10 @@ func (s Scheme) String() string {
 		return "speculation"
 	case SchemeLocking:
 		return "locking"
+	case SchemeMVCC:
+		return "mvcc"
+	case SchemeOCC:
+		return "occ"
 	}
 	return "unknown"
 }
@@ -122,6 +139,12 @@ type EngineStats struct {
 	// detection and of the distributed deadlock timeout (§4.3).
 	DeadlockKills uint64
 	TimeoutKills  uint64
+	// ValidationAborts counts transactions the OCC engine killed because
+	// commit-time validation failed (stale read set or conflicting write).
+	ValidationAborts uint64
+	// TSOrderAborts counts transactions the MVCC engine killed because an
+	// access conflicted with a concurrent transaction in timestamp order.
+	TSOrderAborts uint64
 }
 
 // Add returns the field-wise sum of two stat sets. The hosting partition uses
@@ -129,13 +152,15 @@ type EngineStats struct {
 // adaptive scheme switches.
 func (s EngineStats) Add(o EngineStats) EngineStats {
 	return EngineStats{
-		Executed:      s.Executed + o.Executed,
-		FastPath:      s.FastPath + o.FastPath,
-		Speculated:    s.Speculated + o.Speculated,
-		Redone:        s.Redone + o.Redone,
-		LocalAborts:   s.LocalAborts + o.LocalAborts,
-		DeadlockKills: s.DeadlockKills + o.DeadlockKills,
-		TimeoutKills:  s.TimeoutKills + o.TimeoutKills,
+		Executed:         s.Executed + o.Executed,
+		FastPath:         s.FastPath + o.FastPath,
+		Speculated:       s.Speculated + o.Speculated,
+		Redone:           s.Redone + o.Redone,
+		LocalAborts:      s.LocalAborts + o.LocalAborts,
+		DeadlockKills:    s.DeadlockKills + o.DeadlockKills,
+		TimeoutKills:     s.TimeoutKills + o.TimeoutKills,
+		ValidationAborts: s.ValidationAborts + o.ValidationAborts,
+		TSOrderAborts:    s.TSOrderAborts + o.TSOrderAborts,
 	}
 }
 

@@ -27,10 +27,13 @@ const ProcName = "kv.readwrite"
 // Args invokes the read/write transaction: for each partition, the listed
 // keys are read and incremented. TwoRound splits the work into a read round
 // and a write round with a coordinator hop between them (§5.4's "general"
-// multi-partition transactions).
+// multi-partition transactions). ReadOnly reads the keys without updating
+// them — a declared read-only transaction (always single-round), which the
+// MVCC engine serves from a snapshot.
 type Args struct {
 	Keys     map[msg.PartitionID][]string
 	TwoRound bool
+	ReadOnly bool
 }
 
 // work is the per-partition fragment input.
@@ -38,8 +41,12 @@ type work struct {
 	Keys  []string
 	Round int
 	// ReadOnly marks round 0 of a two-round transaction (reads only;
-	// the writes come back in round 1).
+	// the writes come back in round 1). The keys are still read with
+	// update intent: the writes follow in round 1.
 	ReadOnly bool
+	// Shared marks a declared read-only transaction's fragment: keys are
+	// read with shared access and never written.
+	Shared bool
 	// Vals carries the round-1 write values for two-round transactions,
 	// computed at the coordinator from the round-0 reads.
 	Vals []int64
@@ -54,6 +61,9 @@ func (w *work) AppendLog(dst []byte) []byte {
 	dst = strconv.AppendInt(dst, int64(w.Round), 10)
 	if w.ReadOnly {
 		dst = append(dst, " ro"...)
+	}
+	if w.Shared {
+		dst = append(dst, " s"...)
 	}
 	for i, k := range w.Keys {
 		dst = append(dst, ' ')
@@ -80,6 +90,14 @@ func (Proc) Plan(args any, cat *txn.Catalog) txn.Plan {
 		parts = append(parts, p)
 	}
 	slices.Sort(parts)
+	if a.ReadOnly {
+		// Declared read-only: one round of shared reads, no writes.
+		w := make(map[msg.PartitionID]any, len(parts))
+		for _, p := range parts {
+			w[p] = &work{Keys: a.Keys[p], Round: 0, Shared: true}
+		}
+		return txn.Plan{Parts: parts, Work: w, Rounds: 1, ReadOnly: true}
+	}
 	rounds := 1
 	if a.TwoRound {
 		rounds = 2
@@ -121,6 +139,18 @@ func (Proc) Run(view *storage.TxnView, w any) (any, error) {
 			view.Put(Table, k, wk.Vals[i])
 		}
 		return int64(len(wk.Keys)), nil
+	}
+	if wk.Shared {
+		// Declared read-only transaction: shared reads, no update intent.
+		vals := make([]int64, len(wk.Keys))
+		for i, k := range wk.Keys {
+			v, ok := view.Get(Table, k)
+			if !ok {
+				return nil, fmt.Errorf("kvstore: missing key %q", k)
+			}
+			vals[i] = v.(int64)
+		}
+		return vals, nil
 	}
 	vals := make([]int64, len(wk.Keys))
 	for i, k := range wk.Keys {

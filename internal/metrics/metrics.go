@@ -21,6 +21,9 @@ type Counts struct {
 	// CommittedMR counts committed multi-partition transactions that took
 	// more than one fragment round (§5.4's "general" transactions).
 	CommittedMR uint64
+	// CommittedRO counts committed transactions declared read-only — the
+	// read-fraction signal the MVCC cost term needs.
+	CommittedRO uint64
 	Retries     uint64
 	// Shed counts open-loop arrivals dropped because the client's in-flight
 	// window and pending queue were both full — the backpressure signal of
@@ -41,6 +44,7 @@ func (c Counts) Sub(prev Counts) Counts {
 		CommittedSP: c.CommittedSP - prev.CommittedSP,
 		CommittedMP: c.CommittedMP - prev.CommittedMP,
 		CommittedMR: c.CommittedMR - prev.CommittedMR,
+		CommittedRO: c.CommittedRO - prev.CommittedRO,
 		Retries:     c.Retries - prev.Retries,
 		Shed:        c.Shed - prev.Shed,
 	}
@@ -65,6 +69,16 @@ func (c Counts) MultiRoundFraction() float64 {
 	return float64(c.CommittedMR) / float64(c.CommittedMP)
 }
 
+// ReadFraction returns the fraction of committed transactions that were
+// declared read-only — the signal that makes MVCC attractive in the §6-style
+// model extension.
+func (c Counts) ReadFraction() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return float64(c.CommittedRO) / float64(c.Committed)
+}
+
 // AbortRate returns user aborts per completed transaction (§5.3's abort
 // frequency, measured).
 func (c Counts) AbortRate() float64 {
@@ -85,7 +99,7 @@ func (c Counts) ConflictRate() float64 {
 }
 
 // record classifies one completion.
-func (c *Counts) record(committed, multiPartition, multiRound bool) {
+func (c *Counts) record(committed, multiPartition, multiRound, readOnly bool) {
 	if committed {
 		c.Committed++
 		if multiPartition {
@@ -95,6 +109,9 @@ func (c *Counts) record(committed, multiPartition, multiRound bool) {
 			}
 		} else {
 			c.CommittedSP++
+		}
+		if readOnly {
+			c.CommittedRO++
 		}
 	} else {
 		c.UserAborted++
@@ -341,14 +358,14 @@ func (c *Collector) inWindow(now sim.Time) bool {
 // (§5.3: the abort is the transaction's outcome); deadlock/timeout kills must
 // be reported via Retry instead, followed eventually by a completion.
 // multiRound marks multi-partition transactions that took more than one
-// fragment round.
-func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound bool) {
-	c.Totals.record(committed, multiPartition, multiRound)
+// fragment round; readOnly marks declared read-only transactions.
+func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound, readOnly bool) {
+	c.Totals.record(committed, multiPartition, multiRound, readOnly)
 	c.TotalLat.Add(now-start, multiPartition, !committed)
 	if !c.inWindow(now) {
 		return
 	}
-	c.Window.record(committed, multiPartition, multiRound)
+	c.Window.record(committed, multiPartition, multiRound, readOnly)
 	c.WindowLat.Add(now-start, multiPartition, !committed)
 }
 

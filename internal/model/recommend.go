@@ -16,8 +16,14 @@ type Observed struct {
 	// AbortRate is user aborts per completed transaction (§5.3).
 	AbortRate float64
 	// ConflictRate is deadlock/timeout retries per completed transaction —
-	// the locking scheme's measured conflict signal (§5.2).
+	// the conflict signal measured under the retrying schemes: locking
+	// (deadlock/timeout kills, §5.2), OCC (validation failures) and MVCC
+	// (timestamp-order kills).
 	ConflictRate float64
+	// ReadFraction is the fraction of committed transactions that were
+	// declared read-only — the signal MVCC needs: its snapshot reads pay
+	// no versioning tax and can never conflict.
+	ReadFraction float64
 }
 
 // Predict returns the modelled throughput (transactions/second on the
@@ -67,19 +73,41 @@ func (p Params) Predict(sc core.Scheme, o Observed) float64 {
 		l := 1 + p.L
 		base := 2*f*l*secs(p.TmpC) + (1-f)*l*secs(p.TspS)
 		return 2 / (base * (1 + o.ConflictRate))
+	case core.SchemeOCC:
+		oo := 1 + p.O
+		base := 2*f*oo*secs(p.TmpC) + (1-f)*oo*secs(p.TspS)
+		// A conflict under OCC is discovered at validation, after the whole
+		// transaction has executed: each observed retry wastes a full
+		// execution on top of the retried one, so conflicts cost double
+		// what they cost locking (which blocks instead of wasting work).
+		// Like locking, OCC keeps executing through intermediate rounds and
+		// is charged nothing for MultiRound.
+		return 2 / (base * (1 + 2*o.ConflictRate))
+	case core.SchemeMVCC:
+		v := 1 + p.V
+		r := o.ReadFraction
+		base := 2*f*v*secs(p.TmpC) + (1-f)*(r*secs(p.Tsp)+(1-r)*v*secs(p.TspS))
+		// Declared read-only transactions run from snapshots and never
+		// conflict or retry; only the read-write fraction is exposed to
+		// timestamp-order kills, each wasting an execution like OCC's
+		// validation failures.
+		return 2 / (base * (1 + 2*(1-r)*o.ConflictRate))
 	}
 	return 0
 }
 
 // Recommend returns the scheme the model predicts fastest for the observed
-// workload — the §5.7 runtime planner. Exact ties prefer the scheme with the
-// least machinery: blocking before speculation before locking. (At f = 0 all
-// three schemes run the same lock-free fast path, and blocking's prediction
-// ties speculation's; the advisor's hysteresis keeps such ties from causing
-// switches.)
+// workload — the §5.7 runtime planner, extended over all five schemes.
+// Exact ties prefer the scheme with the least machinery: blocking before
+// speculation before locking before OCC before MVCC. (At f = 0 with no
+// conflicts and no read-only load, blocking's prediction ties speculation's
+// — all schemes run the same lock-free fast path — and the advisor's
+// hysteresis keeps such ties from causing switches.)
 func (p Params) Recommend(o Observed) core.Scheme {
 	best, bestT := core.SchemeBlocking, p.Predict(core.SchemeBlocking, o)
-	for _, sc := range []core.Scheme{core.SchemeSpeculative, core.SchemeLocking} {
+	for _, sc := range []core.Scheme{
+		core.SchemeSpeculative, core.SchemeLocking, core.SchemeOCC, core.SchemeMVCC,
+	} {
 		if t := p.Predict(sc, o); t > bestT {
 			best, bestT = sc, t
 		}

@@ -41,6 +41,10 @@ type Request struct {
 	// CanAbort marks procedures that may issue a user abort; those are
 	// executed with an undo buffer even on the fast path (§3.2).
 	CanAbort bool
+	// ReadOnly declares that the transaction performs no writes. The MVCC
+	// engine runs declared read-only transactions against a consistent
+	// snapshot: they never block and never abort.
+	ReadOnly bool
 	// AbortAt injects a deterministic abort at the given partition
 	// (§5.3); -1 disables injection.
 	AbortAt PartitionID
@@ -72,6 +76,9 @@ type Fragment struct {
 	MultiPartition bool
 	// CanAbort propagates Request.CanAbort.
 	CanAbort bool
+	// ReadOnly propagates Request.ReadOnly: the fragment performs no
+	// writes, so MVCC serves it from a snapshot without conflict checks.
+	ReadOnly bool
 	// InjectAbort makes the fragment abort at the start of execution
 	// (the abort-rate microbenchmark, §5.3).
 	InjectAbort bool

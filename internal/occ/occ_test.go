@@ -1,0 +1,336 @@
+package occ
+
+import (
+	"testing"
+
+	"specdb/internal/core"
+	"specdb/internal/msg"
+	"specdb/internal/sim"
+	"specdb/internal/storage"
+	"specdb/internal/undo"
+)
+
+// workFn is the fragment body representation used by these tests: fragments
+// carry executable closures so no procedure registry is needed.
+type workFn func(v *storage.TxnView) (any, error)
+
+// fakeEnv implements core.Env against a real store, recording all outputs.
+type fakeEnv struct {
+	t     *testing.T
+	store *storage.Store
+	undos map[msg.TxnID]*undo.Buffer
+
+	results   []*msg.FragmentResult
+	replies   []*msg.ClientReply
+	decisions int
+}
+
+func newFakeEnv(t *testing.T) *fakeEnv {
+	s := storage.NewStore()
+	s.AddTable(storage.NewBTreeTable("kv"))
+	return &fakeEnv{t: t, store: s, undos: make(map[msg.TxnID]*undo.Buffer)}
+}
+
+func (e *fakeEnv) Execute(f *msg.Fragment, withUndo bool, locker storage.Locker) core.ExecOutcome {
+	var buf *undo.Buffer
+	if withUndo {
+		buf = e.undos[f.Txn]
+		if buf == nil {
+			buf = undo.New()
+			e.undos[f.Txn] = buf
+		}
+	}
+	if f.InjectAbort {
+		if buf != nil {
+			buf.Rollback()
+		}
+		return core.ExecOutcome{Aborted: true}
+	}
+	view := storage.NewTxnView(e.store, buf, locker)
+	out, err := f.Work.(workFn)(view)
+	if err != nil {
+		if buf != nil {
+			buf.Rollback()
+		}
+		return core.ExecOutcome{Output: out, Aborted: true}
+	}
+	return core.ExecOutcome{Output: out}
+}
+
+func (e *fakeEnv) Rollback(id msg.TxnID) {
+	if buf := e.undos[id]; buf != nil {
+		buf.Rollback()
+	}
+}
+
+func (e *fakeEnv) Forget(id msg.TxnID) { delete(e.undos, id) }
+
+func (e *fakeEnv) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
+	e.results = append(e.results, r)
+}
+
+func (e *fakeEnv) ReplyClient(f *msg.Fragment, reply *msg.ClientReply) {
+	e.replies = append(e.replies, reply)
+}
+
+func (e *fakeEnv) After(d sim.Time, payload any) {}
+
+func (e *fakeEnv) ChargeDecision() { e.decisions++ }
+
+func (e *fakeEnv) get(key string) int {
+	v, ok := e.store.Table("kv").Get(key)
+	if !ok {
+		e.t.Fatalf("key %q missing", key)
+	}
+	return v.(int)
+}
+
+func (e *fakeEnv) set(key string, v int) {
+	e.store.Table("kv").Put(key, v)
+}
+
+// Fragment builders.
+
+func spFrag(id uint64, fn workFn) *msg.Fragment {
+	return &msg.Fragment{Txn: msg.TxnID(id), Proc: "w", Last: true, Work: fn, Client: 99}
+}
+
+func mpFrag(id uint64, round int, last bool, fn workFn) *msg.Fragment {
+	return &msg.Fragment{
+		Txn: msg.TxnID(id), Proc: "w", Round: round, Last: last,
+		Work: fn, Coord: 7, MultiPartition: true,
+	}
+}
+
+func readKey(key string) workFn {
+	return func(v *storage.TxnView) (any, error) {
+		val, _ := v.Get("kv", key)
+		return val, nil
+	}
+}
+
+func writeKey(key string, val int) workFn {
+	return func(v *storage.TxnView) (any, error) {
+		v.Put("kv", key, val)
+		return val, nil
+	}
+}
+
+func newEngine(t *testing.T) (*Engine, *fakeEnv) {
+	env := newFakeEnv(t)
+	return New(env, Config{}), env
+}
+
+func lastReply(t *testing.T, env *fakeEnv) *msg.ClientReply {
+	t.Helper()
+	if len(env.replies) == 0 {
+		t.Fatal("no client replies")
+	}
+	return env.replies[len(env.replies)-1]
+}
+
+func lastResult(t *testing.T, env *fakeEnv) *msg.FragmentResult {
+	t.Helper()
+	if len(env.results) == 0 {
+		t.Fatal("no fragment results")
+	}
+	return env.results[len(env.results)-1]
+}
+
+func TestIdleFastPath(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+	e.Fragment(spFrag(1, writeKey("a", 2)))
+	r := lastReply(t, env)
+	if !r.Committed || env.get("a") != 2 {
+		t.Fatalf("fast-path txn not committed: %+v, a=%d", r, env.get("a"))
+	}
+	if s := e.Stats(); s.FastPath != 1 || s.Executed != 1 {
+		t.Fatalf("stats = %+v, want FastPath=1", s)
+	}
+	if !e.Quiescent() {
+		t.Fatal("engine not quiescent after fast path")
+	}
+}
+
+// TestStaleReadSetAtValidation: a multi-partition reader whose read set is
+// overwritten by a commit between its rounds must fail backward validation at
+// its vote and be killed for client retry.
+func TestStaleReadSetAtValidation(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+
+	// T1 reads a in round 0 and stays live.
+	e.Fragment(mpFrag(1, 0, false, readKey("a")))
+	if r := lastResult(t, env); r.Aborted {
+		t.Fatalf("round 0 aborted: %+v", r)
+	}
+	// T2 (single-partition, tracked because T1 is pending) overwrites a and
+	// commits.
+	e.Fragment(spFrag(2, writeKey("a", 2)))
+	if r := lastReply(t, env); !r.Committed {
+		t.Fatalf("T2 not committed: %+v", r)
+	}
+	// T1's vote must fail validation: its read of a is stale.
+	e.Fragment(mpFrag(1, 1, true, readKey("a")))
+	r := lastResult(t, env)
+	if !r.Aborted || !r.Killed {
+		t.Fatalf("T1 vote = %+v, want Aborted+Killed", r)
+	}
+	if s := e.Stats(); s.ValidationAborts != 1 {
+		t.Fatalf("ValidationAborts = %d, want 1", s.ValidationAborts)
+	}
+	if !e.Quiescent() {
+		t.Fatal("engine not quiescent after kill")
+	}
+}
+
+// TestWriteWriteOverlapKilledEagerly: two live writers of one row are never
+// admitted — the second aborts at access time, before validation.
+func TestWriteWriteOverlapKilledEagerly(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+
+	e.Fragment(mpFrag(1, 0, false, writeKey("a", 10)))
+	e.Fragment(spFrag(2, writeKey("a", 20)))
+	r := lastReply(t, env)
+	if !r.Retryable || r.Committed {
+		t.Fatalf("overlapping writer reply = %+v, want Retryable", r)
+	}
+	if s := e.Stats(); s.ValidationAborts != 1 {
+		t.Fatalf("ValidationAborts = %d, want 1", s.ValidationAborts)
+	}
+	// T1's dirty write survives its rival's rollback and commits.
+	e.Fragment(mpFrag(1, 1, true, readKey("a")))
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if env.get("a") != 10 {
+		t.Fatalf("a = %d, want 10", env.get("a"))
+	}
+}
+
+// TestVotedReadSetIsInviolable: once a transaction has voted yes, a writer
+// that would invalidate its read set aborts instead — a vote cannot be
+// retracted.
+func TestVotedReadSetIsInviolable(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+
+	// T1 reads a and votes (last fragment of a one-round MP transaction).
+	e.Fragment(mpFrag(1, 0, true, readKey("a")))
+	if r := lastResult(t, env); r.Aborted {
+		t.Fatalf("T1 vote aborted: %+v", r)
+	}
+	// T2 tries to overwrite a while T1's vote is outstanding.
+	e.Fragment(spFrag(2, writeKey("a", 2)))
+	if r := lastReply(t, env); !r.Retryable {
+		t.Fatalf("writer against voted reader = %+v, want Retryable", r)
+	}
+	// T1's commit decision lands cleanly.
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if !e.Quiescent() || env.get("a") != 1 {
+		t.Fatalf("post-commit: quiescent=%v a=%d", e.Quiescent(), env.get("a"))
+	}
+}
+
+// TestDirtyReaderDoomedByRollback: a transaction that read another's
+// uncommitted write is doomed when that write rolls back, and fails its own
+// validation even though the conflicting state is gone.
+func TestDirtyReaderDoomedByRollback(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+
+	// T1 writes a uncommitted.
+	e.Fragment(mpFrag(1, 0, false, writeKey("a", 10)))
+	// T2 dirty-reads a (allowed; settled at validation).
+	e.Fragment(mpFrag(2, 0, false, readKey("a")))
+	if out := lastResult(t, env).Output; out != 10 {
+		t.Fatalf("dirty read = %v, want 10", out)
+	}
+	// T1 aborts: its write vanishes, dooming T2.
+	e.Decision(&msg.Decision{Txn: 1, Commit: false})
+	if env.get("a") != 1 {
+		t.Fatalf("rollback failed: a = %d", env.get("a"))
+	}
+	// T2's vote must fail.
+	e.Fragment(mpFrag(2, 1, true, readKey("a")))
+	r := lastResult(t, env)
+	if !r.Aborted || !r.Killed {
+		t.Fatalf("doomed T2 vote = %+v, want Aborted+Killed", r)
+	}
+}
+
+// TestValidateAfterDrain: draining the engine clears the committed-write log;
+// a transaction beginning after the drain must still validate correctly
+// against writes committed before it began.
+func TestValidateAfterDrain(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+
+	// A tracked commit populates committedWrites...
+	e.Fragment(mpFrag(1, 0, true, writeKey("a", 2)))
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if !e.Quiescent() {
+		t.Fatal("not quiescent after commit")
+	}
+	// ...which the drain clears.
+	if len(e.committedWrites) != 0 {
+		t.Fatalf("committedWrites not cleared at quiesce: %v", e.committedWrites)
+	}
+	// A new transaction starting after the drain reads a and must commit:
+	// the cleared entries are all at or below its start sequence.
+	e.Fragment(mpFrag(2, 0, true, readKey("a")))
+	e.Decision(&msg.Decision{Txn: 2, Commit: true})
+	if !e.Quiescent() {
+		t.Fatal("post-drain reader did not commit")
+	}
+	if s := e.Stats(); s.ValidationAborts != 0 {
+		t.Fatalf("ValidationAborts = %d, want 0", s.ValidationAborts)
+	}
+}
+
+// TestDisableValidationAdmitsStaleRead: the negative-control configuration
+// commits a transaction whose read set went stale — the unserializable
+// behavior the oracle must catch.
+func TestDisableValidationAdmitsStaleRead(t *testing.T) {
+	env := newFakeEnv(t)
+	e := New(env, Config{DisableValidation: true})
+	env.set("a", 1)
+
+	e.Fragment(mpFrag(1, 0, false, readKey("a")))
+	e.Fragment(spFrag(2, writeKey("a", 2)))
+	e.Fragment(mpFrag(1, 1, true, readKey("a")))
+	r := lastResult(t, env)
+	if r.Aborted || r.Killed {
+		t.Fatalf("broken engine validated: %+v", r)
+	}
+	e.Decision(&msg.Decision{Txn: 1, Commit: true})
+	if s := e.Stats(); s.ValidationAborts != 0 {
+		t.Fatalf("ValidationAborts = %d, want 0", s.ValidationAborts)
+	}
+}
+
+// TestValidationAllocsFree pins the validation path at zero allocations: it
+// runs on every single-partition commit and every 2PC vote.
+func TestValidationAllocsFree(t *testing.T) {
+	e, env := newEngine(t)
+	env.set("a", 1)
+	env.set("b", 1)
+
+	// A live transaction with a populated read set.
+	e.Fragment(mpFrag(1, 0, false, func(v *storage.TxnView) (any, error) {
+		v.Get("kv", "a")
+		v.Get("kv", "b")
+		return nil, nil
+	}))
+	tx := e.pending[1]
+	if tx == nil || len(tx.readSet) != 2 {
+		t.Fatalf("read set not tracked: %+v", tx)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if !e.validate(tx) {
+			t.Fatal("validate failed")
+		}
+	}); avg != 0 {
+		t.Fatalf("validate allocates %v per run, want 0", avg)
+	}
+}

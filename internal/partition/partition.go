@@ -21,6 +21,7 @@ import (
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
 	"specdb/internal/msg"
+	"specdb/internal/oracle"
 	"specdb/internal/sim"
 	"specdb/internal/simnet"
 	"specdb/internal/storage"
@@ -59,6 +60,12 @@ type Config struct {
 	DetectTimeout sim.Time
 	// Rec records failover events (may be nil outside fault runs).
 	Rec *metrics.Collector
+
+	// History, when non-nil, records every committed transaction's value
+	// trace and this partition's commit order for the serializability
+	// oracle (internal/oracle). Test-only: production runs leave it nil,
+	// which costs one pointer check per execution.
+	History *oracle.PartitionHistory
 }
 
 // Partition is the primary process for one partition.
@@ -246,6 +253,16 @@ func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
 		if len(p.cfg.Backups) > 0 {
 			for _, b := range p.cfg.Backups {
 				p.cfg.Net.Send(ctx, b, &msg.ReplicaDecision{Txn: v.Txn, Commit: v.Commit})
+			}
+		}
+		if p.cfg.History != nil {
+			// The decision is this partition's commit point for the
+			// multi-partition transaction: seal (or discard) its trace
+			// before the engine releases anything serialized after it.
+			if v.Commit {
+				p.cfg.History.Commit(v.Txn)
+			} else {
+				p.cfg.History.Drop(v.Txn)
 			}
 		}
 		p.engine.Decision(v)
@@ -455,6 +472,15 @@ func (p *Partition) Execute(f *msg.Fragment, withUndo bool, locker storage.Locke
 	} else {
 		view.Reset(p.cfg.Store, buf, nil)
 	}
+	if p.cfg.History != nil {
+		// Installed after Reset (which wipes Obs). MVCC snapshot readers
+		// serialize at their snapshot point, not their commit point: pin
+		// their position in the serial order now.
+		view.Obs = p.cfg.History.Observer(f.Txn)
+		if f.ReadOnly && p.engine.Scheme() == core.SchemeMVCC {
+			p.cfg.History.Pin(f.Txn)
+		}
+	}
 	proc := p.cfg.Registry.Get(f.Proc)
 	out, err := proc.Run(view, f.Work)
 	cost := p.cfg.Costs.Fragment(f.Proc, view.Reads+view.Writes, view.Writes, view.LockAcquires, withUndo)
@@ -463,6 +489,9 @@ func (p *Partition) Execute(f *msg.Fragment, withUndo bool, locker storage.Locke
 	if err != nil {
 		if buf != nil {
 			buf.Rollback()
+		}
+		if p.cfg.History != nil {
+			p.cfg.History.Drop(f.Txn)
 		}
 		return core.ExecOutcome{Output: out, Aborted: true}
 	}
@@ -486,6 +515,9 @@ func (p *Partition) Rollback(id msg.TxnID) {
 		buf.Rollback()
 	}
 	delete(p.works, id)
+	if p.cfg.History != nil {
+		p.cfg.History.Drop(id)
+	}
 }
 
 // Forget drops undo and forwarding state, recycling the undo buffer.
@@ -522,6 +554,12 @@ func (p *Partition) SendResult(f *msg.Fragment, r *msg.FragmentResult) {
 // client [when] all acknowledgments from the backups are received", §3.2).
 func (p *Partition) ReplyClient(f *msg.Fragment, reply *msg.ClientReply) {
 	p.RepliesOut++
+	if p.cfg.History != nil && reply.Committed {
+		// The committed reply is a single-partition transaction's commit
+		// point (speculative engines call this only on release, in commit
+		// order).
+		p.cfg.History.Commit(f.Txn)
+	}
 	if (len(p.cfg.Backups) > 0 || p.cfg.Logger != nil) && reply.Committed {
 		p.gateSend(f.Txn, true, f.Client, reply, func() {
 			p.cfg.Net.Send(p.ctx, f.Client, reply)

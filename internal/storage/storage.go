@@ -304,11 +304,28 @@ type Locker interface {
 	Lock(table, key string, exclusive bool)
 }
 
+// Observer sees every row access a TxnView performs, with the value read or
+// written. The serializability oracle (internal/oracle) installs one to build
+// per-transaction value traces; a nil Observer costs one branch per access.
+// Retaining observed values is safe under the copy-on-write row discipline.
+type Observer interface {
+	// ObserveGet records a read (point read or scan visit) of a row that
+	// held val (ok) or was absent (!ok).
+	ObserveGet(table, key string, val any, ok bool)
+	// ObservePut records a write of val.
+	ObservePut(table, key string, val any)
+	// ObserveDelete records a delete.
+	ObserveDelete(table, key string)
+}
+
 // TxnView is the data access handle given to stored procedure fragments.
 type TxnView struct {
 	store  *Store
 	undo   *undo.Buffer
 	locker Locker
+	// Obs, when non-nil, observes every access with its value. Reset wipes
+	// it; hosts that install an Observer must re-set it after Reset.
+	Obs Observer
 	// Counters for the cost model and Table 2 instrumentation.
 	Reads, Writes, LockAcquires int
 }
@@ -345,7 +362,11 @@ func (v *TxnView) lock(table, key string, exclusive bool) {
 func (v *TxnView) Get(table, key string) (any, bool) {
 	v.lock(table, key, false)
 	v.Reads++
-	return v.store.Table(table).Get(key)
+	val, ok := v.store.Table(table).Get(key)
+	if v.Obs != nil {
+		v.Obs.ObserveGet(table, key, val, ok)
+	}
+	return val, ok
 }
 
 // GetForUpdate reads a row taking an exclusive lock up front. Read-modify-
@@ -354,7 +375,11 @@ func (v *TxnView) Get(table, key string) (any, bool) {
 func (v *TxnView) GetForUpdate(table, key string) (any, bool) {
 	v.lock(table, key, true)
 	v.Reads++
-	return v.store.Table(table).Get(key)
+	val, ok := v.store.Table(table).Get(key)
+	if v.Obs != nil {
+		v.Obs.ObserveGet(table, key, val, ok)
+	}
+	return val, ok
 }
 
 // Put writes a row (insert or update). The caller must not mutate a value
@@ -367,6 +392,9 @@ func (v *TxnView) Put(table, key string, val any) {
 	if v.undo != nil {
 		v.undo.Record(undo.Entry{Target: t, Key: key, Prev: prev, Existed: existed})
 	}
+	if v.Obs != nil {
+		v.Obs.ObservePut(table, key, val)
+	}
 }
 
 // Delete removes a row.
@@ -378,6 +406,9 @@ func (v *TxnView) Delete(table, key string) bool {
 	if v.undo != nil && existed {
 		v.undo.Record(undo.Entry{Target: t, Key: key, Prev: prev, Existed: true})
 	}
+	if v.Obs != nil {
+		v.Obs.ObserveDelete(table, key)
+	}
 	return existed
 }
 
@@ -388,6 +419,9 @@ func (v *TxnView) Ascend(table, lo, hi string, fn func(k string, val any) bool) 
 	v.store.Table(table).Ascend(lo, hi, func(k string, val any) bool {
 		v.lock(table, k, false)
 		v.Reads++
+		if v.Obs != nil {
+			v.Obs.ObserveGet(table, k, val, true)
+		}
 		return fn(k, val)
 	})
 }
@@ -397,6 +431,9 @@ func (v *TxnView) Descend(table, lo, hi string, fn func(k string, val any) bool)
 	v.store.Table(table).Descend(lo, hi, func(k string, val any) bool {
 		v.lock(table, k, false)
 		v.Reads++
+		if v.Obs != nil {
+			v.Obs.ObserveGet(table, k, val, true)
+		}
 		return fn(k, val)
 	})
 }

@@ -42,6 +42,10 @@ type Plan struct {
 	// CanAbort marks transactions that may issue a user abort and hence
 	// need an undo buffer even on the no-concurrency fast path (§3.2).
 	CanAbort bool
+	// ReadOnly declares that no fragment of the transaction writes. The
+	// client propagates it so the MVCC engine can serve the transaction
+	// from a consistent snapshot (never blocking, never aborting).
+	ReadOnly bool
 }
 
 // Procedure is a stored procedure. Implementations must be deterministic:

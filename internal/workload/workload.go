@@ -48,6 +48,12 @@ type Micro struct {
 	// TwoRound issues multi-partition transactions with separate read
 	// and write rounds (§5.4).
 	TwoRound bool
+	// ReadFraction, when in (0,1], makes that fraction of transactions
+	// declared read-only: the keys are read but not updated, and the plan
+	// is flagged ReadOnly so MVCC serves it from a snapshot. Read-only
+	// transactions are always single-round (TwoRound does not apply) and
+	// never inject aborts.
+	ReadFraction float64
 
 	// KeySkew, when in (0,1), replaces each client's private key range with
 	// Zipfian draws over the partition's shared keyspace (all Clients ×
@@ -178,6 +184,7 @@ func (m *Micro) skewKeys(b *microBuf, pid msg.PartitionID, n int, rng *rand.Rand
 func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	m.samplers()
 	mp := rng.Float64() < m.MPFraction
+	readOnly := m.ReadFraction > 0 && rng.Float64() < m.ReadFraction
 	b := m.buf(ci)
 	var inv *txn.Invocation
 	var args *kvstore.Args
@@ -190,6 +197,7 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 		clear(args.Keys)
 		args.TwoRound = false
 	}
+	args.ReadOnly = readOnly
 	parts := b.parts[:0]
 	if mp {
 		// Keys divided as evenly as possible across every partition:
@@ -252,6 +260,11 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	}
 	b.parts = parts
 	inv.AbortAt = txn.NoAbort
+	if readOnly {
+		// Read-only transactions are single-round and never abort.
+		args.TwoRound = false
+		return inv
+	}
 	if m.AbortProb > 0 && rng.Float64() < m.AbortProb {
 		// Multi-partition transactions abort locally at one partition;
 		// the other participants abort during 2PC (§5.3).

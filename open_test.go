@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"specdb/internal/workload"
@@ -98,6 +99,17 @@ func TestBadSchemeFailsAtOpen(t *testing.T) {
 	_, err := Open(append(minimalOpts(), WithScheme(Scheme(99)))...)
 	if !errors.Is(err, ErrBadScheme) {
 		t.Fatalf("unknown scheme: error = %v, want ErrBadScheme", err)
+	}
+}
+
+// TestBadSchemeErrorEnumeratesSchemes pins the error text to the full scheme
+// list: it is the first thing a user sees after a typo, and it silently went
+// stale once when new schemes were added.
+func TestBadSchemeErrorEnumeratesSchemes(t *testing.T) {
+	for _, want := range []string{"Blocking", "Speculation", "Locking", "MVCC", "OCC"} {
+		if !strings.Contains(ErrBadScheme.Error(), want) {
+			t.Errorf("ErrBadScheme = %q: missing %q", ErrBadScheme, want)
+		}
 	}
 }
 

@@ -18,8 +18,9 @@ var (
 	ErrNoRegistry = errors.New("specdb: no procedure registry (use WithRegistry)")
 	// ErrNoWorkload: no workload generator was supplied (WithWorkload).
 	ErrNoWorkload = errors.New("specdb: no workload generator (use WithWorkload)")
-	// ErrBadScheme: the scheme is not Blocking, Speculation or Locking.
-	ErrBadScheme = errors.New("specdb: unknown concurrency control scheme")
+	// ErrBadScheme: the scheme is not one of Blocking, Speculation,
+	// Locking, MVCC or OCC.
+	ErrBadScheme = errors.New("specdb: unknown concurrency control scheme (want Blocking, Speculation, Locking, MVCC or OCC)")
 	// ErrBadPartitions: the partition count is not positive.
 	ErrBadPartitions = errors.New("specdb: partition count must be positive")
 	// ErrBadClients: the client count is not positive.
@@ -81,6 +82,13 @@ type settings struct {
 	detect     fault.Detection
 	openLoop   *OpenLoopConfig
 	durable    *DurabilityConfig
+	// history enables the serializability oracle's per-partition value-
+	// trace recording (test-only; see internal/oracle and DB histories).
+	history bool
+	// brokenOCC disables OCC commit validation — the oracle's negative
+	// control: with it set, the OCC engine intentionally commits
+	// unserializable histories that Verify must reject (test-only).
+	brokenOCC bool
 }
 
 // defaultSettings mirrors the paper's testbed: two partitions, 40 closed-loop
@@ -107,7 +115,7 @@ func (s *settings) validate() error {
 		return fmt.Errorf("%w (got %d)", ErrBadReplicas, s.replicas)
 	}
 	switch s.scheme {
-	case Blocking, Speculation, Locking:
+	case Blocking, Speculation, Locking, MVCC, OCC:
 	default:
 		return fmt.Errorf("%w (%d)", ErrBadScheme, int(s.scheme))
 	}
@@ -463,6 +471,14 @@ func (s *settings) arrivalFor(i int) *client.Arrival {
 // withSeedOffset shifts the configured seed; Sweep uses it to derive distinct
 // deterministic seeds for repeated cells.
 func withSeedOffset(off int64) Option { return func(s *settings) { s.seed += off } }
+
+// withHistory enables serializability-oracle recording (test-only; the
+// histories are read back through DB.histories by this package's tests).
+func withHistory() Option { return func(s *settings) { s.history = true } }
+
+// withBrokenOCC disables OCC commit validation — the oracle tests' negative
+// control (test-only).
+func withBrokenOCC() Option { return func(s *settings) { s.brokenOCC = true } }
 
 // catalogOrDefault returns the configured catalog (or an empty one) with
 // NumPartitions filled in.

@@ -192,7 +192,7 @@ func TestCrashRestartStateEquivalence(t *testing.T) {
 // consistency conditions — the strongest end-to-end check that restart
 // recovery loses no committed transaction and applies none twice.
 func TestTPCCCrashRestartConsistency(t *testing.T) {
-	opts, layout := tpccOpts(Speculation, 4, 1200)
+	opts, layout, _ := tpccOpts(Speculation, 4, 1200)
 	completed := 0
 	opts = append(opts,
 		WithDurability(DurabilityConfig{}),

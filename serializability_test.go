@@ -1,0 +1,120 @@
+package specdb
+
+import (
+	"testing"
+
+	"specdb/internal/storage"
+	"specdb/internal/workload"
+)
+
+// This file is the serializability-oracle harness: every scheme runs
+// conflict-heavy, skewed and TPC-C workloads with per-partition value-trace
+// recording enabled (withHistory), and the recorded history of each
+// partition is verified offline against a serial replay in commit order (see
+// internal/oracle). A deliberately broken engine — OCC with validation
+// disabled — is the negative control proving the oracle has teeth.
+
+// initialStores replays the cluster's setup into fresh stores, capturing the
+// state each partition started from.
+func initialStores(parts int, setup func(PartitionID, *Store)) []*storage.Store {
+	out := make([]*storage.Store, parts)
+	for p := range out {
+		s := storage.NewStore()
+		setup(PartitionID(p), s)
+		out[p] = s
+	}
+	return out
+}
+
+// verifyOracle opens the cluster with history recording, runs it to
+// completion and checks every partition's trace against the oracle.
+func verifyOracle(t *testing.T, setup func(PartitionID, *Store), opts ...Option) {
+	t.Helper()
+	db := mustOpen(t, append(opts, withHistory())...)
+	db.Run()
+	initial := initialStores(len(db.histories), setup)
+	committed := 0
+	for p, h := range db.histories {
+		committed += h.Len()
+		if err := h.Verify(initial[p], db.PartitionStore(PartitionID(p))); err != nil {
+			t.Errorf("partition %d: %v", p, err)
+		}
+	}
+	if committed == 0 {
+		t.Fatal("oracle recorded no committed transactions")
+	}
+}
+
+// TestOracleMicroAllSchemes verifies serializability of every scheme on the
+// microbenchmark's two hostile regimes: explicit hot-key conflicts with user
+// aborts and two-round transactions, and Zipfian key skew. Both mix in
+// declared read-only transactions so MVCC's snapshot path is audited too.
+func TestOracleMicroAllSchemes(t *testing.T) {
+	workloads := []struct {
+		name string
+		mk   func() Generator
+	}{
+		{"conflicts", func() Generator {
+			return &workload.Limit{Gen: &workload.Micro{
+				Partitions: 2, KeysPerTxn: testKeys, MPFraction: 0.4,
+				ConflictProb: 0.5, Pinned: true, TwoRound: true,
+				AbortProb: 0.1, ReadFraction: 0.25,
+			}, N: 400}
+		}},
+		{"skew", func() Generator {
+			return &workload.Limit{Gen: &workload.Micro{
+				Partitions: 2, KeysPerTxn: testKeys, MPFraction: 0.3,
+				KeySkew: 0.99, ReadFraction: 0.25,
+			}, N: 400}
+		}},
+	}
+	for _, w := range workloads {
+		for _, scheme := range allSchemes {
+			t.Run(w.name+"/"+scheme.String(), func(t *testing.T) {
+				verifyOracle(t, kvSetup(testClients), drainOpts(scheme, w.mk())...)
+			})
+		}
+	}
+}
+
+// TestOracleTPCCAllSchemes verifies serializability of every scheme on the
+// TPC-C mix — multi-round distributed transactions, user aborts and hot
+// district rows — independently of the TPC-C consistency conditions.
+func TestOracleTPCCAllSchemes(t *testing.T) {
+	for _, scheme := range allSchemes {
+		t.Run(scheme.String(), func(t *testing.T) {
+			opts, _, loader := tpccOpts(scheme, 4, 600)
+			verifyOracle(t, loader.Load, opts...)
+		})
+	}
+}
+
+// TestOracleFlagsBrokenEngine is the negative control: OCC with commit-time
+// validation disabled commits transactions whose reads went stale, and the
+// oracle must reject at least one partition's history. If this test fails,
+// the oracle is vacuous.
+//
+// The workload needs shared reads to expose the hole: the microbenchmark's
+// read-write transactions read with update intent, which the engine's (still
+// enabled) eager write-write rule serializes on its own. Declared read-only
+// transactions read shared — multi-partition ones hold their read sets
+// across a 2PC round trip, exactly the window where a skipped backward
+// validation admits stale and dirty reads.
+func TestOracleFlagsBrokenEngine(t *testing.T) {
+	gen := &workload.Limit{Gen: &workload.Micro{
+		Partitions: 2, KeysPerTxn: testKeys, MPFraction: 0.5,
+		ConflictProb: 0.8, Pinned: true, TwoRound: true, AbortProb: 0.1,
+		ReadFraction: 0.4,
+	}, N: 400}
+	opts := append(drainOpts(OCC, gen), withHistory(), withBrokenOCC())
+	db := mustOpen(t, opts...)
+	db.Run()
+	initial := initialStores(len(db.histories), kvSetup(testClients))
+	for p, h := range db.histories {
+		if err := h.Verify(initial[p], db.PartitionStore(PartitionID(p))); err != nil {
+			t.Logf("oracle correctly flagged partition %d: %v", p, err)
+			return
+		}
+	}
+	t.Fatal("oracle passed an engine that skips validation")
+}

@@ -14,6 +14,9 @@ const (
 	testKeys    = 12
 )
 
+// allSchemes is every concurrency control scheme the facade exposes.
+var allSchemes = []Scheme{Blocking, Speculation, Locking, MVCC, OCC}
+
 func kvRegistry() *Registry {
 	reg := NewRegistry()
 	reg.Register(kvstore.Proc{})
@@ -76,7 +79,7 @@ func drainOpts(scheme Scheme, gen Generator) []Option {
 }
 
 func TestAllSchemesRunScriptToCompletion(t *testing.T) {
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+	for _, scheme := range allSchemes {
 		t.Run(scheme.String(), func(t *testing.T) {
 			const n = 120
 			completions := 0
@@ -104,18 +107,21 @@ func TestAllSchemesRunScriptToCompletion(t *testing.T) {
 
 func TestSchemesAgreeOnFinalState(t *testing.T) {
 	var prints []uint64
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+	for _, scheme := range allSchemes {
 		db := mustOpen(t, drainOpts(scheme, scriptOf(90, 4))...)
 		db.Run()
 		prints = append(prints, db.PartitionStore(0).Fingerprint()^db.PartitionStore(1).Fingerprint())
 	}
-	if prints[0] != prints[1] || prints[1] != prints[2] {
-		t.Fatalf("final states diverge across schemes: %v", prints)
+	for i, p := range prints {
+		if p != prints[0] {
+			t.Fatalf("final state under %v diverges from %v: %v",
+				allSchemes[i], allSchemes[0], prints)
+		}
 	}
 }
 
 func TestInjectedAbortsLeaveNoTrace(t *testing.T) {
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+	for _, scheme := range allSchemes {
 		t.Run(scheme.String(), func(t *testing.T) {
 			// Every third transaction aborts at one partition.
 			script := scriptOf(90, 3)
@@ -193,7 +199,7 @@ func timedOpts(scheme Scheme, mpFrac float64) []Option {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+	for _, scheme := range allSchemes {
 		a := mustOpen(t, timedOpts(scheme, 0.2)...).Run()
 		b := mustOpen(t, timedOpts(scheme, 0.2)...).Run()
 		if a.Committed != b.Committed || a.Events != b.Events || a.P99 != b.P99 {

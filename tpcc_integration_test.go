@@ -9,8 +9,9 @@ import (
 )
 
 // tpccOpts configures a TPC-C cluster; n > 0 caps the workload for
-// run-to-quiescence tests.
-func tpccOpts(scheme Scheme, warehouses int, n int) ([]Option, tpcc.Layout) {
+// run-to-quiescence tests. The loader is returned so tests can rebuild the
+// initial stores (e.g. for the serializability oracle).
+func tpccOpts(scheme Scheme, warehouses int, n int) ([]Option, tpcc.Layout, tpcc.Loader) {
 	layout := tpcc.Layout{Warehouses: warehouses, Partitions: 2}
 	scale := tpcc.Scale{Items: 200, StockPerWarehouse: 200, CustomersPerDist: 30, InitialOrders: 10}
 	reg := NewRegistry()
@@ -35,7 +36,7 @@ func tpccOpts(scheme Scheme, warehouses int, n int) ([]Option, tpcc.Layout) {
 		WithCatalog(&Catalog{Meta: layout}),
 		WithSetup(loader.Load),
 		WithWorkloadFactory(mkGen),
-	}, layout
+	}, layout, loader
 }
 
 // TestTPCCConsistencyAllSchemes runs a finite TPC-C mix to quiescence under
@@ -43,9 +44,9 @@ func tpccOpts(scheme Scheme, warehouses int, n int) ([]Option, tpcc.Layout) {
 // end-to-end serializability oracle (lost updates, double-applied
 // speculation or phantom deliveries all break them).
 func TestTPCCConsistencyAllSchemes(t *testing.T) {
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
+	for _, scheme := range allSchemes {
 		t.Run(scheme.String(), func(t *testing.T) {
-			opts, layout := tpccOpts(scheme, 4, 1500)
+			opts, layout, _ := tpccOpts(scheme, 4, 1500)
 			committed, aborted := 0, 0
 			opts = append(opts, WithOnComplete(func(ci int, inv *Invocation, r *Reply) {
 				if r.Committed {
@@ -78,8 +79,8 @@ func TestTPCCConsistencyAllSchemes(t *testing.T) {
 // completion accounting is compared.
 func TestTPCCAllInvocationsComplete(t *testing.T) {
 	const n = 800
-	for _, scheme := range []Scheme{Blocking, Speculation, Locking} {
-		opts, _ := tpccOpts(scheme, 4, n)
+	for _, scheme := range allSchemes {
+		opts, _, _ := tpccOpts(scheme, 4, n)
 		completed := 0
 		opts = append(opts, WithOnComplete(func(ci int, inv *Invocation, r *Reply) { completed++ }))
 		db := mustOpen(t, opts...)
@@ -93,7 +94,7 @@ func TestTPCCAllInvocationsComplete(t *testing.T) {
 func TestTPCCReplicationConverges(t *testing.T) {
 	for _, scheme := range []Scheme{Speculation, Blocking} {
 		t.Run(scheme.String(), func(t *testing.T) {
-			opts, layout := tpccOpts(scheme, 4, 600)
+			opts, layout, _ := tpccOpts(scheme, 4, 600)
 			db := mustOpen(t, append(opts, WithReplicas(2))...)
 			db.Run()
 			// Key-for-key replica equivalence plus the TPC-C consistency
@@ -126,7 +127,7 @@ func TestTPCCReplicationConverges(t *testing.T) {
 // strongest end-to-end check that promotion loses no committed transaction
 // and applies none twice.
 func TestTPCCFailoverConsistency(t *testing.T) {
-	opts, layout := tpccOpts(Speculation, 4, 1200)
+	opts, layout, _ := tpccOpts(Speculation, 4, 1200)
 	completed := 0
 	opts = append(opts,
 		WithReplicas(2),
@@ -165,7 +166,7 @@ func TestTPCCFailoverConsistency(t *testing.T) {
 // via a scheme-axis Sweep: speculation > blocking > locking (locking pays
 // lock overhead plus contention on warehouse and district rows).
 func TestTPCCThroughputOrdering(t *testing.T) {
-	base, _ := tpccOpts(Speculation, 6, 0)
+	base, _, _ := tpccOpts(Speculation, 6, 0)
 	base = append(base,
 		WithClients(40),
 		WithWarmup(50*Millisecond),
