@@ -7,11 +7,13 @@
 //	ccbench -experiment all [-quick] [-csv | -json] [-seed 7]
 //	ccbench -experiment fig4 -quick -json -baseline BENCH_4.json -tolerance 0.25
 //	ccbench -experiment fig4 -cpuprofile cpu.out -memprofile mem.out
+//	ccbench -experiment parallel-speedup -shards 4 -json
 //
 // Each experiment prints the same rows/series the paper reports — plus the
 // beyond-the-paper load experiments (latency-openloop, zipf-skew), the
-// durability experiments (recovery-checkpoint, durable-overhead), and the
-// optimistic-engine crossovers (mvcc-crossover, occ-retry); see
+// durability experiments (recovery-checkpoint, durable-overhead), the
+// optimistic-engine crossovers (mvcc-crossover, occ-retry), and the sharded
+// parallel runtime sweep (parallel-speedup); see
 // EXPERIMENTS.md for the recorded comparison against the paper's curves.
 // With -json, one JSON object per grid cell is emitted (newline delimited)
 // for machine consumption (BENCH_*.json trajectories) — measured cells carry
@@ -40,11 +42,12 @@ import (
 
 func main() {
 	var (
-		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, or all)")
+		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, parallel-speedup, or all)")
 		quick      = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit newline-delimited JSON, one object per grid cell plus perf records")
 		seed       = flag.Int64("seed", 42, "simulation seed")
+		shards     = flag.Int("shards", 0, "run microbenchmark cells on the sharded parallel runtime at this width (0 = plain single-threaded scheduler; TPC-C cells always stay plain)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		baseline   = flag.String("baseline", "", "BENCH_*.json file to compare cell throughput against")
 		tolerance  = flag.Float64("tolerance", 0.25, "relative throughput drop vs -baseline that fails the run")
@@ -68,6 +71,7 @@ func main() {
 		opts = bench.QuickOpts()
 	}
 	opts.Seed = *seed
+	opts.Shards = *shards
 
 	var exps []bench.Experiment
 	if *expID == "all" {

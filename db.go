@@ -47,6 +47,7 @@ package specdb
 
 import (
 	"fmt"
+	"sync"
 
 	"specdb/internal/advisor"
 	"specdb/internal/client"
@@ -151,11 +152,15 @@ func DefaultCosts() CostModel { return costs.Default() }
 
 // DB is an assembled cluster: a handle that can be run to completion, driven
 // in increments, observed mid-run, and inspected afterwards. A DB is not
-// safe for concurrent use; the simulation is single-threaded by design.
+// safe for concurrent use; the drive calls are issued from one goroutine
+// even when WithParallelism fans the event loop out over shards.
 type DB struct {
 	cfg       settings
 	costModel CostModel
-	sch       *sim.Scheduler
+	sch       sim.Runtime
+	// shsch is the sharded runtime when WithParallelism is configured (the
+	// same object sch points at); nil on the single-threaded path.
+	shsch     *sim.ShardedScheduler
 	net       *simnet.Net
 	parts     []*partition.Partition
 	partIDs   []sim.ActorID
@@ -244,7 +249,16 @@ func Open(opts ...Option) (*DB, error) {
 	cat := cfg.catalogOrDefault()
 
 	db := &DB{cfg: cfg, costModel: cfg.costs}
-	db.sch = sim.New()
+	if cfg.parallel != nil {
+		hz := cfg.parallel.Horizon
+		if hz == 0 {
+			hz = cfg.costs.OneWayLatency
+		}
+		db.shsch = sim.NewSharded(cfg.parallel.Shards, hz)
+		db.sch = db.shsch
+	} else {
+		db.sch = sim.New()
+	}
 	db.net = simnet.New(db.costModel.OneWayLatency)
 
 	end := cfg.warmup + cfg.measure
@@ -278,6 +292,7 @@ func Open(opts ...Option) (*DB, error) {
 		if cfg.durable != nil {
 			diskID := db.sch.Register(fmt.Sprintf("disk-%d", p),
 				&durable.Disk{Latency: durCfg.DiskLatency, Bandwidth: durCfg.DiskBandwidth})
+			db.assign(diskID, db.groupShard(p))
 			lg = durable.NewLogger(durCfg, diskID)
 			db.loggers[p] = lg
 		}
@@ -299,6 +314,7 @@ func Open(opts ...Option) (*DB, error) {
 			History:       hist,
 		})
 		id := db.sch.Register(fmt.Sprintf("partition-%d", p), part)
+		db.assign(id, db.groupShard(p))
 		if lg != nil {
 			lg.Bind(id)
 			lg.InstallInitial(store)
@@ -324,6 +340,7 @@ func Open(opts ...Option) (*DB, error) {
 			b.Timeout = det.Timeout
 			b.Rec = db.collector
 			id := db.sch.Register(fmt.Sprintf("backup-%d-%d", p, r), b)
+			db.assign(id, db.groupShard(p))
 			b.Bind(id)
 			ids = append(ids, id)
 			db.backups[p] = append(db.backups[p], b)
@@ -348,6 +365,7 @@ func Open(opts ...Option) (*DB, error) {
 		append([]sim.ActorID(nil), db.partIDs...))
 	db.coord.Rec = db.collector
 	db.coordID = db.sch.Register("coordinator", db.coord)
+	db.assign(db.coordID, 0)
 	db.coord.Bind(db.coordID)
 	for p := range db.backups {
 		for _, b := range db.backups[p] {
@@ -367,6 +385,7 @@ func Open(opts ...Option) (*DB, error) {
 		r.Coordinator = db.coordID
 		r.Rec = db.collector
 		id := db.sch.Register(fmt.Sprintf("restarter-%d", p), r)
+		db.assign(id, db.groupShard(p))
 		r.Bind(id)
 		db.restarters[p] = r
 		db.restarterIDs[p] = id
@@ -384,6 +403,18 @@ func Open(opts ...Option) (*DB, error) {
 		}
 	}
 	db.shapeWorkload(cfg.workload)
+	if cfg.parallel != nil && cfg.onComplete != nil {
+		// Clients on different shards complete transactions concurrently
+		// inside a time window; serialize the user's callback. Cross-shard
+		// invocation order is unspecified (see WithParallelism).
+		var mu sync.Mutex
+		inner := cfg.onComplete
+		cfg.onComplete = func(clientIdx int, inv *Invocation, reply *Reply) {
+			mu.Lock()
+			defer mu.Unlock()
+			inner(clientIdx, inv, reply)
+		}
+	}
 	// Clients.
 	for i := 0; i < cfg.clients; i++ {
 		cl := &client.Client{
@@ -406,6 +437,7 @@ func Open(opts ...Option) (*DB, error) {
 			}
 		}
 		id := db.sch.Register(fmt.Sprintf("client-%d", i), cl)
+		db.assign(id, db.clientShard(i))
 		cl.Bind(id, cfg.seed*1_000_003+int64(i)*7919+1)
 		db.clients = append(db.clients, cl)
 		db.clientIDs = append(db.clientIDs, id)
@@ -418,14 +450,50 @@ func Open(opts ...Option) (*DB, error) {
 			Backups:      db.backupIDs,
 			Restarters:   db.restarterIDs,
 			RestartDelay: det.Timeout,
+			// On the sharded runtime crashes are pre-registered as KillAt
+			// markers in the victim's shard (see ensureStarted); the
+			// controller only records metrics and drives restarts.
+			SkipKill: db.shsch != nil,
 		}
 		db.faultCtlID = db.sch.Register("fault-controller", ctl)
+		db.assign(db.faultCtlID, 0)
 	}
 	if cfg.advisor != nil {
 		db.adv = advisor.New(*cfg.advisor)
 		db.advNextAt = db.adv.Interval()
 	}
 	return db, nil
+}
+
+// assign places an actor on a shard of the parallel runtime; it is a no-op
+// on the single-threaded path. Placement happens immediately after
+// registration, before any event is scheduled.
+func (db *DB) assign(id sim.ActorID, shard int) {
+	if db.shsch != nil {
+		db.shsch.Assign(id, shard)
+	}
+}
+
+// groupShard maps partition p's whole process group — primary, backups, log
+// disk, restarter — onto one shard, striping the groups evenly. Co-locating
+// the group keeps its zero-latency edges (partition↔disk) and sub-horizon
+// timers intra-shard; only network traffic (one-way latency ≥ Horizon)
+// crosses shards.
+func (db *DB) groupShard(p int) int {
+	if db.shsch == nil {
+		return 0
+	}
+	return p * db.shsch.NumShards() / db.cfg.partitions
+}
+
+// clientShard stripes clients over shards. Clients talk to partitions and
+// the coordinator exclusively through the network, so any placement is
+// deterministic; striping balances their virtual CPU.
+func (db *DB) clientShard(i int) int {
+	if db.shsch == nil {
+		return 0
+	}
+	return i * db.shsch.NumShards() / db.cfg.clients
 }
 
 // shapeWorkload tells a shape-aware generator what it is feeding: client
@@ -470,6 +538,21 @@ func (db *DB) ensureStarted() {
 	// deterministic stop condition, so the event queue still drains.
 	for _, ev := range db.cfg.faults {
 		db.sch.SendAt(ev.At, db.faultCtlID, ev)
+		if db.shsch != nil {
+			// Sharded runtime: the kill must land in the victim's own shard
+			// (a cross-shard Kill inside a window would race). The schedule
+			// is static, so pre-register a kill marker at the fault time; the
+			// controller records metrics and drives restarts but skips the
+			// kill itself (fault.Controller.SkipKill).
+			var victim sim.ActorID
+			switch ev.Kind {
+			case fault.KindCrashBackup:
+				victim = db.backupIDs[ev.Partition][ev.Replica-1]
+			default:
+				victim = db.partIDs[ev.Partition]
+			}
+			db.shsch.KillAt(ev.At, victim)
+		}
 		switch ev.Kind {
 		case fault.KindCrashPrimary:
 			db.sch.SendAt(0, db.partIDs[ev.Partition], msg.StartPulse{})
@@ -576,9 +659,9 @@ func (db *DB) advanceTo(horizon Time) int {
 			}
 			db.cursor = tick
 		}
-		before := db.sch.Delivered
+		before := db.sch.DeliveredCount()
 		db.advisorTick()
-		n += int(db.sch.Delivered - before) // events stepped by a switch drain
+		n += int(db.sch.DeliveredCount() - before) // events stepped by a switch drain
 		db.advNextAt = db.cursor + db.adv.Interval()
 	}
 	if horizon > db.cursor {
@@ -870,7 +953,7 @@ func (db *DB) snapshot(advance bool) Metrics {
 	m := Metrics{
 		Now:             now,
 		Scheme:          db.cfg.scheme,
-		Events:          db.sch.Delivered,
+		Events:          db.sch.DeliveredCount(),
 		Completed:       tot.Completed(),
 		Committed:       tot.Committed,
 		UserAborted:     tot.UserAborted,
@@ -882,6 +965,10 @@ func (db *DB) snapshot(advance bool) Metrics {
 		Failovers:       db.collector.Promotions(),
 		FailoverResends: db.collector.FailoverResends,
 		Restarts:        db.collector.Restarts(),
+	}
+	if db.shsch != nil {
+		m.Barriers = db.shsch.Barriers()
+		m.CrossShardMsgs = db.shsch.CrossShardMsgs()
 	}
 	d := tot.Sub(db.snapCounts)
 	dl := db.collector.TotalLat.Sub(db.snapLat)

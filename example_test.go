@@ -216,3 +216,47 @@ func ExampleDB_SetScheme() {
 	// phase 2: locking
 	// switched blocking -> locking (auto=false)
 }
+
+// ExampleWithParallelism runs one cluster at two shard widths. The sharded
+// runtime's contract is that the Result is independent of the width — the
+// event loop fans out over OS threads without perturbing a single event —
+// so the two runs agree bit for bit and only the runtime observability
+// (cross-shard traffic, busy split) differs.
+func ExampleWithParallelism() {
+	run := func(shards int) specdb.Result {
+		reg := specdb.NewRegistry()
+		reg.Register(kvstore.Proc{})
+		const clients, keys = 8, 4
+		db, err := specdb.Open(
+			specdb.WithPartitions(4),
+			specdb.WithClients(clients),
+			specdb.WithScheme(specdb.Speculation),
+			specdb.WithSeed(42),
+			specdb.WithWarmup(2*specdb.Millisecond),
+			specdb.WithMeasure(20*specdb.Millisecond),
+			specdb.WithRegistry(reg),
+			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+				kvstore.AddSchema(s)
+				kvstore.Load(s, p, clients, keys)
+			}),
+			specdb.WithWorkloadFactory(func() specdb.Generator {
+				return &workload.Micro{Partitions: 4, KeysPerTxn: keys, MPFraction: 0.2}
+			}),
+			specdb.WithParallelism(specdb.ParallelismConfig{Shards: shards}),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return db.Run()
+	}
+	one, four := run(1), run(4)
+	fmt.Println("throughput matches:", one.Throughput == four.Throughput)
+	fmt.Println("events match:", one.Events == four.Events)
+	fmt.Println("barriers match:", one.Parallel.Barriers == four.Parallel.Barriers)
+	fmt.Printf("%.0f txns/s across %d shards\n", four.Throughput, four.Parallel.Shards)
+	// Output:
+	// throughput matches: true
+	// events match: true
+	// barriers match: true
+	// 23400 txns/s across 4 shards
+}

@@ -23,11 +23,21 @@ type BaselineCell struct {
 	Series     string  `json:"series"`
 	X          float64 `json:"x"`
 	Y          float64 `json:"y"`
+	// Shards is the runtime width behind the cell. Zero (baselines
+	// recorded before the sharded runtime existed) and one (the plain
+	// scheduler) share a key: throughputs on the two paths agree to well
+	// within any useful tolerance, and folding them keeps old BENCH_*.json
+	// files comparable.
+	Shards int `json:"shards,omitempty"`
 }
 
 // key identifies a cell across runs.
 func (c BaselineCell) key() string {
-	return fmt.Sprintf("%s/%s/x=%g", c.Experiment, c.Series, c.X)
+	s := c.Shards
+	if s == 0 {
+		s = 1
+	}
+	return fmt.Sprintf("%s/%s/x=%g/shards=%d", c.Experiment, c.Series, c.X, s)
 }
 
 // ReadBaseline parses ccbench NDJSON, returning the grid cells and skipping
@@ -66,7 +76,7 @@ func SeriesCells(e Experiment, series []Series) []BaselineCell {
 	var out []BaselineCell
 	for _, s := range series {
 		for _, p := range s.Points {
-			out = append(out, BaselineCell{Experiment: e.ID, Series: s.Name, X: p.X, Y: p.Y})
+			out = append(out, BaselineCell{Experiment: e.ID, Series: s.Name, X: p.X, Y: p.Y, Shards: p.Shards})
 		}
 	}
 	return out

@@ -29,6 +29,16 @@ type Opts struct {
 	// Coarse reduces the number of x-axis points.
 	Coarse bool
 	Seed   int64
+	// Shards >= 1 runs every microbenchmark-family cell on the sharded
+	// parallel runtime (specdb.WithParallelism) at that width; zero keeps
+	// the plain single-threaded scheduler. Width 1 is the sharded runtime's
+	// single-shard mode — deterministically equivalent to every other
+	// width, but with a different (also deterministic) event tie-break
+	// order than the plain scheduler, so baselines recorded on one path
+	// are only tolerance-compatible with the other. TPC-C cells ignore the
+	// knob: tpcc.Mix keeps state across clients and is restricted to the
+	// plain path.
+	Shards int
 	// Tally, when non-nil, accumulates every cell's events and completed
 	// transactions as the experiment runs — the simulator-side half of the
 	// host perf measurements (see MeasurePerf).
@@ -56,18 +66,30 @@ type Point struct {
 	RecoveryMs    float64
 	LogBytes      uint64
 	ReplayTxns    uint64
+	// Shards is the runtime width behind the cell (1 for the plain
+	// scheduler) and Barriers the sharded runtime's window count (zero on
+	// the plain path). Zero Shards marks model-curve points with no
+	// simulated cell behind them.
+	Shards   int
+	Barriers uint64
 }
 
 // pointFor builds a measured point from a sweep cell: throughput as Y and
 // the window latency percentiles alongside.
 func pointFor(x float64, r specdb.Result) Point {
-	return Point{
-		X:   x,
-		Y:   r.Throughput,
-		P50: r.P50.Micros(),
-		P95: r.P95.Micros(),
-		P99: r.P99.Micros(),
+	p := Point{
+		X:      x,
+		Y:      r.Throughput,
+		P50:    r.P50.Micros(),
+		P95:    r.P95.Micros(),
+		P99:    r.P99.Micros(),
+		Shards: 1,
 	}
+	if r.Parallel != nil {
+		p.Shards = r.Parallel.Shards
+		p.Barriers = r.Parallel.Barriers
+	}
+	return p
 }
 
 // Series is one labelled curve.
@@ -98,6 +120,7 @@ func All() []Experiment {
 		LatencyOpenLoop(), ZipfSkew(),
 		RecoveryCheckpoint(), DurableOverhead(),
 		MVCCCrossover(), OCCRetry(),
+		ParallelSpeedup(),
 	}
 }
 
@@ -138,6 +161,17 @@ type microCfg struct {
 	keySkew    float64
 	partSkew   float64
 	readFrac   float64
+	// parts overrides the partition count; zero keeps the figures'
+	// two-partition cluster.
+	parts int
+}
+
+// partitions returns the cell's partition count.
+func (c microCfg) partitions() int {
+	if c.parts > 0 {
+		return c.parts
+	}
+	return 2
 }
 
 const (
@@ -150,7 +184,7 @@ const (
 // cells install it via WithWorkloadFactory, never by sharing one value.
 func microGen(c microCfg) specdb.Generator {
 	return &workload.Micro{
-		Partitions:    2,
+		Partitions:    c.partitions(),
 		KeysPerTxn:    microKeys,
 		MPFraction:    c.mpFrac,
 		ConflictProb:  c.conflict,
@@ -173,7 +207,7 @@ func microOpts(o Opts, c microCfg) []specdb.Option {
 	reg := specdb.NewRegistry()
 	reg.Register(kvstore.Proc{})
 	opts := []specdb.Option{
-		specdb.WithPartitions(2),
+		specdb.WithPartitions(c.partitions()),
 		specdb.WithClients(microClients),
 		specdb.WithScheme(c.scheme),
 		specdb.WithSeed(o.Seed),
@@ -190,6 +224,9 @@ func microOpts(o Opts, c microCfg) []specdb.Option {
 	}
 	if c.replicas > 0 {
 		opts = append(opts, specdb.WithReplicas(c.replicas))
+	}
+	if o.Shards > 0 {
+		opts = append(opts, specdb.WithParallelism(specdb.ParallelismConfig{Shards: o.Shards}))
 	}
 	return opts
 }

@@ -145,16 +145,18 @@ func TestBaselineRoundTrip(t *testing.T) {
 
 func TestCompareBaseline(t *testing.T) {
 	base := []BaselineCell{
-		{"fig4", "Speculation", 0, 1000},
-		{"fig4", "Speculation", 50, 500},
-		{"fig9", "Locking", 0, 800},
+		{"fig4", "Speculation", 0, 1000, 0},
+		{"fig4", "Speculation", 50, 500, 0},
+		{"fig9", "Locking", 0, 800, 0},
 	}
 	// Within tolerance, above baseline, and a baseline-only cell from an
 	// experiment that was not re-run: all pass.
+	// Fresh cells carry Shards 1 (the plain scheduler): they must fold onto
+	// the pre-sharding baseline's zero-valued cells.
 	fresh := []BaselineCell{
-		{"fig4", "Speculation", 0, 800},
-		{"fig4", "Speculation", 50, 700},
-		{"fig4", "NewSeries", 0, 1}, // not in baseline: ignored
+		{"fig4", "Speculation", 0, 800, 1},
+		{"fig4", "Speculation", 50, 700, 1},
+		{"fig4", "NewSeries", 0, 1, 1}, // not in baseline: ignored
 	}
 	if bad := CompareBaseline(base, fresh, 0.25); len(bad) != 0 {
 		t.Fatalf("unexpected regressions: %v", bad)

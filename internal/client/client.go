@@ -257,7 +257,7 @@ func (c *Client) gap() sim.Time {
 func (c *Client) scheduleTick(ctx *sim.Context, at sim.Time) {
 	c.tickMsg.at = at
 	c.tickLive = true
-	ctx.Scheduler().SendAt(at, c.self, &c.tickMsg)
+	ctx.SendAt(at, c.self, &c.tickMsg)
 }
 
 // arrive handles one open-loop arrival: issue within the window, queue
@@ -534,7 +534,7 @@ func (c *Client) complete(ctx *sim.Context, a *attempt, r *msg.ClientReply) {
 	if r.Retryable {
 		c.Metrics.Retry(ctx.Now())
 		if d := c.retryDelay(a); d > 0 {
-			ctx.Scheduler().SendAt(ctx.Now()+d, c.self, &retryMsg{a: a, id: a.id})
+			ctx.SendAt(ctx.Now()+d, c.self, &retryMsg{a: a, id: a.id})
 			return
 		}
 		c.issue(ctx, a)

@@ -133,6 +133,11 @@ type Controller struct {
 	// supervisor noticing the dead process and re-launching it.
 	Restarters   []sim.ActorID
 	RestartDelay sim.Time
+	// SkipKill suppresses the synchronous Context.Kill: the sharded runtime
+	// pre-registers every crash as a KillAt marker in the victim's own shard
+	// (a synchronous cross-shard kill would race the victim's event loop), so
+	// the controller only records metrics and drives the restart path there.
+	SkipKill bool
 }
 
 // Receive executes one scheduled fault.
@@ -143,13 +148,19 @@ func (c *Controller) Receive(ctx *sim.Context, m sim.Message) {
 	}
 	switch ev.Kind {
 	case KindCrashPrimary:
-		ctx.Scheduler().Kill(c.Primaries[ev.Partition])
+		if !c.SkipKill {
+			ctx.Kill(c.Primaries[ev.Partition])
+		}
 		c.Rec.NoteCrash(int(ev.Partition), metrics.RolePrimary, 0, ctx.Now())
 	case KindCrashBackup:
-		ctx.Scheduler().Kill(c.Backups[ev.Partition][ev.Replica-1])
+		if !c.SkipKill {
+			ctx.Kill(c.Backups[ev.Partition][ev.Replica-1])
+		}
 		c.Rec.NoteCrash(int(ev.Partition), metrics.RoleBackup, ev.Replica, ctx.Now())
 	case KindCrashRestart:
-		ctx.Scheduler().Kill(c.Primaries[ev.Partition])
+		if !c.SkipKill {
+			ctx.Kill(c.Primaries[ev.Partition])
+		}
 		c.Rec.NoteRestartCrash(int(ev.Partition), ctx.Now())
 		ctx.Send(c.Restarters[ev.Partition], msg.Restart{}, c.RestartDelay)
 	}

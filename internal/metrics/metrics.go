@@ -5,6 +5,7 @@ package metrics
 
 import (
 	"math"
+	"sync"
 
 	"specdb/internal/sim"
 )
@@ -246,6 +247,15 @@ type Collector struct {
 	// copies, like interval Counts).
 	WindowLat LatencySet
 	TotalLat  LatencySet
+
+	// mu serializes the mutators when actors run on the sharded parallel
+	// runtime: every counter and histogram update is commutative, so values
+	// stay deterministic, and Failover/Recovery entries are separated by at
+	// least a detection timeout (orders of magnitude more than a window), so
+	// their append order is the virtual-time crash order at any width.
+	// Readers — snapshots, Completed, Result assembly — run between windows,
+	// after the barrier's happens-before edge, and need no lock.
+	mu sync.Mutex
 }
 
 // failover returns (appending if needed) the event slot for a partition/role.
@@ -262,17 +272,23 @@ func (c *Collector) failover(part int, role Role, replica int) *FailoverEvent {
 
 // NoteCrash records a fault injection.
 func (c *Collector) NoteCrash(part int, role Role, replica int, at sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failover(part, role, replica).CrashedAt = at
 }
 
 // NoteDetected records a failure detector declaring a process dead.
 func (c *Collector) NoteDetected(part int, role Role, replica int, at sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failover(part, role, replica).DetectedAt = at
 }
 
 // NotePromoted records a backup completing its promotion to primary, with
 // the buffered-transaction resolution counts.
 func (c *Collector) NotePromoted(part int, at sim.Time, committed, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := c.failover(part, RolePrimary, 0)
 	e.PromotedAt = at
 	e.BufferedCommitted = committed
@@ -281,12 +297,18 @@ func (c *Collector) NotePromoted(part int, at sim.Time, committed, dropped int) 
 
 // NoteInFlightAborted records coordinator-side failover aborts.
 func (c *Collector) NoteInFlightAborted(part, n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.failover(part, RolePrimary, 0).AbortedInFlight = n
 }
 
 // NoteResend records a client re-sending a stalled single-partition attempt
 // to a promoted primary.
-func (c *Collector) NoteResend() { c.FailoverResends++ }
+func (c *Collector) NoteResend() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.FailoverResends++
+}
 
 // Promotions returns the number of completed backup promotions.
 func (c *Collector) Promotions() int {
@@ -312,12 +334,16 @@ func (c *Collector) recovery(part int) *RecoveryEvent {
 
 // NoteRestartCrash records a crash-restart fault injection.
 func (c *Collector) NoteRestartCrash(part int, at sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.recovery(part).CrashedAt = at
 }
 
 // NoteRestartBegun records a restarted process beginning recovery, with the
 // checkpoint and log-tail sizes it is loading.
 func (c *Collector) NoteRestartBegun(part int, at sim.Time, ckptBytes, logBytes uint64, replayTxns int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := c.recovery(part)
 	e.RestartedAt = at
 	e.CheckpointBytes = ckptBytes
@@ -328,6 +354,8 @@ func (c *Collector) NoteRestartBegun(part int, at sim.Time, ckptBytes, logBytes 
 // NoteRestartResumed records a restarted partition completing recovery and
 // resuming service, with the buffered-transaction resolution counts.
 func (c *Collector) NoteRestartResumed(part int, at sim.Time, committed, dropped int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	e := c.recovery(part)
 	e.ResumedAt = at
 	e.BufferedCommitted = committed
@@ -360,6 +388,8 @@ func (c *Collector) inWindow(now sim.Time) bool {
 // multiRound marks multi-partition transactions that took more than one
 // fragment round; readOnly marks declared read-only transactions.
 func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound, readOnly bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Totals.record(committed, multiPartition, multiRound, readOnly)
 	c.TotalLat.Add(now-start, multiPartition, !committed)
 	if !c.inWindow(now) {
@@ -371,6 +401,8 @@ func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, mult
 
 // Retry records a transaction attempt killed and re-submitted.
 func (c *Collector) Retry(now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Totals.Retries++
 	if c.inWindow(now) {
 		c.Window.Retries++
@@ -380,6 +412,8 @@ func (c *Collector) Retry(now sim.Time) {
 // Shed records an open-loop arrival dropped by a full client window and
 // queue (overload backpressure).
 func (c *Collector) NoteShed(now sim.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Totals.Shed++
 	if c.inWindow(now) {
 		c.Window.Shed++

@@ -1,0 +1,70 @@
+package sim
+
+// shardHeap is the per-shard 4-ary min-heap, identical in layout to
+// eventHeap but ordered by the width-independent (at, src, seq) key. A
+// separate concrete type (rather than generics over a comparator) keeps both
+// hot paths free of indirect calls.
+type shardHeap struct {
+	ev []shardEvent
+}
+
+func (h *shardHeap) Len() int { return len(h.ev) }
+
+func (h *shardHeap) less(i, j int) bool {
+	return h.ev[i].before(&h.ev[j])
+}
+
+func (h *shardHeap) push(e shardEvent) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		parent := (i - 1) / arity
+		if !h.less(i, parent) {
+			break
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+func (h *shardHeap) peek() (shardEvent, bool) {
+	if len(h.ev) == 0 {
+		return shardEvent{}, false
+	}
+	return h.ev[0], true
+}
+
+func (h *shardHeap) pop() (shardEvent, bool) {
+	if len(h.ev) == 0 {
+		return shardEvent{}, false
+	}
+	top := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	// Zero the vacated slot so the backing array does not pin the Message.
+	h.ev[last] = shardEvent{}
+	h.ev = h.ev[:last]
+	i := 0
+	for {
+		first := arity*i + 1
+		if first >= len(h.ev) {
+			break
+		}
+		end := first + arity
+		if end > len(h.ev) {
+			end = len(h.ev)
+		}
+		smallest := i
+		for c := first; c < end; c++ {
+			if h.less(c, smallest) {
+				smallest = c
+			}
+		}
+		if smallest == i {
+			break
+		}
+		h.ev[i], h.ev[smallest] = h.ev[smallest], h.ev[i]
+		i = smallest
+	}
+	return top, true
+}

@@ -63,6 +63,44 @@ type actorState struct {
 	busyTotal Time
 	name      string
 	dead      bool
+	// pending counts events queued for this actor, so Kill can subtract the
+	// victim's backlog from the scheduler's live-pending cache in O(1).
+	pending int
+}
+
+// Runtime is the stepping contract shared by the single-threaded Scheduler
+// and the ShardedScheduler: registration, external injection, the drive
+// primitives, and the introspection the facade layers on top. Components keep
+// talking to a Context; only the driver chooses the runtime.
+type Runtime interface {
+	// Register adds an actor and returns its ID.
+	Register(name string, h Handler) ActorID
+	// SendAt schedules an external message (injection point).
+	SendAt(at Time, to ActorID, msg Message)
+	// Step delivers one event; Run and Drain batch deliveries.
+	Step() bool
+	Run(until Time) int
+	Drain() int
+	// Now is the delivery time of the most recently delivered event.
+	Now() Time
+	// Stop/Resume/Stopped control the sticky halt flag.
+	Stop()
+	Resume()
+	Stopped() bool
+	// Empty reports whether no events remain queued; Pending counts queued
+	// events whose destination is still alive, in O(1).
+	Empty() bool
+	Pending() int
+	// Kill marks an actor dead; Alive reports the flag.
+	Kill(id ActorID)
+	Alive(id ActorID) bool
+	// Introspection for metrics and diagnostics.
+	BusyTime(id ActorID) Time
+	Name(id ActorID) string
+	Handler(id ActorID) Handler
+	NumActors() int
+	DeliveredCount() uint64
+	DroppedCount() uint64
 }
 
 // Scheduler owns the event queue and all registered actors.
@@ -73,6 +111,11 @@ type Scheduler struct {
 	actors  []actorState // index = ActorID-1
 	ctx     Context
 	stopped bool
+	// live caches the number of queued events destined for live actors, so
+	// Empty/quiescence polling and Pending are O(1) instead of a heap scan.
+	// Maintained by SendAt (push), deliver (pop), and Kill (subtracting the
+	// victim's per-actor pending count).
+	live int
 
 	// Delivered counts events processed, for diagnostics and tests.
 	Delivered uint64
@@ -84,7 +127,7 @@ type Scheduler struct {
 // New returns an empty scheduler at time zero.
 func New() *Scheduler {
 	s := &Scheduler{}
-	s.ctx.s = s
+	s.ctx.k = s
 	return s
 }
 
@@ -136,6 +179,11 @@ func (s *Scheduler) SendAt(at Time, to ActorID, msg Message) {
 	if at < s.now {
 		at = s.now
 	}
+	a := &s.actors[to-1]
+	a.pending++
+	if !a.dead {
+		s.live++
+	}
 	s.seq++
 	s.heap.push(event{at: at, seq: s.seq, to: to, msg: msg})
 }
@@ -157,7 +205,12 @@ func (s *Scheduler) Stopped() bool { return s.stopped }
 // (counted in Dropped). Messages the actor sent before dying still arrive.
 // A kill is permanent; there is no revival.
 func (s *Scheduler) Kill(id ActorID) {
-	s.actor(id).dead = true
+	a := s.actor(id)
+	if a.dead {
+		return
+	}
+	a.dead = true
+	s.live -= a.pending
 }
 
 // Alive reports whether the actor has not been killed.
@@ -171,15 +224,30 @@ func (s *Scheduler) Empty() bool {
 	return !ok
 }
 
+// Pending returns the number of queued events whose destination actor is
+// still alive, in O(1) from the cached count. Events addressed to killed
+// actors are excluded: they can only be dropped, so they cannot advance the
+// simulation, and quiescence pollers should not wait on them.
+func (s *Scheduler) Pending() int { return s.live }
+
+// DeliveredCount returns Delivered; it exists so drivers can count events
+// through the Runtime interface without reaching for the struct field.
+func (s *Scheduler) DeliveredCount() uint64 { return s.Delivered }
+
+// DroppedCount returns Dropped through the Runtime interface.
+func (s *Scheduler) DroppedCount() uint64 { return s.Dropped }
+
 // deliver dispatches one dequeued event to its actor, modelling the actor's
 // single-threaded CPU: service starts at max(arrival, busyUntil).
 func (s *Scheduler) deliver(e event) {
 	s.now = e.at
 	a := &s.actors[e.to-1]
+	a.pending--
 	if a.dead {
 		s.Dropped++
 		return
 	}
+	s.live--
 	start := e.at
 	if a.busyUntil > start {
 		start = a.busyUntil
@@ -228,10 +296,33 @@ func (s *Scheduler) Drain() int {
 	return s.Run(Time(1<<62 - 1))
 }
 
+// kernel is the scheduling backend a Context talks to. The single-threaded
+// Scheduler routes every call to itself; the ShardedScheduler installs one
+// kernel per shard so sends can be classified as intra- or cross-shard and
+// stamped with the sender's sequence number.
+type kernel interface {
+	// send schedules msg at absolute time at, on behalf of actor from.
+	send(from ActorID, at Time, to ActorID, msg Message)
+	// kill marks an actor dead (fail-stop crash).
+	kill(id ActorID)
+	// stop raises the runtime's sticky halt flag.
+	stop()
+}
+
+// send implements kernel for the single-threaded scheduler: the sender is
+// irrelevant because a global insertion sequence already totals the order.
+func (s *Scheduler) send(_ ActorID, at Time, to ActorID, msg Message) {
+	s.SendAt(at, to, msg)
+}
+
+func (s *Scheduler) kill(id ActorID) { s.Kill(id) }
+
+func (s *Scheduler) stop() { s.Stop() }
+
 // Context is passed to Handler.Receive. It is owned by the scheduler and
 // reused between deliveries; handlers must not retain it.
 type Context struct {
-	s     *Scheduler
+	k     kernel
 	self  ActorID
 	local Time
 }
@@ -258,15 +349,28 @@ func (c *Context) Send(to ActorID, msg Message, latency Time) {
 	if latency < 0 {
 		panic("sim: negative latency")
 	}
-	c.s.SendAt(c.local+latency, to, msg)
+	c.k.send(c.self, c.local+latency, to, msg)
 }
 
 // After schedules msg to be delivered back to the current actor after d.
 // It is the timer primitive (e.g. distributed deadlock timeouts).
 func (c *Context) After(d Time, msg Message) {
-	c.s.SendAt(c.local+d, c.self, msg)
+	c.k.send(c.self, c.local+d, c.self, msg)
 }
 
-// Scheduler exposes the underlying scheduler, for components that need to
-// register late or inspect global state (metrics).
-func (c *Context) Scheduler() *Scheduler { return c.s }
+// SendAt schedules msg for delivery at an absolute virtual time, for actors
+// that pace themselves against the global clock (open-loop arrival ticks)
+// rather than relative latencies. Times in the past are clamped to now.
+func (c *Context) SendAt(at Time, to ActorID, msg Message) {
+	c.k.send(c.self, at, to, msg)
+}
+
+// Kill marks an actor dead from inside a handler (fail-stop crash
+// injection). On the sharded runtime only same-shard victims may be killed
+// synchronously; cross-shard crashes must be pre-registered with
+// ShardedScheduler.KillAt, which is how the fault controller schedules them.
+func (c *Context) Kill(id ActorID) { c.k.kill(id) }
+
+// Stop raises the runtime's sticky halt flag from inside a handler. On the
+// sharded runtime the stop takes effect at the next window barrier.
+func (c *Context) Stop() { c.k.stop() }

@@ -327,7 +327,7 @@ func TestKillDropsDeliveries(t *testing.T) {
 	s.SendAt(40*Microsecond, b, "other")
 	// Kill at t=20µs via an event so the ordering is part of the run.
 	k := s.Register("killer", HandlerFunc(func(ctx *Context, m Message) {
-		ctx.Scheduler().Kill(a)
+		ctx.Kill(a)
 	}))
 	s.SendAt(20*Microsecond, k, "kill")
 	s.Drain()
@@ -362,7 +362,7 @@ func TestStopIsResumable(t *testing.T) {
 		s.SendAt(Time(i)*Microsecond, a, i)
 	}
 	stopper := s.Register("stopper", HandlerFunc(func(ctx *Context, m Message) {
-		ctx.Scheduler().Stop()
+		ctx.Stop()
 	}))
 	s.SendAt(2*Microsecond+1, stopper, "stop")
 	n := s.Drain()

@@ -5,13 +5,19 @@
 // central coordinator's global ordering relies on (§3.3).
 package simnet
 
-import "specdb/internal/sim"
+import (
+	"sync/atomic"
+
+	"specdb/internal/sim"
+)
 
 // Net sends messages with the configured latency.
 type Net struct {
 	oneWay sim.Time
-	// Sent counts messages, for diagnostics.
-	Sent uint64
+	// sent counts messages, for diagnostics. It is atomic because on the
+	// sharded parallel runtime every shard sends through the one shared Net;
+	// the count is a pure sum and stays deterministic.
+	sent atomic.Uint64
 }
 
 // New returns a network with the given one-way latency.
@@ -22,9 +28,12 @@ func New(oneWay sim.Time) *Net {
 // OneWay returns the configured latency.
 func (n *Net) OneWay() sim.Time { return n.oneWay }
 
+// Sent returns the number of messages sent so far.
+func (n *Net) Sent() uint64 { return n.sent.Load() }
+
 // Send delivers m to the destination actor after the one-way latency,
 // measured from the sender's current local time.
 func (n *Net) Send(ctx *sim.Context, to sim.ActorID, m sim.Message) {
-	n.Sent++
+	n.sent.Add(1)
 	ctx.Send(to, m, n.oneWay)
 }

@@ -37,8 +37,8 @@ func TestSendAddsLatencyAfterLocalWork(t *testing.T) {
 	if len(r.at) != 1 || r.at[0] != 25*sim.Microsecond {
 		t.Fatalf("delivered at %v", r.at)
 	}
-	if n.Sent != 1 {
-		t.Fatalf("sent = %d", n.Sent)
+	if n.Sent() != 1 {
+		t.Fatalf("sent = %d", n.Sent())
 	}
 	if n.OneWay() != 20*sim.Microsecond {
 		t.Fatalf("OneWay = %v", n.OneWay())

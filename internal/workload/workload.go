@@ -109,8 +109,11 @@ type microBuf struct {
 }
 
 // buf returns (growing if needed) client ci's issue buffer. Pointers keep
-// buffer addresses stable across growth; the simulation is single-threaded,
-// so lazy growth needs no locking.
+// buffer addresses stable across growth. SetShape pre-sizes the slice and
+// pre-builds every client's buffer, so on the sharded parallel runtime —
+// where clients on different shards call Next concurrently — the only
+// mutations here are to client ci's own buffer, which belongs to exactly one
+// actor. Lazy growth remains only for direct Next calls outside Open.
 func (m *Micro) buf(ci int) *microBuf {
 	for ci >= len(m.perClient) {
 		m.perClient = append(m.perClient, nil)
@@ -134,6 +137,13 @@ func (m *Micro) SetShape(s Shape) {
 		m.Clients = s.Clients
 	}
 	m.fresh = s.MaxInFlight > 1 || (m.KeySkew > 0 && s.Replicas > 1)
+	// Pre-build every client's buffer and the zipf samplers now, while
+	// single-threaded: Next must not mutate cross-client state once clients
+	// run on different shards of the parallel runtime.
+	for ci := 0; ci < s.Clients; ci++ {
+		m.buf(ci)
+	}
+	m.samplers()
 }
 
 // samplers lazily builds the zipf samplers once the keyspace size is known.

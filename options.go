@@ -53,6 +53,12 @@ var (
 	ErrFaultsOpenLoopWindow = errors.New("specdb: fault injection is limited to open-loop windows of 1")
 	// ErrBadDurability: a DurabilityConfig field is negative.
 	ErrBadDurability = errors.New("specdb: invalid durability configuration")
+	// ErrBadParallelism: the ParallelismConfig is invalid — Shards not
+	// positive, or a Horizon that is negative or exceeds the cost model's
+	// one-way network latency (the minimum cross-shard message latency, and
+	// therefore the largest window the conservative barrier protocol can
+	// run without reordering).
+	ErrBadParallelism = errors.New("specdb: invalid parallelism configuration")
 )
 
 // Option configures a DB at Open time. Options apply in order, so later
@@ -82,6 +88,7 @@ type settings struct {
 	detect     fault.Detection
 	openLoop   *OpenLoopConfig
 	durable    *DurabilityConfig
+	parallel   *ParallelismConfig
 	// history enables the serializability oracle's per-partition value-
 	// trace recording (test-only; see internal/oracle and DB histories).
 	history bool
@@ -144,6 +151,18 @@ func (s *settings) validate() error {
 		if d.GroupCommit.MaxBytes < 0 || d.GroupCommit.MaxDelay < 0 ||
 			d.CheckpointInterval < 0 || d.DiskLatency < 0 || d.DiskBandwidth < 0 {
 			return fmt.Errorf("%w (%+v)", ErrBadDurability, d)
+		}
+	}
+	if s.parallel != nil {
+		p := *s.parallel
+		if p.Shards < 1 {
+			return fmt.Errorf("%w (shards=%d)", ErrBadParallelism, p.Shards)
+		}
+		if p.Horizon < 0 || p.Horizon > s.costs.OneWayLatency {
+			return fmt.Errorf("%w (horizon=%v, one-way latency=%v)", ErrBadParallelism, p.Horizon, s.costs.OneWayLatency)
+		}
+		if p.Horizon == 0 && s.costs.OneWayLatency <= 0 {
+			return fmt.Errorf("%w (no positive horizon: one-way latency=%v)", ErrBadParallelism, s.costs.OneWayLatency)
 		}
 	}
 	if s.openLoop != nil {
@@ -441,6 +460,43 @@ func (c DurabilityConfig) withDefaults() DurabilityConfig {
 // benchmark measures.
 func WithDurability(cfg DurabilityConfig) Option {
 	return func(s *settings) { c := cfg; s.durable = &c }
+}
+
+// ParallelismConfig configures the sharded parallel runtime.
+type ParallelismConfig struct {
+	// Shards is the number of event-loop shards (OS threads). Each shard
+	// owns a disjoint group of partition/replica/disk actors plus a slice of
+	// clients; the coordinator and fault controller live on shard 0. Must be
+	// at least 1. Shards == 1 runs the identical windowed algorithm on one
+	// goroutine and is the determinism baseline: a run at any width is
+	// bit-identical to it.
+	Shards int
+	// Horizon is the conservative time-window length: all shards advance to
+	// a common bound, exchange cross-shard sends, and repeat. It must not
+	// exceed the cost model's one-way network latency — the minimum latency
+	// of any cross-shard message — or the runtime panics at the first send
+	// that would arrive inside its own window. Zero means use the one-way
+	// latency, the largest (fewest barriers) safe window. Smaller horizons
+	// only add barrier overhead; see docs/ARCHITECTURE.md for tuning.
+	Horizon Time
+}
+
+// WithParallelism runs the simulation on a sharded deterministic runtime:
+// one event loop per shard on its own goroutine, synchronized by
+// conservative time-window barriers. Results are bit-identical at every
+// shard count (Result.Parallel, which reports runtime observability such as
+// cross-shard message counts, is the one width-dependent field). Without
+// this option the single-threaded scheduler is used, byte-identical to
+// previous releases.
+//
+// Caveats: workload generators must not share mutable state across clients
+// (Micro and TPC-C's Mix as wired by Open are safe only for Micro; stateful
+// generators like Script, Limit, and Mixed require Shards == 1), and
+// OnComplete callbacks may be invoked concurrently from different shards —
+// they are serialized by an internal mutex, but their relative order across
+// clients on different shards is unspecified.
+func WithParallelism(cfg ParallelismConfig) Option {
+	return func(s *settings) { c := cfg; s.parallel = &c }
 }
 
 // arrivalFor builds client i's arrival process, or nil for closed-loop

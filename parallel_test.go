@@ -1,0 +1,173 @@
+package specdb_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"specdb"
+	"specdb/internal/kvstore"
+	"specdb/internal/workload"
+)
+
+// runAt runs c at the given WithParallelism width and returns its Result —
+// with Parallel stripped, since cross-shard traffic and the per-shard busy
+// split are the one legitimately width-dependent surface — plus every
+// partition's command-log bytes.
+func runAt(t *testing.T, c fuzzConfig, shards int) (specdb.Result, [][]byte) {
+	t.Helper()
+	c.shards = shards
+	db := c.open(t)
+	res := db.Run()
+	if shards > 0 {
+		p := res.Parallel
+		if p == nil || p.Shards != shards || p.Barriers == 0 || p.Horizon <= 0 {
+			t.Fatalf("shards=%d: missing or empty ParallelStats: %+v", shards, p)
+		}
+		if len(p.ShardBusy) != shards {
+			t.Fatalf("shards=%d: ShardBusy has %d entries, want %d", shards, len(p.ShardBusy), shards)
+		}
+	}
+	res.Parallel = nil
+	logs := make([][]byte, c.partitions)
+	for p := range logs {
+		logs[p] = db.LogBytes(specdb.PartitionID(p))
+	}
+	return res, logs
+}
+
+// TestParallelWidthEquivalence is the sharded runtime's acceptance gate:
+// WithParallelism(Shards: 1) and WithParallelism(Shards: N) must produce
+// bit-identical Results and command-log bytes for every supported
+// configuration — all five schemes, every fault kind, durability, open-loop
+// arrivals, Zipfian skew, and advisor-driven scheme switches. Barrier counts
+// must also match across widths (the window sequence is a function of event
+// times alone).
+func TestParallelWidthEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		c    fuzzConfig
+	}{
+		// decode(seed, scheme, partitions, clients, mp%, conflict%, abort%,
+		//   twoRound, replicas, fault, openLoop, rate, window, skew%,
+		//   durable, ckptMs, read%, adaptive, shards)
+		{"blocking", decode(42, 0, 2, 7, 20, 0, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0)},
+		{"speculation-two-round", decode(7, 1, 2, 7, 50, 0, 8, true, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0)},
+		{"locking-conflicts", decode(9, 2, 2, 5, 30, 60, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0)},
+		{"mvcc-read-heavy", decode(61, 3, 2, 7, 30, 50, 4, false, 0, 0, false, 0, 0, 0, false, 0, 60, false, 0)},
+		{"occ-hot-keys", decode(63, 4, 2, 7, 40, 60, 8, true, 0, 0, false, 0, 0, 0, false, 0, 25, false, 0)},
+		{"fault-crash-primary", decode(3, 1, 2, 7, 40, 0, 0, false, 1, 1, false, 0, 0, 0, false, 0, 0, false, 0)},
+		{"fault-crash-backup", decode(5, 1, 2, 7, 20, 0, 4, false, 1, 2, false, 0, 0, 0, false, 0, 0, false, 0)},
+		{"fault-crash-restart-durable", decode(53, 1, 2, 7, 40, 0, 0, false, 0, 3, false, 0, 0, 0, true, 1, 0, false, 0)},
+		{"durable-logging", decode(51, 1, 2, 7, 30, 0, 0, false, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0)},
+		{"openloop-overload-zipf", decode(12, 2, 2, 7, 10, 0, 0, false, 0, 0, true, 150_000, 3, 99, false, 0, 0, false, 0)},
+		{"openloop-fault-replicated", decode(31, 1, 2, 5, 30, 0, 0, false, 1, 1, true, 40_000, 0, 50, false, 0, 0, false, 0)},
+		{"advisor-switch", decode(71, 0, 2, 7, 60, 0, 0, true, 0, 0, false, 0, 0, 0, false, 0, 0, true, 0)},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			base, baseLogs := runAt(t, tc.c, 1)
+			for _, w := range []int{2, 4} {
+				res, logs := runAt(t, tc.c, w)
+				if !reflect.DeepEqual(res, base) {
+					t.Fatalf("shards=%d diverges from shards=1:\n%+v\nvs\n%+v", w, res, base)
+				}
+				for p := range logs {
+					if !bytes.Equal(logs[p], baseLogs[p]) {
+						t.Fatalf("shards=%d: partition %d log bytes diverge (%d vs %d bytes)",
+							w, p, len(logs[p]), len(baseLogs[p]))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelBarriersWidthIndependent pins the window-count invariant
+// directly: the barrier sequence depends on event times only, never on how
+// the actors are spread over shards.
+func TestParallelBarriersWidthIndependent(t *testing.T) {
+	c := decode(42, 1, 2, 7, 30, 0, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0)
+	var barriers []uint64
+	for _, w := range []int{1, 2, 4} {
+		cw := c
+		cw.shards = w
+		res := cw.open(t).Run()
+		barriers = append(barriers, res.Parallel.Barriers)
+	}
+	if barriers[0] != barriers[1] || barriers[0] != barriers[2] {
+		t.Fatalf("barrier counts differ across widths: %v", barriers)
+	}
+}
+
+// TestParallelIncrementalDrive checks that the interactive drive surface
+// behaves identically on the sharded runtime: RunFor in uneven increments
+// (which chops the window sequence differently) and one-shot Run reach the
+// same Result, and Snapshot reports barrier progress along the way.
+func TestParallelIncrementalDrive(t *testing.T) {
+	c := decode(7, 1, 2, 7, 40, 0, 4, true, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0)
+	c.shards = 4
+	oneShot, _ := runAt(t, c, 4)
+
+	db := c.open(t)
+	total := 12 * specdb.Millisecond // warmup (2ms) + measure (10ms)
+	for step := specdb.Time(1); db.Now() < total; step = step*2 + 137 {
+		d := step
+		if rem := total - db.Now(); d > rem {
+			d = rem
+		}
+		db.RunFor(d)
+	}
+	m := db.Snapshot()
+	if m.Barriers == 0 {
+		t.Fatal("Snapshot.Barriers stayed zero on the sharded runtime")
+	}
+	inc := db.Result()
+	inc.Parallel = nil
+	if !reflect.DeepEqual(inc, oneShot) {
+		t.Fatalf("incremental drive diverges from one-shot Run:\n%+v\nvs\n%+v", inc, oneShot)
+	}
+}
+
+// TestWithParallelismValidation pins the option's error contract.
+func TestWithParallelismValidation(t *testing.T) {
+	open := func(extra ...specdb.Option) error {
+		reg := specdb.NewRegistry()
+		reg.Register(kvstore.Proc{})
+		opts := []specdb.Option{
+			specdb.WithPartitions(2),
+			specdb.WithRegistry(reg),
+			specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+				kvstore.AddSchema(s)
+				kvstore.Load(s, p, 8, 4)
+			}),
+			specdb.WithWorkload(&workload.Micro{Partitions: 2, KeysPerTxn: 4}),
+			specdb.WithMeasure(specdb.Millisecond),
+		}
+		_, err := specdb.Open(append(opts, extra...)...)
+		return err
+	}
+	bad := []specdb.ParallelismConfig{
+		{Shards: 0},
+		{Shards: -3},
+		{Shards: 2, Horizon: -specdb.Microsecond},
+		{Shards: 2, Horizon: specdb.DefaultCosts().OneWayLatency + 1},
+	}
+	for _, cfg := range bad {
+		if err := open(specdb.WithParallelism(cfg)); !errors.Is(err, specdb.ErrBadParallelism) {
+			t.Errorf("config %+v: got %v, want ErrBadParallelism", cfg, err)
+		}
+	}
+	if err := open(specdb.WithParallelism(specdb.ParallelismConfig{Shards: 4})); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := open(specdb.WithParallelism(specdb.ParallelismConfig{
+		Shards:  2,
+		Horizon: specdb.DefaultCosts().OneWayLatency,
+	})); err != nil {
+		t.Errorf("horizon at the lookahead bound rejected: %v", err)
+	}
+}

@@ -92,6 +92,33 @@ type Result struct {
 	// recovering (restart to resume) at the same instant — the parallel
 	// replay width of a multi-partition crash.
 	ReplayParallelism int
+	// Parallel reports sharded-runtime observability (WithParallelism runs
+	// only; nil otherwise). It is the one field that legitimately differs
+	// between runs at different shard counts — cross-shard traffic and
+	// per-shard busy split depend on placement — so determinism comparisons
+	// must exclude it; everything else in Result is width-independent.
+	Parallel *ParallelStats
+}
+
+// ParallelStats is the sharded runtime's observability surface: what the
+// window-barrier protocol cost and how the load spread over shards.
+type ParallelStats struct {
+	// Shards and Horizon echo the configuration (Horizon resolved to the
+	// cost model's one-way latency when it was left zero).
+	Shards  int
+	Horizon Time
+	// Barriers is the number of time windows executed. The window sequence
+	// is a function of event times only, so this count is identical at every
+	// shard count; Barriers × Shards is the total synchronization points.
+	Barriers uint64
+	// CrossShardMsgs counts events exchanged between shards at barriers —
+	// the coordinator round-trips and multi-partition traffic that cross
+	// placement boundaries. Width- and placement-dependent by nature.
+	CrossShardMsgs uint64
+	// ShardBusy is each shard's summed virtual CPU busy time, the
+	// load-balance view: a skewed split means placement (partition group
+	// striping, client striping) left shards idle at barriers.
+	ShardBusy []Time
 }
 
 // Metrics is a live snapshot of a running DB: cumulative whole-run counters
@@ -123,6 +150,10 @@ type Metrics struct {
 	Failovers       int
 	FailoverResends uint64
 	Restarts        int
+	// Barriers and CrossShardMsgs report the sharded runtime's window count
+	// and cross-shard exchange volume so far (zero without WithParallelism).
+	Barriers       uint64
+	CrossShardMsgs uint64
 	// Interval covers [previous Snapshot's Now, this snapshot's Now).
 	Interval Interval
 }
@@ -187,7 +218,16 @@ func (db *DB) Result() Result {
 		LatencySP:      metrics.Summarize(wl.Hist(false, false)),
 		LatencyMP:      metrics.Summarize(wl.Hist(true, false)),
 		LatencyAborted: metrics.Summarize(&aborted),
-		Events:         db.sch.Delivered,
+		Events:         db.sch.DeliveredCount(),
+	}
+	if db.shsch != nil {
+		res.Parallel = &ParallelStats{
+			Shards:         db.shsch.NumShards(),
+			Horizon:        db.shsch.Horizon(),
+			Barriers:       db.shsch.Barriers(),
+			CrossShardMsgs: db.shsch.CrossShardMsgs(),
+			ShardBusy:      db.shsch.ShardBusy(),
+		}
 	}
 	if db.cfg.measure == 0 {
 		// Open-ended run: rate over elapsed post-warm-up virtual time.
