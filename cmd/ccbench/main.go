@@ -12,7 +12,8 @@
 // Each experiment prints the same rows/series the paper reports — plus the
 // beyond-the-paper load experiments (latency-openloop, zipf-skew), the
 // durability experiments (recovery-checkpoint, durable-overhead), the
-// optimistic-engine crossovers (mvcc-crossover, occ-retry), and the sharded
+// optimistic-engine crossovers (mvcc-crossover, occ-retry), the YCSB-E
+// scan-fraction sweep (ycsb-scan), and the sharded
 // parallel runtime sweep (parallel-speedup); see
 // EXPERIMENTS.md for the recorded comparison against the paper's curves.
 // With -json, one JSON object per grid cell is emitted (newline delimited)
@@ -42,7 +43,7 @@ import (
 
 func main() {
 	var (
-		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, parallel-speedup, or all)")
+		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, ycsb-scan, parallel-speedup, or all)")
 		quick      = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit newline-delimited JSON, one object per grid cell plus perf records")

@@ -31,6 +31,7 @@ type fuzzConfig struct {
 	durable    bool
 	ckptMs     int
 	readFrac   float64
+	scanFrac   float64
 	adaptive   bool
 	// shards is the WithParallelism width: 0 omits the option entirely
 	// (the plain single-threaded scheduler, the legacy tie-break order),
@@ -46,7 +47,7 @@ type fuzzConfig struct {
 // faults).
 func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
 	twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
-	durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8) fuzzConfig {
+	durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8, scanPct uint8) fuzzConfig {
 	c := fuzzConfig{
 		seed:       seed,
 		scheme:     specdb.Scheme(int(scheme) % 5),
@@ -65,6 +66,7 @@ func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPc
 		durable:    durable,
 		ckptMs:     1 + int(ckptMs)%8,
 		readFrac:   float64(readPct%101) / 100,
+		scanFrac:   float64(scanPct%101) / 100,
 		adaptive:   adaptive,
 		shards:     []int{0, 1, 2, 4}[shards%4],
 	}
@@ -108,7 +110,13 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 		specdb.WithMeasure(10 * specdb.Millisecond),
 		specdb.WithRegistry(reg),
 		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
-			kvstore.AddSchema(s)
+			// Scan-bearing configs run the ordered layout, like production
+			// scan workloads would.
+			if c.scanFrac > 0 {
+				kvstore.AddOrderedSchema(s)
+			} else {
+				kvstore.AddSchema(s)
+			}
 			kvstore.Load(s, p, 8, 4)
 		}),
 		specdb.WithWorkloadFactory(func() specdb.Generator {
@@ -121,6 +129,8 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 				TwoRound:     c.twoRound,
 				KeySkew:      c.keySkew,
 				ReadFraction: c.readFrac,
+				ScanFraction: c.scanFrac,
+				ScanLength:   6,
 			}
 		}),
 	}
@@ -169,63 +179,70 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 func FuzzDeterminism(f *testing.F) {
 	// scheme: 0 blocking, 1 speculation, 2 locking, 3 mvcc, 4 occ (see
 	// specdb consts). Baseline closed-loop uniform, one per scheme.
-	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
 	// Fault schedules: primary crash under speculation and blocking,
 	// backup crash under speculation.
-	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
 	// Open-loop: underload and overload windows, all three schemes.
-	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
 	// Zipfian skew, closed and open loop, with replication.
-	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0), uint8(0), false, uint8(0))
-	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
 	// Open loop + fault + replication together.
-	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0), uint8(0), false, uint8(0))
+	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
 	// Durable command logging: fault-free under all three schemes (log
 	// bytes must still be bit-identical), and crash-restart under
 	// speculation and blocking with different checkpoint intervals.
-	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(0))
-	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4), uint8(0), false, uint8(0))
-	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1), uint8(0), false, uint8(0))
-	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5), uint8(0), false, uint8(0))
-	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2), uint8(0), false, uint8(0))
+	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2), uint8(0), false, uint8(0), uint8(0))
 	// The optimistic engines. MVCC under a read-heavy mix with conflicts
 	// (kill/retry + backoff on the write side, snapshot reads on the read
 	// side), and with Zipfian skew + replication; OCC under hot-key
 	// conflicts with two-round transactions, and under open-loop arrivals.
-	f.Add(int64(61), uint8(3), uint8(1), uint8(7), uint8(30), uint8(50), uint8(4), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(60), false, uint8(0))
-	f.Add(int64(62), uint8(3), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(95), false, uint8(0), uint8(40), false, uint8(0))
-	f.Add(int64(63), uint8(4), uint8(1), uint8(7), uint8(40), uint8(60), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(25), false, uint8(0))
-	f.Add(int64(64), uint8(4), uint8(1), uint8(7), uint8(20), uint8(30), uint8(0), false, uint8(0), uint8(0), true, uint32(50_000), uint8(1), uint8(0), false, uint8(0), uint8(30), false, uint8(0))
+	f.Add(int64(61), uint8(3), uint8(1), uint8(7), uint8(30), uint8(50), uint8(4), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(60), false, uint8(0), uint8(0))
+	f.Add(int64(62), uint8(3), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(95), false, uint8(0), uint8(40), false, uint8(0), uint8(0))
+	f.Add(int64(63), uint8(4), uint8(1), uint8(7), uint8(40), uint8(60), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(25), false, uint8(0), uint8(0))
+	f.Add(int64(64), uint8(4), uint8(1), uint8(7), uint8(20), uint8(30), uint8(0), false, uint8(0), uint8(0), true, uint32(50_000), uint8(1), uint8(0), false, uint8(0), uint8(30), false, uint8(0), uint8(0))
 	// Durable logging under the optimistic engines: retried transactions
 	// must still produce bit-identical log bytes.
-	f.Add(int64(65), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(0))
-	f.Add(int64(66), uint8(4), uint8(1), uint8(5), uint8(30), uint8(40), uint8(4), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(30), false, uint8(0))
+	f.Add(int64(65), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(0), uint8(0))
+	f.Add(int64(66), uint8(4), uint8(1), uint8(5), uint8(30), uint8(40), uint8(4), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(30), false, uint8(0), uint8(0))
 	// Advisor-driven switches: start on blocking with a workload the model
 	// steers to OCC (conflict-free two-round MP), and start on locking with
 	// a read-heavy mix that steers to MVCC. Switch points and all results
 	// must replay bit-identically.
-	f.Add(int64(71), uint8(0), uint8(1), uint8(7), uint8(60), uint8(0), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint8(0))
-	f.Add(int64(72), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(80), true, uint8(0))
+	f.Add(int64(71), uint8(0), uint8(1), uint8(7), uint8(60), uint8(0), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint8(0), uint8(0))
+	f.Add(int64(72), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(80), true, uint8(0), uint8(0))
 	// The sharded parallel runtime: widths 2 and 4 over multi-partition
 	// speculation with a crash fault, durable logging, open-loop arrivals,
 	// and MVCC. Each seed also replays at Shards=1 and must match.
-	f.Add(int64(81), uint8(1), uint8(2), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(2))
-	f.Add(int64(82), uint8(0), uint8(2), uint8(7), uint8(30), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(3))
-	f.Add(int64(83), uint8(2), uint8(2), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(2), uint8(90), false, uint8(0), uint8(0), false, uint8(3))
-	f.Add(int64(84), uint8(3), uint8(2), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(2))
+	f.Add(int64(81), uint8(1), uint8(2), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(2), uint8(0))
+	f.Add(int64(82), uint8(0), uint8(2), uint8(7), uint8(30), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(3), uint8(0))
+	f.Add(int64(83), uint8(2), uint8(2), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(2), uint8(90), false, uint8(0), uint8(0), false, uint8(3), uint8(0))
+	f.Add(int64(84), uint8(3), uint8(2), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(2), uint8(0))
+	// Range scans (YCSB-E mixes on the ordered layout): locking's shared
+	// range locks, MVCC snapshot scans at width 2, and OCC phantom
+	// validation with two-round conflicts at width 4. Scans run twice must
+	// produce bit-identical Results including the scan commit counters.
+	f.Add(int64(91), uint8(2), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(20), false, uint8(0), uint8(40))
+	f.Add(int64(92), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(30), false, uint8(2), uint8(50))
+	f.Add(int64(93), uint8(4), uint8(1), uint8(7), uint8(40), uint8(50), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(3), uint8(40))
 
 	f.Fuzz(func(t *testing.T, seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
 		twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
-		durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8) {
+		durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8, scanPct uint8) {
 		c := decode(seed, scheme, partitions, clients, mpPct, conflictPct, abortPct,
 			twoRound, replicas, faultKind, openLoop, rate, window, skewPct, durable, ckptMs,
-			readPct, adaptive, shards)
+			readPct, adaptive, shards, scanPct)
 		dbA, dbB := c.open(t), c.open(t)
 		a, b := dbA.Run(), dbB.Run()
 		if !reflect.DeepEqual(a, b) {

@@ -117,7 +117,7 @@ func All() []Experiment {
 		Figure8(), Figure9(), Figure10(),
 		Table1(), Table2(),
 		AblationAlwaysLock(), AblationLocalSpec(), AblationReplication(),
-		LatencyOpenLoop(), ZipfSkew(),
+		LatencyOpenLoop(), ZipfSkew(), YCSBScan(),
 		RecoveryCheckpoint(), DurableOverhead(),
 		MVCCCrossover(), OCCRetry(),
 		ParallelSpeedup(),
@@ -161,6 +161,12 @@ type microCfg struct {
 	keySkew    float64
 	partSkew   float64
 	readFrac   float64
+	scanFrac   float64
+	scanLen    int
+	// ordered loads the kv table as a B-tree even when scanFrac is zero —
+	// set on sweeps whose axis varies the scan fraction, so every cell of
+	// the series runs the same storage layout.
+	ordered bool
 	// parts overrides the partition count; zero keeps the figures'
 	// two-partition cluster.
 	parts int
@@ -194,6 +200,8 @@ func microGen(c microCfg) specdb.Generator {
 		KeySkew:       c.keySkew,
 		PartitionSkew: c.partSkew,
 		ReadFraction:  c.readFrac,
+		ScanFraction:  c.scanFrac,
+		ScanLength:    c.scanLen,
 	}
 }
 
@@ -217,7 +225,13 @@ func microOpts(o Opts, c microCfg) []specdb.Option {
 		specdb.WithLockConfig(specdb.LockConfig{AlwaysLock: c.alwaysLock}),
 		specdb.WithSpecConfig(specdb.SpecConfig{LocalOnly: c.localOnly}),
 		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
-			kvstore.AddSchema(s)
+			// Scan-bearing cells get the ordered layout; pure point cells
+			// keep the hash layout (and its baseline numbers).
+			if c.ordered || c.scanFrac > 0 {
+				kvstore.AddOrderedSchema(s)
+			} else {
+				kvstore.AddSchema(s)
+			}
 			kvstore.Load(s, p, microClients, microKeys)
 		}),
 		microWorkload(c),

@@ -1,0 +1,111 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzBTree drives a Tree through a byte-coded op stream — Put, Delete,
+// Ascend, Descend over a small key universe — against a map-plus-sort
+// reference model, asserting the structural invariants (Check) after every
+// mutation and exact agreement on every lookup and traversal. The small
+// universe (64 keys) forces heavy node splitting/merging churn at degree 32:
+// the same key is inserted and deleted many times, which is where rebalance
+// bugs live.
+func FuzzBTree(f *testing.F) {
+	f.Add([]byte{0x00, 0x41, 0x82, 0xC3, 0x04, 0x45, 0x86, 0xC7})
+	f.Add([]byte{0xFF, 0xFE, 0xFD, 0x00, 0x01, 0x02, 0x80, 0x81, 0x82})
+	big := make([]byte, 512)
+	for i := range big {
+		big[i] = byte(i*7 + 3)
+	}
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		tr := New[int]()
+		ref := make(map[string]int)
+
+		// sortedRef returns the reference keys in [lo, hi) order.
+		sortedRef := func(lo, hi string) []string {
+			var ks []string
+			for k := range ref {
+				if k >= lo && (hi == "" || k < hi) {
+					ks = append(ks, k)
+				}
+			}
+			sort.Strings(ks)
+			return ks
+		}
+
+		for i, op := range ops {
+			k := key(int(op & 0x3F)) // 64-key universe
+			switch op >> 6 {
+			case 0: // Put
+				created := tr.Put(k, i)
+				if _, existed := ref[k]; created == existed {
+					t.Fatalf("op %d: Put(%q) created=%v, ref existed=%v", i, k, created, existed)
+				}
+				ref[k] = i
+			case 1: // Delete
+				v, ok := tr.Delete(k)
+				rv, rok := ref[k]
+				if ok != rok || (ok && v != rv) {
+					t.Fatalf("op %d: Delete(%q) = %d,%v, ref %d,%v", i, k, v, ok, rv, rok)
+				}
+				delete(ref, k)
+			case 2: // Ascend over [k, k+16)
+				hi := ""
+				if b := int(op&0x3F) + 16; b < 64 {
+					hi = key(b)
+				}
+				want := sortedRef(k, hi)
+				j := 0
+				tr.Ascend(k, hi, func(gk string, gv int) bool {
+					if j >= len(want) || gk != want[j] || gv != ref[gk] {
+						t.Fatalf("op %d: Ascend[%q,%q) position %d: got %q, want %v", i, k, hi, j, gk, want)
+					}
+					j++
+					return true
+				})
+				if j != len(want) {
+					t.Fatalf("op %d: Ascend[%q,%q) visited %d keys, want %d", i, k, hi, j, len(want))
+				}
+			default: // Descend over [k, k+16)
+				hi := ""
+				if b := int(op&0x3F) + 16; b < 64 {
+					hi = key(b)
+				}
+				want := sortedRef(k, hi)
+				j := len(want) - 1
+				tr.Descend(k, hi, func(gk string, gv int) bool {
+					if j < 0 || gk != want[j] || gv != ref[gk] {
+						t.Fatalf("op %d: Descend[%q,%q) got %q at reverse position %d, want %v", i, k, hi, gk, j, want)
+					}
+					j--
+					return true
+				})
+				if j != -1 {
+					t.Fatalf("op %d: Descend[%q,%q) left %d keys unvisited", i, k, hi, j+1)
+				}
+			}
+			if p := tr.Check(); p != "" {
+				t.Fatalf("op %d (%#x): invariant violated: %s", i, op, p)
+			}
+			if tr.Len() != len(ref) {
+				t.Fatalf("op %d: Len = %d, ref %d", i, tr.Len(), len(ref))
+			}
+		}
+		// Final full-traversal agreement.
+		want := sortedRef("", "")
+		var got []string
+		tr.Ascend("", "", func(k string, _ int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			t.Fatalf("final Ascend: %d keys, ref %d", len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("final Ascend position %d: %q, ref %q", i, got[i], want[i])
+			}
+		}
+	})
+}

@@ -438,6 +438,7 @@ func (c *Client) sendSP(ctx *sim.Context, a *attempt) {
 		Client:    c.self,
 		CanAbort:  a.plan.CanAbort,
 		ReadOnly:  a.plan.ReadOnly,
+		Scans:     a.plan.Scans[p],
 	}
 	if a.inv.AbortAt == p {
 		f.InjectAbort = true
@@ -469,6 +470,7 @@ func (c *Client) sendRound(ctx *sim.Context, a *attempt) {
 			MultiPartition: true,
 			CanAbort:       a.plan.CanAbort,
 			ReadOnly:       a.plan.ReadOnly,
+			Scans:          a.plan.Scans[p],
 		}
 		if a.mp.round == 0 && a.inv.AbortAt == p {
 			f.InjectAbort = true
@@ -584,7 +586,7 @@ func splitmix64(x uint64) uint64 {
 // window slot.
 func (c *Client) finish(ctx *sim.Context, a *attempt, r *msg.ClientReply) {
 	c.Completed++
-	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1, a.plan.Rounds > 1, a.plan.ReadOnly)
+	c.Metrics.TxnDone(ctx.Now(), a.start, r.Committed, len(a.plan.Parts) > 1, a.plan.Rounds > 1, a.plan.ReadOnly, len(a.plan.Scans) > 0)
 	if c.OnComplete != nil {
 		c.OnComplete(a.inv, r)
 	}

@@ -215,6 +215,7 @@ func (c *Coordinator) sendRound(ctx *sim.Context, t *ctxn, work map[msg.Partitio
 			MultiPartition: true,
 			CanAbort:       t.req.CanAbort,
 			ReadOnly:       t.req.ReadOnly,
+			Scans:          t.plan.Scans[p],
 			Gen:            c.gen[p],
 		}
 		if t.round == 0 && t.req.AbortAt == p {

@@ -204,7 +204,19 @@ func (l *fiberLocker) Lock(table, key string, exclusive bool) {
 	if exclusive {
 		mode = locks.Exclusive
 	}
-	if l.eng.lm.Acquire(l.lt.id, locks.Key{Table: table, Row: key}, mode) {
+	l.acquire(locks.Key{Table: table, Row: key}, mode)
+}
+
+// LockRange acquires shared gap coverage of [lo, hi) for a scan, suspending
+// the fiber like Lock when a writer holds or wants a key inside the range.
+// Strict 2PL holds the range until commit, so no writer can slip a phantom
+// into a scanned range before the scanner finishes.
+func (l *fiberLocker) LockRange(table, lo, hi string) {
+	l.acquire(locks.Key{Table: table, Row: lo, Hi: hi, IsRange: true}, locks.Shared)
+}
+
+func (l *fiberLocker) acquire(k locks.Key, mode locks.Mode) {
+	if l.eng.lm.Acquire(l.lt.id, k, mode) {
 		return
 	}
 	l.lt.fiber.yield <- fiberYield{done: false}

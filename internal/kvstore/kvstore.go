@@ -34,6 +34,19 @@ type Args struct {
 	Keys     map[msg.PartitionID][]string
 	TwoRound bool
 	ReadOnly bool
+	// Scans, when non-empty, makes the invocation a declared read-only
+	// range scan (YCSB-E's short-range workload): each listed partition
+	// scans its [Lo, Hi) slice of the kv table, summing the counters it
+	// visits. Keys is ignored for scan invocations.
+	Scans map[msg.PartitionID]ScanArg
+}
+
+// ScanArg is one partition's share of a range-scan invocation. Lo and Hi
+// bound the scan half-open ([Lo, Hi); empty Hi means "to the end of the
+// table") and Limit caps the number of rows visited (0 = unlimited).
+type ScanArg struct {
+	Lo, Hi string
+	Limit  int
 }
 
 // work is the per-partition fragment input.
@@ -50,6 +63,12 @@ type work struct {
 	// Vals carries the round-1 write values for two-round transactions,
 	// computed at the coordinator from the round-0 reads.
 	Vals []int64
+	// Scan marks a range-scan fragment (always Shared): the fragment scans
+	// [ScanLo, ScanHi) visiting at most ScanLimit rows, instead of reading
+	// Keys.
+	Scan           bool
+	ScanLo, ScanHi string
+	ScanLimit      int
 }
 
 // AppendLog appends a deterministic encoding of the fragment input to dst,
@@ -64,6 +83,14 @@ func (w *work) AppendLog(dst []byte) []byte {
 	}
 	if w.Shared {
 		dst = append(dst, " s"...)
+	}
+	if w.Scan {
+		dst = append(dst, " scan["...)
+		dst = append(dst, w.ScanLo...)
+		dst = append(dst, ',')
+		dst = append(dst, w.ScanHi...)
+		dst = append(dst, ")l="...)
+		dst = strconv.AppendInt(dst, int64(w.ScanLimit), 10)
 	}
 	for i, k := range w.Keys {
 		dst = append(dst, ' ')
@@ -85,6 +112,24 @@ func (Proc) Name() string { return ProcName }
 // Plan implements txn.Procedure.
 func (Proc) Plan(args any, cat *txn.Catalog) txn.Plan {
 	a := args.(*Args)
+	if len(a.Scans) > 0 {
+		// Declared read-only range scan: one round, no writes. The scanned
+		// ranges are declared on the plan so engines can take range coverage
+		// before touching rows.
+		parts := make([]msg.PartitionID, 0, len(a.Scans))
+		for p := range a.Scans {
+			parts = append(parts, p)
+		}
+		slices.Sort(parts)
+		w := make(map[msg.PartitionID]any, len(parts))
+		ranges := make(map[msg.PartitionID][]msg.KeyRange, len(parts))
+		for _, p := range parts {
+			s := a.Scans[p]
+			w[p] = &work{Round: 0, Shared: true, Scan: true, ScanLo: s.Lo, ScanHi: s.Hi, ScanLimit: s.Limit}
+			ranges[p] = []msg.KeyRange{{Table: Table, Lo: s.Lo, Hi: s.Hi}}
+		}
+		return txn.Plan{Parts: parts, Work: w, Rounds: 1, ReadOnly: true, Scans: ranges}
+	}
 	parts := make([]msg.PartitionID, 0, len(a.Keys))
 	for p := range a.Keys {
 		parts = append(parts, p)
@@ -139,6 +184,14 @@ func (Proc) Run(view *storage.TxnView, w any) (any, error) {
 			view.Put(Table, k, wk.Vals[i])
 		}
 		return int64(len(wk.Keys)), nil
+	}
+	if wk.Scan {
+		// Range scan: visit [ScanLo, ScanHi) in order. The output is the
+		// visited-row count — deterministic under serializable execution.
+		n := view.Scan(Table, wk.ScanLo, wk.ScanHi, wk.ScanLimit, func(k string, v any) bool {
+			return true
+		})
+		return int64(n), nil
 	}
 	if wk.Shared {
 		// Declared read-only transaction: shared reads, no update intent.

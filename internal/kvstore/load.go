@@ -5,9 +5,18 @@ import (
 	"specdb/internal/storage"
 )
 
-// AddSchema registers the kv table on a partition store.
+// AddSchema registers the kv table on a partition store, hash-layout: the
+// right choice for pure point workloads (O(1) access, no ordering cost).
 func AddSchema(s *storage.Store) {
 	s.AddTable(storage.NewHashTable(Table))
+}
+
+// AddOrderedSchema registers the kv table as a B-tree, the layout
+// scan-bearing workloads need: HashTable serves Ascend by re-sorting the
+// whole key population per call, while BTreeTable scans are a tree descent
+// plus an in-order walk.
+func AddOrderedSchema(s *storage.Store) {
+	s.AddTable(storage.NewBTreeTable(Table))
 }
 
 // Load preloads partition p's share of every client's keys with zero

@@ -35,15 +35,77 @@ func (m Mode) String() string {
 }
 
 // compatible reports whether a lock in mode a coexists with one in mode b.
+// The same S/X row applies to range keys, through the overlap predicate: two
+// locks conflict iff their keys overlap and their modes are incompatible.
 func compatible(a, b Mode) bool { return a == Shared && b == Shared }
 
-// Key identifies a lockable row.
+// Key identifies a lockable unit: a single row, or — when IsRange is set — the
+// half-open key range [Row, Hi). Range keys are how scans take next-key/gap
+// coverage: an insert's point-X on any key inside the range conflicts with the
+// scanner's range-S even though the scanner never touched that row.
 type Key struct {
 	Table string
-	Row   string
+	// Row is the point row, or the inclusive low bound of a range.
+	Row string
+	// Hi is the exclusive high bound of a range key; empty means unbounded.
+	Hi string
+	// IsRange marks the key as covering [Row, Hi) rather than the single Row.
+	IsRange bool
 }
 
-func (k Key) String() string { return fmt.Sprintf("%s[%q]", k.Table, k.Row) }
+func (k Key) String() string {
+	if k.IsRange {
+		return fmt.Sprintf("%s[%q,%q)", k.Table, k.Row, k.Hi)
+	}
+	return fmt.Sprintf("%s[%q]", k.Table, k.Row)
+}
+
+// overlaps reports whether two keys cover a common row (same table, and point
+// equality, point-in-range containment, or range intersection).
+func overlaps(a, b Key) bool {
+	if a.Table != b.Table {
+		return false
+	}
+	switch {
+	case !a.IsRange && !b.IsRange:
+		return a.Row == b.Row
+	case a.IsRange && !b.IsRange:
+		return b.Row >= a.Row && (a.Hi == "" || b.Row < a.Hi)
+	case !a.IsRange && b.IsRange:
+		return a.Row >= b.Row && (b.Hi == "" || a.Row < b.Hi)
+	default:
+		return (a.Hi == "" || b.Row < a.Hi) && (b.Hi == "" || a.Row < b.Hi)
+	}
+}
+
+// compareKeys is the deterministic total order used wherever keys are sorted.
+func compareKeys(a, b Key) int {
+	if a.Table != b.Table {
+		if a.Table < b.Table {
+			return -1
+		}
+		return 1
+	}
+	if a.Row != b.Row {
+		if a.Row < b.Row {
+			return -1
+		}
+		return 1
+	}
+	if a.Hi != b.Hi {
+		if a.Hi < b.Hi {
+			return -1
+		}
+		return 1
+	}
+	if a.IsRange != b.IsRange {
+		if !a.IsRange {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
 
 // Grant reports a lock granted to a previously waiting transaction.
 type Grant struct {
@@ -104,6 +166,11 @@ type Manager struct {
 	freeHeld    []map[Key]Mode
 	// scratch reuses Release's deterministic key-ordering buffer.
 	scratch []Key
+
+	// rangeKeys lists the range keys currently in the table. While it is
+	// empty — every run without scans — the point path takes no overlap
+	// checks and behaves byte-identically to a range-free manager.
+	rangeKeys []Key
 }
 
 // NewManager returns an empty lock table.
@@ -153,6 +220,9 @@ func (m *Manager) Acquire(txn msg.TxnID, k Key, mode Mode) bool {
 			e = &entry{holders: make(map[msg.TxnID]Mode)}
 		}
 		m.table[k] = e
+		if k.IsRange {
+			m.rangeKeys = append(m.rangeKeys, k)
+		}
 	}
 	if cur, holds := e.holders[txn]; holds {
 		if cur == Exclusive || mode == Shared {
@@ -161,7 +231,7 @@ func (m *Manager) Acquire(txn msg.TxnID, k Key, mode Mode) bool {
 		}
 		// Upgrade request.
 		m.stats.Upgrades++
-		if len(e.holders) == 1 {
+		if len(e.holders) == 1 && !m.conflictsElsewhere(txn, k, Exclusive) {
 			e.holders[txn] = Exclusive
 			m.held[txn][k] = Exclusive
 			m.stats.Immediate++
@@ -173,7 +243,7 @@ func (m *Manager) Acquire(txn msg.TxnID, k Key, mode Mode) bool {
 		m.stats.Waits++
 		return false
 	}
-	if len(e.queue) == 0 && m.compatibleWithHolders(e, mode) {
+	if len(e.queue) == 0 && m.compatibleWithHolders(e, mode) && !m.conflictsElsewhere(txn, k, mode) {
 		m.grant(e, txn, k, mode)
 		m.stats.Immediate++
 		return true
@@ -191,6 +261,43 @@ func (m *Manager) compatibleWithHolders(e *entry, mode Mode) bool {
 		}
 	}
 	return true
+}
+
+// conflictsElsewhere reports whether a request on k conflicts with a holder of
+// a *different*, overlapping key: a point request landing inside a held range,
+// or a range request overlapping held points and ranges. With no range keys in
+// the table there is nothing to overlap (point keys only meet at equality,
+// which is the same entry) and the check is one length comparison — the point
+// path stays exactly as fast and as ordered as before ranges existed. Only
+// holder existence matters, so iterating Go's unordered maps is deterministic.
+func (m *Manager) conflictsElsewhere(txn msg.TxnID, k Key, mode Mode) bool {
+	if len(m.rangeKeys) == 0 {
+		return false
+	}
+	for _, rk := range m.rangeKeys {
+		if rk == k || !overlaps(k, rk) {
+			continue
+		}
+		for h, hm := range m.table[rk].holders {
+			if h != txn && !compatible(mode, hm) {
+				return true
+			}
+		}
+	}
+	if !k.IsRange {
+		return false
+	}
+	for pk, e := range m.table {
+		if pk.IsRange || pk == k || !overlaps(k, pk) {
+			continue
+		}
+		for h, hm := range e.holders {
+			if h != txn && !compatible(mode, hm) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 func (m *Manager) grant(e *entry, txn msg.TxnID, k Key, mode Mode) {
@@ -214,6 +321,7 @@ func (m *Manager) grant(e *entry, txn msg.TxnID, k Key, mode Mode) {
 // release.
 func (m *Manager) Release(txn msg.TxnID) []Grant {
 	var grants []Grant
+	ranged := len(m.rangeKeys) > 0
 	// Cancel a pending wait first.
 	if k, ok := m.waitingOn[txn]; ok {
 		e := m.table[k]
@@ -233,20 +341,7 @@ func (m *Manager) Release(txn msg.TxnID) []Grant {
 	for k := range m.held[txn] {
 		keys = append(keys, k)
 	}
-	slices.SortFunc(keys, func(a, b Key) int {
-		if a.Table != b.Table {
-			if a.Table < b.Table {
-				return -1
-			}
-			return 1
-		}
-		if a.Row < b.Row {
-			return -1
-		} else if a.Row > b.Row {
-			return 1
-		}
-		return 0
-	})
+	slices.SortFunc(keys, compareKeys)
 	for _, k := range keys {
 		e := m.table[k]
 		delete(e.holders, txn)
@@ -260,7 +355,48 @@ func (m *Manager) Release(txn msg.TxnID) []Grant {
 		clear(hm)
 		m.freeHeld = append(m.freeHeld, hm)
 	}
+	if ranged {
+		// Releasing range coverage can unblock waiters queued on *other*
+		// entries (points inside the range, overlapping ranges); the per-key
+		// drains above only saw their own queues. Run a global pass to
+		// fixpoint, in sorted key order for determinism.
+		grants = m.drainAll(grants)
+	}
 	return grants
+}
+
+// drainAll repeatedly sweeps every queued entry in sorted key order, granting
+// whatever has become grantable under the overlap rule, until a full pass
+// grants nothing. Only invoked when range keys are (or were just) in play.
+func (m *Manager) drainAll(grants []Grant) []Grant {
+	for {
+		var pending []Key
+		for k, e := range m.table {
+			if len(e.queue) > 0 {
+				pending = append(pending, k)
+			}
+		}
+		if len(pending) == 0 {
+			return grants
+		}
+		slices.SortFunc(pending, compareKeys)
+		progress := false
+		for _, k := range pending {
+			e := m.table[k]
+			if e == nil {
+				continue
+			}
+			before := len(grants)
+			grants = m.drainQueue(e, k, grants)
+			m.maybeFree(k, e)
+			if len(grants) > before {
+				progress = true
+			}
+		}
+		if !progress {
+			return grants
+		}
+	}
 }
 
 // drainQueue grants as many queued requests as now fit, in FIFO order.
@@ -269,7 +405,7 @@ func (m *Manager) drainQueue(e *entry, k Key, grants []Grant) []Grant {
 		w := e.queue[0]
 		if w.upgrade {
 			// Grantable only when w.txn is the sole holder.
-			if len(e.holders) == 1 {
+			if len(e.holders) == 1 && !m.conflictsElsewhere(w.txn, k, Exclusive) {
 				if _, ok := e.holders[w.txn]; ok {
 					e.holders[w.txn] = Exclusive
 					m.held[w.txn][k] = Exclusive
@@ -281,7 +417,7 @@ func (m *Manager) drainQueue(e *entry, k Key, grants []Grant) []Grant {
 			}
 			return grants
 		}
-		if !m.compatibleWithHolders(e, w.mode) {
+		if !m.compatibleWithHolders(e, w.mode) || m.conflictsElsewhere(w.txn, k, w.mode) {
 			return grants
 		}
 		m.grant(e, w.txn, k, w.mode)
@@ -295,6 +431,14 @@ func (m *Manager) drainQueue(e *entry, k Key, grants []Grant) []Grant {
 func (m *Manager) maybeFree(k Key, e *entry) {
 	if len(e.holders) == 0 && len(e.queue) == 0 {
 		delete(m.table, k)
+		if k.IsRange {
+			for i, rk := range m.rangeKeys {
+				if rk == k {
+					m.rangeKeys = append(m.rangeKeys[:i], m.rangeKeys[i+1:]...)
+					break
+				}
+			}
+		}
 		// holders is already empty and the queue drained, so the entry —
 		// map and queue capacity included — is ready for the next acquire.
 		m.freeEntries = append(m.freeEntries, e)
@@ -330,8 +474,36 @@ func (m *Manager) WaitsFor(txn msg.TxnID) []msg.TxnID {
 			out = append(out, h)
 		}
 	}
-	// Deterministic edge order (holders is a map).
+	// Cross-entry edges: holders of overlapping range keys (and, for a range
+	// request, overlapping point keys) block this request just like holders
+	// of the contested entry do.
+	if len(m.rangeKeys) > 0 {
+		for _, rk := range m.rangeKeys {
+			if rk == k || !overlaps(k, rk) {
+				continue
+			}
+			for h, hm := range m.table[rk].holders {
+				if h != txn && !compatible(mode, hm) {
+					out = append(out, h)
+				}
+			}
+		}
+		if k.IsRange {
+			for pk, pe := range m.table {
+				if pk.IsRange || pk == k || !overlaps(k, pk) {
+					continue
+				}
+				for h, hm := range pe.holders {
+					if h != txn && !compatible(mode, hm) {
+						out = append(out, h)
+					}
+				}
+			}
+		}
+	}
+	// Deterministic edge order (holders are maps).
 	slices.Sort(out)
+	out = slices.Compact(out)
 	for i := 0; i < pos; i++ {
 		w := e.queue[i]
 		if w.txn != txn && (!compatible(mode, w.mode) || mode == Exclusive) {

@@ -25,7 +25,10 @@ type Counts struct {
 	// CommittedRO counts committed transactions declared read-only — the
 	// read-fraction signal the MVCC cost term needs.
 	CommittedRO uint64
-	Retries     uint64
+	// CommittedScan counts committed transactions whose plan declared at
+	// least one key-range scan (the YCSB-E-style scan mix fraction).
+	CommittedScan uint64
+	Retries       uint64
 	// Shed counts open-loop arrivals dropped because the client's in-flight
 	// window and pending queue were both full — the backpressure signal of
 	// an overloaded open-loop run. Closed-loop runs never shed.
@@ -40,14 +43,15 @@ func (c Counts) Completed() uint64 { return c.Committed + c.UserAborted }
 // snapshots of the same collector.
 func (c Counts) Sub(prev Counts) Counts {
 	return Counts{
-		Committed:   c.Committed - prev.Committed,
-		UserAborted: c.UserAborted - prev.UserAborted,
-		CommittedSP: c.CommittedSP - prev.CommittedSP,
-		CommittedMP: c.CommittedMP - prev.CommittedMP,
-		CommittedMR: c.CommittedMR - prev.CommittedMR,
-		CommittedRO: c.CommittedRO - prev.CommittedRO,
-		Retries:     c.Retries - prev.Retries,
-		Shed:        c.Shed - prev.Shed,
+		Committed:     c.Committed - prev.Committed,
+		UserAborted:   c.UserAborted - prev.UserAborted,
+		CommittedSP:   c.CommittedSP - prev.CommittedSP,
+		CommittedMP:   c.CommittedMP - prev.CommittedMP,
+		CommittedMR:   c.CommittedMR - prev.CommittedMR,
+		CommittedRO:   c.CommittedRO - prev.CommittedRO,
+		CommittedScan: c.CommittedScan - prev.CommittedScan,
+		Retries:       c.Retries - prev.Retries,
+		Shed:          c.Shed - prev.Shed,
 	}
 }
 
@@ -99,8 +103,17 @@ func (c Counts) ConflictRate() float64 {
 	return 0
 }
 
+// ScanFraction returns the fraction of committed transactions that declared
+// a key-range scan.
+func (c Counts) ScanFraction() float64 {
+	if c.Committed == 0 {
+		return 0
+	}
+	return float64(c.CommittedScan) / float64(c.Committed)
+}
+
 // record classifies one completion.
-func (c *Counts) record(committed, multiPartition, multiRound, readOnly bool) {
+func (c *Counts) record(committed, multiPartition, multiRound, readOnly, scan bool) {
 	if committed {
 		c.Committed++
 		if multiPartition {
@@ -113,6 +126,9 @@ func (c *Counts) record(committed, multiPartition, multiRound, readOnly bool) {
 		}
 		if readOnly {
 			c.CommittedRO++
+		}
+		if scan {
+			c.CommittedScan++
 		}
 	} else {
 		c.UserAborted++
@@ -386,16 +402,17 @@ func (c *Collector) inWindow(now sim.Time) bool {
 // (§5.3: the abort is the transaction's outcome); deadlock/timeout kills must
 // be reported via Retry instead, followed eventually by a completion.
 // multiRound marks multi-partition transactions that took more than one
-// fragment round; readOnly marks declared read-only transactions.
-func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound, readOnly bool) {
+// fragment round; readOnly marks declared read-only transactions; scan marks
+// transactions whose plan declared a key-range scan.
+func (c *Collector) TxnDone(now, start sim.Time, committed, multiPartition, multiRound, readOnly, scan bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.Totals.record(committed, multiPartition, multiRound, readOnly)
+	c.Totals.record(committed, multiPartition, multiRound, readOnly, scan)
 	c.TotalLat.Add(now-start, multiPartition, !committed)
 	if !c.inWindow(now) {
 		return
 	}
-	c.Window.record(committed, multiPartition, multiRound, readOnly)
+	c.Window.record(committed, multiPartition, multiRound, readOnly, scan)
 	c.WindowLat.Add(now-start, multiPartition, !committed)
 }
 

@@ -8,10 +8,10 @@ import (
 
 func TestWindowFiltering(t *testing.T) {
 	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
-	c.TxnDone(50*sim.Millisecond, 0, true, false, false, false)                    // before window
-	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, true, false, false, false) // inside
-	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, false, true, false, false) // inside, user abort
-	c.TxnDone(250*sim.Millisecond, 0, true, false, false, false)                   // after window
+	c.TxnDone(50*sim.Millisecond, 0, true, false, false, false, false)                    // before window
+	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, true, false, false, false, false) // inside
+	c.TxnDone(150*sim.Millisecond, 149*sim.Millisecond, false, true, false, false, false) // inside, user abort
+	c.TxnDone(250*sim.Millisecond, 0, true, false, false, false, false)                   // after window
 	if c.Window.Committed != 1 || c.Window.UserAborted != 1 {
 		t.Fatalf("committed=%d aborted=%d", c.Window.Committed, c.Window.UserAborted)
 	}
@@ -25,10 +25,10 @@ func TestWindowFiltering(t *testing.T) {
 
 func TestTotalsIgnoreWindow(t *testing.T) {
 	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
-	c.TxnDone(50*sim.Millisecond, 0, true, false, false, false)  // before window
-	c.TxnDone(250*sim.Millisecond, 0, true, true, false, false)  // after window
-	c.TxnDone(260*sim.Millisecond, 0, false, true, false, false) // after window, abort
-	c.Retry(10 * sim.Millisecond)                                // before window
+	c.TxnDone(50*sim.Millisecond, 0, true, false, false, false, false)  // before window
+	c.TxnDone(250*sim.Millisecond, 0, true, true, false, false, false)  // after window
+	c.TxnDone(260*sim.Millisecond, 0, false, true, false, false, false) // after window, abort
+	c.Retry(10 * sim.Millisecond)                                       // before window
 	want := Counts{Committed: 2, UserAborted: 1, CommittedSP: 1, CommittedMP: 1, Retries: 1}
 	if c.Totals != want {
 		t.Fatalf("totals = %+v, want %+v", c.Totals, want)
@@ -40,10 +40,10 @@ func TestTotalsIgnoreWindow(t *testing.T) {
 
 func TestCountsSub(t *testing.T) {
 	c := NewCollector(0, sim.Second)
-	c.TxnDone(1, 0, true, false, false, false)
+	c.TxnDone(1, 0, true, false, false, false, false)
 	before := c.Totals
-	c.TxnDone(2, 0, true, true, false, false)
-	c.TxnDone(3, 0, false, false, false, false)
+	c.TxnDone(2, 0, true, true, false, false, false)
+	c.TxnDone(3, 0, false, false, false, false, false)
 	c.Retry(4)
 	d := c.Totals.Sub(before)
 	want := Counts{Committed: 1, UserAborted: 1, CommittedMP: 1, Retries: 1}
@@ -58,7 +58,7 @@ func TestCountsSub(t *testing.T) {
 func TestThroughputPerSecond(t *testing.T) {
 	c := NewCollector(0, sim.Second/2)
 	for i := 0; i < 100; i++ {
-		c.TxnDone(sim.Time(i)*sim.Millisecond, 0, true, false, false, false)
+		c.TxnDone(sim.Time(i)*sim.Millisecond, 0, true, false, false, false, false)
 	}
 	if got := c.Throughput(); got != 200 {
 		t.Fatalf("throughput = %f, want 200 (100 txns in half a second)", got)
@@ -67,9 +67,9 @@ func TestThroughputPerSecond(t *testing.T) {
 
 func TestSPMPSplit(t *testing.T) {
 	c := NewCollector(0, sim.Second)
-	c.TxnDone(1, 0, true, false, false, false)
-	c.TxnDone(2, 0, true, true, false, false)
-	c.TxnDone(3, 0, true, true, false, false)
+	c.TxnDone(1, 0, true, false, false, false, false)
+	c.TxnDone(2, 0, true, true, false, false, false)
+	c.TxnDone(3, 0, true, true, false, false, false)
 	if c.Window.CommittedSP != 1 || c.Window.CommittedMP != 2 {
 		t.Fatalf("sp=%d mp=%d", c.Window.CommittedSP, c.Window.CommittedMP)
 	}
@@ -129,7 +129,7 @@ func TestLatencyQuantileThroughCollector(t *testing.T) {
 	c := NewCollector(0, sim.Second)
 	for i := 0; i < 100; i++ {
 		start := sim.Time(i) * sim.Millisecond
-		c.TxnDone(start+100*sim.Microsecond, start, true, false, false, false)
+		c.TxnDone(start+100*sim.Microsecond, start, true, false, false, false, false)
 	}
 	m := c.WindowLat.Merged()
 	p50 := m.Quantile(0.5)
@@ -140,10 +140,10 @@ func TestLatencyQuantileThroughCollector(t *testing.T) {
 
 func TestWorkloadRates(t *testing.T) {
 	c := NewCollector(0, sim.Second)
-	c.TxnDone(1, 0, true, false, false, false) // SP commit
-	c.TxnDone(2, 0, true, true, false, false)  // single-round MP commit
-	c.TxnDone(3, 0, true, true, true, false)   // two-round MP commit
-	c.TxnDone(4, 0, false, true, false, false) // user abort
+	c.TxnDone(1, 0, true, false, false, false, false) // SP commit
+	c.TxnDone(2, 0, true, true, false, false, false)  // single-round MP commit
+	c.TxnDone(3, 0, true, true, true, false, false)   // two-round MP commit
+	c.TxnDone(4, 0, false, true, false, false, false) // user abort
 	c.Retry(5)
 	got := c.Totals
 	if got.CommittedMR != 1 {
@@ -348,10 +348,10 @@ func TestLatencySetSplit(t *testing.T) {
 func TestCollectorLatencySplit(t *testing.T) {
 	c := NewCollector(100*sim.Millisecond, 200*sim.Millisecond)
 	at := func(t sim.Time) sim.Time { return t * sim.Millisecond }
-	c.TxnDone(at(50), at(49), true, false, false, false) // warm-up: totals only
-	c.TxnDone(at(150), at(149), true, false, false, false)
-	c.TxnDone(at(160), at(158), true, true, false, false)
-	c.TxnDone(at(170), at(169), false, true, false, false)
+	c.TxnDone(at(50), at(49), true, false, false, false, false) // warm-up: totals only
+	c.TxnDone(at(150), at(149), true, false, false, false, false)
+	c.TxnDone(at(160), at(158), true, true, false, false, false)
+	c.TxnDone(at(170), at(169), false, true, false, false, false)
 	c.NoteShed(at(50))  // warm-up shed
 	c.NoteShed(at(150)) // window shed
 	if c.WindowLat.N() != 3 || c.TotalLat.N() != 4 {

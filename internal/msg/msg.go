@@ -26,6 +26,16 @@ func (id TxnID) Issuer() sim.ActorID { return sim.ActorID(id >> 32) }
 // PartitionID numbers the logical data partitions from 0.
 type PartitionID int32
 
+// KeyRange declares a half-open scanned key range [Lo, Hi) on a table; an
+// empty Hi means unbounded. Plans carry ranges so the client can route scan
+// fragments, and fragments carry them so engines see the declared scan set
+// up front in canonical (table, lo, hi) order.
+type KeyRange struct {
+	Table string
+	Lo    string
+	Hi    string
+}
+
 // Request is a stored procedure invocation sent by a client. Single-partition
 // requests go directly to the owning partition; multi-partition requests go
 // to the central coordinator (blocking and speculative schemes) or are
@@ -79,6 +89,9 @@ type Fragment struct {
 	// ReadOnly propagates Request.ReadOnly: the fragment performs no
 	// writes, so MVCC serves it from a snapshot without conflict checks.
 	ReadOnly bool
+	// Scans lists the key ranges this fragment was declared to scan at this
+	// partition (Plan.Scans routing), in canonical order.
+	Scans []KeyRange
 	// InjectAbort makes the fragment abort at the start of execution
 	// (the abort-rate microbenchmark, §5.3).
 	InjectAbort bool

@@ -50,6 +50,16 @@ type writeRec struct {
 	prev   version
 }
 
+// scanRange is a scanned key range [lo, hi) recorded for a live read-write
+// transaction; empty hi means unbounded.
+type scanRange struct {
+	table, lo, hi string
+}
+
+func (r scanRange) contains(k vkey) bool {
+	return k.table == r.table && k.key >= r.lo && (r.hi == "" || k.key < r.hi)
+}
+
 // mtxn is one live transaction's versioning state.
 type mtxn struct {
 	id   msg.TxnID
@@ -61,6 +71,11 @@ type mtxn struct {
 	// (aborted) against them. Single-partition reads finish within one
 	// event and need no tracking.
 	readSet map[vkey]struct{}
+	// scans extends the read set to scanned ranges (multi-partition
+	// read-write transactions only, same reasoning as readSet): a writer
+	// into a live reader's scanned range loses to the earlier arrival even
+	// when the written key was absent at scan time — phantom protection.
+	scans []scanRange
 	// writes lists the rows this transaction has uncommitted writes for.
 	writes []vkey
 	// shadow is the read-only snapshot: versions retired by writers that
@@ -151,17 +166,44 @@ func (l *rwLocker) Lock(table, key string, exclusive bool) {
 		return
 	}
 	for _, u := range l.e.pending {
-		if u == l.t || u.readSet == nil {
+		if u == l.t {
 			continue
 		}
-		if _, read := u.readSet[k]; read {
-			panic(tsKill{})
+		if u.readSet != nil {
+			if _, read := u.readSet[k]; read {
+				panic(tsKill{})
+			}
+		}
+		for _, r := range u.scans {
+			if r.contains(k) {
+				// Writing into a live reader's scanned range would create
+				// a phantom for the earlier arrival: the writer loses.
+				panic(tsKill{})
+			}
 		}
 	}
 	if w, ok := l.e.pendingWrites[k]; !ok || w.writer != l.t.id {
 		val, existed := l.e.store.Table(table).Get(key)
 		l.e.pendingWrites[k] = writeRec{writer: l.t.id, prev: version{val, existed}}
 		l.t.writes = append(l.t.writes, k)
+	}
+}
+
+// LockRange orders a read-write transaction's scan against the live writers:
+// any other transaction's uncommitted write inside [lo, hi) kills the scanner
+// (it would read dirty data or miss the writer's insert, either way a
+// timestamp-order violation). Multi-partition transactions also record the
+// range so later writers into it are killed — the scan-set analogue of the
+// read set.
+func (l *rwLocker) LockRange(table, lo, hi string) {
+	r := scanRange{table: table, lo: lo, hi: hi}
+	for k, w := range l.e.pendingWrites {
+		if w.writer != l.t.id && r.contains(k) {
+			panic(tsKill{})
+		}
+	}
+	if l.t.readSet != nil {
+		l.t.scans = append(l.t.scans, r)
 	}
 }
 
@@ -174,6 +216,12 @@ func (roLocker) Lock(table, key string, exclusive bool) {
 		panic("mvcc: declared read-only transaction attempted a write")
 	}
 }
+
+// LockRange is free for snapshot readers: the overlay already serves the
+// committed state as of arrival, so scans can never see (or be broken by) a
+// concurrent writer. This is the YCSB-E payoff of MVCC — read-only scans
+// never block and never abort.
+func (roLocker) LockRange(table, lo, hi string) {}
 
 // Fragment handles an arriving fragment.
 func (e *Engine) Fragment(f *msg.Fragment) {

@@ -40,6 +40,18 @@ type vkey struct {
 	table, key string
 }
 
+// scanRange is a scanned key range [lo, hi) in a transaction's read set;
+// empty hi means unbounded. Recording the *range* rather than the visited
+// rows is what makes validation phantom-safe: a write to a key that was
+// absent at scan time still lands inside the range.
+type scanRange struct {
+	table, lo, hi string
+}
+
+func (r scanRange) contains(k vkey) bool {
+	return k.table == r.table && k.key >= r.lo && (r.hi == "" || k.key < r.hi)
+}
+
 // otxn is one live transaction's validation state.
 type otxn struct {
 	id   msg.TxnID
@@ -50,6 +62,9 @@ type otxn struct {
 	start    uint64
 	readSet  map[vkey]struct{}
 	writeSet map[vkey]struct{}
+	// scans extends the read set to scanned key ranges; validation checks
+	// them against writes by containment instead of key equality.
+	scans []scanRange
 	// voted means the yes vote for this transaction has been sent (2PC);
 	// its read set can no longer be invalidated by a writer.
 	voted bool
@@ -126,10 +141,24 @@ func (r *recorder) Lock(table, key string, exclusive bool) {
 			if _, read := u.readSet[k]; read {
 				panic(conflictKill{})
 			}
+			for _, sr := range u.scans {
+				if sr.contains(k) {
+					// A voted scanner's range is as irrevocable as its
+					// read set: inserting a phantom into it must fail.
+					panic(conflictKill{})
+				}
+			}
 		}
 	}
 	r.t.writeSet[k] = struct{}{}
 	r.e.pendingWrites[k] = r.t.id
+}
+
+// LockRange records a scanned range in the read set. Like point reads, scans
+// proceed optimistically — overlap with live or committed-since-start writers
+// is settled at validation (the phantom check).
+func (r *recorder) LockRange(table, lo, hi string) {
+	r.t.scans = append(r.t.scans, scanRange{table: table, lo: lo, hi: hi})
 }
 
 // Fragment handles an arriving fragment.
@@ -263,6 +292,21 @@ func (e *Engine) validate(t *otxn) bool {
 			return false
 		}
 	}
+	// Phantom check: a live or committed-since-start write anywhere inside a
+	// scanned range invalidates the scan, whether or not the scan visited
+	// that key. Only existence is tested, so map iteration order is moot.
+	for _, r := range t.scans {
+		for k, w := range e.pendingWrites {
+			if w != t.id && r.contains(k) {
+				return false
+			}
+		}
+		for k, seq := range e.committedWrites {
+			if seq > t.start && r.contains(k) {
+				return false
+			}
+		}
+	}
 	return true
 }
 
@@ -296,6 +340,14 @@ func (e *Engine) abortCleanup(t *otxn) {
 			}
 			if _, read := u.readSet[k]; read {
 				u.doomed = true
+				continue
+			}
+			for _, sr := range u.scans {
+				if sr.contains(k) {
+					// The scan may have visited the rolled-back write.
+					u.doomed = true
+					break
+				}
 			}
 		}
 	}

@@ -42,6 +42,12 @@ const (
 	OpRead Op = iota
 	OpWrite
 	OpDelete
+	// OpScan records a completed range scan: bounds and limit in the scan
+	// fields, plus the exact key/value sequence the transaction saw.
+	// Point-read replay cannot catch phantoms — a row that was absent is
+	// never observed — so Verify re-executes the scan against the replay
+	// store and compares the full sequences.
+	OpScan
 )
 
 // Row is one observed row access.
@@ -52,6 +58,14 @@ type Row struct {
 	Val any
 	// Existed reports whether a read found the row.
 	Existed bool
+	// ScanHi, ScanReverse and ScanLimit are the scan's declared bounds
+	// (OpScan only; Key doubles as the low bound). ScanKeys/ScanVals are
+	// the observed result sequence, in visit order.
+	ScanHi      string
+	ScanReverse bool
+	ScanLimit   int
+	ScanKeys    []string
+	ScanVals    []any
 }
 
 // TxnRecord is one transaction's value trace on one partition.
@@ -170,6 +184,17 @@ func (r recorder) ObserveDelete(table, key string) {
 	rec.Rows = append(rec.Rows, Row{Op: OpDelete, Table: table, Key: key})
 }
 
+// ObserveScan implements storage.Observer.
+func (r recorder) ObserveScan(table, lo, hi string, reverse bool, limit int, keys []string, vals []any) {
+	rec := r.h.rec(r.txn)
+	rec.Rows = append(rec.Rows, Row{
+		Op: OpScan, Table: table, Key: lo,
+		ScanHi: hi, ScanReverse: reverse, ScanLimit: limit,
+		ScanKeys: append([]string(nil), keys...),
+		ScanVals: append([]any(nil), vals...),
+	})
+}
+
 // Verify replays the committed history serially against a clone of initial
 // and checks both that every recorded read saw exactly the serial state and
 // that the replayed store equals final. A non-nil error pinpoints the first
@@ -199,6 +224,35 @@ func (h *PartitionHistory) Verify(initial, final *storage.Store) error {
 				tbl.Put(row.Key, row.Val)
 			case OpDelete:
 				tbl.Delete(row.Key)
+			case OpScan:
+				var gotKeys []string
+				var gotVals []any
+				n := 0
+				visit := func(k string, v any) bool {
+					gotKeys = append(gotKeys, k)
+					gotVals = append(gotVals, v)
+					n++
+					return row.ScanLimit <= 0 || n < row.ScanLimit
+				}
+				if row.ScanReverse {
+					tbl.Descend(row.Key, row.ScanHi, visit)
+				} else {
+					tbl.Ascend(row.Key, row.ScanHi, visit)
+				}
+				if len(gotKeys) != len(row.ScanKeys) {
+					return fmt.Errorf("oracle: txn %d (seq %d) row %d: scan %s[%q,%q) saw %d rows %v, serial replay has %d rows %v (phantom)",
+						rec.Txn, rec.Seq, i, row.Table, row.Key, row.ScanHi, len(row.ScanKeys), row.ScanKeys, len(gotKeys), gotKeys)
+				}
+				for j, k := range gotKeys {
+					if k != row.ScanKeys[j] {
+						return fmt.Errorf("oracle: txn %d (seq %d) row %d: scan %s[%q,%q) position %d saw key %q, serial replay has %q (phantom)",
+							rec.Txn, rec.Seq, i, row.Table, row.Key, row.ScanHi, j, row.ScanKeys[j], k)
+					}
+					if fmt.Sprintf("%v", gotVals[j]) != fmt.Sprintf("%v", row.ScanVals[j]) {
+						return fmt.Errorf("oracle: txn %d (seq %d) row %d: scan %s[%q,%q) key %q saw %v, serial replay has %v",
+							rec.Txn, rec.Seq, i, row.Table, row.Key, row.ScanHi, k, row.ScanVals[j], gotVals[j])
+					}
+				}
 			}
 		}
 	}

@@ -304,6 +304,20 @@ type Locker interface {
 	Lock(table, key string, exclusive bool)
 }
 
+// RangeLocker is the optional extension lockers implement to cover a scanned
+// key range as a unit instead of row by row. Covering the range (not just the
+// rows present in it) is what provides phantom protection: an insert into
+// [lo,hi) conflicts with the range even though no visited row does. Lockers
+// without this extension fall back to per-row shared locks, which admit
+// phantoms.
+type RangeLocker interface {
+	Locker
+	// LockRange acquires shared coverage of lo <= key < hi (empty hi means
+	// unbounded). Like Lock, it may suspend the calling fiber or panic
+	// with the engine's kill sentinel.
+	LockRange(table, lo, hi string)
+}
+
 // Observer sees every row access a TxnView performs, with the value read or
 // written. The serializability oracle (internal/oracle) installs one to build
 // per-transaction value traces; a nil Observer costs one branch per access.
@@ -316,6 +330,11 @@ type Observer interface {
 	ObservePut(table, key string, val any)
 	// ObserveDelete records a delete.
 	ObserveDelete(table, key string)
+	// ObserveScan records a completed range scan: the bounds and limit the
+	// transaction asked for, plus the exact key/value sequence it saw. The
+	// oracle re-executes the scan at replay; a row present at replay but
+	// absent from keys (or vice versa) is a phantom.
+	ObserveScan(table, lo, hi string, reverse bool, limit int, keys []string, vals []any)
 }
 
 // TxnView is the data access handle given to stored procedure fragments.
@@ -436,4 +455,87 @@ func (v *TxnView) Descend(table, lo, hi string, fn func(k string, val any) bool)
 		}
 		return fn(k, val)
 	})
+}
+
+// Scan visits lo <= key < hi ascending, stopping after limit rows (limit <= 0
+// means unbounded), and returns the number of rows visited. Unlike Ascend it
+// is phantom-safe: a RangeLocker covers the whole range as a unit before any
+// row is read, so concurrent inserts into the range conflict with the scan
+// even though they touch no visited row. Lockers without range support fall
+// back to per-row shared locks.
+func (v *TxnView) Scan(table, lo, hi string, limit int, fn func(k string, val any) bool) int {
+	return v.scan(table, lo, hi, limit, false, fn)
+}
+
+// ScanReverse is Scan in descending key order over the same half-open range.
+func (v *TxnView) ScanReverse(table, lo, hi string, limit int, fn func(k string, val any) bool) int {
+	return v.scan(table, lo, hi, limit, true, fn)
+}
+
+// scanVisitor carries a scan's traversal state. Hoisting it into a struct —
+// with the visitor as a method rather than a func literal — lets the struct
+// live on the caller's stack when the traversal is dispatched on the concrete
+// *BTreeTable, so the warm ordered scan allocates nothing. The table-interface
+// fallback uses a second struct instance whose address does escape; keeping
+// the two instances distinct is what stops that path from poisoning this one.
+type scanVisitor struct {
+	v      *TxnView
+	table  string
+	fn     func(k string, val any) bool
+	limit  int
+	locked bool // no per-row locks: lock-free view, or a range lock covers us
+	n      int
+	// Collected only for the oracle; production runs (nil Obs) pay nothing.
+	keys []string
+	vals []any
+}
+
+func (sv *scanVisitor) visit(k string, val any) bool {
+	if !sv.locked {
+		sv.v.lock(sv.table, k, false)
+	}
+	sv.v.Reads++
+	sv.n++
+	if sv.v.Obs != nil {
+		sv.keys = append(sv.keys, k)
+		sv.vals = append(sv.vals, val)
+	}
+	if !sv.fn(k, val) {
+		return false
+	}
+	return sv.limit <= 0 || sv.n < sv.limit
+}
+
+func (v *TxnView) scan(table, lo, hi string, limit int, reverse bool, fn func(k string, val any) bool) int {
+	locked := v.locker == nil
+	if v.locker != nil {
+		if rl, ok := v.locker.(RangeLocker); ok {
+			v.LockAcquires++
+			rl.LockRange(table, lo, hi)
+			locked = true
+		}
+	}
+	t := v.store.Table(table)
+	if bt, ok := t.(*BTreeTable); ok {
+		sv := scanVisitor{v: v, table: table, fn: fn, limit: limit, locked: locked}
+		if reverse {
+			bt.Descend(lo, hi, sv.visit)
+		} else {
+			bt.Ascend(lo, hi, sv.visit)
+		}
+		if v.Obs != nil {
+			v.Obs.ObserveScan(table, lo, hi, reverse, limit, sv.keys, sv.vals)
+		}
+		return sv.n
+	}
+	sv := scanVisitor{v: v, table: table, fn: fn, limit: limit, locked: locked}
+	if reverse {
+		t.Descend(lo, hi, sv.visit)
+	} else {
+		t.Ascend(lo, hi, sv.visit)
+	}
+	if v.Obs != nil {
+		v.Obs.ObserveScan(table, lo, hi, reverse, limit, sv.keys, sv.vals)
+	}
+	return sv.n
 }

@@ -46,6 +46,11 @@ type Plan struct {
 	// client propagates it so the MVCC engine can serve the transaction
 	// from a consistent snapshot (never blocking, never aborting).
 	ReadOnly bool
+	// Scans declares the key ranges each partition's fragments will scan,
+	// in canonical (table, lo, hi) order per partition. The client copies a
+	// partition's ranges onto its fragments so routing and lock order stay
+	// canonical; procedures that scan ad hoc may leave this nil.
+	Scans map[msg.PartitionID][]msg.KeyRange
 }
 
 // Procedure is a stored procedure. Implementations must be deterministic:

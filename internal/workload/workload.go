@@ -54,6 +54,17 @@ type Micro struct {
 	// transactions are always single-round (TwoRound does not apply) and
 	// never inject aborts.
 	ReadFraction float64
+	// ScanFraction, when in (0,1], makes that fraction of transactions
+	// declared read-only range scans over the partition's shared keyspace
+	// (YCSB-E's short-range workload): a uniform — or, with KeySkew,
+	// Zipfian — start rank and a uniform length in [1, ScanLength]. A scan
+	// is single-partition, or covers the same rank range on every
+	// partition with probability MPFraction. Scan-bearing setups should
+	// load the kv table ordered (kvstore.AddOrderedSchema).
+	ScanFraction float64
+	// ScanLength is the maximum scan length in rows; zero defaults to 10
+	// (YCSB-E's average short range).
+	ScanLength int
 
 	// KeySkew, when in (0,1), replaces each client's private key range with
 	// Zipfian draws over the partition's shared keyspace (all Clients ×
@@ -195,6 +206,7 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 	m.samplers()
 	mp := rng.Float64() < m.MPFraction
 	readOnly := m.ReadFraction > 0 && rng.Float64() < m.ReadFraction
+	scan := m.ScanFraction > 0 && rng.Float64() < m.ScanFraction
 	b := m.buf(ci)
 	var inv *txn.Invocation
 	var args *kvstore.Args
@@ -205,9 +217,13 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 		inv = &b.inv
 		args = &b.args
 		clear(args.Keys)
+		clear(args.Scans)
 		args.TwoRound = false
 	}
 	args.ReadOnly = readOnly
+	if scan {
+		return m.nextScan(ci, inv, args, mp, rng)
+	}
 	parts := b.parts[:0]
 	if mp {
 		// Keys divided as evenly as possible across every partition:
@@ -280,6 +296,57 @@ func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
 		// the other participants abort during 2PC (§5.3).
 		inv.AbortAt = parts[rng.Intn(len(parts))]
 	}
+	return inv
+}
+
+// nextScan builds a declared read-only range-scan invocation (YCSB-E): a
+// start rank over the partition's shared keyspace — uniform, or Zipfian
+// under KeySkew — and a uniform length in [1, ScanLength]. Key names sort in
+// rank order within a partition, so the rank interval [r, r+n) is exactly
+// the key range [SharedKey(r), SharedKey(r+n)).
+func (m *Micro) nextScan(ci int, inv *txn.Invocation, args *kvstore.Args, mp bool, rng *rand.Rand) *txn.Invocation {
+	if m.Clients <= 0 {
+		panic("workload: Micro.ScanFraction needs Clients (set it or run via Open, which calls SetShape)")
+	}
+	maxLen := m.ScanLength
+	if maxLen <= 0 {
+		maxLen = 10
+	}
+	space := m.Clients * m.KeysPerTxn
+	n := rng.Intn(maxLen) + 1
+	var r int
+	if m.KeySkew > 0 {
+		r = m.keyZipf.Sample(rng)
+	} else {
+		r = rng.Intn(space)
+	}
+	if args.Scans == nil {
+		args.Scans = make(map[msg.PartitionID]kvstore.ScanArg, m.Partitions)
+	}
+	args.ReadOnly = true
+	args.TwoRound = false
+	lo, hi := 0, m.Partitions
+	if !mp {
+		var pid int
+		switch {
+		case m.Pinned && ci < m.Partitions:
+			pid = ci
+		case m.PartitionSkew > 0:
+			pid = m.partZipf.Sample(rng)
+		default:
+			pid = rng.Intn(m.Partitions)
+		}
+		lo, hi = pid, pid+1
+	}
+	for p := lo; p < hi; p++ {
+		pid := msg.PartitionID(p)
+		end := ""
+		if r+n < space {
+			end = kvstore.SharedKey(pid, m.KeysPerTxn, r+n)
+		}
+		args.Scans[pid] = kvstore.ScanArg{Lo: kvstore.SharedKey(pid, m.KeysPerTxn, r), Hi: end, Limit: n}
+	}
+	inv.AbortAt = txn.NoAbort
 	return inv
 }
 

@@ -36,7 +36,10 @@ type Result struct {
 	UserAborted uint64
 	CommittedSP uint64
 	CommittedMP uint64
-	Retries     uint64
+	// CommittedScan counts committed transactions whose plan declared at
+	// least one key-range scan (YCSB-E-style range queries).
+	CommittedScan uint64
+	Retries       uint64
 	// CompletedTotal counts completions over the whole run, warm-up and
 	// post-window included. Host-side perf normalization (allocs per
 	// transaction, internal/bench.Perf) divides by this, since allocations
@@ -208,6 +211,7 @@ func (db *DB) Result() Result {
 		UserAborted:    win.UserAborted,
 		CommittedSP:    win.CommittedSP,
 		CommittedMP:    win.CommittedMP,
+		CommittedScan:  win.CommittedScan,
 		Retries:        win.Retries,
 		Shed:           win.Shed,
 		CompletedTotal: db.collector.Totals.Completed(),

@@ -77,6 +77,43 @@ func TestOracleMicroAllSchemes(t *testing.T) {
 	}
 }
 
+// TestOracleScanAllSchemes verifies serializability of every scheme on
+// scan-heavy mixes: YCSB-E-style short range scans (single- and
+// multi-partition) interleaved with the update stream, uniform and Zipfian.
+// The oracle replays every recorded scan against the serial store and
+// compares the full key/value sequences, so a phantom — a scan observing a
+// range state no serial order could produce — fails here even though
+// point-read replay would pass.
+func TestOracleScanAllSchemes(t *testing.T) {
+	workloads := []struct {
+		name string
+		mk   func() Generator
+	}{
+		{"scan", func() Generator {
+			return &workload.Limit{Gen: &workload.Micro{
+				Partitions: 2, KeysPerTxn: testKeys, MPFraction: 0.4,
+				ScanFraction: 0.4, ScanLength: 16,
+				ConflictProb: 0.5, Pinned: true, AbortProb: 0.05,
+			}, N: 400}
+		}},
+		{"scan-skew", func() Generator {
+			return &workload.Limit{Gen: &workload.Micro{
+				Partitions: 2, KeysPerTxn: testKeys, MPFraction: 0.3,
+				ScanFraction: 0.4, ScanLength: 16, KeySkew: 0.99,
+				ReadFraction: 0.2,
+			}, N: 400}
+		}},
+	}
+	for _, w := range workloads {
+		for _, scheme := range allSchemes {
+			t.Run(w.name+"/"+scheme.String(), func(t *testing.T) {
+				opts := append(drainOpts(scheme, w.mk()), WithSetup(kvOrderedSetup(testClients)))
+				verifyOracle(t, kvOrderedSetup(testClients), opts...)
+			})
+		}
+	}
+}
+
 // TestOracleTPCCAllSchemes verifies serializability of every scheme on the
 // TPC-C mix — multi-round distributed transactions, user aborts and hot
 // district rows — independently of the TPC-C consistency conditions.
@@ -117,6 +154,33 @@ func TestOracleFlagsBrokenEngine(t *testing.T) {
 		}
 	}
 	t.Fatal("oracle passed an engine that skips validation")
+}
+
+// TestOracleFlagsPhantomScans is the scan edition of the negative control:
+// OCC with validation disabled admits phantom scans — a multi-partition
+// scan's range can be written and committed by another transaction while the
+// scanner sits in its 2PC window, and with backward validation skipped the
+// scanner commits a range observation no serial order produced. The oracle's
+// scan replay must reject at least one partition's history; if it passes,
+// the phantom check is vacuous.
+func TestOracleFlagsPhantomScans(t *testing.T) {
+	gen := &workload.Limit{Gen: &workload.Micro{
+		Partitions: 2, KeysPerTxn: testKeys, MPFraction: 0.6,
+		ScanFraction: 0.4, ScanLength: 16,
+		ConflictProb: 0.8, Pinned: true, TwoRound: true,
+	}, N: 600}
+	opts := append(drainOpts(OCC, gen),
+		WithSetup(kvOrderedSetup(testClients)), withHistory(), withBrokenOCC())
+	db := mustOpen(t, opts...)
+	db.Run()
+	initial := initialStores(len(db.histories), kvOrderedSetup(testClients))
+	for p, h := range db.histories {
+		if err := h.Verify(initial[p], db.PartitionStore(PartitionID(p))); err != nil {
+			t.Logf("oracle correctly flagged partition %d: %v", p, err)
+			return
+		}
+	}
+	t.Fatal("oracle passed phantom-admitting scans (validation disabled)")
 }
 
 // TestOracleShardedAllSchemes re-runs the oracle on the sharded parallel

@@ -30,6 +30,15 @@ func kvSetup(clients int) func(PartitionID, *Store) {
 	}
 }
 
+// kvOrderedSetup is kvSetup on the ordered (B-tree) kv layout, for
+// scan-bearing workloads.
+func kvOrderedSetup(clients int) func(PartitionID, *Store) {
+	return func(p PartitionID, s *Store) {
+		kvstore.AddOrderedSchema(s)
+		kvstore.Load(s, p, clients, testKeys)
+	}
+}
+
 // mustOpen fails the test on an invalid configuration.
 func mustOpen(t *testing.T, opts ...Option) *DB {
 	t.Helper()
