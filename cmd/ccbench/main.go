@@ -13,8 +13,9 @@
 // beyond-the-paper load experiments (latency-openloop, zipf-skew), the
 // durability experiments (recovery-checkpoint, durable-overhead), the
 // optimistic-engine crossovers (mvcc-crossover, occ-retry), the YCSB-E
-// scan-fraction sweep (ycsb-scan), and the sharded
-// parallel runtime sweep (parallel-speedup); see
+// scan-fraction sweep (ycsb-scan), the sharded
+// parallel runtime sweep (parallel-speedup), and the elastic hot-partition
+// split sweep (elastic-split); see
 // EXPERIMENTS.md for the recorded comparison against the paper's curves.
 // With -json, one JSON object per grid cell is emitted (newline delimited)
 // for machine consumption (BENCH_*.json trajectories) — measured cells carry
@@ -43,7 +44,7 @@ import (
 
 func main() {
 	var (
-		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, ycsb-scan, parallel-speedup, or all)")
+		expID      = flag.String("experiment", "all", "experiment id (fig4..fig10, table1, table2, ablation-*, latency-openloop, zipf-skew, recovery-checkpoint, durable-overhead, mvcc-crossover, occ-retry, ycsb-scan, parallel-speedup, elastic-split, or all)")
 		quick      = flag.Bool("quick", false, "shorter measurement windows and coarser sweeps")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		jsonOut    = flag.Bool("json", false, "emit newline-delimited JSON, one object per grid cell plus perf records")

@@ -47,6 +47,7 @@ package specdb
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"specdb/internal/advisor"
@@ -55,6 +56,7 @@ import (
 	"specdb/internal/core"
 	"specdb/internal/costs"
 	"specdb/internal/durable"
+	"specdb/internal/elastic"
 	"specdb/internal/fault"
 	"specdb/internal/locks"
 	"specdb/internal/metrics"
@@ -200,6 +202,16 @@ type DB struct {
 	advBase   metrics.Counts     // advisor's own interval baseline
 	advLat    metrics.LatencySet // advisor's latency baseline
 	history   []SchemeChange
+
+	// Elastic repartitioning (WithElasticity). router is the live routing
+	// table shared with the workload generator; etrig is nil in Manual
+	// mode (migrations only through Migrate).
+	router   *elastic.Router
+	elCfg    ElasticityConfig
+	etrig    *advisor.Elastic
+	elNextAt Time   // next saturation evaluation boundary
+	elAt     Time   // time baseline of the current evaluation interval
+	elBusy   []Time // per-partition busy-time baselines
 }
 
 // SchemeChange records one concurrency control switch on a live DB.
@@ -462,6 +474,25 @@ func Open(opts ...Option) (*DB, error) {
 		db.adv = advisor.New(*cfg.advisor)
 		db.advNextAt = db.adv.Interval()
 	}
+	if cfg.elastic != nil {
+		db.elCfg = cfg.elastic.withDefaults()
+		db.router = elastic.New()
+		// validate() proved the generator RouterAware; its own modes may
+		// still refuse (range scans cannot follow migrated rows).
+		if err := cfg.workload.(workload.RouterAware).SetRouter(db.router); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadElasticity, err)
+		}
+		if !db.elCfg.Manual {
+			db.etrig = advisor.NewElastic(advisor.ElasticConfig{
+				Interval:           db.elCfg.Interval,
+				SaturationFraction: db.elCfg.SaturationFraction,
+				SaturationRatio:    db.elCfg.SaturationRatio,
+				Holdoff:            db.elCfg.Holdoff,
+			})
+			db.elNextAt = db.etrig.Interval()
+			db.elBusy = make([]Time, cfg.partitions)
+		}
+	}
 	return db, nil
 }
 
@@ -589,6 +620,39 @@ func (db *DB) livePrimary(p int) *partition.Partition {
 	return db.parts[p]
 }
 
+// livePrimaryID returns the actor currently serving partition p — the
+// original primary's actor, or the promoted backup's / restarter's (their
+// Receive delegates normal partition traffic to the inner process).
+func (db *DB) livePrimaryID(p int) sim.ActorID {
+	for i, b := range db.backups[p] {
+		if b.Promoted() != nil {
+			return db.backupIDs[p][i]
+		}
+	}
+	if r := db.restarters[p]; r != nil && r.Promoted() != nil {
+		return db.restarterIDs[p]
+	}
+	return db.partIDs[p]
+}
+
+// partBusy returns partition p's cumulative virtual CPU time, folding a
+// promoted backup's or restarted process's actor on top of the dead
+// primary's (the same fold Result's utilization uses).
+func (db *DB) partBusy(p int) Time {
+	busy := db.sch.BusyTime(db.partIDs[p])
+	if db.livePrimary(p) != db.parts[p] {
+		for i, b := range db.backups[p] {
+			if b.Promoted() != nil {
+				busy += db.sch.BusyTime(db.backupIDs[p][i])
+			}
+		}
+		if r := db.restarters[p]; r != nil && r.Promoted() != nil {
+			busy += db.sch.BusyTime(db.restarterIDs[p])
+		}
+	}
+	return busy
+}
+
 // syncCursor advances the drive cursor to the scheduler clock after stepping
 // primitives that do not run toward an explicit horizon.
 func (db *DB) syncCursor() {
@@ -641,14 +705,48 @@ func (db *DB) RunFor(d Time) int {
 	return db.advanceTo(db.cursor + d)
 }
 
-// advanceTo drives the scheduler to horizon, pausing at advisor evaluation
-// boundaries when adaptive concurrency control is enabled, and leaves the
-// cursor at horizon (or beyond it, when an adaptive switch drained past it).
-// It returns the number of events processed.
+// nextTick returns the earliest pending evaluation boundary — advisor or
+// elastic trigger — and whether one exists.
+func (db *DB) nextTick() (Time, bool) {
+	var at Time
+	ok := false
+	if db.adv != nil {
+		at, ok = db.advNextAt, true
+	}
+	if db.etrig != nil && (!ok || db.elNextAt < at) {
+		at, ok = db.elNextAt, true
+	}
+	return at, ok
+}
+
+// handleTicks evaluates every boundary at or before the cursor, advisor
+// before elastic trigger when they coincide (a fixed order keeps coincident
+// boundaries deterministic). Either evaluation may drain the cluster and
+// advance the cursor past the other's boundary; the trailing one then
+// evaluates at the drain point, exactly as a lone advisor does.
+func (db *DB) handleTicks() {
+	if db.adv != nil && db.advNextAt <= db.cursor {
+		db.advisorTick()
+		db.advNextAt = db.cursor + db.adv.Interval()
+	}
+	if db.etrig != nil && db.elNextAt <= db.cursor {
+		db.elasticTick()
+		db.elNextAt = db.cursor + db.etrig.Interval()
+	}
+}
+
+// advanceTo drives the scheduler to horizon, pausing at advisor and elastic
+// evaluation boundaries when adaptive concurrency control or elastic
+// repartitioning is enabled, and leaves the cursor at horizon (or beyond it,
+// when a switch or migration drained past it). It returns the number of
+// events processed.
 func (db *DB) advanceTo(horizon Time) int {
 	n := 0
-	for db.adv != nil && db.advNextAt <= horizon {
-		tick := db.advNextAt
+	for {
+		tick, ok := db.nextTick()
+		if !ok || tick > horizon {
+			break
+		}
 		if tick > db.cursor {
 			n += db.sch.Run(tick)
 			if db.sch.Stopped() {
@@ -660,9 +758,8 @@ func (db *DB) advanceTo(horizon Time) int {
 			db.cursor = tick
 		}
 		before := db.sch.DeliveredCount()
-		db.advisorTick()
-		n += int(db.sch.DeliveredCount() - before) // events stepped by a switch drain
-		db.advNextAt = db.cursor + db.adv.Interval()
+		db.handleTicks()
+		n += int(db.sch.DeliveredCount() - before) // events stepped by a drain
 	}
 	if horizon > db.cursor {
 		n += db.sch.Run(horizon)
@@ -676,24 +773,25 @@ func (db *DB) advanceTo(horizon Time) int {
 }
 
 // runToQuiescence drains the simulation (open-ended runs), evaluating the
-// advisor at its interval boundaries along the way. Like Drain, it leaves
-// the cursor at the last event's time — never inflated to an advisor
-// boundary — so open-ended throughput is computed over real elapsed time.
+// advisor and the elastic trigger at their interval boundaries along the
+// way. Like Drain, it leaves the cursor at the last event's time — never
+// inflated to an evaluation boundary — so open-ended throughput is computed
+// over real elapsed time.
 func (db *DB) runToQuiescence() {
-	if db.adv == nil {
+	if db.adv == nil && db.etrig == nil {
 		db.sch.Drain()
 		db.syncCursor()
 		return
 	}
 	for {
-		db.sch.Run(db.advNextAt)
+		tick, _ := db.nextTick()
+		db.sch.Run(tick)
 		if db.sch.Empty() || db.sch.Stopped() {
 			db.syncCursor()
 			return
 		}
-		db.cursor = db.advNextAt
-		db.advisorTick()
-		db.advNextAt = db.cursor + db.adv.Interval()
+		db.cursor = tick
+		db.handleTicks()
 	}
 }
 
@@ -733,6 +831,17 @@ func (db *DB) Step() bool {
 func (db *DB) SetWorkload(gen Generator) error {
 	if gen == nil {
 		return ErrNoWorkload
+	}
+	if db.router != nil {
+		// Elastic runs route through a live table; a replacement generator
+		// that cannot follow it would issue to pre-migration homes.
+		ra, ok := gen.(workload.RouterAware)
+		if !ok {
+			return fmt.Errorf("%w (workload %T cannot re-target keys after a migration)", ErrBadElasticity, gen)
+		}
+		if err := ra.SetRouter(db.router); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadElasticity, err)
+		}
 	}
 	db.shapeWorkload(gen)
 	db.cfg.workload = gen
@@ -935,6 +1044,168 @@ func (db *DB) advisorTick() {
 			panic(err)
 		}
 	}
+}
+
+// elasticTick evaluates one saturation interval over per-partition busy-time
+// deltas and performs the triggered migration, if any.
+func (db *DB) elasticTick() {
+	span := db.cursor - db.elAt
+	db.elAt = db.cursor
+	busy := make([]Time, len(db.parts))
+	for p := range db.parts {
+		b := db.partBusy(p)
+		busy[p] = b - db.elBusy[p]
+		db.elBusy[p] = b
+	}
+	if len(db.collector.Migrations) >= db.elCfg.MaxMigrations {
+		return
+	}
+	if from, to, ok := db.etrig.Observe(busy, span); ok {
+		if err := db.migrate(from, to, true); err != nil {
+			// A hot partition that cannot split (too few distinct keys)
+			// would re-trigger every interval; the holdoff the failed
+			// attempt armed spaces the retries out.
+			return
+		}
+	}
+}
+
+// Migrate moves the upper half of partition from's key range to partition to
+// through the same freeze–copy–cutover an advisor-triggered migration uses:
+// drain to a quiescent point, copy the rows (priced by the elasticity
+// config), advance the routing epoch, resume the clients. Requires
+// WithElasticity; the migration appears in Result.Migrations with Auto
+// false. Virtual time advances by the drain plus the copy, like SetScheme's
+// drain.
+func (db *DB) Migrate(from, to PartitionID) error {
+	if db.router == nil {
+		return fmt.Errorf("%w (WithElasticity not configured)", ErrBadElasticity)
+	}
+	return db.migrate(int(from), int(to), false)
+}
+
+// migrate performs one elastic key-range migration: freeze (drain to a
+// quiescent point), split plan (median key of the donor's row set), copy
+// (the donor's MigrateOut handler deletes, forwards and logs the range and
+// ships it to the destination's MigrateIn, both priced by the copy cost),
+// cut over (advance the routing epoch so generators re-target the moved
+// keys), and resume. Backups and command logs ride the partitions' normal
+// forwarding and group-commit paths, so replicas converge and crash-restart
+// replays the move.
+func (db *DB) migrate(from, to int, auto bool) error {
+	if from == to || from < 0 || from >= len(db.parts) || to < 0 || to >= len(db.parts) {
+		return fmt.Errorf("%w (migrate %d -> %d of %d partitions)", ErrBadElasticity, from, to, len(db.parts))
+	}
+	triggered := db.cursor
+	if db.started {
+		if err := db.drainQuiesce(); err != nil {
+			db.resumeClients() // never leave the cluster paused
+			return err
+		}
+	}
+	donor := db.livePrimary(from)
+	dest := db.livePrimary(to)
+	plan, ok := splitUpperHalf(donor.Store())
+	if !ok {
+		if db.etrig != nil {
+			db.etrig.NoteMigration() // space out re-trigger attempts
+		}
+		db.resumeClients()
+		return fmt.Errorf("%w (partition %d has too few distinct keys to split)", ErrBadElasticity, from)
+	}
+	cost := db.elCfg.CopyLatency
+	if db.elCfg.CopyBandwidth > 0 {
+		cost += Time(float64(plan.bytes) / db.elCfg.CopyBandwidth * float64(Second))
+	}
+	wantIn := dest.MigrationsIn + 1
+	db.sch.SendAt(db.cursor, db.livePrimaryID(from), &msg.MigrateOut{
+		Lo: plan.lo, Hi: plan.hi, Dest: db.livePrimaryID(to), Cost: cost,
+	})
+	for dest.MigrationsIn < wantIn {
+		if !db.sch.Step() {
+			db.resumeClients()
+			return fmt.Errorf("specdb: migration %d -> %d stalled before the copy completed", from, to)
+		}
+	}
+	db.syncCursor()
+	db.router.Add(elastic.Move{From: PartitionID(from), To: PartitionID(to), Lo: plan.lo, Hi: plan.hi})
+	db.collector.NoteMigration(metrics.MigrationEvent{
+		From: from, To: to,
+		TriggeredAt: triggered, CopiedAt: db.cursor, CutoverAt: db.cursor,
+		RowsMoved: uint64(plan.rows), BytesMoved: plan.bytes,
+		LoKey: plan.lo, HiKey: plan.hi,
+		Auto: auto,
+	})
+	if db.etrig != nil {
+		db.etrig.NoteMigration()
+	}
+	db.resumeClients()
+	if db.adv != nil {
+		// Rebase the advisor's interval on the cutover: completions from
+		// the drain were measured under pre-migration routing.
+		db.advBase = db.collector.Totals
+		db.advLat = db.collector.TotalLat
+	}
+	if db.etrig != nil {
+		// Rebase the busy baselines too — the copy itself spent donor and
+		// destination CPU that is not workload skew.
+		db.elAt = db.cursor
+		for p := range db.parts {
+			db.elBusy[p] = db.partBusy(p)
+		}
+	}
+	return nil
+}
+
+// splitPlanned describes the key range a migration moves.
+type splitPlanned struct {
+	lo, hi string
+	rows   int
+	bytes  uint64
+}
+
+// splitUpperHalf plans a median split of the store's row set: the key range
+// [median, ∞) across every table, sized like Store.ApproxBytes prices rows.
+// It reports ok=false when fewer than two distinct keys exist — there is no
+// boundary that moves some rows and keeps some.
+func splitUpperHalf(st *storage.Store) (splitPlanned, bool) {
+	var keys []string
+	for _, tbl := range st.TableNames() {
+		st.Table(tbl).Ascend("", "", func(k string, v any) bool {
+			keys = append(keys, k)
+			return true
+		})
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 || keys[0] == keys[len(keys)-1] {
+		return splitPlanned{}, false
+	}
+	median := keys[len(keys)/2]
+	if median == keys[0] {
+		// Duplicate-heavy low half: move everything strictly above the
+		// smallest key instead, the tightest split that keeps rows behind.
+		for _, k := range keys {
+			if k > median {
+				median = k
+				break
+			}
+		}
+	}
+	const perRow = 16 // Store.ApproxBytes's per-row value charge
+	p := splitPlanned{lo: median, hi: ""}
+	for _, k := range keys {
+		if k >= median {
+			p.rows++
+			p.bytes += uint64(len(k)) + perRow
+		}
+	}
+	return p, true
+}
+
+// Migrations returns every elastic migration performed on this DB so far,
+// in cutover order (see Result.Migrations).
+func (db *DB) Migrations() []MigrationEvent {
+	return append([]MigrationEvent(nil), db.collector.Migrations...)
 }
 
 // Snapshot returns live cumulative counters plus interval rates covering the

@@ -300,3 +300,45 @@ func ExampleScan() {
 	// committed: 200
 	// range scans: 91
 }
+
+// ExampleWithElasticity turns on elastic repartitioning under a Zipfian
+// hot-partition workload: home-partition popularity concentrates on partition
+// 0, the saturation trigger fires at an evaluation interval, and the hot
+// partition's upper key range is frozen, copied, and cut over to the idlest
+// partition mid-run — a live split of the paper's otherwise static partition
+// map. The migration timeline (trigger to cutover, the "dip") and the rows
+// moved come back on the Result; determinism is unchanged, so the same seed
+// reproduces the same split at the same virtual time.
+func ExampleWithElasticity() {
+	reg := specdb.NewRegistry()
+	reg.Register(kvstore.Proc{})
+	const clients, keys = 16, 6
+	db, err := specdb.Open(
+		specdb.WithPartitions(4),
+		specdb.WithClients(clients),
+		specdb.WithScheme(specdb.Speculation),
+		specdb.WithSeed(11),
+		specdb.WithWarmup(5*specdb.Millisecond),
+		specdb.WithMeasure(40*specdb.Millisecond),
+		specdb.WithRegistry(reg),
+		specdb.WithSetup(func(p specdb.PartitionID, s *specdb.Store) {
+			kvstore.AddSchema(s)
+			kvstore.Load(s, p, clients, keys)
+		}),
+		specdb.WithWorkloadFactory(func() specdb.Generator {
+			return &workload.Micro{KeysPerTxn: keys, PartitionSkew: 0.95}
+		}),
+		specdb.WithElasticity(specdb.ElasticityConfig{}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := db.Run()
+	for _, m := range res.Migrations {
+		fmt.Printf("migration: partition %d -> %d, %d rows, dip %v\n", m.From, m.To, m.RowsMoved, m.Dip())
+	}
+	fmt.Printf("total dip %v over %d migrations\n", res.MigrationDip, len(res.Migrations))
+	// Output:
+	// migration: partition 0 -> 3, 48 rows, dip 1232.817µs
+	// total dip 1232.817µs over 1 migrations
+}

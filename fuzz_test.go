@@ -39,6 +39,11 @@ type fuzzConfig struct {
 	// identical at every width; the plain path has its own (also
 	// deterministic) event order.
 	shards int
+	// elastic turns on WithElasticity with the default auto trigger:
+	// migrations (and their command-log records, under durable) join the
+	// determinism surface. partSkew makes the trigger's hot partition.
+	elastic  bool
+	partSkew float64
 }
 
 // decode clamps raw fuzz values into a valid configuration, resolving the
@@ -47,7 +52,8 @@ type fuzzConfig struct {
 // faults).
 func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
 	twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
-	durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8, scanPct uint8) fuzzConfig {
+	durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8, scanPct uint8,
+	elastic uint8) fuzzConfig {
 	c := fuzzConfig{
 		seed:       seed,
 		scheme:     specdb.Scheme(int(scheme) % 5),
@@ -69,9 +75,21 @@ func decode(seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPc
 		scanFrac:   float64(scanPct%101) / 100,
 		adaptive:   adaptive,
 		shards:     []int{0, 1, 2, 4}[shards%4],
+		elastic:    elastic%2 == 1,
 	}
 	if c.keySkew > 0.99 {
 		c.keySkew = 0.99
+	}
+	if c.elastic {
+		if c.partitions < 2 {
+			c.partitions = 2 // a split needs a destination
+		}
+		c.scanFrac = 0 // elastic routing rejects scan workloads
+		c.faultKind = 0
+		// Home-partition popularity concentrates on partition 0 so the
+		// saturation trigger actually fires and migrations join the
+		// compared surface.
+		c.partSkew = 0.9
 	}
 	if c.faultKind != 0 {
 		if c.scheme == specdb.Locking {
@@ -121,16 +139,17 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 		}),
 		specdb.WithWorkloadFactory(func() specdb.Generator {
 			return &workload.Micro{
-				Partitions:   c.partitions,
-				KeysPerTxn:   4,
-				MPFraction:   c.mpFrac,
-				ConflictProb: c.conflict,
-				AbortProb:    c.abortProb,
-				TwoRound:     c.twoRound,
-				KeySkew:      c.keySkew,
-				ReadFraction: c.readFrac,
-				ScanFraction: c.scanFrac,
-				ScanLength:   6,
+				Partitions:    c.partitions,
+				KeysPerTxn:    4,
+				MPFraction:    c.mpFrac,
+				ConflictProb:  c.conflict,
+				AbortProb:     c.abortProb,
+				TwoRound:      c.twoRound,
+				KeySkew:       c.keySkew,
+				PartitionSkew: c.partSkew,
+				ReadFraction:  c.readFrac,
+				ScanFraction:  c.scanFrac,
+				ScanLength:    6,
 			}
 		}),
 	}
@@ -160,6 +179,16 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 	if c.shards > 0 {
 		opts = append(opts, specdb.WithParallelism(specdb.ParallelismConfig{Shards: c.shards}))
 	}
+	if c.elastic {
+		// Eager thresholds: the fuzz windows are short (12 ms) and the
+		// client pool small, so the default trigger would rarely fire and
+		// migrations would drop out of the compared surface.
+		opts = append(opts, specdb.WithElasticity(specdb.ElasticityConfig{
+			Interval:           4 * specdb.Millisecond,
+			SaturationFraction: 0.4,
+			SaturationRatio:    1.2,
+		}))
+	}
 	db, err := specdb.Open(opts...)
 	if err != nil {
 		t.Fatalf("decoded config must be valid: %v (%+v)", err, c)
@@ -179,70 +208,78 @@ func (c fuzzConfig) open(t *testing.T) *specdb.DB {
 func FuzzDeterminism(f *testing.F) {
 	// scheme: 0 blocking, 1 speculation, 2 locking, 3 mvcc, 4 occ (see
 	// specdb consts). Baseline closed-loop uniform, one per scheme.
-	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(42), uint8(0), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(7), uint8(50), uint8(0), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(9), uint8(2), uint8(1), uint8(5), uint8(30), uint8(60), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
 	// Fault schedules: primary crash under speculation and blocking,
 	// backup crash under speculation.
-	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(4), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(5), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(4), false, uint8(1), uint8(2), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
 	// Open-loop: underload and overload windows, all three schemes.
-	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(11), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(20_000), uint8(2), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(12), uint8(2), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(150_000), uint8(3), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(13), uint8(0), uint8(1), uint8(3), uint8(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
 	// Zipfian skew, closed and open loop, with replication.
-	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(21), uint8(1), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(90), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(22), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(60_000), uint8(1), uint8(99), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
 	// Open loop + fault + replication together.
-	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(31), uint8(1), uint8(1), uint8(5), uint8(30), uint8(0), uint8(0), false, uint8(1), uint8(1), true, uint32(40_000), uint8(0), uint8(50), false, uint8(0), uint8(0), false, uint8(0), uint8(0), uint8(0))
 	// Durable command logging: fault-free under all three schemes (log
 	// bytes must still be bit-identical), and crash-restart under
 	// speculation and blocking with different checkpoint intervals.
-	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5), uint8(0), false, uint8(0), uint8(0))
-	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2), uint8(0), false, uint8(0), uint8(0))
+	f.Add(int64(51), uint8(1), uint8(1), uint8(7), uint8(30), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(52), uint8(2), uint8(1), uint8(5), uint8(20), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(4), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(53), uint8(1), uint8(1), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(1), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(54), uint8(0), uint8(1), uint8(7), uint8(40), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(5), uint8(0), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(55), uint8(1), uint8(2), uint8(7), uint8(30), uint8(0), uint8(0), true, uint8(0), uint8(3), true, uint32(30_000), uint8(0), uint8(60), true, uint8(2), uint8(0), false, uint8(0), uint8(0), uint8(0))
 	// The optimistic engines. MVCC under a read-heavy mix with conflicts
 	// (kill/retry + backoff on the write side, snapshot reads on the read
 	// side), and with Zipfian skew + replication; OCC under hot-key
 	// conflicts with two-round transactions, and under open-loop arrivals.
-	f.Add(int64(61), uint8(3), uint8(1), uint8(7), uint8(30), uint8(50), uint8(4), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(60), false, uint8(0), uint8(0))
-	f.Add(int64(62), uint8(3), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(95), false, uint8(0), uint8(40), false, uint8(0), uint8(0))
-	f.Add(int64(63), uint8(4), uint8(1), uint8(7), uint8(40), uint8(60), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(25), false, uint8(0), uint8(0))
-	f.Add(int64(64), uint8(4), uint8(1), uint8(7), uint8(20), uint8(30), uint8(0), false, uint8(0), uint8(0), true, uint32(50_000), uint8(1), uint8(0), false, uint8(0), uint8(30), false, uint8(0), uint8(0))
+	f.Add(int64(61), uint8(3), uint8(1), uint8(7), uint8(30), uint8(50), uint8(4), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(60), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(62), uint8(3), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(1), uint8(0), false, uint32(0), uint8(0), uint8(95), false, uint8(0), uint8(40), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(63), uint8(4), uint8(1), uint8(7), uint8(40), uint8(60), uint8(8), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(25), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(64), uint8(4), uint8(1), uint8(7), uint8(20), uint8(30), uint8(0), false, uint8(0), uint8(0), true, uint32(50_000), uint8(1), uint8(0), false, uint8(0), uint8(30), false, uint8(0), uint8(0), uint8(0))
 	// Durable logging under the optimistic engines: retried transactions
 	// must still produce bit-identical log bytes.
-	f.Add(int64(65), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(0), uint8(0))
-	f.Add(int64(66), uint8(4), uint8(1), uint8(5), uint8(30), uint8(40), uint8(4), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(30), false, uint8(0), uint8(0))
+	f.Add(int64(65), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(66), uint8(4), uint8(1), uint8(5), uint8(30), uint8(40), uint8(4), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(30), false, uint8(0), uint8(0), uint8(0))
 	// Advisor-driven switches: start on blocking with a workload the model
 	// steers to OCC (conflict-free two-round MP), and start on locking with
 	// a read-heavy mix that steers to MVCC. Switch points and all results
 	// must replay bit-identically.
-	f.Add(int64(71), uint8(0), uint8(1), uint8(7), uint8(60), uint8(0), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint8(0), uint8(0))
-	f.Add(int64(72), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(80), true, uint8(0), uint8(0))
+	f.Add(int64(71), uint8(0), uint8(1), uint8(7), uint8(60), uint8(0), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint8(0), uint8(0), uint8(0))
+	f.Add(int64(72), uint8(2), uint8(1), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(80), true, uint8(0), uint8(0), uint8(0))
 	// The sharded parallel runtime: widths 2 and 4 over multi-partition
 	// speculation with a crash fault, durable logging, open-loop arrivals,
 	// and MVCC. Each seed also replays at Shards=1 and must match.
-	f.Add(int64(81), uint8(1), uint8(2), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(2), uint8(0))
-	f.Add(int64(82), uint8(0), uint8(2), uint8(7), uint8(30), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(3), uint8(0))
-	f.Add(int64(83), uint8(2), uint8(2), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(2), uint8(90), false, uint8(0), uint8(0), false, uint8(3), uint8(0))
-	f.Add(int64(84), uint8(3), uint8(2), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(2), uint8(0))
+	f.Add(int64(81), uint8(1), uint8(2), uint8(7), uint8(40), uint8(0), uint8(0), false, uint8(1), uint8(1), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(2), uint8(0), uint8(0))
+	f.Add(int64(82), uint8(0), uint8(2), uint8(7), uint8(30), uint8(0), uint8(4), false, uint8(0), uint8(3), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(3), uint8(0), uint8(0))
+	f.Add(int64(83), uint8(2), uint8(2), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), true, uint32(80_000), uint8(2), uint8(90), false, uint8(0), uint8(0), false, uint8(3), uint8(0), uint8(0))
+	f.Add(int64(84), uint8(3), uint8(2), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(3), uint8(50), false, uint8(2), uint8(0), uint8(0))
 	// Range scans (YCSB-E mixes on the ordered layout): locking's shared
 	// range locks, MVCC snapshot scans at width 2, and OCC phantom
 	// validation with two-round conflicts at width 4. Scans run twice must
 	// produce bit-identical Results including the scan commit counters.
-	f.Add(int64(91), uint8(2), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(20), false, uint8(0), uint8(40))
-	f.Add(int64(92), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(30), false, uint8(2), uint8(50))
-	f.Add(int64(93), uint8(4), uint8(1), uint8(7), uint8(40), uint8(50), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(3), uint8(40))
+	f.Add(int64(91), uint8(2), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(20), false, uint8(0), uint8(40), uint8(0))
+	f.Add(int64(92), uint8(3), uint8(1), uint8(7), uint8(30), uint8(40), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(30), false, uint8(2), uint8(50), uint8(0))
+	f.Add(int64(93), uint8(4), uint8(1), uint8(7), uint8(40), uint8(50), uint8(0), true, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(3), uint8(40), uint8(0))
+	// Elastic repartitioning: a hot partition 0 (the decoder pins partition
+	// skew 0.9 when elastic is on) splits mid-run under the default auto
+	// trigger. One seed composes with durable logging — the migration
+	// records are part of the compared log bytes — and one runs on the
+	// sharded runtime at width 2, replayed against width 1.
+	f.Add(int64(101), uint8(1), uint8(1), uint8(7), uint8(10), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), true, uint8(2), uint8(0), false, uint8(0), uint8(0), uint8(1))
+	f.Add(int64(102), uint8(0), uint8(2), uint8(7), uint8(20), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint32(0), uint8(0), uint8(0), false, uint8(0), uint8(0), false, uint8(2), uint8(0), uint8(1))
 
 	f.Fuzz(func(t *testing.T, seed int64, scheme, partitions, clients, mpPct, conflictPct, abortPct uint8,
 		twoRound bool, replicas, faultKind uint8, openLoop bool, rate uint32, window, skewPct uint8,
-		durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8, scanPct uint8) {
+		durable bool, ckptMs uint8, readPct uint8, adaptive bool, shards uint8, scanPct uint8,
+		elastic uint8) {
 		c := decode(seed, scheme, partitions, clients, mpPct, conflictPct, abortPct,
 			twoRound, replicas, faultKind, openLoop, rate, window, skewPct, durable, ckptMs,
-			readPct, adaptive, shards, scanPct)
+			readPct, adaptive, shards, scanPct, elastic)
 		dbA, dbB := c.open(t), c.open(t)
 		a, b := dbA.Run(), dbB.Run()
 		if !reflect.DeepEqual(a, b) {

@@ -1,0 +1,120 @@
+package advisor
+
+import (
+	"specdb/internal/sim"
+)
+
+// Defaults applied by NewElastic for zero ElasticConfig fields.
+const (
+	// DefaultElasticInterval is the saturation evaluation period.
+	DefaultElasticInterval = 10 * sim.Millisecond
+	// DefaultSaturationFraction is the busy fraction of the interval above
+	// which a partition counts as saturated.
+	DefaultSaturationFraction = 0.75
+	// DefaultSaturationRatio is how many times busier than the mean of the
+	// other partitions the hottest one must be before a migration pays.
+	DefaultSaturationRatio = 2.0
+	// DefaultElasticHoldoff is the number of evaluation intervals skipped
+	// after a migration, letting the rebalanced load stabilize.
+	DefaultElasticHoldoff = 1
+)
+
+// ElasticConfig tunes the elastic repartitioning trigger.
+type ElasticConfig struct {
+	// Interval is the evaluation period in virtual time (default 10 ms).
+	Interval sim.Time
+	// SaturationFraction is the busy-time fraction of the interval above
+	// which the hottest partition counts as saturated (default 0.75).
+	SaturationFraction float64
+	// SaturationRatio is the skew threshold: the hottest partition's busy
+	// time must be at least this multiple of the mean busy time of the
+	// remaining partitions (default 2.0). The two conditions together are
+	// the trigger's hysteresis — a uniformly loaded cluster never
+	// migrates, however busy, and a skewed but idle one does not either.
+	SaturationRatio float64
+	// Holdoff is how many evaluation intervals to skip after a migration
+	// (default 1).
+	Holdoff int
+}
+
+// withDefaults fills zero fields.
+func (c ElasticConfig) withDefaults() ElasticConfig {
+	if c.Interval <= 0 {
+		c.Interval = DefaultElasticInterval
+	}
+	if c.SaturationFraction <= 0 {
+		c.SaturationFraction = DefaultSaturationFraction
+	}
+	if c.SaturationRatio <= 0 {
+		c.SaturationRatio = DefaultSaturationRatio
+	}
+	if c.Holdoff <= 0 {
+		c.Holdoff = DefaultElasticHoldoff
+	}
+	return c
+}
+
+// Elastic is the elastic repartitioning trigger: it watches per-partition
+// busy time per evaluation interval and fires when one partition is
+// saturated while the rest idle — the hot-partition signal that a key-range
+// split can fix but a scheme switch cannot. Like the scheme Advisor it is
+// deliberately passive: Observe names a donor and a destination and the
+// facade performs the actual freeze–copy–cutover.
+type Elastic struct {
+	cfg     ElasticConfig
+	holdoff int
+}
+
+// NewElastic returns an elastic trigger with zero ElasticConfig fields
+// defaulted.
+func NewElastic(cfg ElasticConfig) *Elastic {
+	return &Elastic{cfg: cfg.withDefaults()}
+}
+
+// Interval returns the evaluation period the host should observe at.
+func (e *Elastic) Interval() sim.Time { return e.cfg.Interval }
+
+// NoteMigration tells the trigger a migration just completed — by its own
+// recommendation or by a manual DB.Migrate — arming the holdoff so the next
+// intervals, whose busy times were partly measured under the old routing,
+// are not used to trigger another move.
+func (e *Elastic) NoteMigration() { e.holdoff = e.cfg.Holdoff }
+
+// Observe feeds one interval's per-partition busy times (busy[i] is how much
+// of span partition i's primary spent executing) and returns a donor and
+// destination when the saturation trigger fires. The donor is the busiest
+// partition and the destination the idlest; ties break to the lowest index,
+// keeping the choice deterministic. It returns ok=false when a holdoff is
+// pending, the busiest partition is below the saturation fraction, or the
+// skew ratio over the mean of the other partitions is not met.
+func (e *Elastic) Observe(busy []sim.Time, span sim.Time) (from, to int, ok bool) {
+	if e.holdoff > 0 {
+		e.holdoff--
+		return 0, 0, false
+	}
+	if len(busy) < 2 || span <= 0 {
+		return 0, 0, false
+	}
+	donor, dest := 0, 0
+	var total sim.Time
+	for i, b := range busy {
+		total += b
+		if b > busy[donor] {
+			donor = i
+		}
+		if b < busy[dest] {
+			dest = i
+		}
+	}
+	if donor == dest {
+		return 0, 0, false // uniform load, nothing to rebalance
+	}
+	if float64(busy[donor]) < e.cfg.SaturationFraction*float64(span) {
+		return 0, 0, false
+	}
+	meanOthers := float64(total-busy[donor]) / float64(len(busy)-1)
+	if meanOthers > 0 && float64(busy[donor]) < e.cfg.SaturationRatio*meanOthers {
+		return 0, 0, false
+	}
+	return donor, dest, true
+}

@@ -1,0 +1,86 @@
+package advisor
+
+import (
+	"testing"
+
+	"specdb/internal/sim"
+)
+
+const span = 10 * sim.Millisecond
+
+func ms(v int) sim.Time { return sim.Time(v) * sim.Millisecond }
+
+// TestElasticTrigger drives the saturation trigger through its truth table:
+// both conditions (busy fraction and skew ratio) must hold, ties break low,
+// and degenerate inputs never fire.
+func TestElasticTrigger(t *testing.T) {
+	cases := []struct {
+		name     string
+		busy     []sim.Time
+		from, to int
+		fire     bool
+	}{
+		{"saturated and skewed", []sim.Time{ms(9), ms(2), ms(1), ms(2)}, 0, 2, true},
+		{"saturated but uniform", []sim.Time{ms(9), ms(9) - 1, ms(9) - 2, ms(9) - 1}, 0, 0, false},
+		{"skewed but idle", []sim.Time{ms(4), ms(1), ms(1), ms(1)}, 0, 0, false},
+		{"exactly at both thresholds", []sim.Time{ms(8), ms(4), ms(4), ms(4)}, 0, 1, true},
+		{"just under fraction", []sim.Time{ms(8) - 1, ms(1), ms(1), ms(1)}, 0, 0, false},
+		{"just under ratio", []sim.Time{ms(8), ms(4) + 1, ms(4), ms(4)}, 0, 0, false},
+		{"hot in the middle", []sim.Time{ms(2), ms(9), ms(1), ms(2)}, 1, 2, true},
+		{"donor tie breaks low", []sim.Time{ms(1), ms(9), ms(9), ms(1)}, 1, 0, true},
+		{"dest tie breaks low", []sim.Time{ms(9), ms(3), ms(3), ms(4)}, 0, 1, true},
+		{"all idle partitions", []sim.Time{ms(9), 0, 0, 0}, 0, 1, true},
+		{"single partition", []sim.Time{ms(9)}, 0, 0, false},
+		{"fully uniform", []sim.Time{ms(9), ms(9)}, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Fraction 0.8, ratio 2.0 over a 10ms span: fire iff the hottest
+			// partition is >= 8ms busy and >= 2x the mean of the others.
+			e := NewElastic(ElasticConfig{SaturationFraction: 0.8})
+			from, to, ok := e.Observe(tc.busy, span)
+			if ok != tc.fire {
+				t.Fatalf("Observe fired=%v, want %v", ok, tc.fire)
+			}
+			if ok && (from != tc.from || to != tc.to) {
+				t.Fatalf("Observe = (%d, %d), want (%d, %d)", from, to, tc.from, tc.to)
+			}
+		})
+	}
+}
+
+// TestElasticHoldoff pins the hysteresis: NoteMigration suppresses exactly
+// Holdoff observations, however saturated, then the trigger re-arms.
+func TestElasticHoldoff(t *testing.T) {
+	e := NewElastic(ElasticConfig{Holdoff: 2})
+	hot := []sim.Time{ms(9), ms(1)}
+	if _, _, ok := e.Observe(hot, span); !ok {
+		t.Fatal("armed trigger did not fire")
+	}
+	e.NoteMigration()
+	for i := 0; i < 2; i++ {
+		if _, _, ok := e.Observe(hot, span); ok {
+			t.Fatalf("observation %d fired during holdoff", i)
+		}
+	}
+	if _, _, ok := e.Observe(hot, span); !ok {
+		t.Fatal("trigger did not re-arm after holdoff expired")
+	}
+}
+
+// TestElasticDefaults pins the zero-config defaults.
+func TestElasticDefaults(t *testing.T) {
+	e := NewElastic(ElasticConfig{})
+	if e.Interval() != DefaultElasticInterval {
+		t.Fatalf("Interval = %v, want %v", e.Interval(), DefaultElasticInterval)
+	}
+	// 7.4ms busy over 10ms is below the default 0.75 fraction; 7.6ms with an
+	// idle peer clears both default thresholds.
+	if _, _, ok := e.Observe([]sim.Time{7400 * sim.Microsecond, ms(1)}, span); ok {
+		t.Fatal("fired below the default saturation fraction")
+	}
+	from, to, ok := e.Observe([]sim.Time{7600 * sim.Microsecond, ms(1)}, span)
+	if !ok || from != 0 || to != 1 {
+		t.Fatalf("Observe = (%d, %d, %v), want (0, 1, true)", from, to, ok)
+	}
+}

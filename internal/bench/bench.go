@@ -59,13 +59,17 @@ func QuickOpts() Opts {
 // completion-latency percentiles in microseconds (zero when the experiment
 // has no simulated cell behind the point, e.g. model curves). Cells of the
 // recovery experiments also carry the durability counters: recovery latency,
-// log bytes replayed, and transactions re-executed (zero elsewhere).
+// log bytes replayed, and transactions re-executed (zero elsewhere), and
+// cells of the elasticity experiment the migration counters: total dip and
+// rows moved (zero when no migration fired).
 type Point struct {
 	X, Y          float64
 	P50, P95, P99 float64
 	RecoveryMs    float64
 	LogBytes      uint64
 	ReplayTxns    uint64
+	DipMs         float64
+	RowsMoved     uint64
 	// Shards is the runtime width behind the cell (1 for the plain
 	// scheduler) and Barriers the sharded runtime's window count (zero on
 	// the plain path). Zero Shards marks model-curve points with no
@@ -83,7 +87,11 @@ func pointFor(x float64, r specdb.Result) Point {
 		P50:    r.P50.Micros(),
 		P95:    r.P95.Micros(),
 		P99:    r.P99.Micros(),
+		DipMs:  r.MigrationDip.Micros() / 1000,
 		Shards: 1,
+	}
+	for _, m := range r.Migrations {
+		p.RowsMoved += m.RowsMoved
 	}
 	if r.Parallel != nil {
 		p.Shards = r.Parallel.Shards
@@ -120,7 +128,7 @@ func All() []Experiment {
 		LatencyOpenLoop(), ZipfSkew(), YCSBScan(),
 		RecoveryCheckpoint(), DurableOverhead(),
 		MVCCCrossover(), OCCRetry(),
-		ParallelSpeedup(),
+		ParallelSpeedup(), ElasticSplit(),
 	}
 }
 

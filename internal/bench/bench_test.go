@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -172,5 +176,83 @@ func TestCompareBaseline(t *testing.T) {
 	bad = CompareBaseline(base, fresh[:1], 0.25)
 	if len(bad) != 1 || !strings.Contains(bad[0], "missing from fresh run") {
 		t.Fatalf("regressions = %v, want one missing-cell failure", bad)
+	}
+}
+
+// TestBaselineKeyStabilityElasticCells pins the cell-key contract for the
+// elasticity experiment: dip_ms and rows_moved are payload, not identity, so
+// a cell re-measured with a different migration outcome still compares
+// against the same baseline cell, and elastic cells never collide with other
+// experiments' cells of the same series and x.
+func TestBaselineKeyStabilityElasticCells(t *testing.T) {
+	e := Experiment{ID: "elastic-split"}
+	withMig := []Series{{Name: "Speculation", Points: []Point{
+		{X: 0.9, Y: 50000, DipMs: 3.2, RowsMoved: 240, Shards: 1}}}}
+	noMig := []Series{{Name: "Speculation", Points: []Point{
+		{X: 0.9, Y: 50000, Shards: 1}}}}
+	parse := func(series []Series) BaselineCell {
+		var sb strings.Builder
+		if err := FormatJSON(&sb, e, series); err != nil {
+			t.Fatal(err)
+		}
+		cells, err := ReadBaseline(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cells) != 1 {
+			t.Fatalf("got %d cells", len(cells))
+		}
+		return cells[0]
+	}
+	a, b := parse(withMig), parse(noMig)
+	if a.key() != b.key() {
+		t.Fatalf("migration payload leaked into the cell key: %q vs %q", a.key(), b.key())
+	}
+	if bad := CompareBaseline([]BaselineCell{a}, []BaselineCell{b}, 0.01); len(bad) != 0 {
+		t.Fatalf("same-throughput cells flagged: %v", bad)
+	}
+	other := a
+	other.Experiment = "zipf-skew"
+	if a.key() == other.key() {
+		t.Fatal("elastic cell key collides with another experiment")
+	}
+}
+
+// TestCommittedBaselinesRoundTrip re-encodes the repository's committed
+// BENCH_*.json baselines through the NDJSON cell format and compares the
+// round trip against the original at zero tolerance: the format changes that
+// added migration columns must not disturb a single committed cell.
+func TestCommittedBaselinesRoundTrip(t *testing.T) {
+	for _, name := range []string{"BENCH_4.json", "BENCH_8.json"} {
+		t.Run(name, func(t *testing.T) {
+			raw, err := os.ReadFile(filepath.Join("..", "..", name))
+			if err != nil {
+				t.Skipf("no committed baseline: %v", err)
+			}
+			orig, err := ReadBaseline(bytes.NewReader(raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(orig) == 0 {
+				t.Fatal("baseline parsed to zero cells")
+			}
+			var sb strings.Builder
+			enc := json.NewEncoder(&sb)
+			for _, c := range orig {
+				if err := enc.Encode(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			again, err := ReadBaseline(strings.NewReader(sb.String()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bad := CompareBaseline(orig, again, 0); len(bad) != 0 {
+				t.Fatalf("round trip vs original: %v", bad)
+			}
+			if bad := CompareBaseline(again, orig, 0); len(bad) != 0 {
+				t.Fatalf("original vs round trip: %v", bad)
+			}
+		})
 	}
 }

@@ -74,12 +74,12 @@ func seriesHasLat(s Series) bool {
 // percentile columns alongside (zero when the point has no simulated cell
 // behind it).
 func FormatCSV(w io.Writer, e Experiment, series []Series) {
-	fmt.Fprintf(w, "experiment,series,x,y,p50_us,p95_us,p99_us,recovery_ms,log_bytes,replay_txns,shards,barriers\n")
+	fmt.Fprintf(w, "experiment,series,x,y,p50_us,p95_us,p99_us,recovery_ms,log_bytes,replay_txns,dip_ms,rows_moved,shards,barriers\n")
 	for _, s := range series {
 		name := strings.ReplaceAll(s.Name, ",", ";")
 		for _, p := range s.Points {
-			fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%g,%d,%d,%d,%d\n", e.ID, name, p.X, p.Y, p.P50, p.P95, p.P99,
-				p.RecoveryMs, p.LogBytes, p.ReplayTxns, p.Shards, p.Barriers)
+			fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g,%g,%d,%d,%g,%d,%d,%d\n", e.ID, name, p.X, p.Y, p.P50, p.P95, p.P99,
+				p.RecoveryMs, p.LogBytes, p.ReplayTxns, p.DipMs, p.RowsMoved, p.Shards, p.Barriers)
 		}
 	}
 }
@@ -107,10 +107,12 @@ func FormatJSON(w io.Writer, e Experiment, series []Series) error {
 				RecoveryMs float64 `json:"recovery_ms,omitempty"`
 				LogBytes   uint64  `json:"log_bytes,omitempty"`
 				ReplayTxns uint64  `json:"replay_txns,omitempty"`
+				DipMs      float64 `json:"dip_ms,omitempty"`
+				RowsMoved  uint64  `json:"rows_moved,omitempty"`
 				Shards     int     `json:"shards,omitempty"`
 				Barriers   uint64  `json:"barriers,omitempty"`
 			}{e.ID, e.Title, e.Ref, s.Name, e.XAxis, e.YAxis, p.X, p.Y, p.P50, p.P95, p.P99,
-				p.RecoveryMs, p.LogBytes, p.ReplayTxns, p.Shards, p.Barriers}
+				p.RecoveryMs, p.LogBytes, p.ReplayTxns, p.DipMs, p.RowsMoved, p.Shards, p.Barriers}
 			if err := enc.Encode(rec); err != nil {
 				return err
 			}

@@ -51,6 +51,14 @@ const (
 	RecordPrepared
 	// RecordDecision is a 2PC outcome for an earlier RecordPrepared.
 	RecordDecision
+	// RecordMigration is an elastic repartitioning step appended at a
+	// drained quiescent point: an outbound record logs the key range this
+	// partition surrendered, an inbound record logs the rows it adopted.
+	// Replay mutates the store directly — there is no transaction to
+	// re-execute — keeping the log a complete transcript of how the
+	// partition's state evolved, so crash-restart recovers a post-migration
+	// store from checkpoint + tail alone.
+	RecordMigration
 )
 
 // Record is one command-log entry. The byte image (AppendRecord) is the
@@ -72,6 +80,12 @@ type Record struct {
 	// stores inputs, and deterministic re-execution regenerates outputs.
 	Client sim.ActorID
 	Reply  *msg.ClientReply
+	// MigOut, MigLo, MigHi and MigRows describe a RecordMigration: an
+	// outbound record (MigOut true) deletes [MigLo, MigHi) from every
+	// table on replay; an inbound record reinstalls MigRows.
+	MigOut       bool
+	MigLo, MigHi string
+	MigRows      []msg.MigRow
 	// Size is the record's encoded length in bytes.
 	Size int
 }
@@ -135,6 +149,37 @@ func AppendRecord(dst []byte, kind RecordKind, txn msg.TxnID, proc string, works
 			dst = enc.AppendLog(dst)
 		} else {
 			dst = fmt.Appendf(dst, "%v", w)
+		}
+	}
+	return append(dst, '\n')
+}
+
+// AppendMigrationRecord appends the deterministic byte encoding of one
+// migration record to dst and returns the extended slice:
+//
+//	M d=o lo=<lo> hi=<hi>\n                    outbound (range surrendered)
+//	M d=i r=<table>/<key>=<val>|...\n          inbound (rows adopted)
+//
+// Values encode through fmt like fallback works — deterministic for the
+// simulator's value types.
+func AppendMigrationRecord(dst []byte, rec Record) []byte {
+	dst = append(dst, "M d="...)
+	if rec.MigOut {
+		dst = append(dst, "o lo="...)
+		dst = append(dst, rec.MigLo...)
+		dst = append(dst, " hi="...)
+		dst = append(dst, rec.MigHi...)
+	} else {
+		dst = append(dst, "i r="...)
+		for i, r := range rec.MigRows {
+			if i > 0 {
+				dst = append(dst, '|')
+			}
+			dst = append(dst, r.Table...)
+			dst = append(dst, '/')
+			dst = append(dst, r.Key...)
+			dst = append(dst, '=')
+			dst = fmt.Appendf(dst, "%v", r.Val)
 		}
 	}
 	return append(dst, '\n')
@@ -315,9 +360,28 @@ func (l *Logger) AppendDecision(ctx *sim.Context, txn msg.TxnID, commit bool) {
 	l.append(ctx, Record{Kind: RecordDecision, Txn: txn, Commit: commit})
 }
 
+// AppendMigrationOut appends an outbound migration record: this partition
+// surrendered [lo, hi) at a drained quiescent point. Migration records ride
+// the normal group-commit path and, like decisions, gate nothing — the
+// facade holds the cluster paused until the migration lands, so no reply
+// can race the record to a client.
+func (l *Logger) AppendMigrationOut(ctx *sim.Context, lo, hi string) {
+	l.append(ctx, Record{Kind: RecordMigration, MigOut: true, MigLo: lo, MigHi: hi})
+}
+
+// AppendMigrationIn appends an inbound migration record carrying the adopted
+// rows. The rows slice is retained; callers pass a stable copy.
+func (l *Logger) AppendMigrationIn(ctx *sim.Context, rows []msg.MigRow) {
+	l.append(ctx, Record{Kind: RecordMigration, MigRows: rows})
+}
+
 func (l *Logger) append(ctx *sim.Context, rec Record) int {
 	start := len(l.image)
-	l.image = AppendRecord(l.image, rec.Kind, rec.Txn, rec.Proc, rec.Works, rec.Commit)
+	if rec.Kind == RecordMigration {
+		l.image = AppendMigrationRecord(l.image, rec)
+	} else {
+		l.image = AppendRecord(l.image, rec.Kind, rec.Txn, rec.Proc, rec.Works, rec.Commit)
+	}
 	rec.Size = len(l.image) - start
 	l.AppendedBytes += uint64(rec.Size)
 	l.records = append(l.records, rec)
@@ -367,7 +431,7 @@ func (l *Logger) Durable(seq uint64) []Gate {
 	for i := l.durableRecs; i < front.upto; i++ {
 		r := &l.records[i]
 		l.durableLen += r.Size
-		if r.Kind != RecordDecision {
+		if r.Kind == RecordCommitted || r.Kind == RecordPrepared {
 			l.released = append(l.released, Gate{Txn: r.Txn, Rec: i})
 		}
 	}

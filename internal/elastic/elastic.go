@@ -1,0 +1,93 @@
+// Package elastic implements the routing side of live repartitioning: a
+// key→partition map that starts as the identity over the static layout and
+// accumulates key-range moves as migrations cut over.
+//
+// The paper's H-Store design (§2) fixes the partition map at deployment;
+// elasticity keeps the partition set fixed but lets ownership of key ranges
+// move between partitions while the cluster runs. A Router holds the ordered
+// list of committed moves — one per migration cutover, so the list length
+// doubles as the routing epoch — and resolves a (logical partition, key)
+// pair to the partition that physically owns the row now.
+//
+// Resolution replays the moves in commit order: a key's location starts at
+// its logical (generator-assigned) partition and follows every move whose
+// source matches its current location and whose half-open range [Lo, Hi)
+// contains the key (empty Hi is unbounded). Replaying the full chain makes
+// chained migrations exact: if range R moved 0→1 and later a range of
+// partition 1 containing part of R moved 1→2, both hops apply. Moves are
+// committed only at a drained quiescent point (no transaction in flight
+// anywhere), so readers never observe a half-applied epoch.
+//
+// The zero Router routes identically to the static layout and is safe to
+// consult on every issue: Place is allocation-free, and Active lets hot
+// paths skip the replay entirely until a first migration commits.
+package elastic
+
+import "specdb/internal/msg"
+
+// Move is one committed key-range migration: keys in [Lo, Hi) whose current
+// physical location is From belong to To from this epoch on. An empty Hi
+// means unbounded above.
+type Move struct {
+	From msg.PartitionID
+	To   msg.PartitionID
+	Lo   string
+	Hi   string
+}
+
+// Contains reports whether key is inside the move's half-open range.
+func (m Move) Contains(key string) bool {
+	return key >= m.Lo && (m.Hi == "" || key < m.Hi)
+}
+
+// Router resolves keys to their current physical partition. It is built by
+// the facade, shared with the workload generator, and mutated only at
+// migration cutover points (between transactions); it is not safe for
+// concurrent mutation, matching the single-driver DB contract.
+type Router struct {
+	moves []Move
+}
+
+// New returns an identity router (no moves committed).
+func New() *Router { return &Router{} }
+
+// Active reports whether any move has been committed. Generators use it as
+// the fast-path guard: an inactive router never changes placement, so the
+// pre-routed request can be issued untouched.
+func (r *Router) Active() bool { return r != nil && len(r.moves) > 0 }
+
+// Epoch returns the routing epoch: the number of committed moves. Each
+// migration cutover advances it by one.
+func (r *Router) Epoch() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.moves)
+}
+
+// Add commits a move, advancing the routing epoch.
+func (r *Router) Add(m Move) { r.moves = append(r.moves, m) }
+
+// Moves returns a copy of the committed moves in epoch order (inspection).
+func (r *Router) Moves() []Move {
+	if r == nil {
+		return nil
+	}
+	return append([]Move(nil), r.moves...)
+}
+
+// Place resolves the physical partition for a key whose logical
+// (generator-assigned) home is logical, by replaying every committed move in
+// epoch order. It allocates nothing.
+func (r *Router) Place(logical msg.PartitionID, key string) msg.PartitionID {
+	if r == nil {
+		return logical
+	}
+	phys := logical
+	for _, m := range r.moves {
+		if phys == m.From && m.Contains(key) {
+			phys = m.To
+		}
+	}
+	return phys
+}

@@ -1,0 +1,106 @@
+package elastic
+
+import (
+	"reflect"
+	"testing"
+
+	"specdb/internal/msg"
+)
+
+// TestPlaceIdentity pins the zero/nil router: identity placement, inactive,
+// epoch zero.
+func TestPlaceIdentity(t *testing.T) {
+	var nilR *Router
+	for _, r := range []*Router{New(), nilR} {
+		if r.Active() {
+			t.Fatal("empty router reports Active")
+		}
+		if r.Epoch() != 0 {
+			t.Fatalf("empty router epoch = %d", r.Epoch())
+		}
+		if got := r.Place(3, "any"); got != 3 {
+			t.Fatalf("identity Place = %d, want 3", got)
+		}
+	}
+}
+
+// TestPlaceSingleMove pins half-open range semantics including the unbounded
+// empty Hi.
+func TestPlaceSingleMove(t *testing.T) {
+	r := New()
+	r.Add(Move{From: 0, To: 2, Lo: "k10", Hi: "k20"})
+	if !r.Active() || r.Epoch() != 1 {
+		t.Fatalf("Active=%v Epoch=%d after one move", r.Active(), r.Epoch())
+	}
+	cases := []struct {
+		logical msg.PartitionID
+		key     string
+		want    msg.PartitionID
+	}{
+		{0, "k10", 2}, // Lo inclusive
+		{0, "k15", 2},
+		{0, "k20", 0}, // Hi exclusive
+		{0, "k05", 0}, // below range
+		{1, "k15", 1}, // wrong source partition
+	}
+	for _, tc := range cases {
+		if got := r.Place(tc.logical, tc.key); got != tc.want {
+			t.Errorf("Place(%d, %q) = %d, want %d", tc.logical, tc.key, got, tc.want)
+		}
+	}
+	r2 := New()
+	r2.Add(Move{From: 1, To: 0, Lo: "m", Hi: ""})
+	if got := r2.Place(1, "zzz"); got != 0 {
+		t.Errorf("unbounded Hi: Place = %d, want 0", got)
+	}
+	if got := r2.Place(1, "a"); got != 1 {
+		t.Errorf("below unbounded move: Place = %d, want 1", got)
+	}
+}
+
+// TestPlaceChainedMoves pins epoch-order replay: a key follows every move
+// whose source matches its current location, so a later split of the
+// destination carries previously migrated keys onward.
+func TestPlaceChainedMoves(t *testing.T) {
+	r := New()
+	r.Add(Move{From: 0, To: 1, Lo: "k10", Hi: "k30"}) // epoch 1
+	r.Add(Move{From: 1, To: 2, Lo: "k20", Hi: ""})    // epoch 2 splits partition 1
+	if r.Epoch() != 2 {
+		t.Fatalf("epoch = %d, want 2", r.Epoch())
+	}
+	cases := []struct {
+		key  string
+		want msg.PartitionID
+	}{
+		{"k15", 1}, // first hop only
+		{"k25", 2}, // both hops
+		{"k35", 0}, // neither
+	}
+	for _, tc := range cases {
+		if got := r.Place(0, tc.key); got != tc.want {
+			t.Errorf("Place(0, %q) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	// Native partition-1 keys in the split range move too.
+	if got := r.Place(1, "k40"); got != 2 {
+		t.Errorf("Place(1, k40) = %d, want 2", got)
+	}
+}
+
+// TestMovesCopies pins that Moves returns a defensive copy.
+func TestMovesCopies(t *testing.T) {
+	r := New()
+	m := Move{From: 0, To: 1, Lo: "a", Hi: "b"}
+	r.Add(m)
+	got := r.Moves()
+	if !reflect.DeepEqual(got, []Move{m}) {
+		t.Fatalf("Moves = %+v", got)
+	}
+	got[0].To = 9
+	if r.Place(0, "a") != 1 {
+		t.Fatal("mutating the Moves copy changed routing")
+	}
+	if (*Router)(nil).Moves() != nil {
+		t.Fatal("nil router Moves not nil")
+	}
+}

@@ -230,6 +230,38 @@ func (e RecoveryEvent) RecoveryLatency() sim.Time {
 	return e.ResumedAt - e.RestartedAt
 }
 
+// MigrationEvent records one elastic repartitioning step and its timeline:
+// the advisor trigger (or manual request), the completion of the row copy at
+// the destination, and the routing cutover that re-opened the clients. Times
+// are zero for stages not (yet) reached.
+type MigrationEvent struct {
+	// From is the donor partition, To the destination.
+	From, To int
+	// TriggeredAt is when the saturation trigger fired (or Migrate was
+	// called); CopiedAt is when the destination finished adopting the
+	// rows; CutoverAt is when the routing epoch advanced and paused
+	// clients resumed.
+	TriggeredAt, CopiedAt, CutoverAt sim.Time
+	// RowsMoved and BytesMoved size the migrated key range.
+	RowsMoved, BytesMoved uint64
+	// LoKey and HiKey are the migrated key range [LoKey, HiKey); an empty
+	// HiKey means unbounded above.
+	LoKey, HiKey string
+	// Auto distinguishes advisor-triggered migrations from manual
+	// DB.Migrate calls.
+	Auto bool
+}
+
+// Dip returns how long the migration stalled the workload: cutover minus
+// trigger time (the freeze–copy–cutover window during which clients were
+// paused). Zero until the cutover completes.
+func (e MigrationEvent) Dip() sim.Time {
+	if e.CutoverAt == 0 {
+		return 0
+	}
+	return e.CutoverAt - e.TriggeredAt
+}
+
 // Collector accumulates transaction completions. The paper's methodology is
 // a warm-up period followed by a measurement window; only completions inside
 // the window count (§5).
@@ -255,6 +287,11 @@ type Collector struct {
 	// Recoveries records crash-restart faults and their recovery timelines,
 	// in the order the stages were observed (at most one per partition).
 	Recoveries []RecoveryEvent
+
+	// Migrations records elastic repartitioning steps in cutover order.
+	// Migrations run one at a time from the facade's drained quiescent
+	// points, so each event is appended complete.
+	Migrations []MigrationEvent
 
 	// WindowLat holds issue-to-completion latency histograms restricted to
 	// the measurement window, split single-/multi-partition and
@@ -376,6 +413,15 @@ func (c *Collector) NoteRestartResumed(part int, at sim.Time, committed, dropped
 	e.ResumedAt = at
 	e.BufferedCommitted = committed
 	e.BufferedDropped = dropped
+}
+
+// NoteMigration appends one completed elastic repartitioning event. The
+// facade runs migrations serially between paused windows, so the event
+// arrives complete and append order is cutover order.
+func (c *Collector) NoteMigration(e MigrationEvent) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Migrations = append(c.Migrations, e)
 }
 
 // Restarts returns the number of completed crash-restart recoveries.
@@ -592,18 +638,55 @@ func (h *Histogram) Merge(o *Histogram) {
 // Sub returns the histogram of samples recorded after prev was copied from
 // the same (monotonically growing) histogram: bucket counts and n subtract
 // exactly. The interval's true min and max are not recoverable from bucket
-// counts, so the result keeps h's overall bounds — quantiles remain correct
-// to bucket resolution, with the top bucket clamped to the whole-run max.
+// counts, so they are tightened to the bounds of the interval's nonempty
+// buckets: the whole-run min (max) is kept only when it falls inside the
+// interval's lowest (highest) nonempty bucket, and otherwise the bucket edge
+// is used. Without the tightening, a quiet interval after a slow warm-up
+// inherits the warm-up's extremes — Quantile(0) and Quantile(1) report
+// samples the interval never saw, and the top-bucket clamp drags P99 toward
+// a stale whole-run max.
 func (h Histogram) Sub(prev Histogram) Histogram {
 	out := h
+	lo, hi := -1, -1
 	for i := range out.counts {
 		out.counts[i] -= prev.counts[i]
+		if out.counts[i] > 0 {
+			if lo < 0 {
+				lo = i
+			}
+			hi = i
+		}
 	}
 	out.n -= prev.n
 	if out.n == 0 {
 		return Histogram{}
 	}
+	// h.min is the min over all samples, so bucket(h.min) ≤ lo; equality
+	// means the interval's lowest sample shares its bucket and the exact
+	// value is as good a bound as the bucket edge. Same argument for max,
+	// except the unbounded top bucket, whose only honest bound is the
+	// whole-run max.
+	if h.bucket(out.min) != lo {
+		out.min = bucketLo(lo)
+	}
+	if hi < len(out.counts)-1 && h.bucket(out.max) != hi {
+		out.max = bucketHi(hi)
+	}
 	return out
+}
+
+// bucketLo returns the lower bound of bucket i (zero for the first bucket,
+// which absorbs everything below histBase).
+func bucketLo(i int) sim.Time {
+	if i <= 0 {
+		return 0
+	}
+	return sim.Time(float64(histBase) * math.Pow(histGrowth, float64(i)))
+}
+
+// bucketHi returns the (exclusive) upper bound of bucket i.
+func bucketHi(i int) sim.Time {
+	return sim.Time(float64(histBase) * math.Pow(histGrowth, float64(i+1)))
 }
 
 // Quantile returns an upper bound of the q-quantile.

@@ -310,6 +310,109 @@ func TestHistogramSub(t *testing.T) {
 	}
 }
 
+// TestHistogramSubTightensStaleExtremes pins the interval-percentile fix: a
+// quiet interval must not inherit the whole run's min and max. Before the
+// fix, Sub copied both verbatim, so an interval of uniformly fast samples
+// after one slow warm-up outlier reported Quantile(1) at the stale warm-up
+// max (and the symmetric stale min for slow intervals after a fast start).
+func TestHistogramSubTightensStaleExtremes(t *testing.T) {
+	const top = sim.Time(1) << 62
+	cases := []struct {
+		name   string
+		before []sim.Time
+		after  []sim.Time
+		// inclusive bounds the tightened delta extremes must satisfy
+		maxAtMost  sim.Time
+		minAtLeast sim.Time
+	}{
+		{
+			// Slow warm-up outlier, fast quiet interval: the 10ms max is
+			// stale; the tightened max is the interval bucket's upper edge.
+			name:      "stale max dropped",
+			before:    []sim.Time{10 * sim.Millisecond},
+			after:     []sim.Time{50 * sim.Microsecond, 55 * sim.Microsecond},
+			maxAtMost: 80 * sim.Microsecond,
+		},
+		{
+			// Fast warm-up, slow interval: the 2µs min is stale; the
+			// tightened min is the interval bucket's lower edge.
+			name:       "stale min raised",
+			before:     []sim.Time{2 * sim.Microsecond},
+			after:      []sim.Time{5 * sim.Millisecond},
+			minAtLeast: 1 * sim.Millisecond,
+		},
+		{
+			// The interval's extreme shares its bucket with the whole-run
+			// extreme, so the exact values survive untightened.
+			name:       "shared bucket keeps exact extremes",
+			before:     []sim.Time{100 * sim.Microsecond},
+			after:      []sim.Time{42 * sim.Microsecond, 500 * sim.Microsecond},
+			minAtLeast: 42 * sim.Microsecond,
+			maxAtMost:  500 * sim.Microsecond,
+		},
+		{
+			// Top bucket is unbounded: the whole-run max is the only honest
+			// upper bound and must be kept even when stale.
+			name:      "top bucket keeps run max",
+			before:    []sim.Time{top},
+			after:     []sim.Time{top / 2},
+			maxAtMost: top,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, s := range tc.before {
+				h.Add(s)
+			}
+			snap := h
+			for _, s := range tc.after {
+				h.Add(s)
+			}
+			d := h.Sub(snap)
+			if d.N() != uint64(len(tc.after)) {
+				t.Fatalf("delta N = %d, want %d", d.N(), len(tc.after))
+			}
+			if tc.maxAtMost != 0 && d.Quantile(1) > tc.maxAtMost {
+				t.Errorf("delta max = %v, want <= %v", d.Quantile(1), tc.maxAtMost)
+			}
+			if d.Quantile(0) < tc.minAtLeast {
+				t.Errorf("delta min = %v, want >= %v", d.Quantile(0), tc.minAtLeast)
+			}
+		})
+	}
+	t.Run("zero-sample interval is all zero", func(t *testing.T) {
+		var h Histogram
+		h.Add(3 * sim.Millisecond)
+		d := h.Sub(h)
+		if d != (Histogram{}) {
+			t.Fatalf("quiet-interval delta not zeroed: %+v", d)
+		}
+		if d.Quantile(0) != 0 || d.Quantile(1) != 0 {
+			t.Fatalf("quiet-interval quantiles [%v, %v], want zero", d.Quantile(0), d.Quantile(1))
+		}
+	})
+}
+
+// TestMigrationEventDip pins the dip timeline semantics: zero until cutover,
+// then the triggered-to-cutover span; NoteMigration appends in order.
+func TestMigrationEventDip(t *testing.T) {
+	e := MigrationEvent{From: 0, To: 1, TriggeredAt: 10 * sim.Millisecond}
+	if e.Dip() != 0 {
+		t.Fatalf("pre-cutover Dip = %v, want 0", e.Dip())
+	}
+	e.CutoverAt = 12 * sim.Millisecond
+	if e.Dip() != 2*sim.Millisecond {
+		t.Fatalf("Dip = %v, want 2ms", e.Dip())
+	}
+	c := NewCollector(0, 0)
+	c.NoteMigration(e)
+	c.NoteMigration(MigrationEvent{From: 1, To: 2})
+	if len(c.Migrations) != 2 || c.Migrations[0].To != 1 || c.Migrations[1].To != 2 {
+		t.Fatalf("migration log out of order: %+v", c.Migrations)
+	}
+}
+
 // TestLatencySetSplit pins the 2×2 classification: each (multiPartition,
 // aborted) combination lands in its own histogram, Merged sees all of them,
 // and Sub distributes over the classes.

@@ -241,6 +241,56 @@ type RecoveryOutcome struct {
 	Outcomes  []TxnOutcome
 }
 
+// --- Elastic repartitioning (live key-range migration) ---
+
+// MigRow is one row in flight during a key-range migration: the table it
+// lives in, its key, and its value (a reference, like every simulated
+// payload — rows are copy-on-write, so the reference is safe to share).
+type MigRow struct {
+	Table string
+	Key   string
+	Val   any
+}
+
+// MigrateOut starts a key-range migration at the donor partition. The facade
+// sends it at a drained quiescent point (no transaction in flight anywhere),
+// so the donor can collect and delete the range [Lo, Hi) directly from its
+// store without racing an engine. The donor forwards the deletion to its
+// backups (FIFO after every earlier replica decision), logs a migration
+// record when durable, and ships the collected rows to Dest as a MigrateIn.
+type MigrateOut struct {
+	// Lo and Hi bound the migrated key range, half-open; empty Hi means
+	// unbounded above. The range applies to every table in the store.
+	Lo, Hi string
+	// Dest is the receiving partition's (live primary's) actor.
+	Dest sim.ActorID
+	// Cost is the virtual CPU time the donor spends freezing and copying
+	// the range (the facade prices it from the row bytes and the
+	// configured copy bandwidth). The destination spends the same applying.
+	Cost sim.Time
+}
+
+// MigrateIn delivers a migrated key range to the destination partition,
+// which installs the rows, forwards them to its backups, and logs a
+// migration record when durable.
+type MigrateIn struct {
+	Rows []MigRow
+	Cost sim.Time
+}
+
+// ReplicaMigrateOut tells a donor's backup to delete the migrated range.
+// It rides the same FIFO link as ReplicaForward/ReplicaDecision, so it
+// applies after every transaction that committed before the migration.
+type ReplicaMigrateOut struct {
+	Lo, Hi string
+}
+
+// ReplicaMigrateIn tells a destination's backup to install the migrated
+// rows.
+type ReplicaMigrateIn struct {
+	Rows []MigRow
+}
+
 // Restart tells a crashed partition's restarter actor to begin crash-restart
 // recovery: load the latest checkpoint, replay the durable log tail, and take
 // over as primary. The fault controller sends it one restart delay after the

@@ -143,6 +143,34 @@ func (h *PartitionHistory) Commit(txn msg.TxnID) {
 	h.committed = append(h.committed, r)
 }
 
+// RecordMigrationOut seals a synthetic record at the next serial position
+// for an outbound key-range migration: every surrendered row becomes an
+// OpDelete. Migrations happen only at drained quiescent points, so "next
+// serial position" is exact — no transaction is open. Without these records
+// the replay store would diverge from the partition's final store after a
+// migration, and Verify would report a false violation.
+func (h *PartitionHistory) RecordMigrationOut(rows []msg.MigRow) {
+	rec := &TxnRecord{Txn: msg.NoTxn}
+	for _, r := range rows {
+		rec.Rows = append(rec.Rows, Row{Op: OpDelete, Table: r.Table, Key: r.Key})
+	}
+	h.nextSeq++
+	rec.Seq = h.nextSeq
+	h.committed = append(h.committed, rec)
+}
+
+// RecordMigrationIn seals a synthetic record for an inbound migration: every
+// adopted row becomes an OpWrite installing the migrated value.
+func (h *PartitionHistory) RecordMigrationIn(rows []msg.MigRow) {
+	rec := &TxnRecord{Txn: msg.NoTxn}
+	for _, r := range rows {
+		rec.Rows = append(rec.Rows, Row{Op: OpWrite, Table: r.Table, Key: r.Key, Val: r.Val, Existed: true})
+	}
+	h.nextSeq++
+	rec.Seq = h.nextSeq
+	h.committed = append(h.committed, rec)
+}
+
 // Drop discards txn's open record: it aborted, or was rolled back for
 // re-execution (the re-execution re-records from scratch).
 func (h *PartitionHistory) Drop(txn msg.TxnID) {

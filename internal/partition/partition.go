@@ -120,6 +120,13 @@ type Partition struct {
 	RepliesOut   uint64
 	ForwardsOut  uint64
 	ExecNanosCPU sim.Time // total CPU charged for execution
+
+	// MigrationsIn counts completed inbound key-range migrations; the facade
+	// polls it to detect that a shipped range has been installed.
+	// RowsMigratedIn/RowsMigratedOut count the rows that moved.
+	MigrationsIn    uint64
+	RowsMigratedIn  uint64
+	RowsMigratedOut uint64
 }
 
 type workLog struct {
@@ -302,6 +309,10 @@ func (p *Partition) Receive(ctx *sim.Context, m sim.Message) {
 		if p.monitoring {
 			p.lastHeard[v.From] = ctx.Now()
 		}
+	case *msg.MigrateOut:
+		p.migrateOut(ctx, v)
+	case *msg.MigrateIn:
+		p.migrateIn(ctx, v)
 	default:
 		panic(fmt.Sprintf("partition %d: unexpected message %T", p.cfg.ID, m))
 	}
@@ -441,6 +452,74 @@ func (p *Partition) dropBackup(ctx *sim.Context, dead sim.ActorID) {
 			delete(p.pending, id)
 			ps.send()
 		}
+	}
+}
+
+// migrateOut surrenders the key range [Lo, Hi) to the destination partition.
+// The facade sends MigrateOut only at a drained quiescent point — the engine
+// holds no transaction state — so the rows can be collected and deleted
+// directly from the store, exactly like an engine swap mutates engine state
+// there. The deletion is forwarded to this partition's backups on the same
+// FIFO link as replica traffic (so it lands after every earlier decision),
+// logged as a migration record when durable, and the rows ship to Dest.
+func (p *Partition) migrateOut(ctx *sim.Context, m *msg.MigrateOut) {
+	if !p.Quiescent() {
+		panic(fmt.Sprintf("partition %d: migration while not quiescent", p.cfg.ID))
+	}
+	var rows []msg.MigRow
+	for _, tbl := range p.cfg.Store.TableNames() {
+		t := p.cfg.Store.Table(tbl)
+		t.Ascend(m.Lo, m.Hi, func(k string, v any) bool {
+			rows = append(rows, msg.MigRow{Table: tbl, Key: k, Val: v})
+			return true
+		})
+	}
+	for _, r := range rows {
+		p.cfg.Store.Table(r.Table).Delete(r.Key)
+	}
+	p.spendCtx(ctx, m.Cost)
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.AppendMigrationOut(ctx, m.Lo, m.Hi)
+	}
+	for _, b := range p.cfg.Backups {
+		p.cfg.Net.Send(ctx, b, &msg.ReplicaMigrateOut{Lo: m.Lo, Hi: m.Hi})
+	}
+	if p.cfg.History != nil {
+		p.cfg.History.RecordMigrationOut(rows)
+	}
+	p.RowsMigratedOut += uint64(len(rows))
+	p.cfg.Net.Send(ctx, m.Dest, &msg.MigrateIn{Rows: rows, Cost: m.Cost})
+}
+
+// migrateIn adopts a migrated key range: rows are installed in the store,
+// forwarded to this partition's backups, and logged when durable. The facade
+// observes completion through MigrationsIn.
+func (p *Partition) migrateIn(ctx *sim.Context, m *msg.MigrateIn) {
+	if !p.Quiescent() {
+		panic(fmt.Sprintf("partition %d: migration while not quiescent", p.cfg.ID))
+	}
+	for _, r := range m.Rows {
+		p.cfg.Store.Table(r.Table).Put(r.Key, r.Val)
+	}
+	p.spendCtx(ctx, m.Cost)
+	if p.cfg.Logger != nil {
+		p.cfg.Logger.AppendMigrationIn(ctx, m.Rows)
+	}
+	for _, b := range p.cfg.Backups {
+		p.cfg.Net.Send(ctx, b, &msg.ReplicaMigrateIn{Rows: m.Rows})
+	}
+	if p.cfg.History != nil {
+		p.cfg.History.RecordMigrationIn(m.Rows)
+	}
+	p.RowsMigratedIn += uint64(len(m.Rows))
+	p.MigrationsIn++
+}
+
+// spendCtx charges CPU against an explicit context (migration handlers run
+// outside the Receive-scoped p.ctx convention used by engine callbacks).
+func (p *Partition) spendCtx(ctx *sim.Context, d sim.Time) {
+	if d > 0 {
+		ctx.Spend(d)
 	}
 }
 

@@ -187,8 +187,33 @@ func (b *Backup) Receive(ctx *sim.Context, m sim.Message) {
 		// and stand down this backup's own failure detector.
 		b.Primary = v.Actor
 		b.monitoring = false
+	case *msg.ReplicaMigrateOut:
+		// The primary surrendered a key range at a drained quiescent point.
+		// The FIFO link guarantees every decision for a transaction that
+		// committed before the migration has already been delivered, so no
+		// buffered transaction can touch the departing rows.
+		b.applyMigrateOut(v.Lo, v.Hi)
+	case *msg.ReplicaMigrateIn:
+		for _, r := range v.Rows {
+			b.Store.Table(r.Table).Put(r.Key, r.Val)
+		}
 	default:
 		panic(fmt.Sprintf("backup: unexpected message %T", m))
+	}
+}
+
+// applyMigrateOut deletes the migrated range from the backup store, mirroring
+// the primary's surrender.
+func (b *Backup) applyMigrateOut(lo, hi string) {
+	var doomed []struct{ table, key string }
+	for _, tbl := range b.Store.TableNames() {
+		b.Store.Table(tbl).Ascend(lo, hi, func(k string, v any) bool {
+			doomed = append(doomed, struct{ table, key string }{tbl, k})
+			return true
+		})
+	}
+	for _, d := range doomed {
+		b.Store.Table(d.table).Delete(d.key)
 	}
 }
 
@@ -285,9 +310,12 @@ func (b *Backup) receivePromoted(ctx *sim.Context, m sim.Message) {
 		}
 		b.promoted.Receive(ctx, m)
 	case *msg.ReplicaForward, *msg.ReplicaDecision, *msg.Heartbeat,
-		msg.StartMonitor, msg.StartPulse, msg.StopPulse, checkTick, pulseTick, *msg.NewPrimary:
+		msg.StartMonitor, msg.StartPulse, msg.StopPulse, checkTick, pulseTick, *msg.NewPrimary,
+		*msg.ReplicaMigrateOut, *msg.ReplicaMigrateIn:
 		// Stale pre-crash traffic or detector machinery; promotion is
-		// final and the old primary is dead.
+		// final and the old primary is dead. (Migration forwards reach a
+		// promoted backup as MigrateOut/MigrateIn via the default case —
+		// replica-directed copies could only come from the dead primary.)
 	default:
 		// Everything else — engine timers, peer acks — belongs to the
 		// inner partition process.

@@ -152,6 +152,28 @@ func (r *Restarter) restart(ctx *sim.Context) {
 				r.apply(ctx, rb)
 				r.replayTxns++
 			}
+		case durable.RecordMigration:
+			// Elastic repartitioning step, appended at a drained quiescent
+			// point: no transaction to re-execute, the store mutates
+			// directly. Replaying it restores the post-migration key
+			// placement, so re-executed later transactions find (or miss)
+			// exactly the rows the original run did.
+			if rec.MigOut {
+				var doomed []msg.MigRow
+				for _, tbl := range r.store.TableNames() {
+					r.store.Table(tbl).Ascend(rec.MigLo, rec.MigHi, func(k string, v any) bool {
+						doomed = append(doomed, msg.MigRow{Table: tbl, Key: k})
+						return true
+					})
+				}
+				for _, d := range doomed {
+					r.store.Table(d.Table).Delete(d.Key)
+				}
+			} else {
+				for _, mr := range rec.MigRows {
+					r.store.Table(mr.Table).Put(mr.Key, mr.Val)
+				}
+			}
 		}
 	}
 	ctx.Spend(r.Log.ReadCost(r.logBytes))

@@ -4,8 +4,11 @@
 package workload
 
 import (
+	"errors"
 	"math/rand"
+	"sort"
 
+	"specdb/internal/elastic"
 	"specdb/internal/kvstore"
 	"specdb/internal/msg"
 	"specdb/internal/txn"
@@ -26,6 +29,17 @@ import (
 // of a parallel Sweep need WithWorkloadFactory.
 type Generator interface {
 	Next(clientIdx int, rng *rand.Rand) *txn.Invocation
+}
+
+// RouterAware marks generators that can re-target invocations through an
+// elastic routing table: after a key-range migration, the keys a transaction
+// names may live on a different partition than the static layout says, and
+// the generator must regroup its per-partition key map through Router.Place
+// before issue. WithElasticity requires the workload (after unwrapping) to
+// implement it; a generator may return an error when one of its modes cannot
+// be re-targeted.
+type RouterAware interface {
+	SetRouter(r *elastic.Router) error
 }
 
 // Micro is the §5.1 microbenchmark client: each transaction reads and
@@ -105,6 +119,11 @@ type Micro struct {
 	fresh     bool
 	keyZipf   *Zipf
 	partZipf  *Zipf
+
+	// router, when set and active, re-targets each invocation's key groups
+	// to the partitions that actually hold the keys after elastic
+	// migrations (see SetRouter and applyRouting).
+	router *elastic.Router
 }
 
 // microBuf is one client's reusable invocation state.
@@ -141,11 +160,14 @@ func (m *Micro) buf(ci int) *microBuf {
 }
 
 // SetShape implements ShapeAware: it fills the shared-keyspace client count
-// and decides whether per-client buffer reuse is safe for this cluster
-// shape (see perClient).
+// and the partition count from the cluster shape, and decides whether
+// per-client buffer reuse is safe for this shape (see perClient).
 func (m *Micro) SetShape(s Shape) {
 	if m.Clients == 0 {
 		m.Clients = s.Clients
+	}
+	if m.Partitions == 0 {
+		m.Partitions = s.Partitions
 	}
 	m.fresh = s.MaxInFlight > 1 || (m.KeySkew > 0 && s.Replicas > 1)
 	// Pre-build every client's buffer and the zipf samplers now, while
@@ -157,16 +179,24 @@ func (m *Micro) SetShape(s Shape) {
 	m.samplers()
 }
 
-// samplers lazily builds the zipf samplers once the keyspace size is known.
+// samplers lazily builds the zipf samplers once the keyspace size is known,
+// and rebuilds one whose rank space no longer matches its knob — SetShape may
+// legitimately fill Clients or Partitions after a first direct Next call, and
+// a sampler sized for the stale count would silently truncate (or overflow)
+// the keyspace.
 func (m *Micro) samplers() {
-	if m.KeySkew > 0 && m.keyZipf == nil {
+	if m.KeySkew > 0 {
 		if m.Clients <= 0 {
 			panic("workload: Micro.KeySkew needs Clients (set it or run via Open, which calls SetShape)")
 		}
-		m.keyZipf = NewZipf(m.Clients*m.KeysPerTxn, m.KeySkew)
+		if n := m.Clients * m.KeysPerTxn; m.keyZipf == nil || m.keyZipf.N() != n {
+			m.keyZipf = NewZipf(n, m.KeySkew)
+		}
 	}
-	if m.PartitionSkew > 0 && m.partZipf == nil {
-		m.partZipf = NewZipf(m.Partitions, m.PartitionSkew)
+	if m.PartitionSkew > 0 {
+		if m.partZipf == nil || m.partZipf.N() != m.Partitions {
+			m.partZipf = NewZipf(m.Partitions, m.PartitionSkew)
+		}
 	}
 }
 
@@ -198,11 +228,86 @@ func (m *Micro) skewKeys(b *microBuf, pid msg.PartitionID, n int, rng *rand.Rand
 	return dst
 }
 
+// SetRouter implements RouterAware. Scan-bearing workloads are rejected:
+// scan bounds are rank intervals over one partition's interned keyspace, and
+// a migrated sub-range would make the physical scan silently miss (or
+// double-count) the moved rows — the facade surfaces the error as
+// ErrBadElasticity instead.
+func (m *Micro) SetRouter(r *elastic.Router) error {
+	if m.ScanFraction > 0 {
+		return errors.New("workload: elastic routing cannot re-target range scans")
+	}
+	m.router = r
+	return nil
+}
+
 // Next implements Generator. The returned Invocation is client ci's reused
 // buffer — valid until the client's next call, per the Generator contract —
 // unless SetShape switched to fresh allocation (open-loop windows,
-// replicated skew).
+// replicated skew). When an elastic router is installed and has recorded
+// migrations, the invocation's key groups are re-targeted to the partitions
+// that hold the keys now.
 func (m *Micro) Next(ci int, rng *rand.Rand) *txn.Invocation {
+	inv := m.next(ci, rng)
+	if inv != nil && m.router.Active() {
+		m.applyRouting(inv)
+	}
+	return inv
+}
+
+// applyRouting regroups inv's per-partition key map through the elastic
+// routing table: each key lands in the group of the partition that holds it
+// after all recorded migrations. Untouched invocations (no key moved) pass
+// through unchanged on the reuse fast path; a touched one gets fresh sorted
+// slices — regrouping can merge keys from different source groups, and the
+// interned source slices are immutable. AbortAt is remapped through the
+// placement of its group's first key, so the abort still fires at a
+// partition the transaction actually visits.
+func (m *Micro) applyRouting(inv *txn.Invocation) {
+	args, ok := inv.Args.(*kvstore.Args)
+	if !ok {
+		return
+	}
+	moved := false
+	for pid, keys := range args.Keys {
+		for _, k := range keys {
+			if m.router.Place(pid, k) != pid {
+				moved = true
+				break
+			}
+		}
+		if moved {
+			break
+		}
+	}
+	if !moved {
+		return
+	}
+	if inv.AbortAt != txn.NoAbort {
+		if keys := args.Keys[inv.AbortAt]; len(keys) > 0 {
+			inv.AbortAt = m.router.Place(inv.AbortAt, keys[0])
+		}
+	}
+	pids := make([]msg.PartitionID, 0, len(args.Keys))
+	for pid := range args.Keys {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	regrouped := make(map[msg.PartitionID][]string, len(args.Keys))
+	for _, pid := range pids {
+		for _, k := range args.Keys[pid] {
+			np := m.router.Place(pid, k)
+			regrouped[np] = append(regrouped[np], k)
+		}
+	}
+	for _, keys := range regrouped {
+		sort.Strings(keys)
+	}
+	args.Keys = regrouped
+}
+
+// next builds the invocation against the static partition layout.
+func (m *Micro) next(ci int, rng *rand.Rand) *txn.Invocation {
 	m.samplers()
 	mp := rng.Float64() < m.MPFraction
 	readOnly := m.ReadFraction > 0 && rng.Float64() < m.ReadFraction
@@ -392,6 +497,14 @@ func (l *Limit) SetShape(s Shape) {
 	}
 }
 
+// SetRouter forwards the elastic routing table to the wrapped generator.
+func (l *Limit) SetRouter(r *elastic.Router) error {
+	if ra, ok := l.Gen.(RouterAware); ok {
+		return ra.SetRouter(r)
+	}
+	return errors.New("workload: wrapped generator is not router-aware")
+}
+
 // Mixed interleaves generators by weight, for composite workloads.
 type Mixed struct {
 	Gens    []Generator
@@ -405,6 +518,22 @@ func (m *Mixed) SetShape(s Shape) {
 			sa.SetShape(s)
 		}
 	}
+}
+
+// SetRouter forwards the elastic routing table to every wrapped generator;
+// all of them must accept it, or the mix would issue a blend of re-targeted
+// and stale-routed invocations.
+func (m *Mixed) SetRouter(r *elastic.Router) error {
+	for _, g := range m.Gens {
+		ra, ok := g.(RouterAware)
+		if !ok {
+			return errors.New("workload: mixed generator is not router-aware")
+		}
+		if err := ra.SetRouter(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Next implements Generator.

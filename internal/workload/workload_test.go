@@ -3,8 +3,10 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 
+	"specdb/internal/elastic"
 	"specdb/internal/kvstore"
 	"specdb/internal/msg"
 	"specdb/internal/txn"
@@ -458,5 +460,109 @@ func TestMicroBufferReuseContract(t *testing.T) {
 		if len(keys) != len(want) || &keys[0] != &want[0] {
 			t.Fatalf("partition %d keys are not the interned slice", p)
 		}
+	}
+}
+
+// TestMicroSetShapeFillsPartitions is the Partitions-captured-at-Open
+// regression: a Micro left with Partitions zero must pick up the cluster's
+// partition count from SetShape instead of running degenerate, and a
+// partition zipf built against a stale count must be rebuilt to the filled
+// one.
+func TestMicroSetShapeFillsPartitions(t *testing.T) {
+	m := &Micro{KeysPerTxn: 4, MPFraction: 1, PartitionSkew: 0.9}
+	m.SetShape(Shape{Clients: 8, Partitions: 4})
+	if m.Partitions != 4 || m.Clients != 8 {
+		t.Fatalf("shape not filled: Partitions=%d Clients=%d", m.Partitions, m.Clients)
+	}
+	if m.partZipf.N() != 4 {
+		t.Fatalf("partition zipf sized %d, want 4", m.partZipf.N())
+	}
+	// Explicit knobs survive a SetShape with a different cluster shape, but
+	// a sampler sized for the stale count is rebuilt.
+	m2 := &Micro{KeysPerTxn: 4, Partitions: 2, Clients: 4, KeySkew: 0.8, PartitionSkew: 0.9}
+	m2.samplers()
+	m2.Partitions, m2.Clients = 8, 16
+	m2.SetShape(Shape{Clients: 32, Partitions: 32})
+	if m2.Partitions != 8 || m2.Clients != 16 {
+		t.Fatalf("explicit knobs overwritten: Partitions=%d Clients=%d", m2.Partitions, m2.Clients)
+	}
+	if m2.partZipf.N() != 8 {
+		t.Fatalf("stale partition zipf kept: N=%d, want 8", m2.partZipf.N())
+	}
+	if want := m2.Clients * m2.KeysPerTxn; m2.keyZipf.N() != want {
+		t.Fatalf("stale key zipf kept: N=%d, want %d", m2.keyZipf.N(), want)
+	}
+}
+
+// TestMicroApplyRouting pins the elastic regrouping: keys whose range moved
+// land in the new partition's group, merged groups stay sorted, AbortAt
+// follows its group's first key, and an untouched invocation passes through
+// on the reuse fast path (same map, no regrouping).
+func TestMicroApplyRouting(t *testing.T) {
+	m := &Micro{Partitions: 2, KeysPerTxn: 2, Clients: 4}
+	r := elastic.New()
+	if err := m.SetRouter(r); err != nil {
+		t.Fatalf("SetRouter: %v", err)
+	}
+	k00 := kvstore.PartitionKeys(0, 0, 2) // partition 0 keys of client 0
+	k01 := kvstore.PartitionKeys(0, 1, 2) // partition 1 keys of client 0
+	mkInv := func() *txn.Invocation {
+		return &txn.Invocation{
+			Proc: kvstore.ProcName,
+			Args: &kvstore.Args{Keys: map[msg.PartitionID][]string{
+				0: append([]string(nil), k00...),
+				1: append([]string(nil), k01...),
+			}},
+			AbortAt: 0,
+		}
+	}
+	// No moves: the exact map passes through on the fast path.
+	inv := mkInv()
+	before := inv.Args.(*kvstore.Args).Keys
+	m.applyRouting(inv)
+	got := inv.Args.(*kvstore.Args).Keys
+	if len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 2 {
+		t.Fatalf("identity routing regrouped: %v", got)
+	}
+	if &got[0][0] != &before[0][0] {
+		t.Fatal("identity routing replaced the key slices")
+	}
+
+	// Move everything from partition 0 into partition 1: groups merge, the
+	// merged slice is sorted, and AbortAt follows.
+	r.Add(elastic.Move{From: 0, To: 1, Lo: "", Hi: ""})
+	inv = mkInv()
+	m.applyRouting(inv)
+	got = inv.Args.(*kvstore.Args).Keys
+	if len(got) != 1 || len(got[1]) != 4 {
+		t.Fatalf("regrouped keys = %v, want all 4 under partition 1", got)
+	}
+	if !sort.StringsAreSorted(got[1]) {
+		t.Fatalf("merged group not sorted: %v", got[1])
+	}
+	if inv.AbortAt != 1 {
+		t.Fatalf("AbortAt = %d, want remapped to 1", inv.AbortAt)
+	}
+}
+
+// TestSetRouterRejections pins which generators accept elastic routing:
+// scan-bearing Micro refuses, Script has no routing hook, and the wrappers
+// forward both the router and the refusal.
+func TestSetRouterRejections(t *testing.T) {
+	r := elastic.New()
+	if err := (&Micro{ScanFraction: 0.1}).SetRouter(r); err == nil {
+		t.Fatal("scan-bearing Micro accepted a router")
+	}
+	if err := (&Limit{Gen: &Micro{}, N: 10}).SetRouter(r); err != nil {
+		t.Fatalf("Limit over Micro refused: %v", err)
+	}
+	if err := (&Limit{Gen: &Script{}, N: 10}).SetRouter(r); err == nil {
+		t.Fatal("Limit over Script accepted a router")
+	}
+	if err := (&Mixed{Gens: []Generator{&Micro{}, &Script{}}, Weights: []float64{1, 1}}).SetRouter(r); err == nil {
+		t.Fatal("Mixed with a Script member accepted a router")
+	}
+	if err := (&Mixed{Gens: []Generator{&Micro{}}, Weights: []float64{1}}).SetRouter(r); err != nil {
+		t.Fatalf("all-Micro Mixed refused: %v", err)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"specdb/internal/costs"
 	"specdb/internal/fault"
 	"specdb/internal/txn"
+	"specdb/internal/workload"
 )
 
 // Open validation errors. Each is wrapped with the offending value where one
@@ -59,6 +60,12 @@ var (
 	// therefore the largest window the conservative barrier protocol can
 	// run without reordering).
 	ErrBadParallelism = errors.New("specdb: invalid parallelism configuration")
+	// ErrBadElasticity: the ElasticityConfig is invalid for this setup — a
+	// negative or out-of-range field, fewer than two partitions (nothing to
+	// rebalance between), or a workload that cannot be re-targeted after a
+	// key-range migration (not RouterAware after unwrapping, or one whose
+	// mode rejects routing, e.g. range scans).
+	ErrBadElasticity = errors.New("specdb: invalid elasticity configuration")
 )
 
 // Option configures a DB at Open time. Options apply in order, so later
@@ -89,6 +96,7 @@ type settings struct {
 	openLoop   *OpenLoopConfig
 	durable    *DurabilityConfig
 	parallel   *ParallelismConfig
+	elastic    *ElasticityConfig
 	// history enables the serializability oracle's per-partition value-
 	// trace recording (test-only; see internal/oracle and DB histories).
 	history bool
@@ -163,6 +171,20 @@ func (s *settings) validate() error {
 		}
 		if p.Horizon == 0 && s.costs.OneWayLatency <= 0 {
 			return fmt.Errorf("%w (no positive horizon: one-way latency=%v)", ErrBadParallelism, s.costs.OneWayLatency)
+		}
+	}
+	if s.elastic != nil {
+		e := *s.elastic
+		if s.partitions < 2 {
+			return fmt.Errorf("%w (need at least 2 partitions, got %d)", ErrBadElasticity, s.partitions)
+		}
+		if e.Interval < 0 || e.SaturationFraction < 0 || e.SaturationFraction > 1 ||
+			e.SaturationRatio < 0 || e.Holdoff < 0 || e.MaxMigrations < 0 ||
+			e.CopyLatency < 0 || e.CopyBandwidth < 0 {
+			return fmt.Errorf("%w (%+v)", ErrBadElasticity, e)
+		}
+		if _, ok := s.workload.(workload.RouterAware); !ok {
+			return fmt.Errorf("%w (workload %T cannot re-target keys after a migration)", ErrBadElasticity, s.workload)
 		}
 	}
 	if s.openLoop != nil {
@@ -497,6 +519,108 @@ type ParallelismConfig struct {
 // clients on different shards is unspecified.
 func WithParallelism(cfg ParallelismConfig) Option {
 	return func(s *settings) { c := cfg; s.parallel = &c }
+}
+
+// Default elasticity parameters applied for zero ElasticityConfig fields.
+const (
+	// DefaultElasticInterval spaces saturation evaluations 10 ms apart.
+	DefaultElasticInterval = 10 * Millisecond
+	// DefaultSaturationFraction is the busy fraction of an interval above
+	// which a partition counts as saturated.
+	DefaultSaturationFraction = 0.75
+	// DefaultSaturationRatio is how many times busier than the mean of the
+	// other partitions the hottest one must be before a split pays.
+	DefaultSaturationRatio = 2.0
+	// DefaultElasticHoldoff is the number of evaluation intervals skipped
+	// after a migration.
+	DefaultElasticHoldoff = 1
+	// DefaultMaxMigrations bounds the migrations per run.
+	DefaultMaxMigrations = 4
+	// DefaultCopyLatency is the fixed setup cost charged to donor and
+	// destination for one migration, 500 µs.
+	DefaultCopyLatency = 500 * Microsecond
+	// DefaultCopyBandwidth is the row-copy throughput in bytes per second
+	// of virtual time, 100 MiB/s.
+	DefaultCopyBandwidth = 100 << 20
+)
+
+// ElasticityConfig enables elastic repartitioning (WithElasticity).
+type ElasticityConfig struct {
+	// Interval is the saturation evaluation period (default 10 ms).
+	Interval Time
+	// SaturationFraction is the busy-time fraction above which the hottest
+	// partition counts as saturated (default 0.75).
+	SaturationFraction float64
+	// SaturationRatio is the skew threshold: the hottest partition must be
+	// at least this multiple of the mean busy time of the remaining
+	// partitions (default 2.0).
+	SaturationRatio float64
+	// Holdoff is how many evaluation intervals to skip after a migration
+	// (default 1).
+	Holdoff int
+	// MaxMigrations bounds the migrations per run (default 4), keeping a
+	// pathologically skewed workload from thrashing rows between
+	// partitions forever.
+	MaxMigrations int
+	// CopyLatency is the fixed per-migration setup cost charged to the
+	// donor and the destination (default 500 µs).
+	CopyLatency Time
+	// CopyBandwidth is the row-copy throughput in bytes per second of
+	// virtual time (default 100 MiB/s), charged on top of CopyLatency for
+	// the migrated bytes.
+	CopyBandwidth float64
+	// Manual disables the saturation trigger: migrations happen only
+	// through explicit DB.Migrate calls.
+	Manual bool
+}
+
+// withDefaults fills zero fields.
+func (c ElasticityConfig) withDefaults() ElasticityConfig {
+	if c.Interval == 0 {
+		c.Interval = DefaultElasticInterval
+	}
+	if c.SaturationFraction == 0 {
+		c.SaturationFraction = DefaultSaturationFraction
+	}
+	if c.SaturationRatio == 0 {
+		c.SaturationRatio = DefaultSaturationRatio
+	}
+	if c.Holdoff == 0 {
+		c.Holdoff = DefaultElasticHoldoff
+	}
+	if c.MaxMigrations == 0 {
+		c.MaxMigrations = DefaultMaxMigrations
+	}
+	if c.CopyLatency == 0 {
+		c.CopyLatency = DefaultCopyLatency
+	}
+	if c.CopyBandwidth == 0 {
+		c.CopyBandwidth = DefaultCopyBandwidth
+	}
+	return c
+}
+
+// WithElasticity enables elastic repartitioning: at every cfg.Interval of
+// virtual time during Run and RunFor, the DB compares per-partition busy
+// times and — when one partition is saturated while the rest idle — migrates
+// the upper half of the hot partition's key range to the idlest partition
+// through a freeze–copy–cutover: the cluster drains to a quiescent point,
+// the rows move (priced by CopyLatency and CopyBandwidth), the routing epoch
+// advances so workload generators re-target the moved keys, and the paused
+// clients resume. Each migration appears in Result.Migrations with its
+// timeline; the trigger's hysteresis (saturation fraction, skew ratio,
+// post-migration holdoff, MaxMigrations cap) keeps a balanced cluster from
+// thrashing. Manual mode skips the trigger and exposes DB.Migrate instead.
+//
+// Requires at least two partitions and a workload whose generator can
+// re-target keys after a migration (workload.Micro; range-scan mixes are
+// rejected, their rank-interval bounds cannot follow migrated rows). The
+// routing table is deterministic, so elastic runs stay bit-identical across
+// same-seed runs and shard widths, and compose with durability: migrations
+// are logged and replayed by crash-restart recovery. The fine-grained
+// drivers RunUntil and Step do not evaluate the trigger.
+func WithElasticity(cfg ElasticityConfig) Option {
+	return func(s *settings) { c := cfg; s.elastic = &c }
 }
 
 // arrivalFor builds client i's arrival process, or nil for closed-loop

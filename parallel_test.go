@@ -52,19 +52,20 @@ func TestParallelWidthEquivalence(t *testing.T) {
 		// decode(seed, scheme, partitions, clients, mp%, conflict%, abort%,
 		//   twoRound, replicas, fault, openLoop, rate, window, skew%,
 		//   durable, ckptMs, read%, adaptive, shards, scan%)
-		{"blocking", decode(42, 0, 2, 7, 20, 0, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0)},
-		{"speculation-two-round", decode(7, 1, 2, 7, 50, 0, 8, true, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0)},
-		{"locking-conflicts", decode(9, 2, 2, 5, 30, 60, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0)},
-		{"mvcc-read-heavy", decode(61, 3, 2, 7, 30, 50, 4, false, 0, 0, false, 0, 0, 0, false, 0, 60, false, 0, 0)},
-		{"occ-hot-keys", decode(63, 4, 2, 7, 40, 60, 8, true, 0, 0, false, 0, 0, 0, false, 0, 25, false, 0, 0)},
-		{"fault-crash-primary", decode(3, 1, 2, 7, 40, 0, 0, false, 1, 1, false, 0, 0, 0, false, 0, 0, false, 0, 0)},
-		{"fault-crash-backup", decode(5, 1, 2, 7, 20, 0, 4, false, 1, 2, false, 0, 0, 0, false, 0, 0, false, 0, 0)},
-		{"fault-crash-restart-durable", decode(53, 1, 2, 7, 40, 0, 0, false, 0, 3, false, 0, 0, 0, true, 1, 0, false, 0, 0)},
-		{"durable-logging", decode(51, 1, 2, 7, 30, 0, 0, false, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0, 0)},
-		{"openloop-overload-zipf", decode(12, 2, 2, 7, 10, 0, 0, false, 0, 0, true, 150_000, 3, 99, false, 0, 0, false, 0, 0)},
-		{"openloop-fault-replicated", decode(31, 1, 2, 5, 30, 0, 0, false, 1, 1, true, 40_000, 0, 50, false, 0, 0, false, 0, 0)},
-		{"advisor-switch", decode(71, 0, 2, 7, 60, 0, 0, true, 0, 0, false, 0, 0, 0, false, 0, 0, true, 0, 0)},
-		{"scan-mix", decode(92, 3, 2, 7, 30, 40, 0, false, 0, 0, false, 0, 0, 0, false, 0, 30, false, 0, 50)},
+		{"blocking", decode(42, 0, 2, 7, 20, 0, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0, 0)},
+		{"speculation-two-round", decode(7, 1, 2, 7, 50, 0, 8, true, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0, 0)},
+		{"locking-conflicts", decode(9, 2, 2, 5, 30, 60, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0, 0)},
+		{"mvcc-read-heavy", decode(61, 3, 2, 7, 30, 50, 4, false, 0, 0, false, 0, 0, 0, false, 0, 60, false, 0, 0, 0)},
+		{"occ-hot-keys", decode(63, 4, 2, 7, 40, 60, 8, true, 0, 0, false, 0, 0, 0, false, 0, 25, false, 0, 0, 0)},
+		{"fault-crash-primary", decode(3, 1, 2, 7, 40, 0, 0, false, 1, 1, false, 0, 0, 0, false, 0, 0, false, 0, 0, 0)},
+		{"fault-crash-backup", decode(5, 1, 2, 7, 20, 0, 4, false, 1, 2, false, 0, 0, 0, false, 0, 0, false, 0, 0, 0)},
+		{"fault-crash-restart-durable", decode(53, 1, 2, 7, 40, 0, 0, false, 0, 3, false, 0, 0, 0, true, 1, 0, false, 0, 0, 0)},
+		{"durable-logging", decode(51, 1, 2, 7, 30, 0, 0, false, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0, 0, 0)},
+		{"openloop-overload-zipf", decode(12, 2, 2, 7, 10, 0, 0, false, 0, 0, true, 150_000, 3, 99, false, 0, 0, false, 0, 0, 0)},
+		{"openloop-fault-replicated", decode(31, 1, 2, 5, 30, 0, 0, false, 1, 1, true, 40_000, 0, 50, false, 0, 0, false, 0, 0, 0)},
+		{"advisor-switch", decode(71, 0, 2, 7, 60, 0, 0, true, 0, 0, false, 0, 0, 0, false, 0, 0, true, 0, 0, 0)},
+		{"scan-mix", decode(92, 3, 2, 7, 30, 40, 0, false, 0, 0, false, 0, 0, 0, false, 0, 30, false, 0, 50, 0)},
+		{"elastic-split-durable", decode(101, 1, 2, 7, 10, 0, 0, false, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0, 0, 1)},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -91,7 +92,7 @@ func TestParallelWidthEquivalence(t *testing.T) {
 // directly: the barrier sequence depends on event times only, never on how
 // the actors are spread over shards.
 func TestParallelBarriersWidthIndependent(t *testing.T) {
-	c := decode(42, 1, 2, 7, 30, 0, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0)
+	c := decode(42, 1, 2, 7, 30, 0, 0, false, 0, 0, false, 0, 0, 0, false, 0, 0, false, 0, 0, 0)
 	var barriers []uint64
 	for _, w := range []int{1, 2, 4} {
 		cw := c
@@ -109,7 +110,7 @@ func TestParallelBarriersWidthIndependent(t *testing.T) {
 // (which chops the window sequence differently) and one-shot Run reach the
 // same Result, and Snapshot reports barrier progress along the way.
 func TestParallelIncrementalDrive(t *testing.T) {
-	c := decode(7, 1, 2, 7, 40, 0, 4, true, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0, 0)
+	c := decode(7, 1, 2, 7, 40, 0, 4, true, 0, 0, false, 0, 0, 0, true, 2, 0, false, 0, 0, 0)
 	c.shards = 4
 	oneShot, _ := runAt(t, c, 4)
 

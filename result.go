@@ -20,6 +20,12 @@ type FailoverEvent = metrics.FailoverEvent
 // Downtime and RecoveryLatency methods derive the restart-cost numbers.
 type RecoveryEvent = metrics.RecoveryEvent
 
+// MigrationEvent records one elastic repartitioning step: donor and
+// destination partitions, the trigger/copy/cutover timeline, the migrated
+// key range and its size. Its Dip method derives the freeze-to-cutover
+// stall — the elasticity analog of a failover's Downtime.
+type MigrationEvent = metrics.MigrationEvent
+
 // LatencySummary condenses one latency class into sample count, p50/p95/p99
 // quantiles, and the observed maximum.
 type LatencySummary = metrics.LatencySummary
@@ -95,6 +101,13 @@ type Result struct {
 	// recovering (restart to resume) at the same instant — the parallel
 	// replay width of a multi-partition crash.
 	ReplayParallelism int
+	// Migrations records every elastic repartitioning step in cutover
+	// order (WithElasticity runs only; nil otherwise), each with its
+	// trigger/copy/cutover timeline and moved-range size. MigrationDip is
+	// the summed freeze-to-cutover stall across them — the elasticity
+	// dip timeline's total, analogous to Downtime for faults.
+	Migrations   []MigrationEvent
+	MigrationDip Time
 	// Parallel reports sharded-runtime observability (WithParallelism runs
 	// only; nil otherwise). It is the one field that legitimately differs
 	// between runs at different shard counts — cross-shard traffic and
@@ -280,6 +293,12 @@ func (db *DB) Result() Result {
 			res.Downtime += e.Downtime()
 		}
 		res.ReplayParallelism = replayParallelism(res.Recovery)
+	}
+	if len(db.collector.Migrations) > 0 {
+		res.Migrations = append([]MigrationEvent(nil), db.collector.Migrations...)
+		for _, e := range res.Migrations {
+			res.MigrationDip += e.Dip()
+		}
 	}
 	return res
 }
